@@ -1,0 +1,71 @@
+"""Ablation: transaction batch size on the Weaver-like store.
+
+Isolates the mechanism behind Figures 3b/3c: the serial timestamper
+charges a fixed cost per transaction, so batching amortises it.  The
+sweep shows throughput rising with batch size and saturating once the
+per-event costs dominate — exactly the claim DESIGN.md derives from the
+paper's Weaver analysis.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.generator import StreamGenerator
+from repro.core.models import UniformRules
+from repro.platforms.weaverlike import WeaverLikePlatform
+from repro.sim.kernel import Simulation
+
+BATCH_SIZES = (1, 2, 5, 10, 20, 50)
+
+
+@pytest.fixture(scope="module")
+def stream(scale):
+    rounds = max(2_000, int(200_000 * scale))
+    return StreamGenerator(
+        UniformRules(), rounds=rounds, seed=7, emit_phase_marker=False
+    ).generate()
+
+
+def _ceiling(stream, batch_size: int) -> float:
+    # Direct drive (ingest everything up front, unlimited in-flight
+    # window) measures the pure pipeline ceiling without replayer
+    # pacing or drain-poll quantisation.
+    sim = Simulation()
+    platform = WeaverLikePlatform(
+        batch_size=batch_size, max_inflight_transactions=10**9
+    )
+    platform.attach(sim)
+    count = 0
+    for event in stream.graph_events():
+        platform.ingest(event)
+        count += 1
+    platform.flush()
+    sim.run()
+    return count / sim.now
+
+
+def test_ablation_batch_size_sweep(benchmark, stream):
+    def run():
+        return {batch: _ceiling(stream, batch) for batch in BATCH_SIZES}
+
+    ceilings = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print()
+    print("Ablation — Weaver-like throughput ceiling vs batch size")
+    print(f"{'batch':>6} {'ceiling [events/s]':>20}")
+    for batch, ceiling in ceilings.items():
+        print(f"{batch:>6} {ceiling:>20.0f}")
+
+    benchmark.extra_info["ceilings"] = {
+        str(batch): round(value) for batch, value in ceilings.items()
+    }
+
+    # Monotone gains that saturate: each step helps, but relative gains
+    # shrink as per-event cost dominates.
+    values = [ceilings[batch] for batch in BATCH_SIZES]
+    for previous, current in zip(values, values[1:]):
+        assert current > previous
+    first_gain = values[1] / values[0]
+    last_gain = values[-1] / values[-2]
+    assert first_gain > last_gain

@@ -1,0 +1,73 @@
+"""Ablation: stream fault rates vs graph divergence.
+
+Motivates section 3.2's requirement of strong delivery guarantees by
+default: dropping, duplicating or reordering events makes later
+operations violate their preconditions and the reconstructed graph
+diverge from the reference.  The sweep quantifies failed-operation
+rates and final-graph divergence per fault type and rate.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.faults import FaultPlan, apply_fault_plan
+from repro.core.generator import StreamGenerator
+from repro.core.models import EventMix, UniformRules
+from repro.graph.builders import build_graph
+
+RATES = (0.0, 0.01, 0.05, 0.1, 0.2)
+
+
+@pytest.fixture(scope="module")
+def stream(scale):
+    rounds = max(2_000, int(100_000 * scale))
+    mix = EventMix(
+        add_vertex=0.2,
+        remove_vertex=0.05,
+        update_vertex=0.2,
+        add_edge=0.35,
+        remove_edge=0.2,
+    )
+    return StreamGenerator(UniformRules(mix=mix), rounds=rounds, seed=13).generate()
+
+
+def _divergence(stream, plan: FaultPlan):
+    reference, __ = build_graph(stream)
+    faulty_stream = apply_fault_plan(stream, plan)
+    graph, report = build_graph(faulty_stream, strict=False)
+    vertex_divergence = abs(graph.vertex_count - reference.vertex_count)
+    edge_divergence = abs(graph.edge_count - reference.edge_count)
+    return report.failure_rate, vertex_divergence + edge_divergence
+
+
+@pytest.mark.parametrize("fault", ["drop", "duplicate", "reorder"])
+def test_ablation_fault_rates(benchmark, stream, fault):
+    def plan_for(rate: float) -> FaultPlan:
+        if fault == "drop":
+            return FaultPlan(drop_probability=rate, seed=5)
+        if fault == "duplicate":
+            return FaultPlan(duplicate_probability=rate, seed=5)
+        return FaultPlan(
+            shuffle_window=16, shuffle_probability=rate, seed=5
+        )
+
+    def run():
+        return {rate: _divergence(stream, plan_for(rate)) for rate in RATES}
+
+    outcomes = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print()
+    print(f"Ablation — fault type {fault!r}: failures and divergence")
+    print(f"{'rate':>6} {'failed ops':>12} {'divergence':>12}")
+    for rate, (failure_rate, divergence) in outcomes.items():
+        print(f"{rate:>6.2f} {failure_rate:>12.4f} {divergence:>12}")
+
+    benchmark.extra_info["outcomes"] = {
+        str(rate): {"failure_rate": round(fr, 4), "divergence": div}
+        for rate, (fr, div) in outcomes.items()
+    }
+
+    # No faults -> no failures; higher fault rates -> more failed ops.
+    assert outcomes[0.0][0] == 0.0
+    assert outcomes[RATES[-1]][0] > outcomes[RATES[1]][0]

@@ -1,0 +1,76 @@
+"""Ablation: online (approximate) vs periodic batch (exact) computation.
+
+The paper's central trade-off (section 1): online computations give
+fast but approximate results; batch computations on snapshots give
+exact but stale results.  The sweep varies the online PageRank's
+per-event work budget and compares the staleness error against exact
+snapshots, quantifying the latency/accuracy dial.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.base import rank_error
+from repro.algorithms.pagerank import OnlinePageRank, PageRank
+from repro.core.generator import StreamGenerator
+from repro.core.models import EventMix, UniformRules
+from repro.graph.builders import build_graph
+
+WORK_BUDGETS = (0, 4, 16, 64, 256)
+
+
+@pytest.fixture(scope="module")
+def workload(scale):
+    rounds = max(1_500, int(40_000 * scale))
+    mix = EventMix(
+        add_vertex=0.2,
+        remove_vertex=0.03,
+        update_vertex=0.1,
+        add_edge=0.5,
+        remove_edge=0.17,
+    )
+    stream = StreamGenerator(UniformRules(mix=mix), rounds=rounds, seed=23).generate()
+    graph, __ = build_graph(stream)
+    exact = PageRank().compute(graph)
+    return stream, exact
+
+
+def _stale_error(stream, exact, work: int) -> float:
+    online = OnlinePageRank(work_per_event=work)
+    for event in stream.graph_events():
+        online.ingest(event)
+    return rank_error(online.result(), exact)
+
+
+def test_ablation_online_work_budget(benchmark, workload):
+    stream, exact = workload
+
+    def run():
+        return {work: _stale_error(stream, exact, work) for work in WORK_BUDGETS}
+
+    errors = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print()
+    print("Ablation — online PageRank staleness vs per-event work budget")
+    print(f"{'work/event':>11} {'median rel. error':>18}")
+    for work, error in errors.items():
+        print(f"{work:>11} {error:>18.5f}")
+
+    benchmark.extra_info["errors"] = {
+        str(work): round(error, 6) for work, error in errors.items()
+    }
+
+    # More work per event -> tighter results; the extremes differ clearly.
+    assert errors[WORK_BUDGETS[-1]] < errors[0]
+    # With a generous budget the online result is accurate (median
+    # relative error below ten percent on the tracked vertices).
+    assert errors[WORK_BUDGETS[-1]] < 0.10
+
+
+def test_ablation_batch_snapshot_cost(benchmark, workload):
+    """The price of exactness: one full batch recompute per snapshot."""
+    stream, __ = workload
+    graph, __report = build_graph(stream)
+    result = benchmark(PageRank().compute, graph)
+    assert result

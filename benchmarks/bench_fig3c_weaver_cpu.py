@@ -1,0 +1,52 @@
+"""Figure 3c benchmark: CPU usage of Weaver processes.
+
+Regenerates the figure's two CPU series (weaver-timestamper and
+weaver-shard) at 10,000 events/s with 10 events per transaction.  The
+paper's finding to reproduce: the timestamper process shows a
+relatively high utilisation — it, not the shard, is the bottleneck.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.configs import WeaverExperimentConfig
+from repro.experiments.fig3b import build_weaver_stream
+from repro.experiments.fig3c import run_weaver_cpu
+
+
+@pytest.fixture(scope="module")
+def config(scale):
+    return WeaverExperimentConfig().scaled(scale)
+
+
+@pytest.fixture(scope="module")
+def stream(config):
+    return build_weaver_stream(config)
+
+
+def test_fig3c_weaver_cpu(benchmark, config, stream):
+    def run():
+        return run_weaver_cpu(
+            config, stream=stream, streaming_rate=10_000, batch_size=10
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print()
+    print("Figure 3c — Weaver per-process CPU [%] at 10k events/s, 10 evt/tx")
+    print(f"{'t [s]':>8} {'timestamper':>12} {'shard':>8}")
+    shard = {s.timestamp: s.value for s in result.shard_cpu}
+    for sample in result.timestamper_cpu:
+        print(
+            f"{sample.timestamp:>8.2f} {sample.value:>12.1f} "
+            f"{shard.get(sample.timestamp, 0.0):>8.1f}"
+        )
+
+    benchmark.extra_info["timestamper_mean_cpu"] = round(result.timestamper_mean, 1)
+    benchmark.extra_info["shard_mean_cpu"] = round(result.shard_mean, 1)
+
+    # Paper finding: the timestamper dominates.
+    assert result.timestamper_dominates
+    assert result.timestamper_mean > 1.5 * result.shard_mean
+    assert result.timestamper_cpu.maximum() <= 100.0 + 1e-9

@@ -1,0 +1,67 @@
+"""Figure 3d benchmark: Chronograph stacked time series.
+
+Regenerates the figure's five stacked series — replay rate, internal
+operation throughput, worker CPU, per-worker queue lengths, and the
+retrospectively estimated relative rank error — for the Table-4 setup
+(SNB-like stream, 20 s pause after 100k events, doubled rate for the
+next 50k, four workers, online influence rank).
+
+The paper's findings to reproduce:
+
+* worker queues saturate towards the end of the stream;
+* the backlog of internal messages keeps the system busy after the
+  stream has stopped;
+* online rank results carry noticeable error with delays because
+  evolution and computation messages compete for worker resources.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.configs import ChronographExperimentConfig
+from repro.experiments.fig3d import run_chronograph
+
+
+@pytest.fixture(scope="module")
+def config(scale):
+    # The Chronograph run is the heaviest simulation; cap its scale so
+    # the default benchmark pass stays fast while full scale remains
+    # available via GRAPHTIDES_BENCH_SCALE=1.0.
+    return ChronographExperimentConfig().scaled(min(max(scale, 0.03), 1.0))
+
+
+def test_fig3d_chronograph_stacked_series(benchmark, config):
+    def run():
+        return run_chronograph(config)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table = result.stacked(step=max(1.0, result.duration / 40))
+    print()
+    print("Figure 3d — Chronograph stacked series")
+    labels = table.labels()
+    header = "t[s]".rjust(7) + "".join(l[-14:].rjust(15) for l in labels)
+    print(header)
+    for row in table.rows():
+        cells = "".join(f"{value:>15.2f}" for value in row[1:])
+        print(f"{row[0]:>7.1f}{cells}")
+
+    benchmark.extra_info["backlog_seconds"] = round(result.backlog_seconds, 2)
+    benchmark.extra_info["final_rank_error"] = round(
+        result.rank_error.values[-1], 4
+    )
+    benchmark.extra_info["peak_queue"] = max(
+        series.maximum() for series in result.worker_queues.values()
+    )
+
+    # Paper findings:
+    assert result.backlog_seconds > 0  # backlog outlives the stream
+    peak_queue = max(s.maximum() for s in result.worker_queues.values())
+    assert peak_queue > 10  # queues visibly fill
+    errors = result.rank_error.values
+    assert max(errors) > errors[-1]  # error declines as backlog drains
+    # Replay rate shows the pause and the doubled-rate phase.
+    rates = result.replay_rate.values
+    assert max(rates) > 1.5 * config.base_rate
+    assert min(rates) < 0.5 * config.base_rate

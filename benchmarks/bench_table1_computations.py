@@ -1,0 +1,129 @@
+"""Table 1 benchmark: example computations for stream-based graph systems.
+
+Measures every computation category of the paper's Table 1 on a common
+evolving-graph workload: the batch reference on the final snapshot, and
+(where applicable) the online variant ingesting the full stream.  This
+regenerates the table as a catalogue with per-computation timings.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import (
+    BellmanFord,
+    BreadthFirstSearch,
+    CycleDetection,
+    DegreeDistribution,
+    EstimatedDiameter,
+    ExactDiameter,
+    FloydWarshall,
+    GlobalProperties,
+    GreedyColoring,
+    LabelPropagation,
+    OnlineBellmanFord,
+    OnlineColoring,
+    OnlineDegreeDistribution,
+    OnlinePageRank,
+    OnlineWcc,
+    PageRank,
+    SpanningTree,
+    StreamingTriangleEstimator,
+    TriangleCount,
+    TrendingVertices,
+    VertexKMeans,
+    VertexSampler,
+    WeaklyConnectedComponents,
+)
+from repro.core.generator import StreamGenerator
+from repro.core.models import UniformRules
+from repro.graph.builders import build_graph
+
+
+@pytest.fixture(scope="module")
+def workload(scale):
+    rounds = max(1_000, int(100_000 * scale))
+    stream = StreamGenerator(UniformRules(), rounds=rounds, seed=1).generate()
+    graph, __ = build_graph(stream)
+    return stream, graph
+
+
+BATCH_COMPUTATIONS = [
+    ("graph_statistics", GlobalProperties),
+    ("graph_statistics_degree", DegreeDistribution),
+    ("graph_properties_pagerank", PageRank),
+    ("graph_properties_cycles", CycleDetection),
+    ("graph_theory_coloring", GreedyColoring),
+    ("graph_theory_triangles", TriangleCount),
+    ("communities_wcc", WeaklyConnectedComponents),
+    ("communities_label_propagation", LabelPropagation),
+    ("routing_diameter_estimate", lambda: EstimatedDiameter(samples=2)),
+    ("communities_kmeans", lambda: VertexKMeans(k=4)),
+]
+
+
+@pytest.mark.parametrize("name,factory", BATCH_COMPUTATIONS)
+def test_table1_batch_computation(benchmark, workload, name, factory):
+    __, graph = workload
+    computation = factory()
+    result = benchmark(computation.compute, graph)
+    assert result is not None
+
+
+def test_table1_routing_bfs(benchmark, workload):
+    __, graph = workload
+    source = next(iter(graph.vertices()))
+    benchmark(BreadthFirstSearch(source).compute, graph)
+
+
+def test_table1_routing_spanning_tree(benchmark, workload):
+    __, graph = workload
+    source = next(iter(graph.vertices()))
+    benchmark(SpanningTree(source).compute, graph)
+
+
+def test_table1_routing_bellman_ford(benchmark, workload):
+    __, graph = workload
+    source = next(iter(graph.vertices()))
+    benchmark(BellmanFord(source).compute, graph)
+
+
+def test_table1_routing_floyd_warshall(benchmark, workload, scale):
+    __, graph = workload
+    if graph.vertex_count > 600:
+        pytest.skip("Floyd-Warshall is cubic; run at smaller scale")
+    benchmark(FloydWarshall().compute, graph)
+
+
+def test_table1_routing_exact_diameter(benchmark, workload):
+    __, graph = workload
+    if graph.vertex_count > 2_000:
+        pytest.skip("exact diameter is quadratic; run at smaller scale")
+    benchmark(ExactDiameter().compute, graph)
+
+
+ONLINE_COMPUTATIONS = [
+    ("online_pagerank", lambda: OnlinePageRank(work_per_event=16)),
+    ("online_bellman_ford", lambda: OnlineBellmanFord(source=0, work_per_event=16)),
+    ("online_wcc", OnlineWcc),
+    ("online_degree", OnlineDegreeDistribution),
+    ("online_coloring", OnlineColoring),
+    ("online_triangles", lambda: StreamingTriangleEstimator(reservoir_size=500)),
+    ("temporal_trending", lambda: TrendingVertices(window_events=500)),
+    ("temporal_sampling", lambda: VertexSampler(capacity=100)),
+]
+
+
+@pytest.mark.parametrize("name,factory", ONLINE_COMPUTATIONS)
+def test_table1_online_computation(benchmark, workload, name, factory):
+    stream, __ = workload
+    events = list(stream.graph_events())
+
+    def ingest_all():
+        computation = factory()
+        for event in events:
+            computation.ingest(event)
+        return computation.result()
+
+    result = benchmark(ingest_all)
+    assert result is not None

@@ -1,0 +1,25 @@
+"""Shared configuration for the benchmark suite.
+
+Every figure/table benchmark runs a scaled-down version of the paper's
+configuration by default so the whole suite finishes in minutes; set
+``GRAPHTIDES_BENCH_SCALE=1.0`` for the full paper-scale runs.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+#: Fraction of the paper-scale configuration benchmarks run at.
+DEFAULT_SCALE = 0.02
+
+
+def bench_scale() -> float:
+    """The configured benchmark scale factor."""
+    return float(os.environ.get("GRAPHTIDES_BENCH_SCALE", DEFAULT_SCALE))
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    return bench_scale()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Methodology demo (paper section 4.5): statistically rigorous comparison.
+
+Compares two stream-based graph systems — the Weaver-like transactional
+store with and without transaction batching — on write throughput,
+following the paper's procedure: repeated runs per configuration,
+aggregation, and a CI95 overlap test ("non-overlapping confidence
+intervals ... are indeed significantly different").
+
+Run:  python examples/compare_platforms.py
+"""
+
+from repro.core.generator import StreamGenerator
+from repro.core.harness import HarnessConfig, TestHarness
+from repro.core.methodology import (
+    ComparisonVerdict,
+    ExperimentDesign,
+    Factor,
+    compare,
+    repeat_runs,
+)
+from repro.core.models import UniformRules
+from repro.platforms.weaverlike import WeaverLikePlatform
+
+REPETITIONS = 8  # the paper recommends >= 30; kept small for a quick demo
+
+
+def throughput_run(batch_size: int):
+    """A single-run function: seed -> committed events per second."""
+
+    def run(seed: int) -> float:
+        stream = StreamGenerator(
+            UniformRules(),
+            rounds=5_000,
+            seed=seed,
+            emit_phase_marker=False,
+        ).generate()
+        platform = WeaverLikePlatform(batch_size=batch_size)
+        result = TestHarness(
+            platform,
+            stream,
+            HarnessConfig(rate=20_000.0, level=0, log_interval=0.5),
+        ).run()
+        return result.events_processed / result.duration
+
+    return run
+
+
+def main() -> None:
+    design = ExperimentDesign(
+        (Factor("batch_size", (1, 10)),)
+    )
+    print("experiment design:")
+    for config in design.full_factorial():
+        print(f"  {config}")
+    print(f"  repetitions per configuration: {REPETITIONS}"
+          f" (paper recommends >= 30)")
+
+    results = {}
+    for config in design.full_factorial():
+        batch = config["batch_size"]
+        outcome = repeat_runs(throughput_run(batch), REPETITIONS)
+        results[batch] = outcome
+        aggregate = outcome.aggregate
+        print(
+            f"\nbatch={batch}: mean {aggregate.mean:.0f} events/s, "
+            f"CI95 [{aggregate.ci_low:.0f}, {aggregate.ci_high:.0f}], "
+            f"n={outcome.count}"
+            + ("" if outcome.meets_n30 else "  (below n>=30 recommendation)")
+        )
+
+    verdict = compare(
+        results[10].values, results[1].values, higher_is_better=True
+    )
+    print("\nCI95 comparison (throughput, higher is better):")
+    print(f"  intervals overlap: {verdict.intervals_overlap}")
+    if verdict.verdict == ComparisonVerdict.A_BETTER:
+        print("  verdict: batching (batch=10) is significantly faster")
+    elif verdict.verdict == ComparisonVerdict.B_BETTER:
+        print("  verdict: no batching (batch=1) is significantly faster")
+    else:
+        print("  verdict: indistinguishable at 95% confidence")
+
+    assert verdict.verdict == ComparisonVerdict.A_BETTER
+
+
+if __name__ == "__main__":
+    main()

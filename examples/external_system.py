@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Evaluating an *external* system under test over the network.
+
+The framework is platform-agnostic (paper section 3.3): the system
+under test need not be a Python object — any process that accepts the
+CSV stream format can be evaluated.  This example launches a tiny
+external stream-graph system as a **separate OS process** (a Python
+subprocess that maintains vertex/edge counts and a degree histogram),
+connects the live replayer to it over TCP, and measures the actual
+ingest rate from the replayer side — a true Level-0 evaluation: the
+harness knows nothing about the system except its network interface.
+
+Run:  python examples/external_system.py
+"""
+
+import json
+import socket
+import subprocess
+import sys
+import textwrap
+import time
+
+from repro.core.connectors import TcpTransport
+from repro.core.generator import StreamGenerator
+from repro.core.models import SocialNetworkRules
+from repro.core.replayer import LiveReplayer
+
+# The external system under test: reads CSV stream lines from a TCP
+# connection, maintains its graph state, and serves a one-shot stats
+# query on a second port.  Deliberately written as a standalone script
+# with no dependency on this library — it only speaks the stream format.
+EXTERNAL_SYSTEM = textwrap.dedent(
+    """
+    import json, socket, sys
+    from collections import Counter
+
+    ingest = socket.socket()
+    ingest.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    ingest.bind(("127.0.0.1", 0))
+    ingest.listen(1)
+    query = socket.socket()
+    query.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    query.bind(("127.0.0.1", 0))
+    query.listen(1)
+    print(json.dumps({"ingest": ingest.getsockname()[1],
+                      "query": query.getsockname()[1]}), flush=True)
+
+    vertices, edges = set(), set()
+    events = 0
+    conn, _ = ingest.accept()
+    reader = conn.makefile("r", encoding="utf-8")
+    for line in reader:
+        parts = line.rstrip("\\n").split(",", 2)
+        if len(parts) < 2:
+            continue
+        command, entity = parts[0], parts[1]
+        events += 1
+        if command == "ADD_VERTEX":
+            vertices.add(entity)
+        elif command == "REMOVE_VERTEX":
+            vertices.discard(entity)
+            edges = {e for e in edges
+                     if not e.startswith(entity + "-")
+                     and not e.endswith("-" + entity)}
+        elif command == "ADD_EDGE":
+            edges.add(entity)
+        elif command == "REMOVE_EDGE":
+            edges.discard(entity)
+    conn.close()
+
+    qconn, _ = query.accept()
+    qconn.sendall((json.dumps({
+        "events": events,
+        "vertices": len(vertices),
+        "edges": len(edges),
+    }) + "\\n").encode())
+    qconn.close()
+    """
+)
+
+
+def main() -> None:
+    # Launch the black-box system under test.
+    process = subprocess.Popen(
+        [sys.executable, "-c", EXTERNAL_SYSTEM],
+        stdout=subprocess.PIPE,
+        text=True,
+    )
+    try:
+        ports = json.loads(process.stdout.readline())
+        print(f"external system listening: ingest={ports['ingest']} "
+              f"query={ports['query']}")
+
+        # Generate the workload and replay it over TCP at 20k events/s.
+        stream = StreamGenerator(
+            SocialNetworkRules(), rounds=20_000, seed=5,
+            emit_phase_marker=False,
+        ).generate()
+        print(f"replaying {len(stream)} events ...")
+        transport = TcpTransport("127.0.0.1", ports["ingest"])
+        replayer = LiveReplayer(stream, transport, rate=20_000)
+        report = replayer.run()
+
+        print(f"replayed {report.events_emitted} events in "
+              f"{report.duration:.2f}s ({report.mean_rate:.0f} events/s)")
+
+        # Query the system's results through its own interface.
+        deadline = time.time() + 10
+        result = None
+        while time.time() < deadline:
+            try:
+                with socket.create_connection(
+                    ("127.0.0.1", ports["query"]), timeout=2
+                ) as connection:
+                    result = json.loads(
+                        connection.makefile("r").readline()
+                    )
+                break
+            except OSError:
+                time.sleep(0.1)
+        if result is None:
+            raise RuntimeError("external system never answered the query")
+
+        print("\nexternal system reports:")
+        print(f"  events ingested  {result['events']}")
+        print(f"  vertices         {result['vertices']}")
+        print(f"  edges            {result['edges']}")
+        assert result["events"] == report.events_emitted
+        print("\nall replayed events were ingested — level-0 evaluation done")
+    finally:
+        process.terminate()
+        process.wait(timeout=5)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""GraphTides reproduction: a framework for evaluating stream-based
+graph processing platforms.
+
+Reproduces Erb et al., *GraphTides: A Framework for Evaluating
+Stream-based Graph Processing Platforms* (GRADES-NDA'18).  The package
+provides:
+
+* :mod:`repro.core` — the evaluation framework: event/stream model,
+  stream generator, replayers (simulated and live), fault injection,
+  metrics, loggers, collector, test harness, methodology, analyses;
+* :mod:`repro.graph` — the directed stateful graph substrate;
+* :mod:`repro.gen` — streaming graph generators (BA, ER, R-MAT, SNB-like);
+* :mod:`repro.algorithms` — every Table-1 computation (batch + online);
+* :mod:`repro.sim` — the discrete-event simulation kernel;
+* :mod:`repro.platforms` — simulated systems under test (in-memory
+  reference, Weaver-like transactional store, Chronograph-like
+  distributed platform).
+"""
+
+from repro.core.events import EventType, GraphEvent, MarkerEvent, PauseEvent, SpeedEvent
+from repro.core.generator import GeneratorRules, StreamGenerator
+from repro.core.harness import HarnessConfig, InternalProbeSpec, RunResult, TestHarness
+from repro.core.stream import GraphStream
+from repro.errors import GraphTidesError
+from repro.graph.graph import StreamGraph
+from repro.platforms import ChronoLikePlatform, InMemoryPlatform, WeaverLikePlatform
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "EventType",
+    "GraphEvent",
+    "MarkerEvent",
+    "SpeedEvent",
+    "PauseEvent",
+    "GraphStream",
+    "StreamGraph",
+    "GeneratorRules",
+    "StreamGenerator",
+    "TestHarness",
+    "HarnessConfig",
+    "InternalProbeSpec",
+    "RunResult",
+    "GraphTidesError",
+    "InMemoryPlatform",
+    "WeaverLikePlatform",
+    "ChronoLikePlatform",
+]

@@ -1,0 +1,104 @@
+"""Computations for stream-based graph systems (paper Table 1).
+
+Every computation category from the paper's Table 1 is implemented with
+a batch reference and, where meaningful, an online/incremental variant:
+
+========================  ==================================================
+Table-1 category          Implementations
+========================  ==================================================
+Graph statistics          :class:`GlobalProperties`, :class:`DegreeDistribution`,
+                          :class:`OnlineDegreeDistribution`
+Graph properties          :class:`PageRank`, :class:`OnlinePageRank`,
+                          :class:`CycleDetection`
+Routing & traversals      :class:`BreadthFirstSearch`, :class:`SpanningTree`,
+                          :class:`BellmanFord`, :class:`OnlineBellmanFord`,
+                          :class:`FloydWarshall`,
+                          :class:`ExactDiameter`, :class:`EstimatedDiameter`
+Graph theory              :class:`GreedyColoring`, :class:`OnlineColoring`,
+                          :class:`TriangleCount`, :class:`StreamingTriangleEstimator`
+Communities               :class:`WeaklyConnectedComponents`, :class:`OnlineWcc`,
+                          :class:`LabelPropagation`, :class:`VertexKMeans`
+Temporal analyses         :class:`TrendingVertices`, :class:`ReservoirSampler`,
+                          :class:`VertexSampler`, :func:`linear_trend`
+========================  ==================================================
+"""
+
+from repro.algorithms.base import (
+    Computation,
+    OnlineComputation,
+    rank_error,
+    relative_error,
+)
+from repro.algorithms.coloring import GreedyColoring, OnlineColoring, is_proper_coloring
+from repro.algorithms.communities import LabelPropagation, community_sizes, modularity
+from repro.algorithms.components import OnlineWcc, UnionFind, WeaklyConnectedComponents
+from repro.algorithms.cycles import CycleDetection, find_cycle, has_cycle
+from repro.algorithms.degree import (
+    DegreeDistribution,
+    GlobalProperties,
+    OnlineDegreeDistribution,
+)
+from repro.algorithms.diameter import EstimatedDiameter, ExactDiameter
+from repro.algorithms.kmeans import VertexKMeans, vertex_features
+from repro.algorithms.pagerank import OnlinePageRank, PageRank
+from repro.algorithms.sampling import ReservoirSampler, VertexSampler
+from repro.algorithms.shortest_paths import (
+    BellmanFord,
+    FloydWarshall,
+    NegativeCycleError,
+    OnlineBellmanFord,
+    edge_weight,
+)
+from repro.algorithms.traversal import (
+    BreadthFirstSearch,
+    SpanningTree,
+    bfs_levels,
+    reachable_from,
+)
+from repro.algorithms.trends import TrendingVertices, TrendReport, ewma, linear_trend
+from repro.algorithms.triangles import StreamingTriangleEstimator, TriangleCount
+
+__all__ = [
+    "Computation",
+    "OnlineComputation",
+    "relative_error",
+    "rank_error",
+    "GlobalProperties",
+    "DegreeDistribution",
+    "OnlineDegreeDistribution",
+    "PageRank",
+    "OnlinePageRank",
+    "CycleDetection",
+    "has_cycle",
+    "find_cycle",
+    "BreadthFirstSearch",
+    "SpanningTree",
+    "bfs_levels",
+    "reachable_from",
+    "BellmanFord",
+    "OnlineBellmanFord",
+    "FloydWarshall",
+    "NegativeCycleError",
+    "edge_weight",
+    "ExactDiameter",
+    "EstimatedDiameter",
+    "GreedyColoring",
+    "OnlineColoring",
+    "is_proper_coloring",
+    "TriangleCount",
+    "StreamingTriangleEstimator",
+    "WeaklyConnectedComponents",
+    "OnlineWcc",
+    "UnionFind",
+    "LabelPropagation",
+    "community_sizes",
+    "modularity",
+    "VertexKMeans",
+    "vertex_features",
+    "TrendingVertices",
+    "TrendReport",
+    "linear_trend",
+    "ewma",
+    "ReservoirSampler",
+    "VertexSampler",
+]

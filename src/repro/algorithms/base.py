@@ -1,0 +1,83 @@
+"""Computation protocol shared by all Table-1 computations.
+
+The framework does not prescribe algorithm implementations; it lists
+*computation goals* and measures latency and accuracy (section 4.3).
+To make that measurable uniformly, every computation in this package
+implements :class:`Computation`:
+
+* ``compute(graph)`` — the exact batch reference on a snapshot;
+* optionally an *online* counterpart implementing
+  :class:`OnlineComputation`, which ingests graph events incrementally
+  and can produce an (approximate) result at any instant.
+
+The harness correlates online results with marker events and compares
+them against the batch reference on the reconstructed snapshot, which
+yields the accuracy metric; converging computations additionally expose
+an error estimate of their own.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Protocol, runtime_checkable
+
+from repro.core.events import GraphEvent
+from repro.graph.graph import StreamGraph
+
+__all__ = ["Computation", "OnlineComputation", "relative_error", "rank_error"]
+
+
+@runtime_checkable
+class Computation(Protocol):
+    """A batch computation over a graph snapshot."""
+
+    name: str
+
+    def compute(self, graph: StreamGraph) -> Any:
+        """Run the exact computation on ``graph`` and return its result."""
+
+
+@runtime_checkable
+class OnlineComputation(Protocol):
+    """An incremental computation fed by the event stream.
+
+    ``ingest`` must be called for every graph event in stream order;
+    ``result()`` may be called at any time and returns the current
+    (possibly approximate) value.
+    """
+
+    name: str
+
+    def ingest(self, event: GraphEvent) -> None:
+        """Process one graph-changing event."""
+
+    def result(self) -> Any:
+        """Current (approximate) result."""
+
+
+def relative_error(approximate: float, exact: float) -> float:
+    """``|approximate - exact| / |exact|``; absolute error when exact == 0."""
+    if exact == 0:
+        return abs(approximate)
+    return abs(approximate - exact) / abs(exact)
+
+
+def rank_error(
+    approximate: dict[int, float], exact: dict[int, float]
+) -> float:
+    """Median relative error over the keys of ``exact``.
+
+    Vertices missing from ``approximate`` contribute an error of 1.0
+    (completely unknown).  Returns 0.0 when ``exact`` is empty.
+    """
+    if not exact:
+        return 0.0
+    errors = sorted(
+        relative_error(approximate.get(vertex, 0.0), value)
+        if vertex in approximate
+        else 1.0
+        for vertex, value in exact.items()
+    )
+    mid = len(errors) // 2
+    if len(errors) % 2:
+        return errors[mid]
+    return (errors[mid - 1] + errors[mid]) / 2

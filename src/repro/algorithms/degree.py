@@ -1,0 +1,94 @@
+"""Graph statistics computations (Table 1, "Graph statistics").
+
+Batch global properties plus an online degree-distribution tracker that
+maintains its histogram incrementally from the event stream.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.core.events import EventType, GraphEvent
+from repro.graph.graph import StreamGraph
+from repro.graph.properties import GraphSummary, summarize
+
+__all__ = ["GlobalProperties", "DegreeDistribution", "OnlineDegreeDistribution"]
+
+
+class GlobalProperties:
+    """Batch computation of the global property summary."""
+
+    name = "global_properties"
+
+    def compute(self, graph: StreamGraph) -> GraphSummary:
+        return summarize(graph)
+
+
+class DegreeDistribution:
+    """Batch total-degree histogram (degree -> vertex count)."""
+
+    name = "degree_distribution"
+
+    def compute(self, graph: StreamGraph) -> dict[int, int]:
+        return dict(Counter(graph.degree(v) for v in graph.vertices()))
+
+
+class OnlineDegreeDistribution:
+    """Incrementally maintained total-degree histogram.
+
+    Exact at all times (degree tracking is cheap), so it doubles as a
+    test oracle for the online-computation plumbing: its ``result()``
+    must always equal the batch histogram on the reconstructed graph.
+    """
+
+    name = "online_degree_distribution"
+
+    def __init__(self) -> None:
+        self._degree: dict[int, int] = {}
+        self._histogram: Counter[int] = Counter()
+        self._graph = StreamGraph()
+
+    def _change_degree(self, vertex: int, delta: int) -> None:
+        old = self._degree[vertex]
+        new = old + delta
+        self._histogram[old] -= 1
+        if not self._histogram[old]:
+            del self._histogram[old]
+        self._histogram[new] += 1
+        self._degree[vertex] = new
+
+    def ingest(self, event: GraphEvent) -> None:
+        event_type = event.event_type
+        if event_type is EventType.ADD_VERTEX:
+            self._graph.add_vertex(event.vertex_id, event.payload)
+            self._degree[event.vertex_id] = 0
+            self._histogram[0] += 1
+        elif event_type is EventType.REMOVE_VERTEX:
+            vertex = event.vertex_id
+            removed_edges = self._graph.remove_vertex(vertex)
+            degree = self._degree.pop(vertex)
+            self._histogram[degree] -= 1
+            if not self._histogram[degree]:
+                del self._histogram[degree]
+            for edge in removed_edges:
+                other = edge.target if edge.source == vertex else edge.source
+                self._change_degree(other, -1)
+        elif event_type is EventType.ADD_EDGE:
+            edge = event.edge_id
+            self._graph.add_edge(edge.source, edge.target, event.payload)
+            self._change_degree(edge.source, +1)
+            self._change_degree(edge.target, +1)
+        elif event_type is EventType.REMOVE_EDGE:
+            edge = event.edge_id
+            self._graph.remove_edge(edge.source, edge.target)
+            self._change_degree(edge.source, -1)
+            self._change_degree(edge.target, -1)
+        elif event_type is EventType.UPDATE_VERTEX:
+            self._graph.update_vertex(event.vertex_id, event.payload)
+        elif event_type is EventType.UPDATE_EDGE:
+            edge = event.edge_id
+            self._graph.update_edge(edge.source, edge.target, event.payload)
+
+    def result(self) -> dict[int, int]:
+        return dict(self._histogram)

@@ -1,0 +1,71 @@
+"""Diameter estimation (Table 1, "Routing & traversals").
+
+The exact diameter needs all-pairs BFS (O(n·m)); the estimator runs
+BFS from a vertex sample plus a double-sweep lower bound, which is the
+kind of periodic estimation the paper suggests for producing
+time-series data on graph properties.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.algorithms.traversal import bfs_levels
+from repro.graph.graph import StreamGraph
+
+__all__ = ["ExactDiameter", "EstimatedDiameter"]
+
+
+def _eccentricity(graph: StreamGraph, source: int) -> int:
+    """Largest finite hop distance from ``source`` (undirected view)."""
+    levels = bfs_levels(graph, source, directed=False)
+    return max(levels.values(), default=0)
+
+
+class ExactDiameter:
+    """Exact diameter of the undirected view (largest finite distance).
+
+    Disconnected pairs are ignored; the empty graph has diameter 0.
+    """
+
+    name = "diameter"
+
+    def compute(self, graph: StreamGraph) -> int:
+        best = 0
+        for vertex in graph.vertices():
+            best = max(best, _eccentricity(graph, vertex))
+        return best
+
+
+class EstimatedDiameter:
+    """Sampled double-sweep diameter estimate (a lower bound).
+
+    Runs ``samples`` double sweeps: BFS from a random vertex, then BFS
+    from the farthest vertex found; the largest eccentricity seen is
+    the estimate.  Never exceeds the exact diameter.
+    """
+
+    name = "diameter_estimate"
+
+    def __init__(self, samples: int = 4, seed: int = 0):
+        if samples <= 0:
+            raise ValueError(f"samples must be positive, got {samples}")
+        self.samples = samples
+        self.seed = seed
+
+    def compute(self, graph: StreamGraph) -> int:
+        vertices = list(graph.vertices())
+        if not vertices:
+            return 0
+        rng = random.Random(self.seed)
+        best = 0
+        for __ in range(self.samples):
+            start = vertices[rng.randrange(len(vertices))]
+            levels = bfs_levels(graph, start, directed=False)
+            if not levels:
+                continue
+            farthest = max(levels, key=lambda v: (levels[v], v))
+            best = max(best, levels[farthest])
+            second = bfs_levels(graph, farthest, directed=False)
+            best = max(best, max(second.values(), default=0))
+        return best

@@ -1,0 +1,107 @@
+"""K-means clustering of vertices (Table 1, "Communities").
+
+Clusters vertices by structural feature vectors (in-degree, out-degree,
+local clustering) with standard Lloyd iterations and k-means++-style
+seeding from a seeded RNG, so results are deterministic for a given
+seed.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.graph.properties import clustering_coefficient
+from repro.graph.graph import StreamGraph
+
+__all__ = ["VertexKMeans", "vertex_features"]
+
+
+def vertex_features(graph: StreamGraph, vertex: int) -> tuple[float, float, float]:
+    """Feature vector (in-degree, out-degree, clustering) of a vertex."""
+    return (
+        float(graph.in_degree(vertex)),
+        float(graph.out_degree(vertex)),
+        clustering_coefficient(graph, vertex),
+    )
+
+
+def _distance_squared(a: tuple[float, ...], b: tuple[float, ...]) -> float:
+    return sum((x - y) ** 2 for x, y in zip(a, b))
+
+
+class VertexKMeans:
+    """Lloyd k-means over vertex structural features.
+
+    Returns vertex -> cluster index in ``[0, k)``.  When the graph has
+    fewer than ``k`` vertices every vertex gets its own cluster.
+    """
+
+    name = "vertex_kmeans"
+
+    def __init__(self, k: int = 4, max_iterations: int = 50, seed: int = 0):
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        if max_iterations <= 0:
+            raise ValueError(f"max_iterations must be positive, got {max_iterations}")
+        self.k = k
+        self.max_iterations = max_iterations
+        self.seed = seed
+        self.iterations_run = 0
+
+    def compute(self, graph: StreamGraph) -> dict[int, int]:
+        vertices = list(graph.vertices())
+        if not vertices:
+            return {}
+        if len(vertices) <= self.k:
+            return {v: i for i, v in enumerate(vertices)}
+
+        features = {v: vertex_features(graph, v) for v in vertices}
+        rng = random.Random(self.seed)
+
+        # k-means++ seeding.
+        centers: list[tuple[float, ...]] = [
+            features[vertices[rng.randrange(len(vertices))]]
+        ]
+        while len(centers) < self.k:
+            distances = [
+                min(_distance_squared(features[v], c) for c in centers)
+                for v in vertices
+            ]
+            total = sum(distances)
+            if total <= 0:
+                centers.append(features[vertices[rng.randrange(len(vertices))]])
+                continue
+            pick = rng.random() * total
+            cumulative = 0.0
+            for v, d in zip(vertices, distances):
+                cumulative += d
+                if cumulative >= pick:
+                    centers.append(features[v])
+                    break
+
+        assignment: dict[int, int] = {}
+        self.iterations_run = 0
+        for __ in range(self.max_iterations):
+            self.iterations_run += 1
+            new_assignment = {
+                v: min(
+                    range(self.k),
+                    key=lambda i: _distance_squared(features[v], centers[i]),
+                )
+                for v in vertices
+            }
+            if new_assignment == assignment:
+                break
+            assignment = new_assignment
+            # Recompute centers.
+            sums = [[0.0, 0.0, 0.0] for __ in range(self.k)]
+            counts = [0] * self.k
+            for v, cluster in assignment.items():
+                for axis in range(3):
+                    sums[cluster][axis] += features[v][axis]
+                counts[cluster] += 1
+            for i in range(self.k):
+                if counts[i]:
+                    centers[i] = tuple(s / counts[i] for s in sums[i])
+        return assignment

@@ -1,0 +1,80 @@
+"""Online sampling over graph streams (Table 1, "Temporal analyses").
+
+Reservoir sampling of stream events or entities: at any instant the
+reservoir is a uniform random sample of everything seen so far, which
+enables approximate answers about the stream's history in O(k) memory.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Generic, Iterable, TypeVar
+
+from repro.core.events import EventType, GraphEvent
+
+T = TypeVar("T")
+
+__all__ = ["ReservoirSampler", "VertexSampler"]
+
+
+class ReservoirSampler(Generic[T]):
+    """Classic Algorithm-R reservoir sampling.
+
+    After ``offer``-ing n items, ``sample`` is a uniform random subset
+    of min(n, capacity) of them.
+    """
+
+    def __init__(self, capacity: int, seed: int = 0):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._rng = random.Random(seed)
+        self._sample: list[T] = []
+        self._seen = 0
+
+    @property
+    def seen(self) -> int:
+        return self._seen
+
+    @property
+    def sample(self) -> list[T]:
+        """The current sample (a copy)."""
+        return list(self._sample)
+
+    def offer(self, item: T) -> None:
+        self._seen += 1
+        if len(self._sample) < self.capacity:
+            self._sample.append(item)
+            return
+        index = self._rng.randrange(self._seen)
+        if index < self.capacity:
+            self._sample[index] = item
+
+    def offer_all(self, items: Iterable[T]) -> None:
+        for item in items:
+            self.offer(item)
+
+
+class VertexSampler:
+    """Uniform online sample of *live* vertices from an event stream.
+
+    Maintains a reservoir over added vertices and evicts removed ones,
+    so ``result()`` is (approximately) a uniform sample of the vertices
+    currently in the graph.
+    """
+
+    name = "online_vertex_sample"
+
+    def __init__(self, capacity: int = 100, seed: int = 0):
+        self._reservoir = ReservoirSampler[int](capacity, seed)
+        self._removed: set[int] = set()
+
+    def ingest(self, event: GraphEvent) -> None:
+        if event.event_type is EventType.ADD_VERTEX:
+            self._removed.discard(event.vertex_id)
+            self._reservoir.offer(event.vertex_id)
+        elif event.event_type is EventType.REMOVE_VERTEX:
+            self._removed.add(event.vertex_id)
+
+    def result(self) -> list[int]:
+        return [v for v in self._reservoir.sample if v not in self._removed]

@@ -1,0 +1,270 @@
+"""Shortest paths: Bellman–Ford (batch and online) and Floyd–Warshall
+(Table 1, "Routing & traversals").
+
+Edge weights are read from edge state: a state string of the form
+``"w=<float>"`` or JSON with a ``"weight"`` field sets the weight; any
+other (or empty) state means weight 1.0.
+
+:class:`OnlineBellmanFord` is the paper's second example of a
+*converging computation* ("online PageRank variants, distributed
+routing algorithms", section 4.4.2): distance estimates improve
+incrementally as edges arrive, with bounded relaxation work per event.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from collections import deque
+
+from repro.core.events import EdgeId, EventType, GraphEvent
+from repro.errors import AnalysisError, VertexNotFoundError
+from repro.graph.graph import StreamGraph
+
+__all__ = [
+    "BellmanFord",
+    "OnlineBellmanFord",
+    "FloydWarshall",
+    "edge_weight",
+    "NegativeCycleError",
+]
+
+
+class NegativeCycleError(AnalysisError):
+    """The graph contains a cycle with negative total weight."""
+
+
+def edge_weight(graph: StreamGraph, edge: EdgeId) -> float:
+    """Weight of an edge from its state string (default 1.0)."""
+    state = graph.edge_state(edge.source, edge.target)
+    if not state:
+        return 1.0
+    if state.startswith("w="):
+        try:
+            return float(state[2:])
+        except ValueError:
+            return 1.0
+    if state.startswith("{"):
+        try:
+            payload = json.loads(state)
+        except json.JSONDecodeError:
+            return 1.0
+        value = payload.get("weight", 1.0)
+        return float(value) if isinstance(value, (int, float)) else 1.0
+    return 1.0
+
+
+class BellmanFord:
+    """Single-source shortest path distances by Bellman–Ford.
+
+    Handles negative edge weights; raises :class:`NegativeCycleError`
+    when a negative cycle is reachable from the source.  Unreachable
+    vertices are absent from the result.
+    """
+
+    name = "bellman_ford"
+
+    def __init__(self, source: int):
+        self.source = source
+
+    def compute(self, graph: StreamGraph) -> dict[int, float]:
+        if not graph.has_vertex(self.source):
+            raise VertexNotFoundError(f"vertex {self.source} does not exist")
+        distance: dict[int, float] = {self.source: 0.0}
+        edges = [
+            (edge.source, edge.target, edge_weight(graph, edge))
+            for edge in graph.edges()
+        ]
+        for __ in range(max(0, graph.vertex_count - 1)):
+            changed = False
+            for u, v, w in edges:
+                if u in distance:
+                    candidate = distance[u] + w
+                    if candidate < distance.get(v, math.inf):
+                        distance[v] = candidate
+                        changed = True
+            if not changed:
+                break
+        else:
+            # Ran all n-1 rounds with changes: check for negative cycles.
+            for u, v, w in edges:
+                if u in distance and distance[u] + w < distance.get(v, math.inf):
+                    raise NegativeCycleError(
+                        "negative cycle reachable from the source"
+                    )
+        # One extra relaxation check in the early-exit path is unnecessary:
+        # no change in a full pass proves distances are final.
+        return distance
+
+
+class OnlineBellmanFord:
+    """Incremental single-source shortest paths (distance-vector style).
+
+    Edge *insertions* (and weight decreases) are handled online: the
+    improved distance propagates through a relaxation queue, processing
+    up to ``work_per_event`` relaxations per ingested event — stale
+    (too large) distances under load, converging when drained.
+
+    Distance-*increasing* changes (edge/vertex removal, weight
+    increases) are the classic count-to-infinity hazard of distance
+    vectors; like :class:`~repro.algorithms.components.OnlineWcc`, they
+    are handled by a lazy full rebuild on the next :meth:`result`
+    access, counted in ``rebuilds``.  Only non-negative weights are
+    supported online.
+    """
+
+    name = "online_bellman_ford"
+
+    def __init__(self, source: int, work_per_event: int = 32):
+        if work_per_event < 0:
+            raise ValueError(f"work_per_event must be >= 0, got {work_per_event}")
+        self.source = source
+        self.work_per_event = work_per_event
+        self._graph = StreamGraph()
+        self._distance: dict[int, float] = {}
+        self._queue: deque[int] = deque()
+        self._queued: set[int] = set()
+        self._dirty = False
+        self.rebuilds = 0
+
+    @property
+    def graph(self) -> StreamGraph:
+        return self._graph
+
+    @property
+    def pending_work(self) -> int:
+        return len(self._queue)
+
+    def _mark(self, vertex: int) -> None:
+        if vertex not in self._queued and self._graph.has_vertex(vertex):
+            self._queue.append(vertex)
+            self._queued.add(vertex)
+
+    def ingest(self, event: GraphEvent) -> None:
+        event_type = event.event_type
+        graph = self._graph
+        if event_type is EventType.ADD_VERTEX:
+            graph.add_vertex(event.vertex_id, event.payload)
+            if event.vertex_id == self.source:
+                self._distance[self.source] = 0.0
+                self._mark(self.source)
+        elif event_type is EventType.REMOVE_VERTEX:
+            graph.remove_vertex(event.vertex_id)
+            self._distance.pop(event.vertex_id, None)
+            self._queued.discard(event.vertex_id)
+            self._dirty = True
+        elif event_type is EventType.ADD_EDGE:
+            edge = event.edge_id
+            graph.add_edge(edge.source, edge.target, event.payload)
+            weight = edge_weight(graph, edge)
+            if weight < 0:
+                raise AnalysisError(
+                    "online Bellman-Ford requires non-negative weights"
+                )
+            if edge.source in self._distance:
+                candidate = self._distance[edge.source] + weight
+                if candidate < self._distance.get(edge.target, math.inf):
+                    self._distance[edge.target] = candidate
+                    self._mark(edge.target)
+        elif event_type is EventType.REMOVE_EDGE:
+            edge = event.edge_id
+            graph.remove_edge(edge.source, edge.target)
+            if edge.source in self._distance:
+                self._dirty = True
+        elif event_type is EventType.UPDATE_VERTEX:
+            graph.update_vertex(event.vertex_id, event.payload)
+        elif event_type is EventType.UPDATE_EDGE:
+            edge = event.edge_id
+            old_weight = edge_weight(graph, edge)
+            graph.update_edge(edge.source, edge.target, event.payload)
+            new_weight = edge_weight(graph, edge)
+            if new_weight < 0:
+                raise AnalysisError(
+                    "online Bellman-Ford requires non-negative weights"
+                )
+            if new_weight < old_weight and edge.source in self._distance:
+                candidate = self._distance[edge.source] + new_weight
+                if candidate < self._distance.get(edge.target, math.inf):
+                    self._distance[edge.target] = candidate
+                    self._mark(edge.target)
+            elif new_weight > old_weight and edge.source in self._distance:
+                self._dirty = True
+        self.propagate(self.work_per_event)
+
+    def propagate(self, max_relaxations: int) -> int:
+        """Push improved distances to successors (bounded work)."""
+        done = 0
+        while self._queue and done < max_relaxations:
+            vertex = self._queue.popleft()
+            self._queued.discard(vertex)
+            if vertex not in self._distance:
+                continue
+            base = self._distance[vertex]
+            for successor in self._graph.successors(vertex):
+                weight = edge_weight(self._graph, EdgeId(vertex, successor))
+                candidate = base + weight
+                if candidate < self._distance.get(successor, math.inf):
+                    self._distance[successor] = candidate
+                    self._mark(successor)
+            done += 1
+        return done
+
+    def drain(self) -> None:
+        """Relax until no improvements remain (and rebuild if dirty)."""
+        self._rebuild_if_dirty()
+        while self._queue:
+            self.propagate(4096)
+
+    def _rebuild_if_dirty(self) -> None:
+        if not self._dirty:
+            return
+        self._queue.clear()
+        self._queued.clear()
+        if self._graph.has_vertex(self.source):
+            self._distance = BellmanFord(self.source).compute(self._graph)
+        else:
+            self._distance = {}
+        self._dirty = False
+        self.rebuilds += 1
+
+    def result(self) -> dict[int, float]:
+        """Current distance estimates (exact after :meth:`drain`)."""
+        self._rebuild_if_dirty()
+        return dict(self._distance)
+
+
+class FloydWarshall:
+    """All-pairs shortest paths by Floyd–Warshall.
+
+    Returns ``{source: {target: distance}}`` including only finite
+    entries.  Raises :class:`NegativeCycleError` when any vertex gets a
+    negative self-distance.
+    """
+
+    name = "floyd_warshall"
+
+    def compute(self, graph: StreamGraph) -> dict[int, dict[int, float]]:
+        vertices = list(graph.vertices())
+        distance: dict[int, dict[int, float]] = {
+            v: {v: 0.0} for v in vertices
+        }
+        for edge in graph.edges():
+            w = edge_weight(graph, edge)
+            row = distance[edge.source]
+            if w < row.get(edge.target, math.inf):
+                row[edge.target] = w
+        for k in vertices:
+            row_k = distance[k]
+            for i in vertices:
+                row_i = distance[i]
+                d_ik = row_i.get(k)
+                if d_ik is None:
+                    continue
+                for j, d_kj in row_k.items():
+                    candidate = d_ik + d_kj
+                    if candidate < row_i.get(j, math.inf):
+                        row_i[j] = candidate
+        for v in vertices:
+            if distance[v][v] < 0:
+                raise NegativeCycleError(f"negative cycle through vertex {v}")
+        return distance

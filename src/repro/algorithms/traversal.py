@@ -1,0 +1,81 @@
+"""Traversals: breadth-first search and spanning-tree construction
+(Table 1, "Routing & traversals")."""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.errors import VertexNotFoundError
+from repro.graph.graph import StreamGraph
+
+__all__ = ["BreadthFirstSearch", "SpanningTree", "bfs_levels", "reachable_from"]
+
+
+def bfs_levels(
+    graph: StreamGraph, source: int, directed: bool = True
+) -> dict[int, int]:
+    """BFS distances (hop counts) from ``source``.
+
+    ``directed=False`` traverses edges in both directions.  Raises
+    :class:`VertexNotFoundError` for an unknown source.
+    """
+    if not graph.has_vertex(source):
+        raise VertexNotFoundError(f"vertex {source} does not exist")
+    levels = {source: 0}
+    frontier = deque([source])
+    while frontier:
+        vertex = frontier.popleft()
+        neighbors = (
+            graph.successors(vertex) if directed else graph.neighbors(vertex)
+        )
+        for neighbor in neighbors:
+            if neighbor not in levels:
+                levels[neighbor] = levels[vertex] + 1
+                frontier.append(neighbor)
+    return levels
+
+
+def reachable_from(graph: StreamGraph, source: int) -> frozenset[int]:
+    """Set of vertices reachable from ``source`` along directed edges."""
+    return frozenset(bfs_levels(graph, source))
+
+
+class BreadthFirstSearch:
+    """Batch BFS computation from a fixed source vertex."""
+
+    name = "bfs"
+
+    def __init__(self, source: int, directed: bool = True):
+        self.source = source
+        self.directed = directed
+
+    def compute(self, graph: StreamGraph) -> dict[int, int]:
+        return bfs_levels(graph, self.source, directed=self.directed)
+
+
+class SpanningTree:
+    """BFS spanning tree (parent pointers) of the component of ``source``.
+
+    Returns a dict mapping each reached vertex to its parent (the
+    source maps to itself).  Uses the undirected view, which is the
+    usual interpretation for spanning-tree construction on directed
+    graphs.
+    """
+
+    name = "spanning_tree"
+
+    def __init__(self, source: int):
+        self.source = source
+
+    def compute(self, graph: StreamGraph) -> dict[int, int]:
+        if not graph.has_vertex(self.source):
+            raise VertexNotFoundError(f"vertex {self.source} does not exist")
+        parent = {self.source: self.source}
+        frontier = deque([self.source])
+        while frontier:
+            vertex = frontier.popleft()
+            for neighbor in sorted(graph.neighbors(vertex)):
+                if neighbor not in parent:
+                    parent[neighbor] = vertex
+                    frontier.append(neighbor)
+        return parent

@@ -1,0 +1,103 @@
+"""Trend analyses on graph property series (Table 1, "Temporal analyses").
+
+Detects trends in time-series of graph properties — the "individuals
+that attract a lot of new friends within a specified period" pattern
+from the social-network use case (section 2.4).  Provides a windowed
+slope estimator, exponential smoothing, and a per-entity trend detector
+over event streams.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from dataclasses import dataclass
+
+from repro.core.events import EventType, GraphEvent
+from repro.core.metrics import TimeSeries
+
+__all__ = ["linear_trend", "ewma", "TrendingVertices", "TrendReport"]
+
+
+def linear_trend(series: TimeSeries) -> float:
+    """Least-squares slope of a time series (value units per second).
+
+    Returns 0.0 for series with fewer than two samples or zero time
+    spread.
+    """
+    n = len(series)
+    if n < 2:
+        return 0.0
+    ts = series.timestamps
+    vs = series.values
+    mean_t = sum(ts) / n
+    mean_v = sum(vs) / n
+    denominator = sum((t - mean_t) ** 2 for t in ts)
+    if denominator == 0:
+        return 0.0
+    numerator = sum((t - mean_t) * (v - mean_v) for t, v in zip(ts, vs))
+    return numerator / denominator
+
+
+def ewma(series: TimeSeries, alpha: float = 0.3) -> TimeSeries:
+    """Exponentially weighted moving average of a series."""
+    if not 0 < alpha <= 1:
+        raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+    result = TimeSeries(f"{series.name}_ewma")
+    smoothed: float | None = None
+    for sample in series:
+        if smoothed is None:
+            smoothed = sample.value
+        else:
+            smoothed = alpha * sample.value + (1 - alpha) * smoothed
+        result.append(sample.timestamp, smoothed)
+    return result
+
+
+@dataclass(frozen=True, slots=True)
+class TrendReport:
+    """Vertices trending within the most recent window."""
+
+    window_events: int
+    trending: tuple[tuple[int, int], ...]  # (vertex, gained edges), sorted desc
+
+
+class TrendingVertices:
+    """Online detector of vertices gaining edges unusually fast.
+
+    Counts per-vertex in-edge arrivals within a sliding window of the
+    last ``window_events`` graph events; ``result()`` returns the top
+    ``top_k`` vertices by recent gain.  This is the use-case-1 "detect
+    individuals that attract a lot of new friends" computation.
+    """
+
+    name = "trending_vertices"
+
+    def __init__(self, window_events: int = 500, top_k: int = 10):
+        if window_events <= 0:
+            raise ValueError(f"window_events must be positive, got {window_events}")
+        if top_k <= 0:
+            raise ValueError(f"top_k must be positive, got {top_k}")
+        self.window_events = window_events
+        self.top_k = top_k
+        self._window: deque[int | None] = deque()
+        self._gains: Counter[int] = Counter()
+
+    def ingest(self, event: GraphEvent) -> None:
+        target: int | None = None
+        if event.event_type is EventType.ADD_EDGE:
+            target = event.edge_id.target
+            self._gains[target] += 1
+        self._window.append(target)
+        while len(self._window) > self.window_events:
+            expired = self._window.popleft()
+            if expired is not None:
+                self._gains[expired] -= 1
+                if not self._gains[expired]:
+                    del self._gains[expired]
+
+    def result(self) -> TrendReport:
+        top = self._gains.most_common(self.top_k)
+        return TrendReport(
+            window_events=self.window_events,
+            trending=tuple(top),
+        )

@@ -1,0 +1,425 @@
+"""Command-line interface: generate streams, replay them, run experiments.
+
+Subcommands::
+
+    graphtides generate --model social --rounds 10000 -o stream.csv
+    graphtides inspect stream.csv
+    graphtides replay stream.csv --rate 20000 --transport pipe
+    graphtides experiment fig3a|fig3b|fig3c|fig3d [--scale 0.05]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.generator import StreamGenerator
+from repro.core.models import (
+    BlockchainRules,
+    DdosTrafficRules,
+    SocialNetworkRules,
+    UniformRules,
+    WeaverTable3Rules,
+)
+from repro.core.stream import GraphStream
+from repro.graph.builders import build_graph
+
+__all__ = ["main", "build_parser"]
+
+_MODELS = {
+    "uniform": UniformRules,
+    "social": SocialNetworkRules,
+    "ddos": DdosTrafficRules,
+    "blockchain": BlockchainRules,
+    "weaver-table3": WeaverTable3Rules,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the ``graphtides`` argument parser with all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="graphtides",
+        description="GraphTides: evaluate stream-based graph processing platforms",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a graph stream file")
+    gen.add_argument("--model", choices=sorted(_MODELS), default="uniform")
+    gen.add_argument("--rounds", type=int, default=10_000)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("-o", "--output", required=True)
+
+    ins = sub.add_parser("inspect", help="print stream statistics")
+    ins.add_argument("stream")
+
+    rep = sub.add_parser("replay", help="replay a stream file (live, wall clock)")
+    rep.add_argument("stream")
+    rep.add_argument("--rate", type=float, default=10_000.0)
+    rep.add_argument(
+        "--transport", choices=("stdout", "tcp"), default="stdout",
+        help="stdout pipes CSV lines; tcp connects to --host/--port",
+    )
+    rep.add_argument("--host", default="127.0.0.1")
+    rep.add_argument("--port", type=int, default=9999)
+
+    exp = sub.add_parser("experiment", help="run one of the paper's experiments")
+    exp.add_argument("figure", choices=("fig3a", "fig3b", "fig3c", "fig3d"))
+    exp.add_argument(
+        "--scale", type=float, default=0.05,
+        help="fraction of the paper-scale configuration (1.0 = full)",
+    )
+
+    run = sub.add_parser(
+        "run", help="evaluate a built-in platform against a stream file"
+    )
+    run.add_argument("stream")
+    run.add_argument(
+        "--platform",
+        choices=("inmem", "weaver", "weaver-batched", "chronograph",
+                 "kineograph", "graphtau"),
+        default="inmem",
+    )
+    run.add_argument("--rate", type=float, default=2_000.0)
+    run.add_argument("--level", type=int, choices=(0, 1, 2), default=0)
+    run.add_argument(
+        "--bundle", default=None,
+        help="package the run as a Popper-style bundle in this directory",
+    )
+    run.add_argument("--experiment-id", default="run-001")
+
+    cnv = sub.add_parser(
+        "convert", help="convert an edge-list file into a graph stream"
+    )
+    cnv.add_argument("edgelist", help="edge-list file (src dst [weight] per line)")
+    cnv.add_argument("-o", "--output", required=True)
+    cnv.add_argument(
+        "--shuffle-seed", type=int, default=None,
+        help="randomise edge arrival order with this seed",
+    )
+
+    shp = sub.add_parser(
+        "shape", help="insert rate-control events into a stream"
+    )
+    shp.add_argument("stream")
+    shp.add_argument("-o", "--output", required=True)
+    shp.add_argument("--burst", nargs=3, type=float, metavar=("START", "LEN", "FACTOR"),
+                     help="burst: FACTORx speed for LEN events from event START")
+    shp.add_argument("--wave", nargs=3, type=float, metavar=("PERIOD", "HIGH", "LOW"),
+                     help="square wave: alternate HIGH/LOW factors every PERIOD events")
+    shp.add_argument("--ramp", nargs=3, type=float, metavar=("STEPS", "FROM", "TO"),
+                     help="stepwise ramp from factor FROM to TO over STEPS phases")
+    shp.add_argument("--pause", nargs=2, type=float, metavar=("AFTER", "SECONDS"),
+                     help="pause for SECONDS after AFTER events")
+
+    flt = sub.add_parser(
+        "faults", help="derive a faulty stream (drop/duplicate/reorder)"
+    )
+    flt.add_argument("stream")
+    flt.add_argument("-o", "--output", required=True)
+    flt.add_argument("--drop", type=float, default=0.0)
+    flt.add_argument("--duplicate", type=float, default=0.0)
+    flt.add_argument("--shuffle-window", type=int, default=0)
+    flt.add_argument("--seed", type=int, default=0)
+
+    plo = sub.add_parser(
+        "plot", help="ASCII-plot a metric from a result log (JSONL)"
+    )
+    plo.add_argument("resultlog", help="result.jsonl file (e.g. from a bundle)")
+    plo.add_argument("--metric", default=None, help="metric to plot")
+    plo.add_argument("--source", default=None)
+    plo.add_argument("--width", type=int, default=70)
+    plo.add_argument("--height", type=int, default=12)
+    plo.add_argument(
+        "--list", action="store_true",
+        help="list available metric/source pairs instead of plotting",
+    )
+
+    ste = sub.add_parser(
+        "suite", help="run the benchmark suite over the built-in platforms"
+    )
+    ste.add_argument(
+        "--platforms",
+        default="inmem,weaver,weaver-batched,kineograph",
+        help="comma-separated platform names (inmem, weaver, "
+        "weaver-batched, chronograph, kineograph, graphtau)",
+    )
+    ste.add_argument(
+        "--workloads", default="uniform-small,social-growth",
+        help="comma-separated workload names (see repro.suite.STANDARD_WORKLOADS)",
+    )
+    ste.add_argument("--repetitions", type=int, default=3)
+
+    return parser
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    rules = _MODELS[args.model]()
+    generator = StreamGenerator(rules, rounds=args.rounds, seed=args.seed)
+    stream = generator.generate()
+    stream.write(args.output)
+    stats = stream.statistics()
+    print(
+        f"wrote {stats.total_events} events to {args.output} "
+        f"({stats.topology_events} topology, {stats.state_events} state)"
+    )
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    stream = GraphStream.read(args.stream)
+    stats = stream.statistics()
+    graph, report = build_graph(stream, strict=False)
+    print(f"events:          {stats.total_events}")
+    print(f"  graph events:  {stats.graph_events}")
+    print(f"  markers:       {stats.marker_events}")
+    print(f"  control:       {stats.control_events}")
+    print(f"event mix:       {stats.event_mix:.3f} (topology fraction)")
+    print(f"direction ratio: {stats.direction_ratio:.3f} (add fraction)")
+    print(f"final graph:     {graph.vertex_count} vertices, {graph.edge_count} edges")
+    if report.failed:
+        print(f"warning: {len(report.failed)} events violated preconditions")
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from repro.core.connectors import PipeTransport, TcpTransport
+    from repro.core.replayer import LiveReplayer
+
+    if args.transport == "stdout":
+        transport = PipeTransport(sys.stdout)
+    else:
+        transport = TcpTransport(args.host, args.port)
+    replayer = LiveReplayer(args.stream, transport, rate=args.rate)
+    report = replayer.run()
+    print(
+        f"replayed {report.events_emitted} events in {report.duration:.2f}s "
+        f"({report.mean_rate:.0f} events/s)",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments import (
+        ChronographExperimentConfig,
+        ReplayerExperimentConfig,
+        WeaverExperimentConfig,
+        run_chronograph,
+        run_replayer_throughput,
+        run_weaver_cpu,
+        run_weaver_throughput,
+    )
+
+    scale = args.scale
+    if args.figure == "fig3a":
+        config = ReplayerExperimentConfig().scaled(scale)
+        rows = run_replayer_throughput(config)
+        print("transport  target      median        p5         max")
+        for row in rows:
+            print(
+                f"{row.transport:<9} {row.target_rate:>8} "
+                f"{row.median_rate:>10.0f} {row.p5_rate:>10.0f} "
+                f"{row.max_rate:>10.0f}"
+            )
+        return 0
+    if args.figure == "fig3b":
+        config = WeaverExperimentConfig().scaled(scale)
+        results = run_weaver_throughput(config)
+        print("rate      batch   mean-throughput   kept-pace")
+        for result in results:
+            print(
+                f"{result.streaming_rate:>7}   {result.batch_size:>3}   "
+                f"{result.mean_throughput:>14.0f}   {result.kept_pace}"
+            )
+        return 0
+    if args.figure == "fig3c":
+        config = WeaverExperimentConfig().scaled(scale)
+        result = run_weaver_cpu(config)
+        print(f"timestamper mean CPU: {result.timestamper_mean:6.1f}%")
+        print(f"shard mean CPU:       {result.shard_mean:6.1f}%")
+        print(f"timestamper dominates: {result.timestamper_dominates}")
+        return 0
+    config = ChronographExperimentConfig().scaled(scale)
+    result = run_chronograph(config)
+    print(f"duration:        {result.duration:.1f}s")
+    print(f"stream ended at: {result.stream_end_time:.1f}s")
+    print(f"backlog drain:   {result.backlog_seconds:.1f}s after stream end")
+    errors = result.rank_error.values
+    print(f"rank error:      {errors[0]:.3f} (start) -> {errors[-1]:.4f} (end)")
+    return 0
+
+
+def _platform_registry() -> dict:
+    from repro.platforms import (
+        ChronoLikePlatform,
+        InMemoryPlatform,
+        KineoLikePlatform,
+        TauLikePlatform,
+        WeaverLikePlatform,
+    )
+
+    return {
+        "inmem": InMemoryPlatform,
+        "weaver": lambda: WeaverLikePlatform(batch_size=1),
+        "weaver-batched": lambda: WeaverLikePlatform(batch_size=10),
+        "chronograph": ChronoLikePlatform,
+        "kineograph": KineoLikePlatform,
+        "graphtau": TauLikePlatform,
+    }
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.core.harness import HarnessConfig, TestHarness
+    from repro.core.report import run_report
+
+    stream = GraphStream.read(args.stream)
+    platform = _platform_registry()[args.platform]()
+    config = HarnessConfig(rate=args.rate, level=args.level)
+    result = TestHarness(platform, stream, config).run()
+    print(run_report(result, title=f"{args.platform} vs {args.stream}"))
+
+    if args.bundle:
+        from repro.core.popper import package_run
+
+        bundle = package_run(
+            args.bundle,
+            args.experiment_id,
+            stream,
+            config,
+            result,
+            description=(
+                f"platform={args.platform} rate={args.rate} level={args.level}"
+            ),
+        )
+        print(f"\nbundle written to {bundle}")
+    return 0
+
+
+def _cmd_convert(args: argparse.Namespace) -> int:
+    from repro.gen.importer import edge_list_to_stream
+
+    stream = edge_list_to_stream(args.edgelist, shuffle_seed=args.shuffle_seed)
+    stream.write(args.output)
+    stats = stream.statistics()
+    print(
+        f"converted {args.edgelist} -> {args.output}: "
+        f"{stats.graph_events} events "
+        f"({stats.vertex_events} vertex, {stats.edge_events} edge)"
+    )
+    return 0
+
+
+def _cmd_shape(args: argparse.Namespace) -> int:
+    from repro.core.shaping import with_burst, with_pause, with_ramp, with_wave
+
+    stream = GraphStream.read(args.stream)
+    if args.burst:
+        start, length, factor = args.burst
+        stream = with_burst(stream, int(start), int(length), factor)
+    if args.wave:
+        period, high, low = args.wave
+        stream = with_wave(stream, int(period), high, low)
+    if args.ramp:
+        steps, start_factor, end_factor = args.ramp
+        stream = with_ramp(stream, int(steps), start_factor, end_factor)
+    if args.pause:
+        after, seconds = args.pause
+        stream = with_pause(stream, int(after), seconds)
+    stream.write(args.output)
+    controls = stream.statistics().control_events
+    print(f"wrote {args.output} with {controls} control events")
+    return 0
+
+
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from repro.core.faults import FaultPlan, apply_fault_plan
+
+    stream = GraphStream.read(args.stream)
+    plan = FaultPlan(
+        drop_probability=args.drop,
+        duplicate_probability=args.duplicate,
+        shuffle_window=args.shuffle_window,
+        seed=args.seed,
+    )
+    faulty = apply_fault_plan(stream, plan)
+    faulty.write(args.output)
+    before = sum(1 for __ in stream.graph_events())
+    after = sum(1 for __ in faulty.graph_events())
+    print(
+        f"wrote {args.output}: {before} -> {after} graph events "
+        f"(drop={args.drop} duplicate={args.duplicate} "
+        f"shuffle_window={args.shuffle_window})"
+    )
+    return 0
+
+
+def _cmd_plot(args: argparse.Namespace) -> int:
+    from repro.core.report import ascii_plot
+    from repro.core.resultlog import ResultLog
+
+    log = ResultLog.read(args.resultlog)
+    if args.list:
+        print("metric / sources:")
+        for metric in log.metrics():
+            sources = log.filter(metric=metric).sources()
+            print(f"  {metric:<24} {', '.join(sources)}")
+        return 0
+    if args.metric is None:
+        print("either --metric or --list is required")
+        return 2
+    series = log.series(args.metric, source=args.source)
+    label = args.metric + (f" @ {args.source}" if args.source else "")
+    print(ascii_plot(series, width=args.width, height=args.height, label=label))
+    return 0
+
+
+def _cmd_suite(args: argparse.Namespace) -> int:
+    from repro.suite import STANDARD_WORKLOADS, BenchmarkSuite
+
+    platform_registry = _platform_registry()
+    chosen_platforms = {}
+    for name in args.platforms.split(","):
+        name = name.strip()
+        if name not in platform_registry:
+            print(f"unknown platform {name!r}; choose from "
+                  f"{sorted(platform_registry)}")
+            return 2
+        chosen_platforms[name] = platform_registry[name]
+
+    workloads = []
+    for name in args.workloads.split(","):
+        name = name.strip()
+        if name not in STANDARD_WORKLOADS:
+            print(f"unknown workload {name!r}; choose from "
+                  f"{sorted(STANDARD_WORKLOADS)}")
+            return 2
+        workloads.append(STANDARD_WORKLOADS[name])
+
+    suite = BenchmarkSuite(
+        chosen_platforms, workloads=workloads, repetitions=args.repetitions
+    )
+    report = suite.run()
+    print(report.render())
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point: parse arguments and dispatch to the subcommand."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "generate": _cmd_generate,
+        "inspect": _cmd_inspect,
+        "replay": _cmd_replay,
+        "run": _cmd_run,
+        "experiment": _cmd_experiment,
+        "suite": _cmd_suite,
+        "plot": _cmd_plot,
+        "convert": _cmd_convert,
+        "shape": _cmd_shape,
+        "faults": _cmd_faults,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

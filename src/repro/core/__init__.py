@@ -1,0 +1,43 @@
+"""GraphTides core framework: events, streams, generator, replayer,
+metrics, harness, and evaluation methodology."""
+
+from repro.core.events import (
+    EdgeId,
+    Event,
+    EventType,
+    GraphEvent,
+    MarkerEvent,
+    PauseEvent,
+    SpeedEvent,
+    add_edge,
+    add_vertex,
+    marker,
+    pause,
+    remove_edge,
+    remove_vertex,
+    speed,
+    update_edge,
+    update_vertex,
+)
+from repro.core.stream import GraphStream, StreamStatistics
+
+__all__ = [
+    "EventType",
+    "Event",
+    "GraphEvent",
+    "MarkerEvent",
+    "SpeedEvent",
+    "PauseEvent",
+    "EdgeId",
+    "GraphStream",
+    "StreamStatistics",
+    "add_vertex",
+    "remove_vertex",
+    "update_vertex",
+    "add_edge",
+    "remove_edge",
+    "update_edge",
+    "marker",
+    "speed",
+    "pause",
+]

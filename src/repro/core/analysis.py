@@ -1,0 +1,253 @@
+"""Result-log analyses (paper sections 4.3 and 4.5).
+
+Post-run assessment tools: watermark/marker correlation (how long until
+a streamed change is reflected in a result), retrospective accuracy
+series against a batch reference, cross-correlation between time
+series, and the stacked-series table behind Figure 3d.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from repro.algorithms.base import rank_error
+from repro.core.metrics import TimeSeries
+from repro.core.resultlog import ResultLog
+from repro.errors import AnalysisError
+
+__all__ = [
+    "marker_latency",
+    "result_reflection_latency",
+    "reflection_latency_profile",
+    "retrospective_rank_errors",
+    "cross_correlation",
+    "StackedSeries",
+    "stacked_series",
+]
+
+
+def marker_latency(log: ResultLog, first_label: str, second_label: str) -> float:
+    """Time between two marker observations in the result log."""
+    return log.marker_time(second_label) - log.marker_time(first_label)
+
+
+def result_reflection_latency(
+    log: ResultLog,
+    marker_label: str,
+    metric: str,
+    predicate: Callable[[float], bool],
+    source: str | None = None,
+) -> float:
+    """Watermark correlation (section 4.5): marker → result latency.
+
+    Returns the delay between the marker's observation and the first
+    subsequent record of ``metric`` whose value satisfies
+    ``predicate`` — e.g. "the vertex count reflects the inserted
+    batch".  Raises :class:`AnalysisError` when the condition never
+    holds after the marker.
+    """
+    marker_at = log.marker_time(marker_label)
+    for record in log.filter(source=source, metric=metric):
+        if record.timestamp >= marker_at and predicate(record.value):
+            return record.timestamp - marker_at
+    raise AnalysisError(
+        f"no record of {metric!r} satisfying the predicate after marker "
+        f"{marker_label!r}"
+    )
+
+
+def reflection_latency_profile(
+    log: ResultLog,
+    marker_prefix: str,
+    metric: str,
+    source: str | None = None,
+) -> list[float]:
+    """Latency distribution from periodic watermark markers.
+
+    Expects markers labelled ``{prefix}-{count}`` (as inserted by
+    :func:`repro.core.shaping.with_periodic_markers`) where ``count``
+    is the number of graph events preceding the marker, and a periodic
+    ``result``-kind metric that reports how many events the platform
+    has reflected (e.g. a processed-events query probe).  For each
+    marker, the latency is the delay until the metric first reaches the
+    marker's count.  Markers whose count is never reached are skipped.
+
+    Feed the result to :class:`~repro.core.metrics.Aggregate` for the
+    p99 result latency of section 4.3.  Raises
+    :class:`AnalysisError` when no markers with the prefix exist.
+    """
+    markers: list[tuple[float, int]] = []
+    for record in log.markers():
+        label = record.tags.get("label", "")
+        if label.startswith(marker_prefix + "-"):
+            try:
+                count = int(label.rsplit("-", 1)[1])
+            except ValueError:
+                continue
+            markers.append((record.timestamp, count))
+    if not markers:
+        raise AnalysisError(
+            f"no markers with prefix {marker_prefix!r} in result log"
+        )
+
+    observations = [
+        (r.timestamp, r.value)
+        for r in log.filter(source=source, metric=metric)
+    ]
+    latencies: list[float] = []
+    for marked_at, count in markers:
+        for timestamp, value in observations:
+            if timestamp >= marked_at and value >= count:
+                latencies.append(timestamp - marked_at)
+                break
+    return latencies
+
+
+def retrospective_rank_errors(
+    samples: Sequence[tuple[float, dict[int, float]]],
+    exact: dict[int, float],
+    tracked: Sequence[int] | None = None,
+) -> TimeSeries:
+    """Relative rank error over time against a batch reference.
+
+    ``samples`` are (timestamp, rank-estimate-dict) snapshots captured
+    during the run (an object-probe series); ``exact`` is the reference
+    computed retrospectively on the reconstructed target graph
+    (section 5.3.2: "relative rank errors are estimated
+    retrospectively").  ``tracked`` restricts the comparison to
+    specific vertices (the paper tracks "the most influential users");
+    by default all reference vertices count.
+    """
+    if tracked is not None:
+        exact = {v: exact[v] for v in tracked if v in exact}
+        if not exact:
+            raise AnalysisError("none of the tracked vertices are in the reference")
+    series = TimeSeries("relative_rank_error")
+    for timestamp, estimate in samples:
+        series.append(timestamp, rank_error(estimate, exact))
+    return series
+
+
+def cross_correlation(
+    a: TimeSeries, b: TimeSeries, max_lag: int = 10, step: float = 1.0
+) -> dict[int, float]:
+    """Pearson cross-correlation of two series at integer lags.
+
+    Both series are resampled onto a common ``step`` grid first.  The
+    result maps lag (in steps; positive lag means ``b`` trails ``a``)
+    to the correlation coefficient; lags without enough overlap are
+    omitted.  Raises :class:`AnalysisError` when either series is
+    empty.
+    """
+    if not len(a) or not len(b):
+        raise AnalysisError("cross-correlation needs non-empty series")
+    grid_a = a.resample(step)
+    grid_b = b.resample(step)
+    start = max(grid_a.timestamps[0], grid_b.timestamps[0])
+    end = min(grid_a.timestamps[-1], grid_b.timestamps[-1])
+    if end < start:
+        raise AnalysisError("series do not overlap in time")
+
+    def values_on(series: TimeSeries) -> list[float]:
+        return [
+            s.value for s in series if start - 1e-9 <= s.timestamp <= end + 1e-9
+        ]
+
+    va = values_on(grid_a)
+    vb = values_on(grid_b)
+    n = min(len(va), len(vb))
+    va, vb = va[:n], vb[:n]
+
+    result: dict[int, float] = {}
+    for lag in range(-max_lag, max_lag + 1):
+        if lag >= 0:
+            xs, ys = va[: n - lag] if lag else va, vb[lag:]
+        else:
+            xs, ys = va[-lag:], vb[: n + lag]
+        m = min(len(xs), len(ys))
+        if m < 3:
+            continue
+        xs, ys = xs[:m], ys[:m]
+        mean_x = sum(xs) / m
+        mean_y = sum(ys) / m
+        cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+        var_x = sum((x - mean_x) ** 2 for x in xs)
+        var_y = sum((y - mean_y) ** 2 for y in ys)
+        if var_x <= 0 or var_y <= 0:
+            continue
+        result[lag] = cov / math.sqrt(var_x * var_y)
+    return result
+
+
+@dataclass(frozen=True, slots=True)
+class StackedSeries:
+    """Aligned multi-series table (the data behind Figure 3d).
+
+    ``timestamps`` is the shared grid; ``series`` maps a label to the
+    per-grid-point values (last observation carried forward).
+    """
+
+    timestamps: tuple[float, ...]
+    series: dict[str, tuple[float, ...]]
+
+    def rows(self) -> list[tuple[float, ...]]:
+        """Table rows: (timestamp, value...) in label order."""
+        labels = list(self.series)
+        return [
+            (t, *(self.series[label][i] for label in labels))
+            for i, t in enumerate(self.timestamps)
+        ]
+
+    def labels(self) -> list[str]:
+        return list(self.series)
+
+
+def stacked_series(
+    log: ResultLog,
+    specs: Sequence[tuple[str, str, str | None]],
+    step: float = 1.0,
+    extra: dict[str, TimeSeries] | None = None,
+) -> StackedSeries:
+    """Build an aligned stacked-series table from a result log.
+
+    ``specs`` lists (label, metric, source) selections from the log;
+    ``extra`` adds externally computed series (e.g. retrospective rank
+    errors).  All series are resampled onto a common ``step`` grid
+    spanning the union of their time ranges; grid points before a
+    series' first sample carry 0.0.
+    """
+    if step <= 0:
+        raise ValueError(f"step must be positive, got {step}")
+    collected: dict[str, TimeSeries] = {}
+    for label, metric, source in specs:
+        collected[label] = log.series(metric, source=source)
+    for label, series in (extra or {}).items():
+        if not len(series):
+            raise AnalysisError(f"extra series {label!r} is empty")
+        collected[label] = series
+    if not collected:
+        raise AnalysisError("no series selected")
+
+    start = min(s.timestamps[0] for s in collected.values())
+    end = max(s.timestamps[-1] for s in collected.values())
+    grid: list[float] = []
+    t = start
+    while t <= end + 1e-9:
+        grid.append(t)
+        t += step
+
+    table: dict[str, tuple[float, ...]] = {}
+    for label, series in collected.items():
+        values: list[float] = []
+        index = 0
+        last = 0.0
+        samples = list(series)
+        for point in grid:
+            while index < len(samples) and samples[index].timestamp <= point + 1e-9:
+                last = samples[index].value
+                index += 1
+            values.append(last)
+        table[label] = tuple(values)
+    return StackedSeries(timestamps=tuple(grid), series=table)

@@ -1,0 +1,34 @@
+"""Log collector: merge per-logger logs into one result log (section 5.1).
+
+"Once a test run is finished, the log collector script gathers the
+remote log files of all logger instances and merges them into a single,
+chronologically sorted result log file."  Here the inputs are either
+in-memory record lists (simulated runs) or JSON-lines files (live
+runs); the output is a single :class:`~repro.core.resultlog.ResultLog`.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable
+
+from repro.core.resultlog import Record, ResultLog
+
+__all__ = ["collect_records", "collect_files"]
+
+
+def collect_records(*record_groups: Iterable[Record]) -> ResultLog:
+    """Merge any number of record iterables into one sorted result log."""
+    merged: list[Record] = []
+    for group in record_groups:
+        merged.extend(group)
+    return ResultLog(merged)
+
+
+def collect_files(paths: Iterable[str | Path]) -> ResultLog:
+    """Merge JSON-lines log files into one sorted result log."""
+    logs = [ResultLog.read(path) for path in paths]
+    if not logs:
+        return ResultLog()
+    first, *rest = logs
+    return first.merged_with(*rest)

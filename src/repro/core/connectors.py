@@ -1,0 +1,277 @@
+"""Transports and connectors binding the replayer to a system under test
+(paper sections 3.3 and 4.1).
+
+The framework's generic streaming interface supports different modes of
+operation, adapted by platform-specific connectors.  For live
+(wall-clock) replays three transports are provided:
+
+* :class:`CallbackTransport` — in-process delivery to a Python callable
+  (the "platform-specific connector plugged into the replayer");
+* :class:`PipeTransport` — newline-delimited CSV lines onto a file
+  descriptor / file object (the paper's STDOUT→STDIN piping);
+* :class:`TcpTransport` — the same lines over a TCP socket, where the
+  kernel's flow control provides backpressure (section 3.2).
+
+Matching receivers (:class:`PipeReceiver`, :class:`TcpReceiver`) count
+arriving events per time window; they implement the measurement side of
+the replayer benchmark (Figure 3a).
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import socket
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import ConnectorError
+
+__all__ = [
+    "Transport",
+    "CallbackTransport",
+    "PipeTransport",
+    "TcpTransport",
+    "WindowCounter",
+    "PipeReceiver",
+    "TcpReceiver",
+]
+
+
+class Transport:
+    """Interface: deliver serialized event lines to a system under test."""
+
+    def send(self, line: str) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release resources; further sends raise :class:`ConnectorError`."""
+
+
+class CallbackTransport(Transport):
+    """Delivers each line to an in-process callable."""
+
+    def __init__(self, callback: Callable[[str], None]):
+        self._callback = callback
+        self._closed = False
+
+    def send(self, line: str) -> None:
+        if self._closed:
+            raise ConnectorError("transport is closed")
+        self._callback(line)
+
+    def close(self) -> None:
+        self._closed = True
+
+
+class PipeTransport(Transport):
+    """Writes newline-terminated lines to a file object or fd.
+
+    Writes are buffered and flushed every ``flush_every`` lines to keep
+    per-event overhead low at high rates (the replayer's write path
+    must not become the bottleneck being measured).
+    """
+
+    def __init__(self, target, flush_every: int = 512):
+        if flush_every <= 0:
+            raise ValueError(f"flush_every must be positive, got {flush_every}")
+        if isinstance(target, int):
+            self._file = os.fdopen(target, "w", encoding="utf-8", buffering=1 << 16)
+            self._owns = True
+        else:
+            self._file = target
+            self._owns = False
+        self._flush_every = flush_every
+        self._since_flush = 0
+        self._closed = False
+
+    def send(self, line: str) -> None:
+        if self._closed:
+            raise ConnectorError("transport is closed")
+        try:
+            self._file.write(line)
+            self._file.write("\n")
+        except (OSError, ValueError) as exc:
+            raise ConnectorError(f"pipe write failed: {exc}") from exc
+        self._since_flush += 1
+        if self._since_flush >= self._flush_every:
+            self._file.flush()
+            self._since_flush = 0
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._file.flush()
+        except (OSError, ValueError):
+            pass
+        if self._owns:
+            self._file.close()
+
+
+class TcpTransport(Transport):
+    """Sends newline-terminated lines over a TCP connection.
+
+    The socket's send buffer plus TCP flow control provide natural
+    backpressure: when the receiver cannot keep up, ``send`` blocks.
+    """
+
+    def __init__(self, host: str, port: int, flush_every: int = 512):
+        if flush_every <= 0:
+            raise ValueError(f"flush_every must be positive, got {flush_every}")
+        try:
+            self._socket = socket.create_connection((host, port), timeout=10.0)
+            self._socket.settimeout(None)
+            self._socket.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError as exc:
+            raise ConnectorError(f"cannot connect to {host}:{port}: {exc}") from exc
+        self._file = self._socket.makefile("w", encoding="utf-8", buffering=1 << 16)
+        self._flush_every = flush_every
+        self._since_flush = 0
+        self._closed = False
+
+    def send(self, line: str) -> None:
+        if self._closed:
+            raise ConnectorError("transport is closed")
+        try:
+            self._file.write(line)
+            self._file.write("\n")
+        except OSError as exc:
+            raise ConnectorError(f"tcp write failed: {exc}") from exc
+        self._since_flush += 1
+        if self._since_flush >= self._flush_every:
+            self._file.flush()
+            self._since_flush = 0
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._file.flush()
+            self._file.close()
+        except OSError:
+            pass
+        try:
+            self._socket.close()
+        except OSError:
+            pass
+
+
+@dataclass(frozen=True, slots=True)
+class _Window:
+    start: float
+    count: int
+
+    @property
+    def rate(self) -> float:
+        return self.count  # windows are 1 second by construction below
+
+
+class WindowCounter:
+    """Counts arriving events per fixed time window (receiver side)."""
+
+    def __init__(self, window_seconds: float = 1.0):
+        if window_seconds <= 0:
+            raise ValueError("window_seconds must be positive")
+        self.window_seconds = window_seconds
+        self._lock = threading.Lock()
+        self._windows: list[tuple[float, int]] = []
+        self._current_start: float | None = None
+        self._current_count = 0
+        self.total = 0
+
+    def record(self, count: int = 1) -> None:
+        now = time.perf_counter()
+        with self._lock:
+            self.total += count
+            if self._current_start is None:
+                self._current_start = now
+            while now - self._current_start >= self.window_seconds:
+                self._windows.append((self._current_start, self._current_count))
+                self._current_start += self.window_seconds
+                self._current_count = 0
+            self._current_count += count
+
+    def rates(self) -> list[float]:
+        """Per-window observed rates (events/second), completed windows."""
+        with self._lock:
+            return [
+                count / self.window_seconds for __, count in self._windows
+            ]
+
+
+class PipeReceiver:
+    """Reads lines from a readable file object / fd on a thread.
+
+    Counts events into a :class:`WindowCounter`; reading stops at EOF.
+    """
+
+    def __init__(self, source, window_seconds: float = 1.0):
+        if isinstance(source, int):
+            self._file = os.fdopen(source, "r", encoding="utf-8", buffering=1 << 16)
+        else:
+            self._file = source
+        self.counter = WindowCounter(window_seconds)
+        self._thread = threading.Thread(target=self._read_loop, daemon=True)
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def _read_loop(self) -> None:
+        batch = 0
+        for __ in self._file:
+            batch += 1
+            if batch >= 256:
+                self.counter.record(batch)
+                batch = 0
+        if batch:
+            self.counter.record(batch)
+
+    def join(self, timeout: float | None = None) -> None:
+        self._thread.join(timeout)
+        if self._thread.is_alive():
+            raise ConnectorError("pipe receiver did not finish in time")
+
+
+class TcpReceiver:
+    """Accepts one TCP connection and counts received lines.
+
+    Binds an ephemeral local port (``port`` attribute) so benchmarks
+    need no fixed port assignments.
+    """
+
+    def __init__(self, window_seconds: float = 1.0, host: str = "127.0.0.1"):
+        self._server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._server.bind((host, 0))
+        self._server.listen(1)
+        self.host = host
+        self.port = self._server.getsockname()[1]
+        self.counter = WindowCounter(window_seconds)
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def _serve(self) -> None:
+        connection, __ = self._server.accept()
+        self._server.close()
+        with connection:
+            reader = connection.makefile("r", encoding="utf-8", buffering=1 << 16)
+            batch = 0
+            for __ in reader:
+                batch += 1
+                if batch >= 256:
+                    self.counter.record(batch)
+                    batch = 0
+            if batch:
+                self.counter.record(batch)
+
+    def join(self, timeout: float | None = None) -> None:
+        self._thread.join(timeout)
+        if self._thread.is_alive():
+            raise ConnectorError("tcp receiver did not finish in time")

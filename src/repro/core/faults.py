@@ -1,0 +1,151 @@
+"""A-priori fault injection into graph streams (paper section 3.2).
+
+The framework replays streams with strong guarantees (ordered,
+reliable, exactly-once), but the analyst may *deterministically* derive
+faulty streams from a correct one before replay: dropping events
+(losses), duplicating events, or shuffling partial streams
+(reordering).  All injectors are seeded and only affect graph-changing
+events — markers and control events keep their relative positions so
+time correlation and replay control still work.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.core.events import Event, GraphEvent
+from repro.core.stream import GraphStream
+
+__all__ = [
+    "drop_events",
+    "duplicate_events",
+    "shuffle_windows",
+    "FaultPlan",
+    "apply_fault_plan",
+]
+
+
+def _validated_probability(name: str, value: float) -> float:
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+    return value
+
+
+def drop_events(
+    stream: GraphStream, probability: float, seed: int = 0
+) -> GraphStream:
+    """Drop each graph event independently with ``probability``.
+
+    Models event loss on an unreliable channel.  Non-graph events are
+    never dropped.
+    """
+    _validated_probability("probability", probability)
+    rng = random.Random(seed)
+    kept = [
+        event
+        for event in stream
+        if not (isinstance(event, GraphEvent) and rng.random() < probability)
+    ]
+    return GraphStream(kept)
+
+
+def duplicate_events(
+    stream: GraphStream, probability: float, seed: int = 0
+) -> GraphStream:
+    """Duplicate each graph event independently with ``probability``.
+
+    The duplicate immediately follows the original (at-least-once
+    delivery with redelivery).  Non-graph events are never duplicated.
+    """
+    _validated_probability("probability", probability)
+    rng = random.Random(seed)
+    result: list[Event] = []
+    for event in stream:
+        result.append(event)
+        if isinstance(event, GraphEvent) and rng.random() < probability:
+            result.append(event)
+    return GraphStream(result)
+
+
+def shuffle_windows(
+    stream: GraphStream, window: int, probability: float = 1.0, seed: int = 0
+) -> GraphStream:
+    """Shuffle graph events within consecutive windows (reordering).
+
+    The stream is cut into windows of ``window`` *graph events*; each
+    window is shuffled with ``probability``.  Markers and control
+    events stay at their absolute positions, so reordering never moves
+    an event across a marker/pause boundary — matching how network
+    reordering is bounded in practice by buffer sizes.
+    """
+    if window <= 0:
+        raise ValueError(f"window must be positive, got {window}")
+    _validated_probability("probability", probability)
+    rng = random.Random(seed)
+
+    events = list(stream)
+    graph_positions = [
+        i for i, event in enumerate(events) if isinstance(event, GraphEvent)
+    ]
+    for start in range(0, len(graph_positions), window):
+        chunk = graph_positions[start : start + window]
+        if len(chunk) < 2 or rng.random() >= probability:
+            continue
+        values = [events[i] for i in chunk]
+        rng.shuffle(values)
+        for position, value in zip(chunk, values):
+            events[position] = value
+    return GraphStream(events)
+
+
+@dataclass(frozen=True, slots=True)
+class FaultPlan:
+    """A composable description of injected faults.
+
+    Faults are applied in the fixed order drop → duplicate → reorder,
+    which mirrors a lossy, redelivering, reordering channel.  Each
+    stage draws from an independent sub-seed so changing one rate does
+    not perturb the other stages.
+    """
+
+    drop_probability: float = 0.0
+    duplicate_probability: float = 0.0
+    shuffle_window: int = 0
+    shuffle_probability: float = 1.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        _validated_probability("drop_probability", self.drop_probability)
+        _validated_probability("duplicate_probability", self.duplicate_probability)
+        _validated_probability("shuffle_probability", self.shuffle_probability)
+        if self.shuffle_window < 0:
+            raise ValueError("shuffle_window must be >= 0")
+
+    @property
+    def is_noop(self) -> bool:
+        return (
+            self.drop_probability == 0.0
+            and self.duplicate_probability == 0.0
+            and self.shuffle_window == 0
+        )
+
+
+def apply_fault_plan(stream: GraphStream, plan: FaultPlan) -> GraphStream:
+    """Apply a :class:`FaultPlan` and return the faulty stream."""
+    result = stream
+    if plan.drop_probability > 0:
+        result = drop_events(result, plan.drop_probability, seed=plan.seed * 3 + 1)
+    if plan.duplicate_probability > 0:
+        result = duplicate_events(
+            result, plan.duplicate_probability, seed=plan.seed * 3 + 2
+        )
+    if plan.shuffle_window > 0:
+        result = shuffle_windows(
+            result,
+            plan.shuffle_window,
+            probability=plan.shuffle_probability,
+            seed=plan.seed * 3 + 3,
+        )
+    return result

@@ -1,0 +1,283 @@
+"""The test harness: wires replayer, platform, loggers and collector
+(paper section 4.1, Figure 2).
+
+A :class:`TestHarness` runs one experiment: it replays a graph stream
+into the system under test on the simulation clock, runs the metrics
+loggers appropriate for the requested evaluation level, waits for the
+platform to drain its backlog (up to a grace horizon), and returns a
+:class:`RunResult` with the merged, chronologically sorted result log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.core.collector import collect_records
+from repro.core.loggers import ObjectSeriesLogger, SimPeriodicLogger
+from repro.core.probes import CpuUtilizationProbe, InternalProbe, NativeMetricsProbe
+from repro.core.resultlog import Record, ResultLog
+from repro.core.stream import GraphStream
+from repro.errors import GraphTidesError
+from repro.platforms.base import Platform
+from repro.sim.kernel import Simulation
+from repro.sim.replay import SimulatedReplayer
+
+__all__ = ["HarnessConfig", "RunResult", "TestHarness", "InternalProbeSpec"]
+
+
+@dataclass(frozen=True, slots=True)
+class InternalProbeSpec:
+    """Declares one Level-2 internal probe to log periodically.
+
+    ``extract`` may turn the probed object into a float or a list of
+    (source-suffix, float) pairs; see
+    :class:`~repro.core.probes.InternalProbe`.
+    """
+
+    probe_name: str
+    metric: str
+    extract: Callable[[Any], float | list[tuple[str, float]]] | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class HarnessConfig:
+    """Configuration of one harness run.
+
+    ``rate`` is the base replay rate (events/second).  ``level``
+    selects which metric layers to collect (capped by what the platform
+    supports — requesting more raises at construction, matching how an
+    analyst cannot run a level-2 evaluation on a black box).
+    ``drain_grace`` bounds how long (simulated seconds) the harness
+    waits after replay end for the platform to drain; ``log_interval``
+    is the logger sampling period.
+    """
+
+    rate: float
+    level: int = 0
+    log_interval: float = 1.0
+    drain_grace: float = 600.0
+    drain_poll_interval: float = 0.25
+    retry_interval: float = 0.001
+    #: Hard horizon on the whole run (simulated seconds); ``None`` means
+    #: unbounded.  Protects against platforms that cannot absorb the
+    #: stream at all (permanent back-throttling).
+    max_duration: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ValueError(f"rate must be positive, got {self.rate}")
+        if self.level not in (0, 1, 2):
+            raise ValueError(f"level must be 0, 1, or 2, got {self.level}")
+        if self.log_interval <= 0:
+            raise ValueError("log_interval must be positive")
+        if self.drain_grace < 0:
+            raise ValueError("drain_grace must be >= 0")
+        if self.drain_poll_interval <= 0:
+            raise ValueError("drain_poll_interval must be positive")
+        if self.max_duration is not None and self.max_duration <= 0:
+            raise ValueError("max_duration must be positive or None")
+
+
+@dataclass(slots=True)
+class RunResult:
+    """Outcome of one harness run."""
+
+    log: ResultLog
+    duration: float
+    events_emitted: int
+    events_processed: int
+    rejected_attempts: int
+    drained: bool
+    object_series: dict[str, list[tuple[float, Any]]] = field(default_factory=dict)
+
+    @property
+    def mean_throughput(self) -> float:
+        """Processed events per simulated second over the whole run."""
+        return self.events_processed / self.duration if self.duration > 0 else 0.0
+
+
+class TestHarness:
+    """Runs one evaluation of a platform against a stream.
+
+    Observation layers by level (cumulative):
+
+    * level 0 — replayer instrumentation (ingress rate, markers) and
+      per-process CPU probes;
+    * level 1 — the platform's native metrics, sampled periodically;
+    * level 2 — the configured :class:`InternalProbeSpec` probes.
+
+    Additional hooks: ``query_probes`` map a metric name to a callable
+    ``platform -> float`` sampled each interval via the platform's
+    *public* query interface (allowed at every level — it is the normal
+    results interface); ``object_probes`` capture full objects for
+    retrospective analyses.
+    """
+
+    #: Not a pytest test class despite the Test- prefix.
+    __test__ = False
+
+    def __init__(
+        self,
+        platform: Platform,
+        stream: GraphStream,
+        config: HarnessConfig,
+        internal_probes: list[InternalProbeSpec] | None = None,
+        query_probes: dict[str, Callable[[Platform], float]] | None = None,
+        object_probes: dict[str, Callable[[Platform], Any]] | None = None,
+    ):
+        if config.level > platform.evaluation_level:
+            raise GraphTidesError(
+                f"requested evaluation level {config.level}, but platform "
+                f"{platform.name!r} only supports level "
+                f"{platform.evaluation_level}"
+            )
+        if internal_probes and config.level < 2:
+            raise GraphTidesError("internal probes require evaluation level 2")
+        self.platform = platform
+        self.stream = stream
+        self.config = config
+        self.internal_probes = internal_probes or []
+        self.query_probes = query_probes or {}
+        self.object_probes = object_probes or {}
+
+    def run(self) -> RunResult:
+        """Execute the evaluation and return the collected results."""
+        sim = Simulation()
+        platform = self.platform
+        config = self.config
+        platform.attach(sim)
+
+        replayer = SimulatedReplayer(
+            sim,
+            self.stream,
+            platform,
+            rate=config.rate,
+            retry_interval=config.retry_interval,
+            rate_sample_interval=config.log_interval,
+        )
+
+        loggers: list[SimPeriodicLogger] = []
+        object_loggers: list[ObjectSeriesLogger] = []
+
+        loggers.append(
+            SimPeriodicLogger(
+                sim,
+                config.log_interval,
+                CpuUtilizationProbe(platform, sim),
+                name="cpu-probe",
+            )
+        )
+        if config.level >= 1:
+            loggers.append(
+                SimPeriodicLogger(
+                    sim,
+                    config.log_interval,
+                    NativeMetricsProbe(platform, sim),
+                    name="native-metrics",
+                )
+            )
+        if config.level >= 2:
+            for spec in self.internal_probes:
+                loggers.append(
+                    SimPeriodicLogger(
+                        sim,
+                        config.log_interval,
+                        InternalProbe(
+                            platform, sim, spec.probe_name, spec.metric, spec.extract
+                        ),
+                        name=f"internal-{spec.probe_name}",
+                    )
+                )
+        for metric, fn in self.query_probes.items():
+            loggers.append(
+                SimPeriodicLogger(
+                    sim,
+                    config.log_interval,
+                    _make_query_probe(sim, platform, metric, fn),
+                    name=f"query-{metric}",
+                )
+            )
+        for name, capture in self.object_probes.items():
+            object_loggers.append(
+                ObjectSeriesLogger(
+                    sim,
+                    config.log_interval,
+                    lambda capture=capture: capture(platform),
+                    name=name,
+                )
+            )
+
+        for logger in loggers:
+            logger.start()
+        for logger in object_loggers:
+            logger.start()
+        replayer.start()
+
+        # Supervisor: end-of-stream flush, drain detection, logger stop.
+        state = {"stream_ended": False, "drained": False, "deadline": None}
+
+        def stop_logging() -> None:
+            for logger in loggers:
+                logger.stop()
+            for logger in object_loggers:
+                logger.stop()
+            platform.shutdown()
+
+        def supervise() -> None:
+            if (
+                config.max_duration is not None
+                and sim.now >= config.max_duration
+                and not replayer.finished
+            ):
+                replayer.stop()
+            if replayer.finished and not state["stream_ended"]:
+                state["stream_ended"] = True
+                platform.on_stream_end()
+                state["deadline"] = sim.now + config.drain_grace
+            if state["stream_ended"]:
+                if platform.is_drained:
+                    state["drained"] = True
+                    stop_logging()
+                    return
+                if state["deadline"] is not None and sim.now >= state["deadline"]:
+                    stop_logging()
+                    return
+            sim.schedule(config.drain_poll_interval, supervise)
+
+        sim.schedule(config.drain_poll_interval, supervise)
+        sim.run()
+
+        log = collect_records(
+            replayer.records, *(logger.records for logger in loggers)
+        )
+        return RunResult(
+            log=log,
+            duration=sim.now,
+            events_emitted=replayer.emitted,
+            events_processed=platform.events_processed(),
+            rejected_attempts=replayer.rejected_attempts,
+            drained=state["drained"],
+            object_series={
+                logger.name: logger.samples for logger in object_loggers
+            },
+        )
+
+def _make_query_probe(
+    sim: Simulation,
+    platform: Platform,
+    metric: str,
+    fn: Callable[[Platform], float],
+) -> Callable[[], list[Record]]:
+    def probe() -> list[Record]:
+        return [
+            Record(
+                timestamp=sim.now,
+                source=platform.name,
+                metric=metric,
+                value=float(fn(platform)),
+                kind="result",
+            )
+        ]
+
+    return probe

@@ -1,0 +1,102 @@
+"""Runtime metrics loggers (paper sections 4.1 and 5.1).
+
+A logger periodically executes an operation — sampling a probe,
+submitting a query, collecting a metric — appends a timestamp to the
+outcome and writes it to its local log.  After the run the
+:mod:`~repro.core.collector` merges all local logs.
+
+:class:`SimPeriodicLogger` runs on the simulation clock;
+:class:`ObjectSeriesLogger` captures full Python objects (e.g. rank
+dictionaries) for retrospective analyses that need more than a scalar.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.core.resultlog import Record
+from repro.sim.kernel import Simulation
+
+__all__ = ["SimPeriodicLogger", "ObjectSeriesLogger"]
+
+
+class SimPeriodicLogger:
+    """Samples a probe every ``interval`` simulated seconds.
+
+    ``probe`` returns a list of records per invocation.  The logger
+    keeps sampling until :meth:`stop` is called (the harness stops all
+    loggers once the replay has finished and the platform drained).
+    """
+
+    def __init__(
+        self,
+        sim: Simulation,
+        interval: float,
+        probe: Callable[[], list[Record]],
+        name: str = "logger",
+    ):
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        self._sim = sim
+        self.interval = interval
+        self._probe = probe
+        self.name = name
+        self.records: list[Record] = []
+        self._stopped = False
+        self._started = False
+
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        self._sim.schedule(self.interval, self._tick)
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    def _tick(self) -> None:
+        if self._stopped:
+            return
+        self.records.extend(self._probe())
+        self._sim.schedule(self.interval, self._tick)
+
+
+class ObjectSeriesLogger:
+    """Captures ``(timestamp, object)`` snapshots for later analysis.
+
+    Scalar records go to the result log; some analyses (retrospective
+    rank errors, section 5.3.2) need the full intermediate result —
+    this logger keeps those as Python objects alongside the run.
+    """
+
+    def __init__(
+        self,
+        sim: Simulation,
+        interval: float,
+        capture: Callable[[], Any],
+        name: str = "objects",
+    ):
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        self._sim = sim
+        self.interval = interval
+        self._capture = capture
+        self.name = name
+        self.samples: list[tuple[float, Any]] = []
+        self._stopped = False
+        self._started = False
+
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        self._sim.schedule(self.interval, self._tick)
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    def _tick(self) -> None:
+        if self._stopped:
+            return
+        self.samples.append((self._sim.now, self._capture()))
+        self._sim.schedule(self.interval, self._tick)

@@ -1,0 +1,321 @@
+"""Metric descriptors, time series, and aggregates (paper section 4.3).
+
+Metrics follow Jain's classification: every metric declares the
+direction of its optimum — higher is better (HB), lower is better (LB)
+or nominal is best (NB).  For online systems the behaviour *over time*
+matters, so the primary representation is the timestamped
+:class:`TimeSeries`; aggregated values (mean, percentiles, confidence
+intervals) are derived when directly comparing systems.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+from repro.errors import AnalysisError
+
+__all__ = [
+    "Optimum",
+    "MetricSpec",
+    "Sample",
+    "TimeSeries",
+    "Aggregate",
+    "percentile",
+    "confidence_interval",
+    "STANDARD_METRICS",
+]
+
+
+class Optimum(enum.Enum):
+    """Direction of a metric's optimum (Jain): HB, LB, or NB."""
+
+    HIGHER_IS_BETTER = "HB"
+    LOWER_IS_BETTER = "LB"
+    NOMINAL_IS_BEST = "NB"
+
+
+@dataclass(frozen=True, slots=True)
+class MetricSpec:
+    """Declares a metric: name, unit, and optimum direction."""
+
+    name: str
+    unit: str
+    optimum: Optimum
+    description: str = ""
+
+
+#: Metric specs named in section 4.3.
+STANDARD_METRICS: dict[str, MetricSpec] = {
+    spec.name: spec
+    for spec in (
+        MetricSpec("throughput", "events/s", Optimum.HIGHER_IS_BETTER,
+                   "average event throughput"),
+        MetricSpec("ingress_rate", "events/s", Optimum.HIGHER_IS_BETTER,
+                   "actual replayer egress / platform ingress rate"),
+        MetricSpec("result_latency", "s", Optimum.LOWER_IS_BETTER,
+                   "time until an ingested event is reflected in a result"),
+        MetricSpec("relative_error", "ratio", Optimum.LOWER_IS_BETTER,
+                   "median relative error of approximation results"),
+        MetricSpec("cpu_load", "percent", Optimum.LOWER_IS_BETTER,
+                   "per-process CPU load"),
+        MetricSpec("memory_usage", "bytes", Optimum.LOWER_IS_BETTER,
+                   "per-process memory usage"),
+        MetricSpec("network_io", "bytes/s", Optimum.LOWER_IS_BETTER,
+                   "per-process network I/O"),
+        MetricSpec("disk_io", "bytes/s", Optimum.LOWER_IS_BETTER,
+                   "per-process disk I/O"),
+        MetricSpec("internal_throughput", "ops/s", Optimum.HIGHER_IS_BETTER,
+                   "platform-internal operation throughput (level 1+)"),
+        MetricSpec("queue_length", "messages", Optimum.LOWER_IS_BETTER,
+                   "platform-internal queue length (level 2)"),
+    )
+}
+
+
+@dataclass(frozen=True, slots=True)
+class Sample:
+    """One timestamped measurement."""
+
+    timestamp: float
+    value: float
+
+
+class TimeSeries:
+    """An append-only sequence of timestamped samples.
+
+    Timestamps must be non-decreasing (loggers sample monotonically;
+    the collector sorts merged logs).  Provides the statistical
+    reductions needed by the analyses: mean, percentiles, windowed
+    rates, and alignment onto a regular grid.
+    """
+
+    def __init__(self, name: str, samples: Iterable[Sample] = ()):
+        self.name = name
+        self._samples: list[Sample] = []
+        for sample in samples:
+            self.append(sample.timestamp, sample.value)
+
+    def append(self, timestamp: float, value: float) -> None:
+        if self._samples and timestamp < self._samples[-1].timestamp:
+            raise ValueError(
+                f"timestamps must be non-decreasing: {timestamp} after "
+                f"{self._samples[-1].timestamp}"
+            )
+        self._samples.append(Sample(timestamp, value))
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def __iter__(self) -> Iterator[Sample]:
+        return iter(self._samples)
+
+    def __getitem__(self, index: int) -> Sample:
+        return self._samples[index]
+
+    @property
+    def timestamps(self) -> list[float]:
+        return [s.timestamp for s in self._samples]
+
+    @property
+    def values(self) -> list[float]:
+        return [s.value for s in self._samples]
+
+    def mean(self) -> float:
+        if not self._samples:
+            raise AnalysisError(f"time series {self.name!r} is empty")
+        return sum(s.value for s in self._samples) / len(self._samples)
+
+    def percentile(self, q: float) -> float:
+        if not self._samples:
+            raise AnalysisError(f"time series {self.name!r} is empty")
+        return percentile(self.values, q)
+
+    def minimum(self) -> float:
+        if not self._samples:
+            raise AnalysisError(f"time series {self.name!r} is empty")
+        return min(self.values)
+
+    def maximum(self) -> float:
+        if not self._samples:
+            raise AnalysisError(f"time series {self.name!r} is empty")
+        return max(self.values)
+
+    def between(self, start: float, end: float) -> "TimeSeries":
+        """Sub-series with ``start <= timestamp < end``."""
+        return TimeSeries(
+            self.name,
+            (s for s in self._samples if start <= s.timestamp < end),
+        )
+
+    def resample(self, step: float) -> "TimeSeries":
+        """Align onto a regular grid by last-observation-carried-forward.
+
+        The grid starts at the first sample's timestamp.  Useful before
+        cross-correlating series sampled at different instants.
+        """
+        if step <= 0:
+            raise ValueError(f"step must be positive, got {step}")
+        if not self._samples:
+            return TimeSeries(self.name)
+        result = TimeSeries(self.name)
+        start = self._samples[0].timestamp
+        end = self._samples[-1].timestamp
+        index = 0
+        t = start
+        last = self._samples[0].value
+        while t <= end + 1e-12:
+            while (
+                index < len(self._samples)
+                and self._samples[index].timestamp <= t + 1e-12
+            ):
+                last = self._samples[index].value
+                index += 1
+            result.append(t, last)
+            t += step
+        return result
+
+    def rate(self) -> "TimeSeries":
+        """Differences per second between consecutive samples.
+
+        Interprets values as a monotonic counter and returns the
+        per-interval rate stamped at the interval end.  Intervals of
+        zero duration are skipped.
+        """
+        result = TimeSeries(f"{self.name}_rate")
+        for prev, curr in zip(self._samples, self._samples[1:]):
+            dt = curr.timestamp - prev.timestamp
+            if dt <= 0:
+                continue
+            result.append(curr.timestamp, (curr.value - prev.value) / dt)
+        return result
+
+    def __repr__(self) -> str:
+        return f"TimeSeries({self.name!r}, {len(self._samples)} samples)"
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile ``q`` in [0, 100] of ``values``."""
+    if not values:
+        raise AnalysisError("cannot take a percentile of no values")
+    if not 0 <= q <= 100:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100) * (len(ordered) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high or ordered[low] == ordered[high]:
+        return ordered[low]
+    fraction = rank - low
+    return ordered[low] * (1 - fraction) + ordered[high] * fraction
+
+
+@dataclass(frozen=True, slots=True)
+class Aggregate:
+    """Summary statistics of a collection of measurements.
+
+    ``ci_low``/``ci_high`` bound the mean at the configured confidence
+    (95% by default, per section 4.5's CI95 recommendation); they are
+    ``nan`` when fewer than two values were aggregated.
+    """
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    p50: float
+    p95: float
+    p99: float
+    ci_low: float
+    ci_high: float
+
+    @classmethod
+    def of(cls, values: Sequence[float], confidence: float = 0.95) -> "Aggregate":
+        if not values:
+            raise AnalysisError("cannot aggregate no values")
+        n = len(values)
+        mean = sum(values) / n
+        if n > 1:
+            variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+            std = math.sqrt(variance)
+            low, high = confidence_interval(values, confidence)
+        else:
+            std = 0.0
+            low = high = math.nan
+        return cls(
+            count=n,
+            mean=mean,
+            std=std,
+            minimum=min(values),
+            maximum=max(values),
+            p50=percentile(values, 50),
+            p95=percentile(values, 95),
+            p99=percentile(values, 99),
+            ci_low=low,
+            ci_high=high,
+        )
+
+    def overlaps(self, other: "Aggregate") -> bool:
+        """Whether the two confidence intervals overlap.
+
+        Non-overlapping intervals indicate a significant difference at
+        the configured confidence (section 4.5).  Raises
+        :class:`AnalysisError` when either interval is undefined.
+        """
+        for aggregate in (self, other):
+            if math.isnan(aggregate.ci_low):
+                raise AnalysisError(
+                    "confidence interval undefined (need >= 2 measurements)"
+                )
+        return self.ci_low <= other.ci_high and other.ci_low <= self.ci_high
+
+
+# Two-sided critical values of Student's t for common confidence levels,
+# indexed by degrees of freedom (1..30); beyond 30 the normal value is
+# used, which is exactly the n >= 30 regime section 4.5 recommends.
+_T_TABLE_95 = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+    2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+    2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+]
+_T_TABLE_99 = [
+    63.657, 9.925, 5.841, 4.604, 4.032, 3.707, 3.499, 3.355, 3.250, 3.169,
+    3.106, 3.055, 3.012, 2.977, 2.947, 2.921, 2.898, 2.878, 2.861, 2.845,
+    2.831, 2.819, 2.807, 2.797, 2.787, 2.779, 2.771, 2.763, 2.756, 2.750,
+]
+_Z_95 = 1.960
+_Z_99 = 2.576
+
+
+def _critical_value(df: int, confidence: float) -> float:
+    if confidence == 0.95:
+        table, z = _T_TABLE_95, _Z_95
+    elif confidence == 0.99:
+        table, z = _T_TABLE_99, _Z_99
+    else:
+        raise ValueError(
+            f"supported confidence levels are 0.95 and 0.99, got {confidence}"
+        )
+    if df <= 0:
+        raise AnalysisError("confidence interval needs >= 2 measurements")
+    if df <= len(table):
+        return table[df - 1]
+    return z
+
+
+def confidence_interval(
+    values: Sequence[float], confidence: float = 0.95
+) -> tuple[float, float]:
+    """Two-sided CI of the mean using Student's t (normal for df > 30)."""
+    n = len(values)
+    if n < 2:
+        raise AnalysisError("confidence interval needs >= 2 measurements")
+    mean = sum(values) / n
+    variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+    half_width = _critical_value(n - 1, confidence) * math.sqrt(variance / n)
+    return (mean - half_width, mean + half_width)

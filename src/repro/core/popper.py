@@ -1,0 +1,216 @@
+"""Popper-convention experiment packaging (paper sections 2.3 and 4.5).
+
+"Popper represents a modern approach for conducting systems experiments
+which take into account automation and reproducibility ... It also
+specifies a skeleton structure for experiment repositories."  The paper
+follows the Popper conventions for its own evaluations (section 5).
+
+This module packages one experiment run into a self-describing
+directory so it can be archived, shared, and re-executed::
+
+    <experiment>/
+        metadata.json     experiment id, description, timestamps, seeds
+        config.json       the harness + workload parameters
+        stream.csv        the exact input stream that was replayed
+        result.jsonl      the merged, chronologically sorted result log
+        summary.json      headline outcomes (throughput, drain, markers)
+        README.md         human-readable card for the experiment
+
+:func:`package_run` writes the bundle; :func:`load_bundle` reads it
+back; :func:`verify_bundle` re-checks internal consistency (the stream
+parses, the log is sorted, the summary matches the log).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.core.harness import HarnessConfig, RunResult
+from repro.core.resultlog import ResultLog
+from repro.core.stream import GraphStream
+from repro.errors import GraphTidesError
+
+__all__ = ["ExperimentBundle", "package_run", "load_bundle", "verify_bundle"]
+
+_BUNDLE_FILES = (
+    "metadata.json",
+    "config.json",
+    "stream.csv",
+    "result.jsonl",
+    "summary.json",
+    "README.md",
+)
+
+
+@dataclass(slots=True)
+class ExperimentBundle:
+    """A loaded experiment package."""
+
+    path: Path
+    metadata: dict[str, Any]
+    config: dict[str, Any]
+    stream: GraphStream
+    log: ResultLog
+    summary: dict[str, Any]
+
+
+def _config_dict(config: HarnessConfig) -> dict[str, Any]:
+    return {
+        "rate": config.rate,
+        "level": config.level,
+        "log_interval": config.log_interval,
+        "drain_grace": config.drain_grace,
+        "drain_poll_interval": config.drain_poll_interval,
+        "retry_interval": config.retry_interval,
+        "max_duration": config.max_duration,
+    }
+
+
+def _summary_dict(result: RunResult) -> dict[str, Any]:
+    return {
+        "duration": result.duration,
+        "events_emitted": result.events_emitted,
+        "events_processed": result.events_processed,
+        "rejected_attempts": result.rejected_attempts,
+        "drained": result.drained,
+        "mean_throughput": result.mean_throughput,
+        "record_count": len(result.log),
+        "markers": [
+            {"label": r.tags.get("label", ""), "timestamp": r.timestamp}
+            for r in result.log.markers()
+        ],
+    }
+
+
+def _readme_text(experiment_id: str, description: str, summary: dict) -> str:
+    marker_lines = "\n".join(
+        f"- `{m['label']}` at t={m['timestamp']:.2f}s"
+        for m in summary["markers"]
+    )
+    return (
+        f"# Experiment: {experiment_id}\n\n"
+        f"{description}\n\n"
+        f"## Outcome\n\n"
+        f"- events emitted: {summary['events_emitted']}\n"
+        f"- events processed: {summary['events_processed']}\n"
+        f"- duration: {summary['duration']:.2f} s (simulated)\n"
+        f"- mean throughput: {summary['mean_throughput']:.0f} events/s\n"
+        f"- drained: {summary['drained']}\n\n"
+        f"## Markers\n\n{marker_lines}\n\n"
+        f"## Files\n\n"
+        f"- `stream.csv` — the exact replayed input stream\n"
+        f"- `result.jsonl` — the merged result log (one JSON record/line)\n"
+        f"- `config.json` — harness configuration\n"
+        f"- `metadata.json` — experiment identity and environment\n"
+    )
+
+
+def package_run(
+    directory: str | Path,
+    experiment_id: str,
+    stream: GraphStream,
+    config: HarnessConfig,
+    result: RunResult,
+    description: str = "",
+    extra_metadata: dict[str, Any] | None = None,
+) -> Path:
+    """Write a Popper-style bundle for one run; returns its directory.
+
+    Raises :class:`GraphTidesError` when the target directory already
+    contains a bundle (never silently overwrite an archived result).
+    """
+    root = Path(directory) / experiment_id
+    if root.exists() and any(root.iterdir()):
+        raise GraphTidesError(f"bundle directory {root} already exists")
+    root.mkdir(parents=True, exist_ok=True)
+
+    import platform as host_platform
+    import sys
+
+    metadata = {
+        "experiment_id": experiment_id,
+        "description": description,
+        "python": sys.version.split()[0],
+        "platform": host_platform.platform(),
+        "library": "graphtides-repro",
+    }
+    if extra_metadata:
+        metadata.update(extra_metadata)
+
+    summary = _summary_dict(result)
+    (root / "metadata.json").write_text(
+        json.dumps(metadata, indent=2, sort_keys=True) + "\n"
+    )
+    (root / "config.json").write_text(
+        json.dumps(_config_dict(config), indent=2, sort_keys=True) + "\n"
+    )
+    stream.write(root / "stream.csv")
+    result.log.write(root / "result.jsonl")
+    (root / "summary.json").write_text(
+        json.dumps(summary, indent=2, sort_keys=True) + "\n"
+    )
+    (root / "README.md").write_text(
+        _readme_text(experiment_id, description, summary)
+    )
+    return root
+
+
+def load_bundle(path: str | Path) -> ExperimentBundle:
+    """Load a bundle directory written by :func:`package_run`."""
+    root = Path(path)
+    missing = [name for name in _BUNDLE_FILES if not (root / name).exists()]
+    if missing:
+        raise GraphTidesError(
+            f"bundle {root} is incomplete: missing {', '.join(missing)}"
+        )
+    return ExperimentBundle(
+        path=root,
+        metadata=json.loads((root / "metadata.json").read_text()),
+        config=json.loads((root / "config.json").read_text()),
+        stream=GraphStream.read(root / "stream.csv"),
+        log=ResultLog.read(root / "result.jsonl"),
+        summary=json.loads((root / "summary.json").read_text()),
+    )
+
+
+def verify_bundle(path: str | Path) -> list[str]:
+    """Consistency checks over a bundle; returns a list of problems.
+
+    An empty list means the bundle is internally consistent: all files
+    parse, the result log is chronologically sorted, and the summary's
+    counts match the log and stream contents.
+    """
+    problems: list[str] = []
+    try:
+        bundle = load_bundle(path)
+    except GraphTidesError as error:
+        return [str(error)]
+
+    timestamps = [r.timestamp for r in bundle.log]
+    if timestamps != sorted(timestamps):
+        problems.append("result log is not chronologically sorted")
+
+    if bundle.summary.get("record_count") != len(bundle.log):
+        problems.append(
+            f"summary record_count {bundle.summary.get('record_count')} "
+            f"!= log size {len(bundle.log)}"
+        )
+
+    graph_events = sum(1 for __ in bundle.stream.graph_events())
+    if bundle.summary.get("events_emitted", 0) > graph_events:
+        problems.append(
+            "summary claims more emitted events than the stream contains"
+        )
+
+    logged_markers = {
+        r.tags.get("label") for r in bundle.log.markers()
+    }
+    for marker in bundle.summary.get("markers", []):
+        if marker["label"] not in logged_markers:
+            problems.append(
+                f"summary marker {marker['label']!r} missing from log"
+            )
+    return problems

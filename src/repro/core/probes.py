@@ -1,0 +1,201 @@
+"""Measurement probes for the three evaluation levels (section 4.3).
+
+* Level 0 — agnostic, outside-the-box measurements of the platform's
+  processes: CPU utilisation (the ``pidstat``-style probe), memory and
+  I/O proxies.  For simulated platforms these read the simulation
+  kernel's resource accounting; :class:`LiveProcessProbe` reads the
+  real ``/proc`` filesystem for live (wall-clock) runs such as the
+  replayer benchmark.
+* Level 1 — :class:`NativeMetricsProbe` polls the platform's native
+  metrics interface.
+* Level 2 — :class:`InternalProbe` reads injected measurement logic.
+
+Each probe is a callable returning a list of
+:class:`~repro.core.resultlog.Record` for the current instant; loggers
+invoke probes periodically.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.core.resultlog import Record
+from repro.platforms.base import Platform
+from repro.sim.kernel import Simulation
+
+__all__ = [
+    "CpuUtilizationProbe",
+    "NativeMetricsProbe",
+    "InternalProbe",
+    "LiveProcessProbe",
+]
+
+
+class CpuUtilizationProbe:
+    """Level-0 probe: per-process CPU utilisation of a simulated platform.
+
+    Samples each process's busy fraction since the previous sample —
+    exactly what periodic profiling tools report.  Values are percent
+    (0–100), one record per process per sample.
+    """
+
+    def __init__(self, platform: Platform, sim: Simulation):
+        self._platform = platform
+        self._sim = sim
+
+    def __call__(self) -> list[Record]:
+        now = self._sim.now
+        return [
+            Record(
+                timestamp=now,
+                source=process.name,
+                metric="cpu_load",
+                value=100.0 * process.utilization_since_last_sample(),
+            )
+            for process in self._platform.processes()
+        ]
+
+
+class NativeMetricsProbe:
+    """Level-1 probe: polls the platform's native metrics interface."""
+
+    def __init__(self, platform: Platform, sim: Simulation):
+        self._platform = platform
+        self._sim = sim
+
+    def __call__(self) -> list[Record]:
+        now = self._sim.now
+        metrics = self._platform.native_metrics()
+        return [
+            Record(
+                timestamp=now,
+                source=self._platform.name,
+                metric=name,
+                value=value,
+            )
+            for name, value in sorted(metrics.items())
+        ]
+
+
+class InternalProbe:
+    """Level-2 probe: reads one injected internal measurement.
+
+    ``extract`` may post-process the probed object into one float or a
+    list of (suffix, float) pairs — e.g. per-worker queue lengths
+    become ``queue_length`` records from sources ``worker-0`` etc.
+    """
+
+    def __init__(
+        self,
+        platform: Platform,
+        sim: Simulation,
+        probe_name: str,
+        metric: str,
+        extract: Callable[[Any], float | list[tuple[str, float]]] | None = None,
+    ):
+        self._platform = platform
+        self._sim = sim
+        self._probe_name = probe_name
+        self._metric = metric
+        self._extract = extract
+
+    def __call__(self) -> list[Record]:
+        now = self._sim.now
+        value = self._platform.internal_probe(self._probe_name)
+        if self._extract is not None:
+            value = self._extract(value)
+        if isinstance(value, list):
+            records = []
+            for item in value:
+                if isinstance(item, tuple):
+                    suffix, v = item
+                else:  # plain list: index becomes the suffix
+                    suffix, v = str(len(records)), item
+                records.append(
+                    Record(
+                        timestamp=now,
+                        source=f"{self._platform.name}-{suffix}",
+                        metric=self._metric,
+                        value=float(v),
+                    )
+                )
+            return records
+        return [
+            Record(
+                timestamp=now,
+                source=self._platform.name,
+                metric=self._metric,
+                value=float(value),
+            )
+        ]
+
+
+class LiveProcessProbe:
+    """Level-0 probe for *real* processes (live runs): /proc sampling.
+
+    Reads CPU jiffies and RSS of a PID from ``/proc/<pid>/stat`` and
+    ``/proc/<pid>/status``; each call reports CPU percent since the
+    previous call and current memory.  Degrades gracefully (no records)
+    on platforms without procfs.
+    """
+
+    def __init__(self, pid: int | None = None, source: str | None = None):
+        self._pid = pid if pid is not None else os.getpid()
+        self._source = source or f"pid-{self._pid}"
+        self._last_jiffies: int | None = None
+        self._last_time: float | None = None
+        self._ticks = os.sysconf("SC_CLK_TCK") if hasattr(os, "sysconf") else 100
+
+    def _read_jiffies(self) -> int | None:
+        try:
+            stat = Path(f"/proc/{self._pid}/stat").read_text()
+        except OSError:
+            return None
+        # Fields 14 and 15 (utime, stime), after the comm field which may
+        # contain spaces — split on the closing paren.
+        after = stat.rpartition(")")[2].split()
+        return int(after[11]) + int(after[12])
+
+    def _read_rss(self) -> int | None:
+        try:
+            with open(f"/proc/{self._pid}/status", "r", encoding="ascii") as handle:
+                for line in handle:
+                    if line.startswith("VmRSS:"):
+                        return int(line.split()[1]) * 1024
+        except OSError:
+            return None
+        return None
+
+    def __call__(self) -> list[Record]:
+        now = time.monotonic()
+        records: list[Record] = []
+        jiffies = self._read_jiffies()
+        if jiffies is not None:
+            if self._last_jiffies is not None and self._last_time is not None:
+                elapsed = now - self._last_time
+                if elapsed > 0:
+                    cpu_seconds = (jiffies - self._last_jiffies) / self._ticks
+                    records.append(
+                        Record(
+                            timestamp=now,
+                            source=self._source,
+                            metric="cpu_load",
+                            value=100.0 * cpu_seconds / elapsed,
+                        )
+                    )
+            self._last_jiffies = jiffies
+            self._last_time = now
+        rss = self._read_rss()
+        if rss is not None:
+            records.append(
+                Record(
+                    timestamp=now,
+                    source=self._source,
+                    metric="memory_usage",
+                    value=float(rss),
+                )
+            )
+        return records

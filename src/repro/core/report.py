@@ -1,0 +1,218 @@
+"""Run reports and derived comparison metrics (paper sections 2.1, 4.5).
+
+Graphalytics-style derived metrics — "different systems may then be
+compared based on quantifying metrics for scalability, robustness, and
+performance variability" — adapted to the stream setting, plus a plain
+text report generator for a single harness run (the "analysis and
+interpretation of the data" step of Jain's methodology).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.harness import RunResult
+from repro.core.metrics import Aggregate, TimeSeries
+from repro.errors import AnalysisError, MethodologyError
+
+__all__ = [
+    "coefficient_of_variation",
+    "speedup_curve",
+    "scalability_efficiency",
+    "robustness_score",
+    "run_report",
+    "ascii_plot",
+    "ascii_sparkline",
+]
+
+
+def coefficient_of_variation(values: Sequence[float]) -> float:
+    """Performance variability: std / mean of repeated measurements.
+
+    Lower is better; 0.0 means perfectly repeatable.  Raises
+    :class:`AnalysisError` for fewer than two values or a zero mean.
+    """
+    if len(values) < 2:
+        raise AnalysisError("variability needs >= 2 measurements")
+    mean = sum(values) / len(values)
+    if mean == 0:
+        raise AnalysisError("variability undefined for zero mean")
+    variance = sum((v - mean) ** 2 for v in values) / (len(values) - 1)
+    return math.sqrt(variance) / abs(mean)
+
+
+def speedup_curve(
+    throughputs: dict[int, float], baseline_units: int | None = None
+) -> dict[int, float]:
+    """Scalability: speedup per resource count relative to a baseline.
+
+    ``throughputs`` maps resource units (workers, sources) to measured
+    throughput; the baseline defaults to the smallest unit count.
+    """
+    if not throughputs:
+        raise MethodologyError("speedup needs at least one measurement")
+    if baseline_units is None:
+        baseline_units = min(throughputs)
+    if baseline_units not in throughputs:
+        raise MethodologyError(f"no measurement for baseline {baseline_units}")
+    baseline = throughputs[baseline_units]
+    if baseline <= 0:
+        raise MethodologyError("baseline throughput must be positive")
+    return {
+        units: value / baseline for units, value in sorted(throughputs.items())
+    }
+
+
+def scalability_efficiency(throughputs: dict[int, float]) -> float:
+    """Scalability metric: mean per-unit efficiency across the curve.
+
+    1.0 means perfectly linear scaling from the smallest configuration;
+    values near 0 mean added resources contribute nothing.
+    """
+    speedups = speedup_curve(throughputs)
+    baseline_units = min(speedups)
+    efficiencies = [
+        speedup / (units / baseline_units)
+        for units, speedup in speedups.items()
+        if units != baseline_units
+    ]
+    if not efficiencies:
+        return 1.0
+    return sum(efficiencies) / len(efficiencies)
+
+
+def robustness_score(
+    clean_metric: float,
+    stressed_metrics: Sequence[float],
+    higher_is_better: bool = True,
+) -> float:
+    """Robustness: worst-case retained performance under stress.
+
+    Compares a metric under clean conditions against the same metric
+    under stress scenarios (overload, faults, bursts).  Returns the
+    worst ratio of stressed to clean performance, in [0, 1]-ish terms
+    (values above 1 mean stress helped, which usually signals a
+    measurement problem).
+    """
+    if clean_metric <= 0:
+        raise AnalysisError("clean metric must be positive")
+    if not stressed_metrics:
+        raise AnalysisError("need at least one stressed measurement")
+    if higher_is_better:
+        return min(value / clean_metric for value in stressed_metrics)
+    return min(clean_metric / value for value in stressed_metrics if value > 0)
+
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def ascii_sparkline(series: TimeSeries, width: int = 60) -> str:
+    """One-line unicode sparkline of a time series.
+
+    The series is resampled onto ``width`` buckets (by last observation
+    carried forward); values map linearly onto eight block heights.  A
+    constant series renders as a flat mid-height line.
+    """
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    if not len(series):
+        raise AnalysisError("cannot plot an empty series")
+    timestamps = series.timestamps
+    start, end = timestamps[0], timestamps[-1]
+    if end <= start:
+        values = [series.values[-1]] * min(width, len(series))
+    else:
+        step = (end - start) / width
+        grid = series.resample(step)
+        # The grid spans start..end inclusive: keep the final sample so
+        # the plotted range matches the series range.
+        values = grid.values[: width + 1]
+    low = min(values)
+    high = max(values)
+    if high <= low:
+        return _SPARK_LEVELS[3] * len(values)
+    chars = []
+    for value in values:
+        level = int((value - low) / (high - low) * (len(_SPARK_LEVELS) - 1))
+        chars.append(_SPARK_LEVELS[level])
+    return "".join(chars)
+
+
+def ascii_plot(
+    series: TimeSeries, width: int = 60, height: int = 10, label: str | None = None
+) -> str:
+    """Multi-line ASCII time-series plot (section 4.5's visual check).
+
+    Renders the series on a ``width`` x ``height`` character canvas with
+    a value axis on the left.  Intended for terminal reports, not
+    publication plots.
+    """
+    if width <= 0 or height <= 0:
+        raise ValueError("width and height must be positive")
+    if not len(series):
+        raise AnalysisError("cannot plot an empty series")
+    timestamps = series.timestamps
+    start, end = timestamps[0], timestamps[-1]
+    if end <= start:
+        values = list(series.values)[:width]
+    else:
+        grid = series.resample((end - start) / width)
+        values = grid.values[: width + 1]
+    low, high = min(values), max(values)
+    span = high - low or 1.0
+
+    rows = []
+    for row in range(height, 0, -1):
+        threshold = low + span * (row - 0.5) / height
+        line = "".join("█" if v >= threshold else " " for v in values)
+        axis = f"{low + span * row / height:>10.2f} |"
+        rows.append(axis + line)
+    footer = " " * 10 + "+" + "-" * len(values)
+    title = f"{label or series.name}  [{low:.2f} .. {high:.2f}]"
+    time_line = (
+        " " * 11
+        + f"t={start:.1f}s"
+        + " " * max(1, len(values) - len(f"t={start:.1f}s") - len(f"t={end:.1f}s"))
+        + f"t={end:.1f}s"
+    )
+    return "\n".join([title, *rows, footer, time_line])
+
+
+def run_report(result: RunResult, title: str = "GraphTides run") -> str:
+    """Render one harness run as a plain-text report.
+
+    Includes the headline outcomes, per-metric aggregates grouped by
+    source, and the marker timeline.
+    """
+    lines = [title, "=" * len(title), ""]
+    lines.append(f"duration:          {result.duration:.2f} s (simulated)")
+    lines.append(f"events emitted:    {result.events_emitted}")
+    lines.append(f"events processed:  {result.events_processed}")
+    lines.append(f"mean throughput:   {result.mean_throughput:.0f} events/s")
+    lines.append(f"rejected attempts: {result.rejected_attempts}")
+    lines.append(f"drained:           {result.drained}")
+    lines.append("")
+
+    lines.append("metrics (mean / p95 / max by source):")
+    for metric in result.log.metrics():
+        if metric == "marker":
+            continue
+        for source in result.log.filter(metric=metric).sources():
+            series = result.log.series(metric, source=source)
+            aggregate = Aggregate.of(series.values)
+            lines.append(
+                f"  {metric:<22} {source:<26} "
+                f"{aggregate.mean:>10.2f} {aggregate.p95:>10.2f} "
+                f"{aggregate.maximum:>10.2f}"
+            )
+    markers = result.log.markers()
+    if markers:
+        lines.append("")
+        lines.append("marker timeline:")
+        for record in markers:
+            lines.append(
+                f"  t={record.timestamp:>8.2f}s  {record.tags.get('label', '')}"
+            )
+    return "\n".join(lines)

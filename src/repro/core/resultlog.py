@@ -1,0 +1,175 @@
+"""Result log: the single chronologically sorted outcome of a test run.
+
+Every logger appends timestamped records to a local log; after a run
+the log collector merges them into one :class:`ResultLog` (section
+4.1/5.1).  Records carry their source (which logger/process produced
+them), a metric name, a value, and optional tags — enough to rebuild
+any of the paper's time-series plots from one file.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.core.metrics import TimeSeries
+from repro.errors import AnalysisError
+
+__all__ = ["Record", "ResultLog"]
+
+
+@dataclass(frozen=True, slots=True)
+class Record:
+    """One timestamped measurement or annotation in the result log.
+
+    ``kind`` distinguishes plain metric samples (``"metric"``) from
+    marker observations (``"marker"``) and computation results
+    (``"result"``).  ``value`` is numeric for metrics; marker and
+    result records may carry structured data in ``tags`` instead.
+    """
+
+    timestamp: float
+    source: str
+    metric: str
+    value: float
+    kind: str = "metric"
+    tags: dict[str, str] = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        payload = {
+            "timestamp": self.timestamp,
+            "source": self.source,
+            "metric": self.metric,
+            "value": self.value,
+            "kind": self.kind,
+        }
+        if self.tags:
+            payload["tags"] = self.tags
+        return json.dumps(payload, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Record":
+        payload = json.loads(text)
+        return cls(
+            timestamp=float(payload["timestamp"]),
+            source=str(payload["source"]),
+            metric=str(payload["metric"]),
+            value=float(payload["value"]),
+            kind=str(payload.get("kind", "metric")),
+            tags={str(k): str(v) for k, v in payload.get("tags", {}).items()},
+        )
+
+
+class ResultLog:
+    """Chronologically sorted collection of :class:`Record` entries."""
+
+    def __init__(self, records: Iterable[Record] = ()):
+        self._records = sorted(records, key=lambda r: r.timestamp)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[Record]:
+        return iter(self._records)
+
+    def __getitem__(self, index: int) -> Record:
+        return self._records[index]
+
+    @property
+    def records(self) -> tuple[Record, ...]:
+        return tuple(self._records)
+
+    # -- queries -------------------------------------------------------------
+
+    def sources(self) -> list[str]:
+        """Distinct record sources, in first-appearance order."""
+        seen: dict[str, None] = {}
+        for record in self._records:
+            seen.setdefault(record.source, None)
+        return list(seen)
+
+    def metrics(self) -> list[str]:
+        """Distinct metric names, in first-appearance order."""
+        seen: dict[str, None] = {}
+        for record in self._records:
+            seen.setdefault(record.metric, None)
+        return list(seen)
+
+    def filter(
+        self,
+        source: str | None = None,
+        metric: str | None = None,
+        kind: str | None = None,
+    ) -> "ResultLog":
+        """Sub-log with records matching all given criteria."""
+        return ResultLog(
+            r
+            for r in self._records
+            if (source is None or r.source == source)
+            and (metric is None or r.metric == metric)
+            and (kind is None or r.kind == kind)
+        )
+
+    def series(self, metric: str, source: str | None = None) -> TimeSeries:
+        """A :class:`TimeSeries` of one metric (optionally one source).
+
+        Raises :class:`AnalysisError` when no matching records exist.
+        """
+        matching = self.filter(source=source, metric=metric)
+        if not len(matching):
+            raise AnalysisError(
+                f"no records for metric {metric!r}"
+                + (f" from source {source!r}" if source else "")
+            )
+        series = TimeSeries(metric)
+        for record in matching:
+            series.append(record.timestamp, record.value)
+        return series
+
+    def markers(self) -> list[Record]:
+        """All marker-kind records in chronological order."""
+        return [r for r in self._records if r.kind == "marker"]
+
+    def marker_time(self, label: str) -> float:
+        """Timestamp at which the marker ``label`` was observed.
+
+        Raises :class:`AnalysisError` when the marker never appeared.
+        """
+        for record in self._records:
+            if record.kind == "marker" and record.tags.get("label") == label:
+                return record.timestamp
+        raise AnalysisError(f"marker {label!r} not present in result log")
+
+    # -- merging & persistence ----------------------------------------------
+
+    def merged_with(self, *others: "ResultLog") -> "ResultLog":
+        """A new log containing this log's and all other logs' records."""
+        records: list[Record] = list(self._records)
+        for other in others:
+            records.extend(other.records)
+        return ResultLog(records)
+
+    def write(self, path: str | Path) -> None:
+        """Persist as JSON lines (one record per line)."""
+        path = Path(path)
+        with path.open("w", encoding="utf-8", newline="\n") as handle:
+            for record in self._records:
+                handle.write(record.to_json())
+                handle.write("\n")
+
+    @classmethod
+    def read(cls, path: str | Path) -> "ResultLog":
+        """Load a JSON-lines result log."""
+        path = Path(path)
+        records: list[Record] = []
+        with path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    records.append(Record.from_json(line))
+        return cls(records)
+
+    def __repr__(self) -> str:
+        return f"ResultLog({len(self._records)} records)"

@@ -1,0 +1,160 @@
+"""Stream rate shaping via control events (paper section 4.2).
+
+"Control events can change the speed of the replayer at runtime by
+defining a speed-up factor ... This allows emulation of varying rates,
+and is helpful for inducing short bursts and peaks.  A second control
+event causes the replayer to pause new events for a specified amount of
+time."
+
+These helpers derive shaped streams from a flat one by inserting
+``SPEED``/``PAUSE`` events at graph-event boundaries: bursts (short
+high-rate windows), square waves (alternating high/low phases), ramps
+(stepwise acceleration), and pauses.  All shapes compose, since each
+helper returns an ordinary :class:`~repro.core.stream.GraphStream`.
+"""
+
+from __future__ import annotations
+
+from repro.core.events import Event, GraphEvent, marker, pause, speed
+from repro.core.stream import GraphStream
+
+__all__ = [
+    "with_pause",
+    "with_burst",
+    "with_wave",
+    "with_ramp",
+    "with_periodic_markers",
+]
+
+
+def _insert_at_graph_positions(
+    stream: GraphStream, insertions: dict[int, list[Event]]
+) -> GraphStream:
+    """Insert control events before the i-th graph event (0-based).
+
+    Positions beyond the last graph event append at the end.
+    """
+    result: list[Event] = []
+    graph_index = 0
+    for event in stream:
+        if isinstance(event, GraphEvent):
+            for inserted in insertions.get(graph_index, ()):  # before i-th
+                result.append(inserted)
+            graph_index += 1
+        result.append(event)
+    for position in sorted(insertions):
+        if position >= graph_index:
+            result.extend(insertions[position])
+    return GraphStream(result)
+
+
+def with_pause(
+    stream: GraphStream, after_events: int, seconds: float
+) -> GraphStream:
+    """Insert a pause after the first ``after_events`` graph events."""
+    if after_events < 0:
+        raise ValueError(f"after_events must be >= 0, got {after_events}")
+    return _insert_at_graph_positions(
+        stream, {after_events: [pause(seconds)]}
+    )
+
+
+def with_burst(
+    stream: GraphStream,
+    start_event: int,
+    burst_events: int,
+    factor: float = 4.0,
+) -> GraphStream:
+    """A short high-rate burst: ``factor``× speed for ``burst_events``.
+
+    The base rate (factor 1) is restored afterwards.
+    """
+    if start_event < 0 or burst_events <= 0:
+        raise ValueError("start_event must be >= 0 and burst_events > 0")
+    if factor <= 0:
+        raise ValueError(f"factor must be positive, got {factor}")
+    return _insert_at_graph_positions(
+        stream,
+        {
+            start_event: [speed(factor)],
+            start_event + burst_events: [speed(1.0)],
+        },
+    )
+
+
+def with_wave(
+    stream: GraphStream,
+    period_events: int,
+    high_factor: float = 2.0,
+    low_factor: float = 0.5,
+) -> GraphStream:
+    """A square wave: alternating high/low rate every ``period_events``.
+
+    The stream starts in the high phase; a final ``SPEED 1`` restores
+    the base rate at the end.
+    """
+    if period_events <= 0:
+        raise ValueError(f"period_events must be positive, got {period_events}")
+    if high_factor <= 0 or low_factor <= 0:
+        raise ValueError("factors must be positive")
+    total = sum(1 for __ in stream.graph_events())
+    insertions: dict[int, list[Event]] = {}
+    high = True
+    for position in range(0, total, period_events):
+        insertions[position] = [speed(high_factor if high else low_factor)]
+        high = not high
+    insertions.setdefault(total, []).append(speed(1.0))
+    return _insert_at_graph_positions(stream, insertions)
+
+
+def with_periodic_markers(
+    stream: GraphStream, every: int, prefix: str = "wm"
+) -> GraphStream:
+    """Insert watermark markers after every ``every`` graph events.
+
+    Markers are labelled ``{prefix}-{count}`` where count is the number
+    of graph events preceding the marker.  Together with
+    :func:`repro.core.analysis.reflection_latency_profile` this yields
+    the latency *distribution* of section 4.3 (e.g. the p99 result
+    latency) instead of a single watermark sample.
+    """
+    if every <= 0:
+        raise ValueError(f"every must be positive, got {every}")
+    total = sum(1 for __ in stream.graph_events())
+    insertions = {
+        position: [marker(f"{prefix}-{position}")]
+        for position in range(every, total + 1, every)
+    }
+    return _insert_at_graph_positions(stream, insertions)
+
+
+def with_ramp(
+    stream: GraphStream,
+    steps: int,
+    start_factor: float = 1.0,
+    end_factor: float = 4.0,
+) -> GraphStream:
+    """A stepwise ramp from ``start_factor`` to ``end_factor``.
+
+    The stream is divided into ``steps`` equal phases; each phase runs
+    at a linearly interpolated speed factor.  Useful for the "gradually
+    increasing the input stream rate" evaluation goal of section 3.3.
+    """
+    if steps <= 0:
+        raise ValueError(f"steps must be positive, got {steps}")
+    if start_factor <= 0 or end_factor <= 0:
+        raise ValueError("factors must be positive")
+    total = sum(1 for __ in stream.graph_events())
+    if not total:
+        return GraphStream(list(stream))
+    insertions: dict[int, list[Event]] = {}
+    for step in range(steps):
+        position = (total * step) // steps
+        if steps == 1:
+            factor = start_factor
+        else:
+            factor = start_factor + (end_factor - start_factor) * step / (
+                steps - 1
+            )
+        insertions.setdefault(position, []).append(speed(factor))
+    return _insert_at_graph_positions(stream, insertions)

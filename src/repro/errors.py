@@ -1,0 +1,90 @@
+"""Exception hierarchy for the GraphTides reproduction.
+
+All errors raised by this library derive from :class:`GraphTidesError` so
+callers can catch framework failures with a single ``except`` clause while
+still being able to distinguish the finer-grained categories below.
+"""
+
+from __future__ import annotations
+
+
+class GraphTidesError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class StreamFormatError(GraphTidesError):
+    """A stream file line or event payload violates the CSV stream format.
+
+    Carries the offending line number (1-based) when parsed from a file.
+    """
+
+    def __init__(self, message: str, line_number: int | None = None):
+        if line_number is not None:
+            message = f"line {line_number}: {message}"
+        super().__init__(message)
+        self.line_number = line_number
+
+
+class GraphOperationError(GraphTidesError):
+    """Base class for graph-operation precondition violations."""
+
+
+class VertexExistsError(GraphOperationError):
+    """Raised when adding a vertex whose identifier is already present."""
+
+
+class VertexNotFoundError(GraphOperationError):
+    """Raised when an operation references a vertex that does not exist."""
+
+
+class EdgeExistsError(GraphOperationError):
+    """Raised when adding an edge that is already present (no multigraphs)."""
+
+
+class EdgeNotFoundError(GraphOperationError):
+    """Raised when an operation references an edge that does not exist."""
+
+
+class SelfLoopError(GraphOperationError):
+    """Raised when adding an edge from a vertex to itself (not modelled)."""
+
+
+class GeneratorError(GraphTidesError):
+    """A user-supplied generator rule misbehaved (bad selection, etc.)."""
+
+
+class ReplayError(GraphTidesError):
+    """The stream replayer could not emit the stream as requested."""
+
+
+class ConnectorError(GraphTidesError):
+    """A platform connector failed to deliver or acknowledge events."""
+
+
+class PlatformError(GraphTidesError):
+    """A system under test rejected a request or reached an invalid state."""
+
+
+class EvaluationLevelError(GraphTidesError):
+    """An operation requires a higher evaluation level than the platform has.
+
+    Evaluation levels follow the paper's section 4: level 0 treats the system
+    under test as a black box, level 1 adds a native metrics interface, and
+    level 2 grants full internal access.
+    """
+
+    def __init__(self, required: int, actual: int):
+        super().__init__(
+            f"operation requires evaluation level {required}, "
+            f"but the platform only supports level {actual}"
+        )
+        self.required = required
+        self.actual = actual
+
+
+class MethodologyError(GraphTidesError):
+    """An experiment design or statistical analysis request is invalid."""
+
+
+class AnalysisError(GraphTidesError):
+    """A result-log analysis could not be performed on the given data."""

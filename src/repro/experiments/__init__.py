@@ -1,0 +1,31 @@
+"""The paper's experiments (section 5): one module per figure.
+
+Each module exposes a ``run_*`` function that regenerates the data
+behind the corresponding figure, parameterised by a scale factor so the
+full paper-scale configuration and fast CI-scale versions share one
+code path.  Configuration dataclasses mirror the paper's Tables 2–4.
+"""
+
+from repro.experiments.configs import (
+    ChronographExperimentConfig,
+    ReplayerExperimentConfig,
+    WeaverExperimentConfig,
+)
+from repro.experiments.fig3a import ReplayerThroughputRow, run_replayer_throughput
+from repro.experiments.fig3b import WeaverThroughputResult, run_weaver_throughput
+from repro.experiments.fig3c import WeaverCpuResult, run_weaver_cpu
+from repro.experiments.fig3d import ChronographResult, run_chronograph
+
+__all__ = [
+    "ReplayerExperimentConfig",
+    "WeaverExperimentConfig",
+    "ChronographExperimentConfig",
+    "run_replayer_throughput",
+    "ReplayerThroughputRow",
+    "run_weaver_throughput",
+    "WeaverThroughputResult",
+    "run_weaver_cpu",
+    "WeaverCpuResult",
+    "run_chronograph",
+    "ChronographResult",
+]

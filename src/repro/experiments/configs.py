@@ -1,0 +1,117 @@
+"""Experiment configurations mirroring the paper's Tables 2–4.
+
+Every config carries the paper-scale defaults plus a ``scaled`` helper
+producing a proportionally smaller configuration for fast runs: the
+benchmarks default to a scaled setup and the full paper-scale values
+remain one call away.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = [
+    "ReplayerExperimentConfig",
+    "WeaverExperimentConfig",
+    "ChronographExperimentConfig",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class ReplayerExperimentConfig:
+    """Table 2: Graph Stream Replayer test runs.
+
+    Paper setup: single machine, generated social-network workload,
+    pipe (STDOUT→STDIN) and local TCP targets, target rates 10k–320k
+    events/s.  ``events_per_rate`` bounds how many events each rate
+    level replays (the duration of one measurement).
+    """
+
+    target_rates: tuple[int, ...] = (10_000, 20_000, 40_000, 80_000, 160_000, 320_000)
+    run_seconds: float = 20.0
+    max_events_per_rate: int = 1_000_000
+    stream_rounds: int = 50_000
+    seed: int = 42
+
+    def events_for_rate(self, target_rate: int) -> int:
+        """Events to replay at one rate level: rate × duration, capped."""
+        return max(1_000, min(self.max_events_per_rate, int(target_rate * self.run_seconds)))
+
+    def scaled(self, factor: float) -> "ReplayerExperimentConfig":
+        if not 0 < factor <= 1:
+            raise ValueError(f"factor must be in (0, 1], got {factor}")
+        return replace(
+            self,
+            run_seconds=max(2.0, self.run_seconds * factor),
+            max_events_per_rate=max(
+                2_000, int(self.max_events_per_rate * factor)
+            ),
+            stream_rounds=max(2_000, int(self.stream_rounds * factor)),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class WeaverExperimentConfig:
+    """Table 3: Weaver experiment.
+
+    Paper setup: Barabási–Albert bootstrap (n=10000, m0=250, M=50),
+    event mix CREATE_VERTEX 10% / REMOVE_VERTEX 5% / UPDATE_VERTEX 35%
+    / CREATE_EDGE 35% / REMOVE_EDGE 15% / UPDATE_EDGE 0%, Zipf-biased
+    selections, streaming rates 10²–10⁴ events/s, 1 or 10 events per
+    transaction, ~500 s runs (Figure 3b's time axis).
+    """
+
+    bootstrap_n: int = 10_000
+    bootstrap_m0: int = 250
+    bootstrap_m: int = 50
+    evolution_rounds: int = 500_000
+    streaming_rates: tuple[int, ...] = (100, 1_000, 10_000)
+    batch_sizes: tuple[int, ...] = (1, 10)
+    run_seconds: float = 500.0
+    seed: int = 42
+
+    def scaled(self, factor: float) -> "WeaverExperimentConfig":
+        if not 0 < factor <= 1:
+            raise ValueError(f"factor must be in (0, 1], got {factor}")
+        return replace(
+            self,
+            bootstrap_n=max(100, int(self.bootstrap_n * factor)),
+            bootstrap_m0=max(10, int(self.bootstrap_m0 * factor)),
+            bootstrap_m=max(3, int(self.bootstrap_m * factor)),
+            evolution_rounds=max(2_000, int(self.evolution_rounds * factor)),
+            run_seconds=max(20.0, self.run_seconds * factor),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class ChronographExperimentConfig:
+    """Table 4: Chronograph experiment.
+
+    Paper setup: four workers, converted LDBC SNB workload (persons and
+    connections only; 190,518 events), online influence-rank
+    computation, base rate 2000 events/s, 20 s pause after 100,000
+    events, doubled rate between events 100,001 and 150,000.
+    """
+
+    worker_count: int = 4
+    total_events: int = 190_518
+    base_rate: float = 2_000.0
+    pause_after: int = 100_000
+    pause_seconds: float = 20.0
+    double_rate_until: int = 150_000
+    tracked_top_k: int = 20
+    seed: int = 42
+
+    def scaled(self, factor: float) -> "ChronographExperimentConfig":
+        if not 0 < factor <= 1:
+            raise ValueError(f"factor must be in (0, 1], got {factor}")
+        total = max(4_000, int(self.total_events * factor))
+        return replace(
+            self,
+            total_events=total,
+            pause_after=max(1, int(total * self.pause_after / self.total_events)),
+            double_rate_until=max(
+                2, int(total * self.double_rate_until / self.total_events)
+            ),
+            pause_seconds=max(2.0, self.pause_seconds * factor),
+        )

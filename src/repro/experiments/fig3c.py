@@ -1,0 +1,89 @@
+"""Figure 3c: CPU usage of Weaver processes.
+
+"CPU usage of Weaver processes with 10,000 events/s badged as 10 events
+per transaction.  The evaluation showed a relatively high utilization
+of the timestamper process of Weaver."
+
+Runs the Figure-3b setup at 10,000 events/s with 10 events per
+transaction and records the Level-0 per-process CPU series of the
+``weaver-timestamper`` and ``weaver-shard`` processes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.harness import HarnessConfig, TestHarness
+from repro.core.metrics import TimeSeries
+from repro.core.stream import GraphStream
+from repro.experiments.configs import WeaverExperimentConfig
+from repro.experiments.fig3b import (
+    _cell_log_interval,
+    _truncate_for_duration,
+    build_weaver_stream,
+)
+from repro.platforms.weaverlike import WeaverLikePlatform
+
+__all__ = ["WeaverCpuResult", "run_weaver_cpu"]
+
+
+@dataclass(frozen=True, slots=True)
+class WeaverCpuResult:
+    """The per-process CPU series behind Figure 3c."""
+
+    timestamper_cpu: TimeSeries
+    shard_cpu: TimeSeries
+    streaming_rate: int
+    batch_size: int
+    duration: float
+
+    @property
+    def timestamper_mean(self) -> float:
+        return self.timestamper_cpu.mean()
+
+    @property
+    def shard_mean(self) -> float:
+        return self.shard_cpu.mean()
+
+    @property
+    def timestamper_dominates(self) -> bool:
+        """The paper's headline observation for this figure."""
+        return self.timestamper_mean > self.shard_mean
+
+
+def run_weaver_cpu(
+    config: WeaverExperimentConfig | None = None,
+    stream: GraphStream | None = None,
+    streaming_rate: int = 10_000,
+    batch_size: int = 10,
+    log_interval: float | None = None,
+) -> WeaverCpuResult:
+    """Regenerate Figure 3c's data.
+
+    ``log_interval=None`` picks a per-run sampling period suited to the
+    scaled duration; pass 1.0 for the paper's one-second sampling.
+    """
+    if config is None:
+        config = WeaverExperimentConfig()
+    if stream is None:
+        stream = build_weaver_stream(config)
+    cell_stream = _truncate_for_duration(stream, streaming_rate, config.run_seconds)
+    if log_interval is None:
+        log_interval = _cell_log_interval(cell_stream, streaming_rate)
+
+    platform = WeaverLikePlatform(batch_size=batch_size)
+    harness = TestHarness(
+        platform,
+        cell_stream,
+        HarnessConfig(
+            rate=float(streaming_rate), level=0, log_interval=log_interval
+        ),
+    )
+    run = harness.run()
+    return WeaverCpuResult(
+        timestamper_cpu=run.log.series("cpu_load", source="weaver-timestamper"),
+        shard_cpu=run.log.series("cpu_load", source="weaver-shard"),
+        streaming_rate=streaming_rate,
+        batch_size=batch_size,
+        duration=run.duration,
+    )

@@ -1,0 +1,17 @@
+"""Streaming graph generators: bootstrap graphs and evolving workloads."""
+
+from repro.gen.barabasi_albert import barabasi_albert_stream
+from repro.gen.erdos_renyi import erdos_renyi_stream
+from repro.gen.rmat import rmat_stream
+from repro.gen.snb import SnbConfig, snb_stream
+from repro.gen.zipf import ZipfSelector, zipf_weights
+
+__all__ = [
+    "barabasi_albert_stream",
+    "erdos_renyi_stream",
+    "rmat_stream",
+    "snb_stream",
+    "SnbConfig",
+    "ZipfSelector",
+    "zipf_weights",
+]

@@ -1,0 +1,63 @@
+"""Streaming Erdős–Rényi G(n, m) / G(n, p) generator.
+
+Yields ``ADD_VERTEX`` events for all ``n`` vertices followed by
+``ADD_EDGE`` events for the sampled directed edges (no self loops, no
+duplicates), so the output can be replayed directly as a bootstrap
+stream.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from repro.core.events import GraphEvent, add_edge, add_vertex
+
+__all__ = ["erdos_renyi_stream"]
+
+
+def erdos_renyi_stream(
+    n: int,
+    edge_count: int | None = None,
+    p: float | None = None,
+    rng: random.Random | None = None,
+    first_id: int = 0,
+) -> Iterator[GraphEvent]:
+    """Yield a G(n, m) or G(n, p) directed random graph as a stream.
+
+    Exactly one of ``edge_count`` (the G(n, m) model) or ``p`` (the
+    G(n, p) model) must be given.  Vertices are numbered
+    ``first_id .. first_id + n - 1``.
+    """
+    if (edge_count is None) == (p is None):
+        raise ValueError("exactly one of edge_count or p must be given")
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    if rng is None:
+        rng = random.Random(0)
+
+    for i in range(n):
+        yield add_vertex(first_id + i)
+
+    max_edges = n * (n - 1)
+    if edge_count is not None:
+        if not 0 <= edge_count <= max_edges:
+            raise ValueError(
+                f"edge_count must be in [0, {max_edges}], got {edge_count}"
+            )
+        seen: set[tuple[int, int]] = set()
+        while len(seen) < edge_count:
+            source = first_id + rng.randrange(n)
+            target = first_id + rng.randrange(n)
+            if source == target or (source, target) in seen:
+                continue
+            seen.add((source, target))
+            yield add_edge(source, target)
+        return
+
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"p must be in [0, 1], got {p}")
+    for i in range(n):
+        for j in range(n):
+            if i != j and rng.random() < p:
+                yield add_edge(first_id + i, first_id + j)

@@ -1,0 +1,90 @@
+"""Streaming R-MAT recursive-matrix generator (Chakrabarti et al., 2004).
+
+R-MAT recursively subdivides the adjacency matrix into quadrants with
+probabilities ``(a, b, c, d)`` and drops each edge into a quadrant,
+producing skewed, community-like degree distributions typical of web
+and social graphs.  The stream emits all vertex adds first, then the
+sampled edges (duplicates and self loops are rejected and resampled up
+to a retry budget).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from repro.core.events import GraphEvent, add_edge, add_vertex
+
+__all__ = ["rmat_stream"]
+
+#: Conventional Graph500-style partition probabilities.
+DEFAULT_PROBS = (0.57, 0.19, 0.19, 0.05)
+
+
+def _sample_edge(
+    scale: int, probs: tuple[float, float, float, float], rng: random.Random
+) -> tuple[int, int]:
+    a, b, c, __ = probs
+    row = col = 0
+    for level in range(scale):
+        r = rng.random()
+        half = 1 << (scale - level - 1)
+        if r < a:
+            pass
+        elif r < a + b:
+            col += half
+        elif r < a + b + c:
+            row += half
+        else:
+            row += half
+            col += half
+    return row, col
+
+
+def rmat_stream(
+    scale: int,
+    edge_count: int,
+    probs: tuple[float, float, float, float] = DEFAULT_PROBS,
+    rng: random.Random | None = None,
+    first_id: int = 0,
+    max_retries_factor: int = 50,
+) -> Iterator[GraphEvent]:
+    """Yield an R-MAT graph with ``2**scale`` vertices as a stream.
+
+    ``edge_count`` distinct directed edges are sampled; if the quadrant
+    probabilities concentrate edges so heavily that distinct sampling
+    stalls, a :class:`RuntimeError` is raised after
+    ``max_retries_factor * edge_count`` attempts.
+    """
+    if scale <= 0:
+        raise ValueError(f"scale must be positive, got {scale}")
+    if edge_count < 0:
+        raise ValueError(f"edge_count must be >= 0, got {edge_count}")
+    total = abs(sum(probs) - 1.0)
+    if total > 1e-9:
+        raise ValueError(f"quadrant probabilities must sum to 1, got {probs}")
+    n = 1 << scale
+    max_edges = n * (n - 1)
+    if edge_count > max_edges:
+        raise ValueError(f"edge_count {edge_count} exceeds maximum {max_edges}")
+    if rng is None:
+        rng = random.Random(0)
+
+    for i in range(n):
+        yield add_vertex(first_id + i)
+
+    seen: set[tuple[int, int]] = set()
+    attempts = 0
+    budget = max(1, max_retries_factor * edge_count)
+    while len(seen) < edge_count:
+        attempts += 1
+        if attempts > budget:
+            raise RuntimeError(
+                f"could not sample {edge_count} distinct edges after "
+                f"{attempts - 1} attempts (got {len(seen)})"
+            )
+        row, col = _sample_edge(scale, probs, rng)
+        if row == col or (row, col) in seen:
+            continue
+        seen.add((row, col))
+        yield add_edge(first_id + row, first_id + col)

@@ -1,0 +1,146 @@
+"""SNB-like social-network workload generator (substitute for LDBC SNB).
+
+The paper's Chronograph experiment replays a "converted LDBC SNB
+workload (only persons and connections); 190,518 events" (Table 4).
+The real SNB generator is a large external Java tool; this module
+produces an equivalent stream for that code path: person vertices with
+JSON-ish state, and *knows* edges wired with preferential attachment
+(SNB's friendship graph is heavy-tailed), interleaved so the graph
+grows continuously as it would in a converted SNB update stream.
+
+:func:`snb_stream` yields only graph events.  Use
+:func:`repro.core.models.chronograph_table4_stream` to wrap it with the
+Table-4 marker/pause/speed control structure.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.core.events import GraphEvent, add_edge, add_vertex, update_vertex
+
+__all__ = ["SnbConfig", "snb_stream"]
+
+_FIRST_NAMES = (
+    "Jan", "Maria", "Chen", "Aisha", "Carlos", "Yuki", "Priya", "Omar",
+    "Anna", "Luca", "Ines", "Tariq", "Sofia", "Emeka", "Hana", "Mateo",
+)
+_COUNTRIES = (
+    "Germany", "UK", "China", "India", "Brazil", "Japan", "Nigeria",
+    "Spain", "France", "Mexico", "Poland", "Kenya",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class SnbConfig:
+    """Parameters of the SNB-like person/knows stream.
+
+    ``total_events`` defaults to Table 4's 190,518.  ``person_ratio``
+    is the fraction of events creating persons; ``update_ratio`` the
+    fraction updating person state (posting activity); the remainder
+    creates *knows* edges.  ``attachment_bias`` > 0 skews new
+    friendships towards popular persons (preferential attachment).
+    """
+
+    total_events: int = 190_518
+    person_ratio: float = 0.30
+    update_ratio: float = 0.05
+    attachment_bias: float = 1.0
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        if self.total_events < 2:
+            raise ValueError("total_events must be >= 2")
+        if not 0 < self.person_ratio < 1:
+            raise ValueError("person_ratio must be in (0, 1)")
+        if not 0 <= self.update_ratio < 1:
+            raise ValueError("update_ratio must be in [0, 1)")
+        if self.person_ratio + self.update_ratio >= 1:
+            raise ValueError("person_ratio + update_ratio must be < 1")
+
+
+def _person_state(rng: random.Random, person_id: int) -> str:
+    name = rng.choice(_FIRST_NAMES)
+    country = rng.choice(_COUNTRIES)
+    return (
+        '{"name": "%s", "country": "%s", "id": %d, "posts": 0}'
+        % (name, country, person_id)
+    )
+
+
+def _activity_state(rng: random.Random, person_id: int, posts: int) -> str:
+    return '{"id": %d, "posts": %d}' % (person_id, posts)
+
+
+def snb_stream(config: SnbConfig | None = None) -> Iterator[GraphEvent]:
+    """Yield an SNB-like person/knows event stream.
+
+    Event mix per :class:`SnbConfig`; *knows* edges connect an existing
+    person chosen uniformly to a target chosen by degree-weighted
+    preferential attachment.  Exactly ``config.total_events`` events
+    are produced.
+    """
+    if config is None:
+        config = SnbConfig()
+    rng = random.Random(config.seed)
+
+    # Repeated-person list for preferential attachment over knows-degree.
+    repeated: list[int] = []
+    persons: list[int] = []
+    knows: set[tuple[int, int]] = set()
+    post_counts: dict[int, int] = {}
+    next_person = 0
+    emitted = 0
+
+    def new_person() -> GraphEvent:
+        nonlocal next_person
+        person = next_person
+        next_person += 1
+        persons.append(person)
+        repeated.append(person)  # baseline weight so isolates are reachable
+        post_counts[person] = 0
+        return add_vertex(person, _person_state(rng, person))
+
+    # Ensure the stream starts with two persons so edges are possible.
+    yield new_person()
+    yield new_person()
+    emitted = 2
+
+    while emitted < config.total_events:
+        roll = rng.random()
+        if roll < config.person_ratio or len(persons) < 2:
+            yield new_person()
+            emitted += 1
+            continue
+        if roll < config.person_ratio + config.update_ratio:
+            person = persons[rng.randrange(len(persons))]
+            post_counts[person] += 1
+            yield update_vertex(
+                person, _activity_state(rng, person, post_counts[person])
+            )
+            emitted += 1
+            continue
+        # knows edge: uniform source, degree-biased target.
+        created = False
+        for __ in range(20):
+            source = persons[rng.randrange(len(persons))]
+            if rng.random() < config.attachment_bias:
+                target = repeated[rng.randrange(len(repeated))]
+            else:
+                target = persons[rng.randrange(len(persons))]
+            if source == target or (source, target) in knows:
+                continue
+            knows.add((source, target))
+            repeated.append(source)
+            repeated.append(target)
+            yield add_edge(source, target, '{"kind": "knows"}')
+            emitted += 1
+            created = True
+            break
+        if not created:
+            # Dense neighbourhood: fall back to creating a person so the
+            # stream always reaches its configured length.
+            yield new_person()
+            emitted += 1

@@ -1,0 +1,77 @@
+"""Zipf-biased selection helpers.
+
+The Weaver experiment (Table 3) selects vertices with Zipf
+distributions biased by degree: removals prefer *less* connected
+vertices, edge targets prefer *strongly* connected vertices.  This
+module implements weighted selection where the weight of an item is a
+Zipf-like power of its rank in a caller-supplied scoring.
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+import random
+from typing import Callable, Sequence, TypeVar
+
+T = TypeVar("T")
+
+__all__ = ["zipf_weights", "ZipfSelector"]
+
+
+def zipf_weights(n: int, exponent: float = 1.0) -> list[float]:
+    """Unnormalised Zipf weights ``1 / rank**exponent`` for ranks 1..n."""
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    return [1.0 / (rank**exponent) for rank in range(1, n + 1)]
+
+
+class ZipfSelector:
+    """Selects items with probability decaying in their score rank.
+
+    Items are ranked by ``key`` (descending by default, so higher
+    scores get the heaviest Zipf weight).  With ``ascending=True`` the
+    *lowest*-scoring items are preferred instead — the paper's
+    "bias towards less connected vertices" for removals.
+    """
+
+    def __init__(
+        self,
+        rng: random.Random,
+        exponent: float = 1.0,
+        ascending: bool = False,
+    ):
+        if exponent <= 0:
+            raise ValueError(f"exponent must be positive, got {exponent}")
+        self._rng = rng
+        self._exponent = exponent
+        self._ascending = ascending
+
+    def select(self, items: Sequence[T], key: Callable[[T], float]) -> T:
+        """Pick one item, Zipf-weighted by score rank.
+
+        Raises :class:`ValueError` on an empty sequence.
+        """
+        if not items:
+            raise ValueError("cannot select from an empty sequence")
+        ranked = sorted(items, key=key, reverse=not self._ascending)
+        weights = zipf_weights(len(ranked), self._exponent)
+        cumulative = list(itertools.accumulate(weights))
+        pick = self._rng.random() * cumulative[-1]
+        index = bisect.bisect_left(cumulative, pick)
+        index = min(index, len(ranked) - 1)
+        return ranked[index]
+
+    def select_rank(self, n: int) -> int:
+        """Pick a 0-based rank out of ``n`` with Zipf weighting.
+
+        Useful when the caller keeps its own ranked structure and only
+        needs the index.  Raises :class:`ValueError` when ``n <= 0``.
+        """
+        if n <= 0:
+            raise ValueError(f"n must be positive, got {n}")
+        weights = zipf_weights(n, self._exponent)
+        cumulative = list(itertools.accumulate(weights))
+        pick = self._rng.random() * cumulative[-1]
+        index = bisect.bisect_left(cumulative, pick)
+        return min(index, n - 1)

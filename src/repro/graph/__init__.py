@@ -1,0 +1,20 @@
+"""Graph substrate: directed stateful graphs, builders, and properties."""
+
+from repro.graph.builders import (
+    ApplyReport,
+    build_graph,
+    marker_snapshots,
+    snapshot_at_index,
+    snapshot_at_marker,
+)
+from repro.graph.graph import GraphDelta, StreamGraph
+
+__all__ = [
+    "StreamGraph",
+    "GraphDelta",
+    "build_graph",
+    "snapshot_at_index",
+    "snapshot_at_marker",
+    "marker_snapshots",
+    "ApplyReport",
+]

@@ -1,0 +1,259 @@
+"""Directed, stateful evolving graph (paper section 3.2, "Graph Types").
+
+The model is a directed graph without multi-edges and without self
+loops.  Both vertices and edges carry a mutable, user-defined string
+state.  Vertices are identified by unique integer ids; edges by their
+``(source, target)`` pair.
+
+:class:`StreamGraph` enforces the preconditions of the six stream
+operations and raises a dedicated error for each violation, which is
+exactly what lets the framework study the effect of dropped, duplicated
+or reordered events on graph consistency (section 3.2, "Streaming
+Properties").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.core.events import EdgeId, EventType, GraphEvent
+from repro.errors import (
+    EdgeExistsError,
+    EdgeNotFoundError,
+    SelfLoopError,
+    VertexExistsError,
+    VertexNotFoundError,
+)
+
+__all__ = ["StreamGraph", "GraphDelta"]
+
+
+@dataclass(frozen=True, slots=True)
+class GraphDelta:
+    """Summary of what a single applied event changed.
+
+    ``removed_edges`` lists edges implicitly removed by a vertex
+    removal (cascading delete), in addition to the operation target.
+    """
+
+    event: GraphEvent
+    removed_edges: tuple[EdgeId, ...] = ()
+
+
+class StreamGraph:
+    """In-memory directed graph with stateful vertices and edges.
+
+    The class is the reference graph representation used by the stream
+    generator, by snapshot reconstruction, and by the simulated systems
+    under test.  All six stream operations are methods; alternatively
+    :meth:`apply` dispatches a :class:`~repro.core.events.GraphEvent`.
+    """
+
+    def __init__(self) -> None:
+        self._vertex_state: dict[int, str] = {}
+        self._edge_state: dict[EdgeId, str] = {}
+        self._out: dict[int, set[int]] = {}
+        self._in: dict[int, set[int]] = {}
+
+    # -- vertex operations ------------------------------------------------
+
+    def add_vertex(self, vertex_id: int, state: str = "") -> None:
+        """Create a new vertex.  Raises :class:`VertexExistsError` if taken."""
+        if vertex_id in self._vertex_state:
+            raise VertexExistsError(f"vertex {vertex_id} already exists")
+        self._vertex_state[vertex_id] = state
+        self._out[vertex_id] = set()
+        self._in[vertex_id] = set()
+
+    def remove_vertex(self, vertex_id: int) -> tuple[EdgeId, ...]:
+        """Delete a vertex and all incident edges.
+
+        Returns the incident edges that were removed along with it.
+        Raises :class:`VertexNotFoundError` for unknown ids.
+        """
+        if vertex_id not in self._vertex_state:
+            raise VertexNotFoundError(f"vertex {vertex_id} does not exist")
+        removed = tuple(
+            [EdgeId(vertex_id, t) for t in sorted(self._out[vertex_id])]
+            + [EdgeId(s, vertex_id) for s in sorted(self._in[vertex_id])]
+        )
+        for edge in removed:
+            del self._edge_state[edge]
+        for target in self._out.pop(vertex_id):
+            self._in[target].discard(vertex_id)
+        for source in self._in.pop(vertex_id):
+            self._out[source].discard(vertex_id)
+        del self._vertex_state[vertex_id]
+        return removed
+
+    def update_vertex(self, vertex_id: int, state: str) -> None:
+        """Replace a vertex's state.  Raises :class:`VertexNotFoundError`."""
+        if vertex_id not in self._vertex_state:
+            raise VertexNotFoundError(f"vertex {vertex_id} does not exist")
+        self._vertex_state[vertex_id] = state
+
+    # -- edge operations ---------------------------------------------------
+
+    def add_edge(self, source: int, target: int, state: str = "") -> None:
+        """Create the directed edge ``source -> target``.
+
+        Raises :class:`SelfLoopError` for self loops,
+        :class:`VertexNotFoundError` when an endpoint is missing, and
+        :class:`EdgeExistsError` for duplicates (no multigraphs).
+        """
+        if source == target:
+            raise SelfLoopError(f"self loop on vertex {source} is not allowed")
+        if source not in self._vertex_state:
+            raise VertexNotFoundError(f"source vertex {source} does not exist")
+        if target not in self._vertex_state:
+            raise VertexNotFoundError(f"target vertex {target} does not exist")
+        edge = EdgeId(source, target)
+        if edge in self._edge_state:
+            raise EdgeExistsError(f"edge {edge} already exists")
+        self._edge_state[edge] = state
+        self._out[source].add(target)
+        self._in[target].add(source)
+
+    def remove_edge(self, source: int, target: int) -> None:
+        """Delete the edge ``source -> target``.
+
+        Raises :class:`EdgeNotFoundError` when it is not present.
+        """
+        edge = EdgeId(source, target)
+        if edge not in self._edge_state:
+            raise EdgeNotFoundError(f"edge {edge} does not exist")
+        del self._edge_state[edge]
+        self._out[source].discard(target)
+        self._in[target].discard(source)
+
+    def update_edge(self, source: int, target: int, state: str) -> None:
+        """Replace an edge's state.  Raises :class:`EdgeNotFoundError`."""
+        edge = EdgeId(source, target)
+        if edge not in self._edge_state:
+            raise EdgeNotFoundError(f"edge {edge} does not exist")
+        self._edge_state[edge] = state
+
+    # -- event dispatch ----------------------------------------------------
+
+    def apply(self, event: GraphEvent) -> GraphDelta:
+        """Apply one graph-changing event, returning a :class:`GraphDelta`."""
+        event_type = event.event_type
+        if event_type is EventType.ADD_VERTEX:
+            self.add_vertex(event.vertex_id, event.payload)
+        elif event_type is EventType.REMOVE_VERTEX:
+            removed = self.remove_vertex(event.vertex_id)
+            return GraphDelta(event, removed)
+        elif event_type is EventType.UPDATE_VERTEX:
+            self.update_vertex(event.vertex_id, event.payload)
+        elif event_type is EventType.ADD_EDGE:
+            edge = event.edge_id
+            self.add_edge(edge.source, edge.target, event.payload)
+        elif event_type is EventType.REMOVE_EDGE:
+            edge = event.edge_id
+            self.remove_edge(edge.source, edge.target)
+        elif event_type is EventType.UPDATE_EDGE:
+            edge = event.edge_id
+            self.update_edge(edge.source, edge.target, event.payload)
+        else:  # pragma: no cover - GraphEvent constructor prevents this
+            raise ValueError(f"cannot apply {event_type}")
+        return GraphDelta(event)
+
+    # -- accessors -----------------------------------------------------------
+
+    @property
+    def vertex_count(self) -> int:
+        return len(self._vertex_state)
+
+    @property
+    def edge_count(self) -> int:
+        return len(self._edge_state)
+
+    def has_vertex(self, vertex_id: int) -> bool:
+        return vertex_id in self._vertex_state
+
+    def has_edge(self, source: int, target: int) -> bool:
+        return EdgeId(source, target) in self._edge_state
+
+    def vertex_state(self, vertex_id: int) -> str:
+        """State string of a vertex.  Raises :class:`VertexNotFoundError`."""
+        try:
+            return self._vertex_state[vertex_id]
+        except KeyError:
+            raise VertexNotFoundError(f"vertex {vertex_id} does not exist") from None
+
+    def edge_state(self, source: int, target: int) -> str:
+        """State string of an edge.  Raises :class:`EdgeNotFoundError`."""
+        try:
+            return self._edge_state[EdgeId(source, target)]
+        except KeyError:
+            raise EdgeNotFoundError(
+                f"edge {format(EdgeId(source, target))} does not exist"
+            ) from None
+
+    def vertices(self) -> Iterator[int]:
+        """Iterate over vertex ids (insertion order)."""
+        return iter(self._vertex_state)
+
+    def edges(self) -> Iterator[EdgeId]:
+        """Iterate over edge ids (insertion order)."""
+        return iter(self._edge_state)
+
+    def successors(self, vertex_id: int) -> frozenset[int]:
+        """Out-neighbours of a vertex.  Raises :class:`VertexNotFoundError`."""
+        try:
+            return frozenset(self._out[vertex_id])
+        except KeyError:
+            raise VertexNotFoundError(f"vertex {vertex_id} does not exist") from None
+
+    def predecessors(self, vertex_id: int) -> frozenset[int]:
+        """In-neighbours of a vertex.  Raises :class:`VertexNotFoundError`."""
+        try:
+            return frozenset(self._in[vertex_id])
+        except KeyError:
+            raise VertexNotFoundError(f"vertex {vertex_id} does not exist") from None
+
+    def neighbors(self, vertex_id: int) -> frozenset[int]:
+        """Union of in- and out-neighbours (undirected view)."""
+        return self.successors(vertex_id) | self.predecessors(vertex_id)
+
+    def out_degree(self, vertex_id: int) -> int:
+        try:
+            return len(self._out[vertex_id])
+        except KeyError:
+            raise VertexNotFoundError(f"vertex {vertex_id} does not exist") from None
+
+    def in_degree(self, vertex_id: int) -> int:
+        try:
+            return len(self._in[vertex_id])
+        except KeyError:
+            raise VertexNotFoundError(f"vertex {vertex_id} does not exist") from None
+
+    def degree(self, vertex_id: int) -> int:
+        """Total degree (in + out)."""
+        return self.in_degree(vertex_id) + self.out_degree(vertex_id)
+
+    def copy(self) -> "StreamGraph":
+        """An independent deep copy of the graph."""
+        clone = StreamGraph()
+        clone._vertex_state = dict(self._vertex_state)
+        clone._edge_state = dict(self._edge_state)
+        clone._out = {v: set(s) for v, s in self._out.items()}
+        clone._in = {v: set(s) for v, s in self._in.items()}
+        return clone
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, StreamGraph):
+            return NotImplemented
+        return (
+            self._vertex_state == other._vertex_state
+            and self._edge_state == other._edge_state
+        )
+
+    def __hash__(self) -> int:  # graphs are mutable; identity hashing only
+        return id(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"StreamGraph(vertices={self.vertex_count}, edges={self.edge_count})"
+        )

@@ -1,0 +1,125 @@
+"""Structural graph properties (section 3.2, "Graph Evolution Properties").
+
+Static structural measures of a single graph snapshot: size, degree
+distributions, density, clustering, and reciprocity.  Temporal
+properties of evolving graphs live in :mod:`repro.graph.temporal`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.graph.graph import StreamGraph
+
+__all__ = [
+    "GraphSummary",
+    "summarize",
+    "degree_distribution",
+    "in_degree_distribution",
+    "out_degree_distribution",
+    "density",
+    "average_degree",
+    "clustering_coefficient",
+    "global_clustering",
+    "reciprocity",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class GraphSummary:
+    """Compact set of global structural properties of one snapshot."""
+
+    vertex_count: int
+    edge_count: int
+    density: float
+    average_degree: float
+    max_in_degree: int
+    max_out_degree: int
+    reciprocity: float
+
+
+def degree_distribution(graph: StreamGraph) -> dict[int, int]:
+    """Histogram mapping total degree -> number of vertices."""
+    return dict(Counter(graph.degree(v) for v in graph.vertices()))
+
+
+def in_degree_distribution(graph: StreamGraph) -> dict[int, int]:
+    """Histogram mapping in-degree -> number of vertices."""
+    return dict(Counter(graph.in_degree(v) for v in graph.vertices()))
+
+
+def out_degree_distribution(graph: StreamGraph) -> dict[int, int]:
+    """Histogram mapping out-degree -> number of vertices."""
+    return dict(Counter(graph.out_degree(v) for v in graph.vertices()))
+
+
+def density(graph: StreamGraph) -> float:
+    """Directed density ``m / (n * (n - 1))``; 0.0 for graphs with n < 2."""
+    n = graph.vertex_count
+    if n < 2:
+        return 0.0
+    return graph.edge_count / (n * (n - 1))
+
+
+def average_degree(graph: StreamGraph) -> float:
+    """Mean total degree ``2m / n``; 0.0 for the empty graph."""
+    n = graph.vertex_count
+    if not n:
+        return 0.0
+    return 2 * graph.edge_count / n
+
+
+def clustering_coefficient(graph: StreamGraph, vertex_id: int) -> float:
+    """Local clustering of one vertex on the undirected view.
+
+    Fraction of pairs of neighbours that are themselves connected (in
+    either direction).  Vertices with fewer than two neighbours have a
+    coefficient of 0.0.
+    """
+    neighbors = sorted(graph.neighbors(vertex_id))
+    k = len(neighbors)
+    if k < 2:
+        return 0.0
+    links = 0
+    for i, u in enumerate(neighbors):
+        for w in neighbors[i + 1 :]:
+            if graph.has_edge(u, w) or graph.has_edge(w, u):
+                links += 1
+    return 2 * links / (k * (k - 1))
+
+
+def global_clustering(graph: StreamGraph) -> float:
+    """Average local clustering coefficient; 0.0 for the empty graph."""
+    n = graph.vertex_count
+    if not n:
+        return 0.0
+    total = sum(clustering_coefficient(graph, v) for v in graph.vertices())
+    return total / n
+
+
+def reciprocity(graph: StreamGraph) -> float:
+    """Fraction of edges whose reverse edge also exists; 0.0 if no edges."""
+    m = graph.edge_count
+    if not m:
+        return 0.0
+    reciprocated = sum(
+        1 for e in graph.edges() if graph.has_edge(e.target, e.source)
+    )
+    return reciprocated / m
+
+
+def summarize(graph: StreamGraph) -> GraphSummary:
+    """All global properties of :class:`GraphSummary` in one pass."""
+    vertices = list(graph.vertices())
+    max_in = max((graph.in_degree(v) for v in vertices), default=0)
+    max_out = max((graph.out_degree(v) for v in vertices), default=0)
+    return GraphSummary(
+        vertex_count=graph.vertex_count,
+        edge_count=graph.edge_count,
+        density=density(graph),
+        average_degree=average_degree(graph),
+        max_in_degree=max_in,
+        max_out_degree=max_out,
+        reciprocity=reciprocity(graph),
+    )

@@ -1,0 +1,186 @@
+"""Temporal properties of evolving graphs (section 3.2).
+
+Dynamicity is reflected in the rate, locality and distribution of change
+events — both topology churn and state updates.  This module derives
+those temporal workload properties from a stream: growth curves, churn
+rates per window, and update-locality distributions (how concentrated
+state updates are on few entities).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.core.events import EventType, GraphEvent
+from repro.core.stream import GraphStream
+
+__all__ = [
+    "GrowthPoint",
+    "ChurnWindow",
+    "growth_curve",
+    "churn_rates",
+    "update_locality",
+    "locality_gini",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class GrowthPoint:
+    """Graph size after a given number of stream events."""
+
+    event_index: int
+    vertices: int
+    edges: int
+
+
+@dataclass(frozen=True, slots=True)
+class ChurnWindow:
+    """Topology churn within one window of the stream.
+
+    ``vertex_churn`` / ``edge_churn`` count adds plus removes of the
+    respective entity type; ``net_vertex`` / ``net_edge`` are the signed
+    changes (adds minus removes).
+    """
+
+    start_index: int
+    end_index: int
+    vertex_churn: int
+    edge_churn: int
+    net_vertex: int
+    net_edge: int
+
+
+def growth_curve(stream: GraphStream, sample_every: int = 1) -> list[GrowthPoint]:
+    """Vertex/edge counts over the stream, sampled every N events.
+
+    Processes the stream once without materialising graphs, tracking
+    only counters (removing a vertex also removes its incident edges,
+    which requires adjacency bookkeeping, so a lightweight adjacency is
+    maintained).  Assumes a well-formed stream; precondition-violating
+    events are ignored.
+    """
+    if sample_every <= 0:
+        raise ValueError(f"sample_every must be positive, got {sample_every}")
+
+    out_adj: dict[int, set[int]] = {}
+    in_adj: dict[int, set[int]] = {}
+    edges = 0
+    points: list[GrowthPoint] = [GrowthPoint(0, 0, 0)]
+
+    for index, event in enumerate(stream, start=1):
+        if isinstance(event, GraphEvent):
+            event_type = event.event_type
+            if event_type is EventType.ADD_VERTEX:
+                out_adj.setdefault(event.vertex_id, set())
+                in_adj.setdefault(event.vertex_id, set())
+            elif event_type is EventType.REMOVE_VERTEX:
+                vertex = event.vertex_id
+                if vertex in out_adj:
+                    edges -= len(out_adj[vertex]) + len(in_adj[vertex])
+                    for target in out_adj.pop(vertex):
+                        in_adj[target].discard(vertex)
+                    for source in in_adj.pop(vertex):
+                        out_adj[source].discard(vertex)
+            elif event_type is EventType.ADD_EDGE:
+                edge = event.edge_id
+                if (
+                    edge.source in out_adj
+                    and edge.target in out_adj
+                    and edge.target not in out_adj[edge.source]
+                ):
+                    out_adj[edge.source].add(edge.target)
+                    in_adj[edge.target].add(edge.source)
+                    edges += 1
+            elif event_type is EventType.REMOVE_EDGE:
+                edge = event.edge_id
+                if edge.source in out_adj and edge.target in out_adj[edge.source]:
+                    out_adj[edge.source].discard(edge.target)
+                    in_adj[edge.target].discard(edge.source)
+                    edges -= 1
+        if index % sample_every == 0:
+            points.append(GrowthPoint(index, len(out_adj), edges))
+
+    if points[-1].event_index != len(stream):
+        points.append(GrowthPoint(len(stream), len(out_adj), edges))
+    return points
+
+
+def churn_rates(stream: GraphStream, window: int) -> list[ChurnWindow]:
+    """Topology churn per window of ``window`` stream entries."""
+    if window <= 0:
+        raise ValueError(f"window must be positive, got {window}")
+    events = stream.events
+    result: list[ChurnWindow] = []
+    for start in range(0, len(events), window):
+        chunk = events[start : start + window]
+        vertex_churn = edge_churn = net_vertex = net_edge = 0
+        for event in chunk:
+            if not isinstance(event, GraphEvent):
+                continue
+            event_type = event.event_type
+            if event_type is EventType.ADD_VERTEX:
+                vertex_churn += 1
+                net_vertex += 1
+            elif event_type is EventType.REMOVE_VERTEX:
+                vertex_churn += 1
+                net_vertex -= 1
+            elif event_type is EventType.ADD_EDGE:
+                edge_churn += 1
+                net_edge += 1
+            elif event_type is EventType.REMOVE_EDGE:
+                edge_churn += 1
+                net_edge -= 1
+        result.append(
+            ChurnWindow(
+                start_index=start,
+                end_index=start + len(chunk),
+                vertex_churn=vertex_churn,
+                edge_churn=edge_churn,
+                net_vertex=net_vertex,
+                net_edge=net_edge,
+            )
+        )
+    return result
+
+
+def update_locality(stream: GraphStream) -> dict[str, int]:
+    """How state updates distribute over entities.
+
+    Returns a histogram mapping entity key (``"v:<id>"`` for vertices,
+    ``"e:<src>-<dst>"`` for edges) to the number of update events
+    targeting it.  A heavy-tailed histogram indicates updates
+    concentrated on few hot entities (the "huge numbers of state update
+    operations on a single vertex" pattern from section 3.2).
+    """
+    counter: Counter[str] = Counter()
+    for event in stream.graph_events():
+        if event.event_type is EventType.UPDATE_VERTEX:
+            counter[f"v:{event.vertex_id}"] += 1
+        elif event.event_type is EventType.UPDATE_EDGE:
+            counter[f"e:{event.edge_id}"] += 1
+    return dict(counter)
+
+
+def locality_gini(histogram: dict[str, int]) -> float:
+    """Gini coefficient of an update-locality histogram.
+
+    0.0 means perfectly uniform updates, values close to 1.0 mean nearly
+    all updates hit a single entity.  Returns ``nan`` for an empty
+    histogram.
+    """
+    counts = sorted(histogram.values())
+    n = len(counts)
+    if not n:
+        return math.nan
+    total = sum(counts)
+    if not total:
+        return 0.0
+    cumulative = 0
+    weighted = 0
+    for i, value in enumerate(counts, start=1):
+        cumulative += value
+        weighted += cumulative
+    # Gini from the Lorenz curve of sorted counts.
+    return (n + 1 - 2 * weighted / total) / n

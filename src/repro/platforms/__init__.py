@@ -1,0 +1,28 @@
+"""Simulated systems under test: the platforms GraphTides evaluates."""
+
+from repro.platforms.base import Platform
+from repro.platforms.chronolike import ChronoLikePlatform
+from repro.platforms.inmem import InMemoryPlatform
+from repro.platforms.kineolike import KineoLikePlatform
+from repro.platforms.programs import DegreeGossipProgram, LabelSpreadingProgram
+from repro.platforms.taulike import TauLikePlatform
+from repro.platforms.vertexcentric import (
+    VertexCentricPlatform,
+    VertexContext,
+    VertexProgram,
+)
+from repro.platforms.weaverlike import WeaverLikePlatform
+
+__all__ = [
+    "Platform",
+    "InMemoryPlatform",
+    "WeaverLikePlatform",
+    "ChronoLikePlatform",
+    "KineoLikePlatform",
+    "TauLikePlatform",
+    "VertexCentricPlatform",
+    "VertexProgram",
+    "VertexContext",
+    "LabelSpreadingProgram",
+    "DegreeGossipProgram",
+]

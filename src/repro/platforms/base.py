@@ -1,0 +1,149 @@
+"""System-under-test interface and evaluation levels (paper section 4).
+
+A :class:`Platform` is a (simulated) stream-based graph processing
+system.  The framework interacts with it through three layers that
+correspond to the paper's evaluation levels:
+
+* **Level 0** — black box: the platform offers an ingestion interface
+  (:meth:`Platform.ingest`) and a result/query interface
+  (:meth:`Platform.query`).  Resource probes observe its processes
+  from the outside (:meth:`Platform.processes`).
+* **Level 1** — adds a native metrics interface
+  (:meth:`Platform.native_metrics`) exposing internal throughput,
+  load, etc.
+* **Level 2** — full internal access: arbitrary measurement logic can
+  be injected via :meth:`Platform.internal_probe`.
+
+Calling a level-1/2 method on a platform of a lower level raises
+:class:`~repro.errors.EvaluationLevelError`, mirroring how a real black
+box simply has no such interface.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any
+
+from repro.core.events import GraphEvent
+from repro.errors import EvaluationLevelError, PlatformError
+from repro.sim.kernel import Simulation
+from repro.sim.resources import CpuResource
+
+__all__ = ["Platform"]
+
+
+class Platform(abc.ABC):
+    """Abstract system under test running on the simulation kernel."""
+
+    #: Human-readable platform name (used as record source prefix).
+    name: str = "platform"
+
+    #: Highest evaluation level the platform supports (0, 1, or 2).
+    evaluation_level: int = 0
+
+    def __init__(self) -> None:
+        self._sim: Simulation | None = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def attach(self, sim: Simulation) -> None:
+        """Bind the platform to a simulation kernel before a run."""
+        self._sim = sim
+        self._on_attach(sim)
+
+    def _on_attach(self, sim: Simulation) -> None:
+        """Hook for subclasses to create resources/processes."""
+
+    @property
+    def sim(self) -> Simulation:
+        if self._sim is None:
+            raise PlatformError(f"platform {self.name!r} is not attached")
+        return self._sim
+
+    # -- level 0: ingestion and queries -------------------------------------
+
+    @abc.abstractmethod
+    def ingest(self, event: GraphEvent) -> bool:
+        """Offer one graph event to the platform.
+
+        Returns True when the event was accepted, False when the
+        platform currently back-throttles (the connector will retry) —
+        the pull-based / TCP-flow-control behaviour of section 3.2.
+        """
+
+    @abc.abstractmethod
+    def query(self, name: str, **params: Any) -> Any:
+        """Query a computation result (the level-0 results interface).
+
+        Unknown query names raise :class:`PlatformError`.
+        """
+
+    @abc.abstractmethod
+    def processes(self) -> list[CpuResource]:
+        """The platform's processes, observable by Level-0 probes."""
+
+    def events_accepted(self) -> int:
+        """Events accepted so far (observable client-side at level 0)."""
+        return 0
+
+    def events_processed(self) -> int:
+        """Events fully processed/committed so far.
+
+        Observable client-side (e.g. by acknowledgements), hence
+        level 0.
+        """
+        return 0
+
+    def on_stream_end(self) -> None:
+        """Hook invoked by the harness when the replay has finished.
+
+        Platforms that buffer input (e.g. partial transaction batches)
+        flush here.
+        """
+
+    def shutdown(self) -> None:
+        """Hook invoked when the evaluation ends.
+
+        Platforms with self-rescheduling periodic activity (epoch
+        timers etc.) must stop it here so the simulation can run dry.
+        """
+
+    @property
+    def is_drained(self) -> bool:
+        """True once all accepted events are fully processed."""
+        return self.events_processed() >= self.events_accepted()
+
+    # -- level 1: native metrics ---------------------------------------------
+
+    def native_metrics(self) -> dict[str, float]:
+        """Platform-provided internal metrics (level 1).
+
+        Subclasses supporting level >= 1 override
+        :meth:`_native_metrics`.
+        """
+        if self.evaluation_level < 1:
+            raise EvaluationLevelError(required=1, actual=self.evaluation_level)
+        return self._native_metrics()
+
+    def _native_metrics(self) -> dict[str, float]:
+        return {}
+
+    # -- level 2: injected instrumentation -----------------------------------
+
+    def internal_probe(self, name: str) -> Any:
+        """Read injected measurement logic (level 2).
+
+        Subclasses supporting level 2 override :meth:`_internal_probe`.
+        """
+        if self.evaluation_level < 2:
+            raise EvaluationLevelError(required=2, actual=self.evaluation_level)
+        return self._internal_probe(name)
+
+    def _internal_probe(self, name: str) -> Any:
+        raise PlatformError(f"unknown internal probe {name!r}")
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(name={self.name!r}, "
+            f"level={self.evaluation_level})"
+        )

@@ -1,0 +1,128 @@
+"""A simple single-process in-memory reference platform (Level 1).
+
+The minimal stream-based graph system: one process ingests events into
+a bounded input queue, applies them to an in-memory graph, and feeds
+registered online computations.  Snapshot queries run registered batch
+computations on a copy of the current graph.
+
+Its simplicity makes it the baseline in platform comparisons and the
+workhorse of harness integration tests: everything it does is exactly
+observable.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.algorithms.base import Computation, OnlineComputation
+from repro.core.events import GraphEvent
+from repro.errors import PlatformError
+from repro.graph.graph import StreamGraph
+from repro.platforms.base import Platform
+from repro.sim.kernel import Simulation
+from repro.sim.resources import CpuResource
+
+__all__ = ["InMemoryPlatform"]
+
+
+class InMemoryPlatform(Platform):
+    """Single-process platform with pluggable computations.
+
+    ``service_time`` is the per-event processing cost in simulated
+    seconds (covers graph mutation plus online-computation updates);
+    ``queue_capacity`` bounds the input queue — a full queue
+    back-throttles the replayer.
+
+    Online computations are registered with :meth:`add_online` and are
+    fed every applied event; their current results are available via
+    ``query("online:<name>")``.  Batch computations registered with
+    :meth:`add_batch` run on a snapshot copy via ``query("batch:<name>")``.
+    """
+
+    name = "inmem"
+    evaluation_level = 1
+
+    def __init__(
+        self,
+        service_time: float = 20e-6,
+        queue_capacity: int = 10_000,
+    ):
+        super().__init__()
+        if service_time < 0:
+            raise ValueError(f"service_time must be >= 0, got {service_time}")
+        if queue_capacity <= 0:
+            raise ValueError(f"queue_capacity must be positive, got {queue_capacity}")
+        self.service_time = service_time
+        self.queue_capacity = queue_capacity
+        self.graph = StreamGraph()
+        self._cpu: CpuResource | None = None
+        self._accepted = 0
+        self._processed = 0
+        self._rejected = 0
+        self._online: dict[str, OnlineComputation] = {}
+        self._batch: dict[str, Computation] = {}
+
+    # -- computation registry ---------------------------------------------
+
+    def add_online(self, computation: OnlineComputation) -> None:
+        """Register an online computation fed by every applied event."""
+        self._online[computation.name] = computation
+
+    def add_batch(self, computation: Computation) -> None:
+        """Register a batch computation runnable on snapshots."""
+        self._batch[computation.name] = computation
+
+    # -- platform interface --------------------------------------------------
+
+    def _on_attach(self, sim: Simulation) -> None:
+        self._cpu = CpuResource(sim, f"{self.name}-worker")
+
+    def ingest(self, event: GraphEvent) -> bool:
+        if self._cpu is None:
+            raise PlatformError("platform is not attached to a simulation")
+        if self._accepted - self._processed >= self.queue_capacity:
+            self._rejected += 1
+            return False
+        self._accepted += 1
+        self._cpu.submit(self.service_time, lambda: self._apply(event))
+        return True
+
+    def _apply(self, event: GraphEvent) -> None:
+        self.graph.apply(event)
+        for computation in self._online.values():
+            computation.ingest(event)
+        self._processed += 1
+
+    def query(self, name: str, **params: Any) -> Any:
+        if name == "vertex_count":
+            return self.graph.vertex_count
+        if name == "edge_count":
+            return self.graph.edge_count
+        if name == "snapshot":
+            return self.graph.copy()
+        prefix, __, key = name.partition(":")
+        if prefix == "online":
+            if key not in self._online:
+                raise PlatformError(f"no online computation {key!r}")
+            return self._online[key].result()
+        if prefix == "batch":
+            if key not in self._batch:
+                raise PlatformError(f"no batch computation {key!r}")
+            return self._batch[key].compute(self.graph.copy())
+        raise PlatformError(f"unknown query {name!r}")
+
+    def processes(self) -> list[CpuResource]:
+        return [self._cpu] if self._cpu is not None else []
+
+    def events_accepted(self) -> int:
+        return self._accepted
+
+    def events_processed(self) -> int:
+        return self._processed
+
+    def _native_metrics(self) -> dict[str, float]:
+        return {
+            "queue_length": float(self._accepted - self._processed),
+            "events_processed": float(self._processed),
+            "events_rejected": float(self._rejected),
+        }

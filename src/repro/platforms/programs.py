@@ -1,0 +1,77 @@
+"""Example vertex programs for the vertex-centric platform.
+
+Two online computations expressed in the vertex-centric model:
+
+* :class:`LabelSpreadingProgram` — connected-component labels spread
+  along (undirected-view) edges: each vertex keeps the smallest label
+  it has seen and forwards improvements.  Converges to the weakly
+  connected components on insert-only streams.
+* :class:`DegreeGossipProgram` — every vertex tracks its out-degree and
+  pushes it to its successors, which remember the maximum degree seen
+  upstream; a toy "influence hint" computation exercising both
+  callbacks and message traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.platforms.vertexcentric import VertexContext, VertexProgram
+
+__all__ = ["LabelSpreadingProgram", "DegreeGossipProgram"]
+
+
+class LabelSpreadingProgram(VertexProgram):
+    """Min-label spreading: converges to WCC labels on growing graphs.
+
+    Every vertex's value is the smallest vertex id it knows to be in
+    its component.  On topology changes the vertex (re)announces its
+    label to all neighbours; on receiving a smaller label it adopts it
+    and forwards.  Removals are not repaired (labels may stay merged) —
+    exactly the behaviour of the classic streaming algorithm.
+    """
+
+    name = "label-spreading"
+
+    def initial_value(self, vertex: int) -> int:
+        return vertex
+
+    def _announce(self, ctx: VertexContext) -> None:
+        label = ctx.value
+        for neighbor in ctx.successors() | ctx.predecessors():
+            ctx.send(neighbor, label)
+
+    def on_update(self, vertex: int, ctx: VertexContext) -> None:
+        self._announce(ctx)
+
+    def on_message(self, vertex: int, payload: Any, ctx: VertexContext) -> None:
+        label = int(payload)
+        if label < ctx.value:
+            ctx.set_value(label)
+            self._announce(ctx)
+
+
+class DegreeGossipProgram(VertexProgram):
+    """Vertices gossip their out-degree downstream.
+
+    Value is ``(own_out_degree, max_upstream_degree)``.  Updates
+    refresh the own degree and push it to successors; messages keep the
+    maximum degree observed among (transitive) predecessors' pushes.
+    """
+
+    name = "degree-gossip"
+
+    def initial_value(self, vertex: int) -> tuple[int, int]:
+        return (0, 0)
+
+    def on_update(self, vertex: int, ctx: VertexContext) -> None:
+        own = ctx.out_degree()
+        __, upstream = ctx.value
+        ctx.set_value((own, upstream))
+        for successor in ctx.successors():
+            ctx.send(successor, own)
+
+    def on_message(self, vertex: int, payload: Any, ctx: VertexContext) -> None:
+        own, upstream = ctx.value
+        if int(payload) > upstream:
+            ctx.set_value((own, int(payload)))

@@ -1,0 +1,281 @@
+"""Generic vertex-centric message-driven platform (Level 2).
+
+Chronograph's actual programming model — and that of most online graph
+processing systems the paper surveys — is *vertex-centric*: user code
+runs per vertex, reacts to graph updates and to messages from other
+vertices, holds per-vertex state, and sends messages along edges.
+:class:`ChronoLikePlatform` hard-wires one such program (influence
+rank) because that is what the paper's Figure-3d experiment measured;
+this module provides the general layer, so analysts can evaluate *their
+own* online computations on the same worker/mailbox substrate — the
+"computation goals provided by the analyst" requirement of section 3.3.
+
+A :class:`VertexProgram` implements three callbacks:
+
+* ``initial_value(vertex)`` — state of a newly created vertex;
+* ``on_update(vertex, ctx)`` — a topology change touched ``vertex``
+  (edge added/removed at it, or the vertex itself appeared);
+* ``on_message(vertex, payload, ctx)`` — a message arrived.
+
+Callbacks receive a :class:`VertexContext` exposing the vertex's
+current value, its out-neighbours, and ``send``/``set_value``
+primitives.  Messages are delivered through per-worker FIFO mailboxes
+(shared with update processing), so user programs inherit exactly the
+competition-for-resources behaviour the paper analysed.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any
+
+from repro.core.events import EventType, GraphEvent
+from repro.errors import PlatformError
+from repro.graph.graph import StreamGraph
+from repro.platforms.base import Platform
+from repro.sim.kernel import Simulation
+from repro.sim.resources import BoundedQueue, CpuResource
+
+__all__ = ["VertexProgram", "VertexContext", "VertexCentricPlatform"]
+
+_UPDATE = "update"
+_MESSAGE = "message"
+
+
+class VertexProgram(abc.ABC):
+    """User-defined per-vertex computation."""
+
+    name: str = "vertex-program"
+
+    @abc.abstractmethod
+    def initial_value(self, vertex: int) -> Any:
+        """State assigned when ``vertex`` is created."""
+
+    @abc.abstractmethod
+    def on_update(self, vertex: int, ctx: "VertexContext") -> None:
+        """React to a topology change at ``vertex``."""
+
+    @abc.abstractmethod
+    def on_message(self, vertex: int, payload: Any, ctx: "VertexContext") -> None:
+        """React to a message delivered to ``vertex``."""
+
+
+class VertexContext:
+    """Primitives a vertex program may use inside a callback."""
+
+    def __init__(self, platform: "VertexCentricPlatform", vertex: int):
+        self._platform = platform
+        self._vertex = vertex
+
+    @property
+    def vertex(self) -> int:
+        return self._vertex
+
+    @property
+    def value(self) -> Any:
+        """The vertex's current program value."""
+        return self._platform._values[self._vertex]
+
+    def set_value(self, value: Any) -> None:
+        """Replace the vertex's program value."""
+        self._platform._values[self._vertex] = value
+
+    def successors(self) -> frozenset[int]:
+        """Current out-neighbours of the vertex."""
+        return self._platform.graph.successors(self._vertex)
+
+    def predecessors(self) -> frozenset[int]:
+        """Current in-neighbours of the vertex."""
+        return self._platform.graph.predecessors(self._vertex)
+
+    def out_degree(self) -> int:
+        return self._platform.graph.out_degree(self._vertex)
+
+    def send(self, target: int, payload: Any) -> None:
+        """Send a message to ``target`` (enqueued on its worker)."""
+        self._platform._send_message(target, payload)
+
+
+class VertexCentricPlatform(Platform):
+    """Workers + mailboxes substrate running a user vertex program.
+
+    Same architecture as :class:`~repro.platforms.chronolike
+    .ChronoLikePlatform` (hash-partitioned vertices, per-worker serial
+    CPUs, FIFO mailboxes shared by update and message traffic,
+    unbounded queues — no backpressure), but the computation is the
+    supplied :class:`VertexProgram`.
+    """
+
+    name = "vertex-centric"
+    evaluation_level = 2
+
+    def __init__(
+        self,
+        program: VertexProgram,
+        worker_count: int = 4,
+        update_service: float = 40e-6,
+        message_service: float = 60e-6,
+        max_messages: int = 10_000_000,
+    ):
+        super().__init__()
+        if worker_count <= 0:
+            raise ValueError(f"worker_count must be positive, got {worker_count}")
+        if update_service < 0 or message_service < 0:
+            raise ValueError("service times must be >= 0")
+        if max_messages <= 0:
+            raise ValueError("max_messages must be positive")
+        self.program = program
+        self.worker_count = worker_count
+        self.update_service = update_service
+        self.message_service = message_service
+        #: Guard against runaway programs that send unboundedly.
+        self.max_messages = max_messages
+
+        self.graph = StreamGraph()
+        self._values: dict[int, Any] = {}
+        self._cpus: list[CpuResource] = []
+        self._mailboxes: list[BoundedQueue] = []
+        self._accepted = 0
+        self._updates_processed = 0
+        self._messages_processed = 0
+        self._messages_sent = 0
+
+    # -- partitioning ---------------------------------------------------------
+
+    def owner_of(self, vertex: int) -> int:
+        """Worker index owning ``vertex``."""
+        return vertex % self.worker_count
+
+    # -- platform interface --------------------------------------------------
+
+    def _on_attach(self, sim: Simulation) -> None:
+        self._cpus = [
+            CpuResource(sim, f"{self.name}-worker-{i}")
+            for i in range(self.worker_count)
+        ]
+        self._mailboxes = [
+            BoundedQueue(f"{self.name}-mailbox-{i}")
+            for i in range(self.worker_count)
+        ]
+
+    def ingest(self, event: GraphEvent) -> bool:
+        if not self._cpus:
+            raise PlatformError("platform is not attached to a simulation")
+        self._accepted += 1
+        touched = self._apply(event)
+        for vertex in touched:
+            self._enqueue(self.owner_of(vertex), (_UPDATE, vertex))
+        return True
+
+    def _apply(self, event: GraphEvent) -> list[int]:
+        """Apply the event to the graph; return vertices to notify."""
+        event_type = event.event_type
+        if event_type is EventType.ADD_VERTEX:
+            self.graph.add_vertex(event.vertex_id, event.payload)
+            self._values[event.vertex_id] = self.program.initial_value(
+                event.vertex_id
+            )
+            return [event.vertex_id]
+        if event_type is EventType.REMOVE_VERTEX:
+            neighbors = self.graph.neighbors(event.vertex_id)
+            self.graph.remove_vertex(event.vertex_id)
+            self._values.pop(event.vertex_id, None)
+            return sorted(neighbors)
+        if event_type is EventType.ADD_EDGE:
+            edge = event.edge_id
+            self.graph.add_edge(edge.source, edge.target, event.payload)
+            return [edge.source, edge.target]
+        if event_type is EventType.REMOVE_EDGE:
+            edge = event.edge_id
+            self.graph.remove_edge(edge.source, edge.target)
+            return [edge.source, edge.target]
+        if event_type is EventType.UPDATE_VERTEX:
+            self.graph.update_vertex(event.vertex_id, event.payload)
+            return [event.vertex_id]
+        edge = event.edge_id
+        self.graph.update_edge(edge.source, edge.target, event.payload)
+        return [edge.source, edge.target]
+
+    def _send_message(self, target: int, payload: Any) -> None:
+        self._messages_sent += 1
+        if self._messages_sent > self.max_messages:
+            raise PlatformError(
+                f"program sent more than {self.max_messages} messages; "
+                "likely a non-terminating message loop"
+            )
+        self._enqueue(self.owner_of(target), (_MESSAGE, (target, payload)))
+
+    def _enqueue(self, worker: int, item: tuple) -> None:
+        self._mailboxes[worker].push(item)
+        self._maybe_start(worker)
+
+    def _maybe_start(self, worker: int) -> None:
+        cpu = self._cpus[worker]
+        mailbox = self._mailboxes[worker]
+        if cpu.busy or cpu.queue_length or not len(mailbox):
+            return
+        kind, payload = mailbox.pop()
+        service = self.update_service if kind == _UPDATE else self.message_service
+        cpu.submit(service, lambda: self._handle(worker, kind, payload))
+
+    def _handle(self, worker: int, kind: str, payload: Any) -> None:
+        if kind == _UPDATE:
+            vertex = payload
+            self._updates_processed += 1
+            if self.graph.has_vertex(vertex):
+                self.program.on_update(vertex, VertexContext(self, vertex))
+        else:
+            vertex, message = payload
+            self._messages_processed += 1
+            if self.graph.has_vertex(vertex):
+                self.program.on_message(
+                    vertex, message, VertexContext(self, vertex)
+                )
+        self._maybe_start(worker)
+
+    # -- queries ---------------------------------------------------------------
+
+    def query(self, name: str, **params: Any) -> Any:
+        if name == "values":
+            return dict(self._values)
+        if name == "value":
+            vertex = params["vertex"]
+            if vertex not in self._values:
+                raise PlatformError(f"no value for vertex {vertex}")
+            return self._values[vertex]
+        if name == "vertex_count":
+            return self.graph.vertex_count
+        if name == "edge_count":
+            return self.graph.edge_count
+        raise PlatformError(f"unknown query {name!r}")
+
+    def processes(self) -> list[CpuResource]:
+        return list(self._cpus)
+
+    def events_accepted(self) -> int:
+        return self._accepted
+
+    def events_processed(self) -> int:
+        return self._updates_processed
+
+    @property
+    def is_drained(self) -> bool:
+        return all(not len(m) for m in self._mailboxes) and all(
+            not c.busy for c in self._cpus
+        )
+
+    def _native_metrics(self) -> dict[str, float]:
+        return {
+            "queued_messages": float(sum(len(m) for m in self._mailboxes)),
+            "messages_processed": float(self._messages_processed),
+            "updates_processed": float(self._updates_processed),
+        }
+
+    def _internal_probe(self, name: str) -> Any:
+        if name == "queue_lengths":
+            return [len(mailbox) for mailbox in self._mailboxes]
+        if name == "values":
+            return dict(self._values)
+        if name == "graph":
+            return self.graph
+        raise PlatformError(f"unknown internal probe {name!r}")

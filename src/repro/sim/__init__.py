@@ -1,0 +1,7 @@
+"""Discrete-event simulation kernel used by the simulated platforms."""
+
+from repro.sim.kernel import Simulation
+from repro.sim.network import Link
+from repro.sim.resources import BoundedQueue, CpuResource, QueueFullError
+
+__all__ = ["Simulation", "CpuResource", "BoundedQueue", "QueueFullError", "Link"]

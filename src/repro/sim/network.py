@@ -1,0 +1,80 @@
+"""Simulated network links with latency and bandwidth.
+
+The distributed setups of the paper (replayer machine → system
+machines, worker ↔ worker traffic over GigE) are modelled as
+point-to-point links: each message experiences a fixed propagation
+latency plus a serialisation delay proportional to its size, and
+messages on one link are delivered in order.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, TypeVar
+
+from repro.sim.kernel import Simulation
+
+T = TypeVar("T")
+
+__all__ = ["Link"]
+
+
+class Link:
+    """An ordered point-to-point link.
+
+    ``latency`` is the one-way propagation delay in seconds;
+    ``bandwidth`` is in bytes/second (``None`` = infinite).  Delivery
+    order is preserved: a message never overtakes an earlier one, so a
+    large message delays the ones queued behind it (store-and-forward).
+    """
+
+    def __init__(
+        self,
+        sim: Simulation,
+        name: str,
+        latency: float = 0.0,
+        bandwidth: float | None = None,
+    ):
+        if latency < 0:
+            raise ValueError(f"latency must be >= 0, got {latency}")
+        if bandwidth is not None and bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive or None, got {bandwidth}")
+        self._sim = sim
+        self.name = name
+        self.latency = latency
+        self.bandwidth = bandwidth
+        self._last_serialization_end = 0.0
+        self._bytes_sent = 0
+        self._messages_sent = 0
+
+    @property
+    def bytes_sent(self) -> int:
+        return self._bytes_sent
+
+    @property
+    def messages_sent(self) -> int:
+        return self._messages_sent
+
+    def send(
+        self,
+        payload: T,
+        deliver: Callable[[T], None],
+        size_bytes: int = 0,
+    ) -> float:
+        """Transmit ``payload``; ``deliver`` fires at the arrival time.
+
+        Returns the simulated arrival time.  Serialisation occupies the
+        link: back-to-back sends queue up behind each other when the
+        bandwidth is finite.
+        """
+        if size_bytes < 0:
+            raise ValueError(f"size_bytes must be >= 0, got {size_bytes}")
+        now = self._sim.now
+        start = max(now, self._last_serialization_end)
+        serialization = size_bytes / self.bandwidth if self.bandwidth else 0.0
+        end_of_serialization = start + serialization
+        self._last_serialization_end = end_of_serialization
+        arrival = end_of_serialization + self.latency
+        self._bytes_sent += size_bytes
+        self._messages_sent += 1
+        self._sim.schedule_at(arrival, lambda: deliver(payload))
+        return arrival

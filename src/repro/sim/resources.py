@@ -1,0 +1,170 @@
+"""Simulated resources: serial CPU servers and bounded FIFO queues.
+
+A :class:`CpuResource` models one process pinned to (a share of) a CPU:
+work items are served one at a time with caller-specified service
+times, and the resource accounts its busy time so Level-0 style CPU
+utilisation can be sampled per window.  A :class:`BoundedQueue` models
+an internal message queue whose length is observable (the Level-2
+metric instrumented in the Chronograph experiment).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Generic, TypeVar
+
+from repro.errors import GraphTidesError
+from repro.sim.kernel import Simulation
+
+T = TypeVar("T")
+
+__all__ = ["CpuResource", "BoundedQueue", "QueueFullError"]
+
+
+class QueueFullError(GraphTidesError):
+    """Raised when pushing to a bounded queue that is at capacity."""
+
+
+class CpuResource:
+    """A serial work server with busy-time accounting.
+
+    ``submit(service_time, done)`` enqueues a work item; items are
+    served FIFO, each occupying the CPU for its service time, after
+    which ``done`` fires.  ``utilization_since`` returns the busy
+    fraction of a wall-clock window, which is exactly what a Level-0
+    ``pidstat``-style probe reports per process.
+    """
+
+    def __init__(self, sim: Simulation, name: str):
+        self._sim = sim
+        self.name = name
+        self._pending: deque[tuple[float, Callable[[], None] | None]] = deque()
+        self._busy = False
+        self._busy_time_total = 0.0
+        self._window_start = 0.0
+        self._busy_time_window = 0.0
+        self._completed = 0
+
+    @property
+    def completed(self) -> int:
+        """Number of work items finished so far."""
+        return self._completed
+
+    @property
+    def queue_length(self) -> int:
+        """Work items waiting (not counting the one in service)."""
+        return len(self._pending)
+
+    @property
+    def busy(self) -> bool:
+        return self._busy
+
+    @property
+    def busy_time_total(self) -> float:
+        return self._busy_time_total
+
+    def submit(
+        self, service_time: float, done: Callable[[], None] | None = None
+    ) -> None:
+        """Enqueue a work item taking ``service_time`` simulated seconds."""
+        if service_time < 0:
+            raise ValueError(f"service_time must be >= 0, got {service_time}")
+        self._pending.append((service_time, done))
+        if not self._busy:
+            self._start_next()
+
+    def _start_next(self) -> None:
+        if not self._pending:
+            self._busy = False
+            return
+        self._busy = True
+        service_time, done = self._pending.popleft()
+
+        def finish() -> None:
+            self._busy_time_total += service_time
+            self._busy_time_window += service_time
+            self._completed += 1
+            # Release the resource before running the completion callback
+            # so callbacks that observe `busy` (e.g. worker loops popping
+            # their next mailbox message) see the idle state.
+            self._start_next()
+            if done is not None:
+                done()
+
+        self._sim.schedule(service_time, finish)
+
+    def utilization_since_last_sample(self) -> float:
+        """Busy fraction since the previous call (resets the window).
+
+        Returns a value in [0, 1]; 0.0 when no simulated time elapsed.
+        Mirrors how periodic profiling tools report per-interval CPU%.
+        """
+        now = self._sim.now
+        elapsed = now - self._window_start
+        if elapsed <= 0:
+            return 0.0
+        # Busy time attributable to the window: completed service time
+        # recorded in the window (service completions book their whole
+        # duration; for sampling intervals much longer than service
+        # times the approximation error is negligible).
+        utilization = min(1.0, self._busy_time_window / elapsed)
+        self._window_start = now
+        self._busy_time_window = 0.0
+        return utilization
+
+
+class BoundedQueue(Generic[T]):
+    """FIFO queue with an optional capacity and length observation.
+
+    ``capacity=None`` means unbounded (the Chronograph model's internal
+    mailboxes); a finite capacity models systems that exert
+    backpressure or shed load when full (the Weaver client path).
+    """
+
+    def __init__(self, name: str, capacity: int | None = None):
+        if capacity is not None and capacity <= 0:
+            raise ValueError(f"capacity must be positive or None, got {capacity}")
+        self.name = name
+        self.capacity = capacity
+        self._items: deque[T] = deque()
+        self._dropped = 0
+        self._peak = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def dropped(self) -> int:
+        """Items rejected because the queue was full (with try_push)."""
+        return self._dropped
+
+    @property
+    def peak_length(self) -> int:
+        return self._peak
+
+    @property
+    def is_full(self) -> bool:
+        return self.capacity is not None and len(self._items) >= self.capacity
+
+    def push(self, item: T) -> None:
+        """Append an item; raises :class:`QueueFullError` at capacity."""
+        if self.is_full:
+            raise QueueFullError(f"queue {self.name!r} is full ({self.capacity})")
+        self._items.append(item)
+        self._peak = max(self._peak, len(self._items))
+
+    def try_push(self, item: T) -> bool:
+        """Append unless full; returns False (and counts a drop) if full."""
+        if self.is_full:
+            self._dropped += 1
+            return False
+        self.push(item)
+        return True
+
+    def pop(self) -> T:
+        """Remove and return the oldest item; raises IndexError if empty."""
+        return self._items.popleft()
+
+    def peek(self) -> T:
+        """Return the oldest item without removing it."""
+        return self._items[0]

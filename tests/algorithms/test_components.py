@@ -1,0 +1,172 @@
+"""Unit tests for WCC (batch + incremental) and union-find."""
+
+import pytest
+
+from repro.algorithms.components import OnlineWcc, UnionFind, WeaklyConnectedComponents
+from repro.core.events import add_edge, add_vertex, remove_edge, remove_vertex
+from repro.core.generator import StreamGenerator
+from repro.core.models import EventMix, UniformRules
+from repro.graph.builders import build_graph
+from repro.graph.graph import StreamGraph
+
+
+class TestUnionFind:
+    def test_initial_singletons(self):
+        uf = UnionFind()
+        for i in range(3):
+            uf.add(i)
+        assert uf.components == 3
+        assert uf.find(0) != uf.find(1)
+
+    def test_union_merges(self):
+        uf = UnionFind()
+        uf.add(0)
+        uf.add(1)
+        assert uf.union(0, 1)
+        assert uf.components == 1
+        assert uf.find(0) == uf.find(1)
+
+    def test_union_idempotent(self):
+        uf = UnionFind()
+        uf.add(0)
+        uf.add(1)
+        uf.union(0, 1)
+        assert not uf.union(0, 1)
+        assert uf.components == 1
+
+    def test_add_idempotent(self):
+        uf = UnionFind()
+        uf.add(0)
+        uf.add(0)
+        assert uf.components == 1
+
+    def test_find_unknown_raises(self):
+        with pytest.raises(KeyError):
+            UnionFind().find(0)
+
+    def test_groups(self):
+        uf = UnionFind()
+        for i in range(4):
+            uf.add(i)
+        uf.union(0, 1)
+        uf.union(2, 3)
+        groups = uf.groups()
+        assert sorted(sorted(g) for g in groups.values()) == [[0, 1], [2, 3]]
+
+    def test_transitivity(self):
+        uf = UnionFind()
+        for i in range(5):
+            uf.add(i)
+        uf.union(0, 1)
+        uf.union(1, 2)
+        uf.union(3, 4)
+        assert uf.find(0) == uf.find(2)
+        assert uf.find(0) != uf.find(3)
+
+
+class TestBatchWcc:
+    def test_empty(self):
+        assert WeaklyConnectedComponents().compute(StreamGraph()) == {}
+
+    def test_direction_ignored(self):
+        graph = StreamGraph()
+        for v in range(3):
+            graph.add_vertex(v)
+        graph.add_edge(0, 1)
+        graph.add_edge(2, 1)  # 2 connects via incoming edge only
+        labels = WeaklyConnectedComponents().compute(graph)
+        assert labels[0] == labels[1] == labels[2]
+
+    def test_labels_are_min_member(self):
+        graph = StreamGraph()
+        for v in (5, 9, 3):
+            graph.add_vertex(v)
+        graph.add_edge(5, 9)
+        labels = WeaklyConnectedComponents().compute(graph)
+        assert labels[5] == labels[9] == 5
+        assert labels[3] == 3
+
+    def test_matches_networkx(self, medium_graph):
+        networkx = pytest.importorskip("networkx")
+        nx_graph = networkx.Graph()
+        nx_graph.add_nodes_from(medium_graph.vertices())
+        nx_graph.add_edges_from(
+            (e.source, e.target) for e in medium_graph.edges()
+        )
+        expected = list(networkx.connected_components(nx_graph))
+        labels = WeaklyConnectedComponents().compute(medium_graph)
+        ours = {}
+        for vertex, label in labels.items():
+            ours.setdefault(label, set()).add(vertex)
+        assert sorted(map(sorted, ours.values())) == sorted(
+            map(sorted, expected)
+        )
+
+
+class TestOnlineWcc:
+    def test_insert_only_no_rebuilds(self):
+        online = OnlineWcc()
+        online.ingest(add_vertex(0))
+        online.ingest(add_vertex(1))
+        online.ingest(add_edge(0, 1))
+        assert online.component_count == 1
+        assert online.rebuilds == 0
+
+    def test_removal_triggers_lazy_rebuild(self):
+        online = OnlineWcc()
+        for v in range(3):
+            online.ingest(add_vertex(v))
+        online.ingest(add_edge(0, 1))
+        online.ingest(add_edge(1, 2))
+        online.ingest(remove_edge(1, 2))
+        assert online.rebuilds == 0  # lazy: not yet rebuilt
+        assert online.component_count == 2
+        assert online.rebuilds == 1
+
+    def test_rebuild_only_once_per_dirty_phase(self):
+        online = OnlineWcc()
+        for v in range(2):
+            online.ingest(add_vertex(v))
+        online.ingest(add_edge(0, 1))
+        online.ingest(remove_edge(0, 1))
+        online.component_count
+        online.component_count
+        assert online.rebuilds == 1
+
+    def test_vertex_removal(self):
+        online = OnlineWcc()
+        for v in range(3):
+            online.ingest(add_vertex(v))
+        online.ingest(add_edge(0, 1))
+        online.ingest(add_edge(1, 2))
+        online.ingest(remove_vertex(1))
+        labels = online.result()
+        assert labels[0] != labels[2]
+
+    def test_matches_batch_on_random_stream(self):
+        mix = EventMix(
+            add_vertex=0.25,
+            remove_vertex=0.05,
+            add_edge=0.5,
+            remove_edge=0.2,
+        )
+        stream = StreamGenerator(
+            UniformRules(mix=mix), rounds=800, seed=17
+        ).generate()
+        online = OnlineWcc()
+        for event in stream.graph_events():
+            online.ingest(event)
+        graph, __ = build_graph(stream)
+        assert online.result() == WeaklyConnectedComponents().compute(graph)
+
+    def test_incremental_equals_batch_at_every_prefix(self):
+        stream = StreamGenerator(UniformRules(), rounds=100, seed=3).generate()
+        online = OnlineWcc()
+        batch = WeaklyConnectedComponents()
+        graph = StreamGraph()
+        for event in stream.graph_events():
+            online.ingest(event)
+            graph.apply(event)
+            assert online.component_count == len(
+                set(batch.compute(graph).values())
+            )

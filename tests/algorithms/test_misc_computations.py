@@ -1,0 +1,296 @@
+"""Unit tests for coloring, cycles, communities, k-means, degree stats,
+trends, and sampling — the remaining Table-1 computations."""
+
+import pytest
+
+from repro.algorithms.coloring import GreedyColoring, OnlineColoring, is_proper_coloring
+from repro.algorithms.communities import LabelPropagation, community_sizes, modularity
+from repro.algorithms.cycles import CycleDetection, find_cycle, has_cycle
+from repro.algorithms.degree import (
+    DegreeDistribution,
+    GlobalProperties,
+    OnlineDegreeDistribution,
+)
+from repro.algorithms.kmeans import VertexKMeans, vertex_features
+from repro.algorithms.sampling import ReservoirSampler, VertexSampler
+from repro.algorithms.trends import TrendingVertices, ewma, linear_trend
+from repro.core.events import add_edge, add_vertex, remove_vertex
+from repro.core.metrics import Sample, TimeSeries
+from repro.graph.builders import build_graph
+from repro.graph.graph import StreamGraph
+
+
+def _two_cliques() -> StreamGraph:
+    """Two K4 cliques joined by a single bridge edge."""
+    graph = StreamGraph()
+    for v in range(8):
+        graph.add_vertex(v)
+    for group in (range(4), range(4, 8)):
+        members = list(group)
+        for i, a in enumerate(members):
+            for b in members[i + 1 :]:
+                graph.add_edge(a, b)
+    graph.add_edge(3, 4)
+    return graph
+
+
+class TestColoring:
+    def test_batch_coloring_proper(self, medium_graph):
+        colors = GreedyColoring().compute(medium_graph)
+        assert is_proper_coloring(medium_graph, colors)
+
+    def test_clique_needs_k_colors(self):
+        graph = _two_cliques()
+        colors = GreedyColoring().compute(graph)
+        assert len(set(colors.values())) >= 4
+
+    def test_online_coloring_always_proper(self, medium_stream):
+        online = OnlineColoring()
+        for event in medium_stream.graph_events():
+            online.ingest(event)
+        graph, __ = build_graph(medium_stream)
+        assert is_proper_coloring(graph, online.result())
+
+    def test_online_uses_at_least_batch_colors(self, medium_stream):
+        online = OnlineColoring()
+        for event in medium_stream.graph_events():
+            online.ingest(event)
+        graph, __ = build_graph(medium_stream)
+        batch_colors = len(set(GreedyColoring().compute(graph).values()))
+        assert online.colors_used >= batch_colors - 1
+
+    def test_empty_coloring(self):
+        assert GreedyColoring().compute(StreamGraph()) == {}
+        assert OnlineColoring().colors_used == 0
+
+
+class TestCycles:
+    def test_acyclic_dag(self):
+        graph = StreamGraph()
+        for v in range(3):
+            graph.add_vertex(v)
+        graph.add_edge(0, 1)
+        graph.add_edge(0, 2)
+        graph.add_edge(1, 2)
+        assert not has_cycle(graph)
+        assert find_cycle(graph) is None
+
+    def test_simple_cycle_found(self):
+        graph = StreamGraph()
+        for v in range(3):
+            graph.add_vertex(v)
+        graph.add_edge(0, 1)
+        graph.add_edge(1, 2)
+        graph.add_edge(2, 0)
+        cycle = find_cycle(graph)
+        assert cycle is not None
+        assert sorted(cycle) == [0, 1, 2]
+        # Consecutive cycle vertices are connected, closing at the end.
+        for a, b in zip(cycle, cycle[1:] + cycle[:1]):
+            assert graph.has_edge(a, b)
+
+    def test_two_cycle(self):
+        graph = StreamGraph()
+        graph.add_vertex(0)
+        graph.add_vertex(1)
+        graph.add_edge(0, 1)
+        graph.add_edge(1, 0)
+        assert has_cycle(graph)
+
+    def test_undirected_style_edges_do_not_fool_detector(self):
+        graph = StreamGraph()
+        for v in range(3):
+            graph.add_vertex(v)
+        graph.add_edge(0, 1)
+        graph.add_edge(0, 2)
+        assert not CycleDetection().compute(graph)
+
+    def test_empty(self):
+        assert not has_cycle(StreamGraph())
+
+
+class TestCommunities:
+    def test_two_cliques_found(self):
+        graph = _two_cliques()
+        labels = LabelPropagation().compute(graph)
+        assert labels[0] == labels[1] == labels[2] == labels[3]
+        assert labels[4] == labels[5] == labels[6] == labels[7]
+
+    def test_deterministic(self, medium_graph):
+        a = LabelPropagation().compute(medium_graph)
+        b = LabelPropagation().compute(medium_graph)
+        assert a == b
+
+    def test_community_sizes(self):
+        assert community_sizes({1: 0, 2: 0, 3: 1}) == {0: 2, 1: 1}
+
+    def test_modularity_good_partition_positive(self):
+        graph = _two_cliques()
+        labels = {v: 0 if v < 4 else 1 for v in range(8)}
+        assert modularity(graph, labels) > 0.3
+
+    def test_modularity_single_community_zero(self):
+        graph = _two_cliques()
+        labels = {v: 0 for v in range(8)}
+        assert modularity(graph, labels) == pytest.approx(0.0, abs=1e-9)
+
+    def test_modularity_no_edges(self):
+        assert modularity(StreamGraph(), {}) == 0.0
+
+    def test_isolated_vertices_keep_own_label(self):
+        graph = StreamGraph()
+        graph.add_vertex(7)
+        assert LabelPropagation().compute(graph) == {7: 7}
+
+
+class TestKMeans:
+    def test_assignment_covers_all_vertices(self, medium_graph):
+        assignment = VertexKMeans(k=3, seed=1).compute(medium_graph)
+        assert set(assignment) == set(medium_graph.vertices())
+        assert set(assignment.values()) <= {0, 1, 2}
+
+    def test_fewer_vertices_than_k(self):
+        graph = StreamGraph()
+        graph.add_vertex(0)
+        graph.add_vertex(1)
+        assignment = VertexKMeans(k=5).compute(graph)
+        assert len(set(assignment.values())) == 2
+
+    def test_deterministic_per_seed(self, medium_graph):
+        a = VertexKMeans(k=3, seed=7).compute(medium_graph)
+        b = VertexKMeans(k=3, seed=7).compute(medium_graph)
+        assert a == b
+
+    def test_separates_hubs_from_leaves(self):
+        graph = StreamGraph()
+        for v in range(12):
+            graph.add_vertex(v)
+        for leaf in range(2, 12):
+            graph.add_edge(0, leaf)
+            graph.add_edge(1, leaf)
+        assignment = VertexKMeans(k=2, seed=0).compute(graph)
+        assert assignment[0] == assignment[1]
+        assert assignment[0] != assignment[5]
+
+    def test_features(self):
+        graph = StreamGraph()
+        graph.add_vertex(0)
+        graph.add_vertex(1)
+        graph.add_edge(0, 1)
+        assert vertex_features(graph, 0) == (0.0, 1.0, 0.0)
+
+    def test_empty(self):
+        assert VertexKMeans().compute(StreamGraph()) == {}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VertexKMeans(k=0)
+
+
+class TestDegreeComputations:
+    def test_global_properties(self, medium_graph):
+        summary = GlobalProperties().compute(medium_graph)
+        assert summary.vertex_count == medium_graph.vertex_count
+
+    def test_online_degree_matches_batch(self, medium_stream, medium_graph):
+        online = OnlineDegreeDistribution()
+        for event in medium_stream.graph_events():
+            online.ingest(event)
+        assert online.result() == DegreeDistribution().compute(medium_graph)
+
+    def test_online_handles_vertex_removal_cascade(self):
+        online = OnlineDegreeDistribution()
+        online.ingest(add_vertex(0))
+        online.ingest(add_vertex(1))
+        online.ingest(add_edge(0, 1))
+        online.ingest(remove_vertex(0))
+        assert online.result() == {0: 1}
+
+
+class TestTrends:
+    def test_linear_trend_positive(self):
+        series = TimeSeries("x", [Sample(float(t), 2.0 * t) for t in range(10)])
+        assert linear_trend(series) == pytest.approx(2.0)
+
+    def test_linear_trend_flat(self):
+        series = TimeSeries("x", [Sample(float(t), 5.0) for t in range(10)])
+        assert linear_trend(series) == pytest.approx(0.0)
+
+    def test_linear_trend_short_series(self):
+        assert linear_trend(TimeSeries("x", [Sample(0, 1)])) == 0.0
+
+    def test_ewma_smooths(self):
+        series = TimeSeries("x", [Sample(0, 0), Sample(1, 10), Sample(2, 0)])
+        smoothed = ewma(series, alpha=0.5)
+        assert smoothed.values == [0, 5.0, 2.5]
+
+    def test_ewma_validation(self):
+        with pytest.raises(ValueError):
+            ewma(TimeSeries("x"), alpha=0)
+
+    def test_trending_vertices_detects_hub(self):
+        detector = TrendingVertices(window_events=100, top_k=3)
+        detector.ingest(add_vertex(0))
+        for i in range(1, 20):
+            detector.ingest(add_vertex(i))
+            detector.ingest(add_edge(i, 0))
+        report = detector.result()
+        assert report.trending[0][0] == 0
+        assert report.trending[0][1] == 19
+
+    def test_trending_window_expires(self):
+        detector = TrendingVertices(window_events=5, top_k=3)
+        detector.ingest(add_vertex(0))
+        detector.ingest(add_vertex(1))
+        detector.ingest(add_edge(1, 0))
+        for i in range(2, 10):
+            detector.ingest(add_vertex(i))
+        assert detector.result().trending == ()
+
+    def test_trending_validation(self):
+        with pytest.raises(ValueError):
+            TrendingVertices(window_events=0)
+
+
+class TestSampling:
+    def test_reservoir_exact_below_capacity(self):
+        sampler = ReservoirSampler[int](10)
+        sampler.offer_all(range(5))
+        assert sorted(sampler.sample) == [0, 1, 2, 3, 4]
+
+    def test_reservoir_capacity_respected(self):
+        sampler = ReservoirSampler[int](10)
+        sampler.offer_all(range(1000))
+        assert len(sampler.sample) == 10
+        assert sampler.seen == 1000
+
+    def test_reservoir_uniformity(self):
+        # Each item should appear with probability ~k/n.
+        hits = [0] * 100
+        for seed in range(300):
+            sampler = ReservoirSampler[int](10, seed=seed)
+            sampler.offer_all(range(100))
+            for item in sampler.sample:
+                hits[item] += 1
+        expected = 300 * 10 / 100
+        assert all(0.3 * expected < h < 2.5 * expected for h in hits)
+
+    def test_reservoir_validation(self):
+        with pytest.raises(ValueError):
+            ReservoirSampler[int](0)
+
+    def test_vertex_sampler_excludes_removed(self):
+        sampler = VertexSampler(capacity=50)
+        for i in range(10):
+            sampler.ingest(add_vertex(i))
+        sampler.ingest(remove_vertex(3))
+        result = sampler.result()
+        assert 3 not in result
+        assert set(result) <= set(range(10))
+
+    def test_vertex_sampler_readd_after_remove(self):
+        sampler = VertexSampler(capacity=50)
+        sampler.ingest(add_vertex(1))
+        sampler.ingest(remove_vertex(1))
+        sampler.ingest(add_vertex(1))
+        assert 1 in sampler.result()

@@ -1,0 +1,159 @@
+"""Tests for incremental single-source shortest paths."""
+
+import random
+
+import pytest
+
+from repro.algorithms.shortest_paths import BellmanFord, OnlineBellmanFord
+from repro.core.events import (
+    add_edge,
+    add_vertex,
+    remove_edge,
+    remove_vertex,
+    update_edge,
+)
+from repro.core.stream import GraphStream
+from repro.errors import AnalysisError
+from repro.graph.builders import build_graph
+
+
+def _weighted_stream(seed=5, rounds=300):
+    """Insert-only weighted stream with occasional weight updates."""
+    rng = random.Random(seed)
+    events = [add_vertex(v) for v in range(20)]
+    edges = set()
+    for __ in range(rounds):
+        s, t = rng.randrange(20), rng.randrange(20)
+        if s == t:
+            continue
+        if (s, t) in edges:
+            events.append(update_edge(s, t, f"w={rng.randint(1, 9)}"))
+        else:
+            edges.add((s, t))
+            events.append(add_edge(s, t, f"w={rng.randint(1, 9)}"))
+    return GraphStream(events)
+
+
+class TestInsertOnly:
+    def test_drained_matches_batch(self):
+        stream = _weighted_stream()
+        online = OnlineBellmanFord(source=0)
+        for event in stream.graph_events():
+            online.ingest(event)
+        online.drain()
+        graph, __ = build_graph(stream)
+        assert online.result() == BellmanFord(0).compute(graph)
+
+    def test_incremental_improvement_path(self):
+        online = OnlineBellmanFord(source=0, work_per_event=100)
+        for v in range(3):
+            online.ingest(add_vertex(v))
+        online.ingest(add_edge(0, 2, "w=10"))
+        assert online.result()[2] == 10
+        online.ingest(add_edge(0, 1, "w=1"))
+        online.ingest(add_edge(1, 2, "w=2"))
+        assert online.result()[2] == 3  # shorter route found online
+
+    def test_bounded_work_leaves_stale_distances(self):
+        # A long chain with zero work per event: only direct neighbours
+        # of updates improve.
+        lazy = OnlineBellmanFord(source=0, work_per_event=0)
+        for v in range(10):
+            lazy.ingest(add_vertex(v))
+        for v in range(9):
+            lazy.ingest(add_edge(v, v + 1, "w=1"))
+        stale = lazy.result()
+        assert stale.get(9, float("inf")) >= 9 or 9 not in stale
+        lazy.drain()
+        assert lazy.result()[9] == 9
+
+    def test_unreachable_absent(self):
+        online = OnlineBellmanFord(source=0)
+        online.ingest(add_vertex(0))
+        online.ingest(add_vertex(1))
+        assert 1 not in online.result()
+
+    def test_source_added_late(self):
+        online = OnlineBellmanFord(source=5)
+        online.ingest(add_vertex(0))
+        assert online.result() == {}
+        online.ingest(add_vertex(5))
+        assert online.result() == {5: 0.0}
+
+
+class TestDecrementalRebuild:
+    def test_edge_removal_triggers_rebuild(self):
+        online = OnlineBellmanFord(source=0)
+        for v in range(3):
+            online.ingest(add_vertex(v))
+        online.ingest(add_edge(0, 1, "w=1"))
+        online.ingest(add_edge(1, 2, "w=1"))
+        online.ingest(add_edge(0, 2, "w=5"))
+        assert online.result()[2] == 2
+        online.ingest(remove_edge(1, 2))
+        assert online.result()[2] == 5
+        assert online.rebuilds == 1
+
+    def test_vertex_removal(self):
+        online = OnlineBellmanFord(source=0)
+        for v in range(3):
+            online.ingest(add_vertex(v))
+        online.ingest(add_edge(0, 1, "w=1"))
+        online.ingest(add_edge(1, 2, "w=1"))
+        online.ingest(remove_vertex(1))
+        result = online.result()
+        assert 2 not in result
+        assert result[0] == 0.0
+
+    def test_weight_increase_triggers_rebuild(self):
+        online = OnlineBellmanFord(source=0)
+        for v in range(2):
+            online.ingest(add_vertex(v))
+        online.ingest(add_edge(0, 1, "w=1"))
+        online.ingest(update_edge(0, 1, "w=7"))
+        assert online.result()[1] == 7
+        assert online.rebuilds == 1
+
+    def test_weight_decrease_handled_online(self):
+        online = OnlineBellmanFord(source=0)
+        for v in range(2):
+            online.ingest(add_vertex(v))
+        online.ingest(add_edge(0, 1, "w=7"))
+        online.ingest(update_edge(0, 1, "w=2"))
+        assert online.result()[1] == 2
+        assert online.rebuilds == 0
+
+    def test_matches_batch_on_churny_stream(self):
+        rng = random.Random(12)
+        online = OnlineBellmanFord(source=0, work_per_event=8)
+        events = [add_vertex(v) for v in range(15)]
+        edges = set()
+        for __ in range(400):
+            s, t = rng.randrange(15), rng.randrange(15)
+            if s == t:
+                continue
+            if (s, t) in edges and rng.random() < 0.3:
+                edges.discard((s, t))
+                events.append(remove_edge(s, t))
+            elif (s, t) not in edges:
+                edges.add((s, t))
+                events.append(add_edge(s, t, f"w={rng.randint(1, 5)}"))
+        stream = GraphStream(events)
+        for event in stream.graph_events():
+            online.ingest(event)
+        online.drain()
+        graph, __ = build_graph(stream)
+        assert online.result() == BellmanFord(0).compute(graph)
+
+
+class TestValidation:
+    def test_negative_weight_rejected(self):
+        online = OnlineBellmanFord(source=0)
+        online.ingest(add_vertex(0))
+        online.ingest(add_vertex(1))
+        with pytest.raises(AnalysisError):
+            online.ingest(add_edge(0, 1, "w=-1"))
+
+    def test_negative_work_rejected(self):
+        with pytest.raises(ValueError):
+            OnlineBellmanFord(source=0, work_per_event=-1)

@@ -1,0 +1,178 @@
+"""Unit tests for batch and online PageRank."""
+
+import pytest
+
+from repro.algorithms.base import rank_error
+from repro.algorithms.pagerank import OnlinePageRank, PageRank
+from repro.core.events import add_edge, add_vertex, remove_edge, remove_vertex
+from repro.core.generator import StreamGenerator
+from repro.core.models import EventMix, UniformRules
+from repro.graph.builders import build_graph
+from repro.graph.graph import StreamGraph
+
+
+def _cycle_graph(n=4) -> StreamGraph:
+    graph = StreamGraph()
+    for v in range(n):
+        graph.add_vertex(v)
+    for v in range(n):
+        graph.add_edge(v, (v + 1) % n)
+    return graph
+
+
+class TestBatchPageRank:
+    def test_empty_graph(self):
+        assert PageRank().compute(StreamGraph()) == {}
+
+    def test_single_vertex(self):
+        graph = StreamGraph()
+        graph.add_vertex(0)
+        assert PageRank().compute(graph) == {0: pytest.approx(1.0)}
+
+    def test_ranks_sum_to_one(self, medium_graph):
+        ranks = PageRank().compute(medium_graph)
+        assert sum(ranks.values()) == pytest.approx(1.0, abs=1e-6)
+
+    def test_symmetric_cycle_is_uniform(self):
+        ranks = PageRank().compute(_cycle_graph(5))
+        for value in ranks.values():
+            assert value == pytest.approx(0.2, abs=1e-6)
+
+    def test_sink_receives_more_rank(self):
+        graph = StreamGraph()
+        for v in range(4):
+            graph.add_vertex(v)
+        for v in range(1, 4):
+            graph.add_edge(v, 0)
+        ranks = PageRank().compute(graph)
+        assert ranks[0] > ranks[1]
+
+    def test_matches_networkx(self):
+        networkx = pytest.importorskip("networkx")
+        stream = StreamGenerator(UniformRules(), rounds=400, seed=5).generate()
+        graph, __ = build_graph(stream)
+        nx_graph = networkx.DiGraph()
+        nx_graph.add_nodes_from(graph.vertices())
+        nx_graph.add_edges_from(
+            (e.source, e.target) for e in graph.edges()
+        )
+        expected = networkx.pagerank(nx_graph, alpha=0.85, tol=1e-12)
+        actual = PageRank().compute(graph)
+        for vertex, value in expected.items():
+            assert actual[vertex] == pytest.approx(value, abs=1e-6)
+
+    def test_convergence_reported(self):
+        pr = PageRank()
+        pr.compute(_cycle_graph())
+        assert 0 < pr.iterations_run <= pr.max_iterations
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PageRank(damping=1.5)
+        with pytest.raises(ValueError):
+            PageRank(tolerance=0)
+        with pytest.raises(ValueError):
+            PageRank(max_iterations=0)
+
+
+class TestOnlinePageRank:
+    def _stream(self, rounds=600, seed=21):
+        mix = EventMix(
+            add_vertex=0.2,
+            remove_vertex=0.05,
+            update_vertex=0.1,
+            add_edge=0.45,
+            remove_edge=0.2,
+        )
+        return StreamGenerator(
+            UniformRules(mix=mix), rounds=rounds, seed=seed
+        ).generate()
+
+    def test_drained_matches_batch(self):
+        stream = self._stream()
+        online = OnlinePageRank()
+        for event in stream.graph_events():
+            online.ingest(event)
+        online.drain()
+        graph, __ = build_graph(stream)
+        exact = PageRank().compute(graph)
+        assert rank_error(online.result(), exact) < 1e-5
+
+    def test_result_normalised(self):
+        online = OnlinePageRank()
+        for event in self._stream(rounds=100).graph_events():
+            online.ingest(event)
+        assert sum(online.result().values()) == pytest.approx(1.0)
+
+    def test_zero_work_accumulates_backlog(self):
+        stream = self._stream()
+        lazy = OnlinePageRank(work_per_event=0)
+        for event in stream.graph_events():
+            lazy.ingest(event)
+        assert lazy.pending_work > 0
+
+    def test_more_work_means_less_error(self):
+        stream = self._stream()
+        graph, __ = build_graph(stream)
+        exact = PageRank().compute(graph)
+
+        def stale_error(work):
+            online = OnlinePageRank(work_per_event=work)
+            for event in stream.graph_events():
+                online.ingest(event)
+            return rank_error(online.result(), exact)
+
+        assert stale_error(128) < stale_error(0)
+
+    def test_empty_result(self):
+        assert OnlinePageRank().result() == {}
+
+    def test_vertex_removal_keeps_graph_consistent(self):
+        online = OnlinePageRank()
+        online.ingest(add_vertex(0))
+        online.ingest(add_vertex(1))
+        online.ingest(add_edge(0, 1))
+        online.ingest(remove_vertex(1))
+        online.drain()
+        assert online.result() == {0: pytest.approx(1.0)}
+
+    def test_edge_removal_updates_ranks(self):
+        online = OnlinePageRank()
+        for v in range(3):
+            online.ingest(add_vertex(v))
+        online.ingest(add_edge(0, 1))
+        online.ingest(add_edge(1, 2))
+        online.ingest(remove_edge(0, 1))
+        online.drain()
+        reference = StreamGraph()
+        for v in range(3):
+            reference.add_vertex(v)
+        reference.add_edge(1, 2)
+        exact = PageRank().compute(reference)
+        assert rank_error(online.result(), exact) < 1e-5
+
+    def test_scheduler_mode_delegates_marking(self):
+        marked = []
+        online = OnlinePageRank(scheduler=marked.append)
+        online.ingest(add_vertex(0))
+        assert marked == [0]
+        assert online.pending_work == 0  # internal queue unused
+
+    def test_scheduler_mode_relax_cascades(self):
+        marked = []
+        online = OnlinePageRank(scheduler=marked.append, threshold=1e-12)
+        online.ingest(add_vertex(0))
+        online.ingest(add_vertex(1))
+        online.ingest(add_edge(0, 1))
+        marked.clear()
+        changed = online.relax(0)
+        assert changed
+        assert 1 in marked
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OnlinePageRank(damping=0)
+        with pytest.raises(ValueError):
+            OnlinePageRank(threshold=-1)
+        with pytest.raises(ValueError):
+            OnlinePageRank(work_per_event=-1)

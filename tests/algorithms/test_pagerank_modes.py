@@ -1,0 +1,81 @@
+"""Tests for OnlinePageRank's relative-threshold mode and the
+ChronoLike platform's compute-message semantics."""
+
+import pytest
+
+from repro.algorithms.base import rank_error
+from repro.algorithms.pagerank import OnlinePageRank, PageRank
+from repro.core.events import add_edge, add_vertex
+from repro.core.generator import StreamGenerator
+from repro.core.models import UniformRules
+from repro.graph.builders import build_graph
+from repro.platforms.chronolike import ChronoLikePlatform
+from repro.sim.kernel import Simulation
+
+
+class TestRelativeThreshold:
+    def test_relative_threshold_scales_with_n(self):
+        online = OnlinePageRank(threshold=0.5, relative_threshold=True)
+        online.ingest(add_vertex(0))
+        assert online._effective_threshold() == pytest.approx(0.5)
+        for v in range(1, 10):
+            online.ingest(add_vertex(v))
+        assert online._effective_threshold() == pytest.approx(0.05)
+
+    def test_absolute_mode_constant(self):
+        online = OnlinePageRank(threshold=1e-3)
+        for v in range(10):
+            online.ingest(add_vertex(v))
+        assert online._effective_threshold() == 1e-3
+
+    def test_relative_mode_converges_uniformly(self):
+        stream = StreamGenerator(
+            UniformRules(), rounds=500, seed=31
+        ).generate()
+        online = OnlinePageRank(
+            threshold=0.001, relative_threshold=True, work_per_event=16
+        )
+        for event in stream.graph_events():
+            online.ingest(event)
+        online.drain()
+        graph, __ = build_graph(stream)
+        exact = PageRank().compute(graph)
+        assert rank_error(online.result(), exact) < 0.01
+
+    def test_empty_graph_effective_threshold(self):
+        online = OnlinePageRank(threshold=0.5, relative_threshold=True)
+        assert online._effective_threshold() == 0.5
+
+
+class TestChronoMessageSemantics:
+    def _drive(self, dedup: bool):
+        sim = Simulation()
+        platform = ChronoLikePlatform(
+            worker_count=2, deduplicate_compute=dedup
+        )
+        platform.attach(sim)
+        for v in range(40):
+            platform.ingest(add_vertex(v))
+        for v in range(39):
+            platform.ingest(add_edge(v, v + 1))
+            platform.ingest(add_edge(v + 1, v))
+        sim.run()
+        return platform
+
+    def test_no_dedup_processes_more_messages(self):
+        raw = self._drive(dedup=False)
+        coalesced = self._drive(dedup=True)
+        raw_ops = sum(raw.internal_probe("worker_compute_ops"))
+        coalesced_ops = sum(coalesced.internal_probe("worker_compute_ops"))
+        assert raw_ops > coalesced_ops
+
+    def test_both_modes_converge_to_similar_ranks(self):
+        raw = self._drive(dedup=False)
+        coalesced = self._drive(dedup=True)
+        ranks_raw = raw.query("rank")
+        ranks_coalesced = coalesced.query("rank")
+        error = rank_error(ranks_raw, ranks_coalesced)
+        assert error < 0.05
+
+    def test_default_is_message_per_mark(self):
+        assert not ChronoLikePlatform().deduplicate_compute

@@ -1,0 +1,190 @@
+"""Unit tests for BFS, spanning trees, Bellman-Ford, Floyd-Warshall,
+and diameter computations."""
+
+import math
+
+import pytest
+
+from repro.algorithms.diameter import EstimatedDiameter, ExactDiameter
+from repro.algorithms.shortest_paths import (
+    BellmanFord,
+    FloydWarshall,
+    NegativeCycleError,
+    edge_weight,
+)
+from repro.algorithms.traversal import (
+    BreadthFirstSearch,
+    SpanningTree,
+    bfs_levels,
+    reachable_from,
+)
+from repro.core.events import EdgeId
+from repro.errors import VertexNotFoundError
+from repro.graph.graph import StreamGraph
+
+
+@pytest.fixture
+def weighted_graph() -> StreamGraph:
+    """0 ->(1) 1 ->(2) 2, 0 ->(10) 2 plus isolated 3."""
+    graph = StreamGraph()
+    for v in range(4):
+        graph.add_vertex(v)
+    graph.add_edge(0, 1, "w=1")
+    graph.add_edge(1, 2, "w=2")
+    graph.add_edge(0, 2, "w=10")
+    return graph
+
+
+class TestBfs:
+    def test_levels(self, weighted_graph):
+        levels = bfs_levels(weighted_graph, 0)
+        assert levels == {0: 0, 1: 1, 2: 1}
+
+    def test_undirected_reaches_predecessors(self, weighted_graph):
+        levels = bfs_levels(weighted_graph, 2, directed=False)
+        assert levels[0] == 1
+
+    def test_unknown_source(self, weighted_graph):
+        with pytest.raises(VertexNotFoundError):
+            bfs_levels(weighted_graph, 99)
+
+    def test_reachable_from(self, weighted_graph):
+        assert reachable_from(weighted_graph, 0) == frozenset({0, 1, 2})
+        assert reachable_from(weighted_graph, 3) == frozenset({3})
+
+    def test_computation_protocol(self, weighted_graph):
+        assert BreadthFirstSearch(0).compute(weighted_graph)[2] == 1
+
+
+class TestSpanningTree:
+    def test_parents_form_tree(self, weighted_graph):
+        parents = SpanningTree(0).compute(weighted_graph)
+        assert parents[0] == 0
+        assert set(parents) == {0, 1, 2}
+        # Every non-root vertex's parent is closer to the root.
+        levels = bfs_levels(weighted_graph, 0, directed=False)
+        for vertex, parent in parents.items():
+            if vertex != 0:
+                assert levels[parent] == levels[vertex] - 1
+
+    def test_isolated_vertex_excluded(self, weighted_graph):
+        assert 3 not in SpanningTree(0).compute(weighted_graph)
+
+    def test_unknown_source(self, weighted_graph):
+        with pytest.raises(VertexNotFoundError):
+            SpanningTree(99).compute(weighted_graph)
+
+
+class TestEdgeWeight:
+    def test_w_prefix(self, weighted_graph):
+        assert edge_weight(weighted_graph, EdgeId(0, 2)) == 10.0
+
+    def test_default_weight(self):
+        graph = StreamGraph()
+        graph.add_vertex(0)
+        graph.add_vertex(1)
+        graph.add_edge(0, 1)
+        assert edge_weight(graph, EdgeId(0, 1)) == 1.0
+
+    def test_json_weight(self):
+        graph = StreamGraph()
+        graph.add_vertex(0)
+        graph.add_vertex(1)
+        graph.add_edge(0, 1, '{"weight": 2.5}')
+        assert edge_weight(graph, EdgeId(0, 1)) == 2.5
+
+    def test_malformed_weight_defaults(self):
+        graph = StreamGraph()
+        graph.add_vertex(0)
+        graph.add_vertex(1)
+        graph.add_edge(0, 1, "w=abc")
+        assert edge_weight(graph, EdgeId(0, 1)) == 1.0
+
+
+class TestBellmanFord:
+    def test_shortest_distances(self, weighted_graph):
+        distances = BellmanFord(0).compute(weighted_graph)
+        assert distances == {0: 0.0, 1: 1.0, 2: 3.0}
+
+    def test_unreachable_absent(self, weighted_graph):
+        assert 3 not in BellmanFord(0).compute(weighted_graph)
+
+    def test_negative_edges_ok(self):
+        graph = StreamGraph()
+        for v in range(3):
+            graph.add_vertex(v)
+        graph.add_edge(0, 1, "w=5")
+        graph.add_edge(1, 2, "w=-3")
+        assert BellmanFord(0).compute(graph)[2] == 2.0
+
+    def test_negative_cycle_detected(self):
+        graph = StreamGraph()
+        for v in range(2):
+            graph.add_vertex(v)
+        graph.add_edge(0, 1, "w=-2")
+        graph.add_edge(1, 0, "w=1")
+        with pytest.raises(NegativeCycleError):
+            BellmanFord(0).compute(graph)
+
+    def test_unknown_source(self, weighted_graph):
+        with pytest.raises(VertexNotFoundError):
+            BellmanFord(99).compute(weighted_graph)
+
+
+class TestFloydWarshall:
+    def test_all_pairs(self, weighted_graph):
+        distances = FloydWarshall().compute(weighted_graph)
+        assert distances[0][2] == 3.0
+        assert distances[1][2] == 2.0
+        assert distances[0][0] == 0.0
+
+    def test_consistent_with_bellman_ford(self, medium_graph):
+        fw = FloydWarshall().compute(medium_graph)
+        source = next(iter(medium_graph.vertices()))
+        bf = BellmanFord(source).compute(medium_graph)
+        for target, distance in bf.items():
+            assert fw[source][target] == pytest.approx(distance)
+
+    def test_unreachable_absent(self, weighted_graph):
+        distances = FloydWarshall().compute(weighted_graph)
+        assert 3 not in distances[0]
+
+    def test_negative_cycle_detected(self):
+        graph = StreamGraph()
+        for v in range(2):
+            graph.add_vertex(v)
+        graph.add_edge(0, 1, "w=-2")
+        graph.add_edge(1, 0, "w=1")
+        with pytest.raises(NegativeCycleError):
+            FloydWarshall().compute(graph)
+
+
+class TestDiameter:
+    def test_path_graph(self):
+        graph = StreamGraph()
+        for v in range(5):
+            graph.add_vertex(v)
+        for v in range(4):
+            graph.add_edge(v, v + 1)
+        assert ExactDiameter().compute(graph) == 4
+
+    def test_empty(self):
+        assert ExactDiameter().compute(StreamGraph()) == 0
+
+    def test_estimate_is_lower_bound(self, medium_graph):
+        exact = ExactDiameter().compute(medium_graph)
+        estimate = EstimatedDiameter(samples=3, seed=1).compute(medium_graph)
+        assert estimate <= exact
+
+    def test_estimate_tight_on_path(self):
+        graph = StreamGraph()
+        for v in range(20):
+            graph.add_vertex(v)
+        for v in range(19):
+            graph.add_edge(v, v + 1)
+        # Double sweep finds the true diameter of a path from any start.
+        assert EstimatedDiameter(samples=1, seed=0).compute(graph) == 19
+
+    def test_estimate_validation(self):
+        with pytest.raises(ValueError):
+            EstimatedDiameter(samples=0)

@@ -1,0 +1,128 @@
+"""Unit tests for exact and streaming triangle counting."""
+
+import pytest
+
+from repro.algorithms.triangles import StreamingTriangleEstimator, TriangleCount
+from repro.core.events import add_edge, add_vertex, remove_edge, remove_vertex
+from repro.core.generator import StreamGenerator
+from repro.core.models import UniformRules
+from repro.graph.builders import build_graph
+from repro.graph.graph import StreamGraph
+
+
+def _triangle() -> StreamGraph:
+    graph = StreamGraph()
+    for v in range(3):
+        graph.add_vertex(v)
+    graph.add_edge(0, 1)
+    graph.add_edge(1, 2)
+    graph.add_edge(0, 2)
+    return graph
+
+
+class TestExactTriangles:
+    def test_empty(self):
+        assert TriangleCount().compute(StreamGraph()) == 0
+
+    def test_single_triangle(self):
+        assert TriangleCount().compute(_triangle()) == 1
+
+    def test_direction_ignored(self):
+        graph = StreamGraph()
+        for v in range(3):
+            graph.add_vertex(v)
+        graph.add_edge(0, 1)
+        graph.add_edge(2, 1)
+        graph.add_edge(2, 0)
+        assert TriangleCount().compute(graph) == 1
+
+    def test_reciprocal_edges_not_double_counted(self):
+        graph = _triangle()
+        graph.add_edge(1, 0)  # reciprocal of 0->1
+        assert TriangleCount().compute(graph) == 1
+
+    def test_k4_has_four_triangles(self):
+        graph = StreamGraph()
+        for v in range(4):
+            graph.add_vertex(v)
+        for i in range(4):
+            for j in range(i + 1, 4):
+                graph.add_edge(i, j)
+        assert TriangleCount().compute(graph) == 4
+
+    def test_matches_networkx(self, medium_graph):
+        networkx = pytest.importorskip("networkx")
+        nx_graph = networkx.Graph()
+        nx_graph.add_nodes_from(medium_graph.vertices())
+        nx_graph.add_edges_from(
+            (e.source, e.target) for e in medium_graph.edges()
+        )
+        expected = sum(networkx.triangles(nx_graph).values()) // 3
+        assert TriangleCount().compute(medium_graph) == expected
+
+
+class TestStreamingEstimator:
+    def test_exact_when_reservoir_fits_insert_only(self):
+        from repro.core.models import EventMix
+
+        mix = EventMix(add_vertex=0.3, add_edge=0.7)  # no removals
+        estimator = StreamingTriangleEstimator(reservoir_size=10_000)
+        stream = StreamGenerator(
+            UniformRules(mix=mix), rounds=600, seed=9
+        ).generate()
+        for event in stream.graph_events():
+            estimator.ingest(event)
+        graph, __ = build_graph(stream)
+        exact = TriangleCount().compute(graph)
+        # All edges fit in the reservoir and nothing is removed: every
+        # closed triangle is counted exactly once with weight 1.
+        assert estimator.result() == pytest.approx(exact)
+
+    def test_estimate_reasonable_when_sampling(self):
+        stream = StreamGenerator(
+            UniformRules(bootstrap_vertices=100, bootstrap_edges=400),
+            rounds=2000,
+            seed=4,
+        ).generate()
+        graph, __ = build_graph(stream)
+        exact = TriangleCount().compute(graph)
+        estimator = StreamingTriangleEstimator(reservoir_size=150, seed=2)
+        for event in stream.graph_events():
+            estimator.ingest(event)
+        assert estimator.result() >= 0
+        if exact >= 20:
+            assert 0.2 * exact < estimator.result() < 5 * exact
+
+    def test_duplicate_edge_adds_ignored(self):
+        estimator = StreamingTriangleEstimator(reservoir_size=10)
+        estimator.ingest(add_edge(0, 1))
+        estimator.ingest(add_edge(0, 1))
+        assert estimator.seen_edges == 1
+
+    def test_reverse_edge_treated_as_same_undirected(self):
+        estimator = StreamingTriangleEstimator(reservoir_size=10)
+        estimator.ingest(add_edge(0, 1))
+        estimator.ingest(add_edge(1, 0))
+        assert estimator.seen_edges == 1
+
+    def test_edge_removal_cleans_sample(self):
+        estimator = StreamingTriangleEstimator(reservoir_size=10)
+        estimator.ingest(add_edge(0, 1))
+        estimator.ingest(remove_edge(0, 1))
+        estimator.ingest(add_edge(1, 2))
+        estimator.ingest(add_edge(0, 2))
+        estimator.ingest(add_edge(0, 1))
+        # Triangle closed by the re-added edge is counted once.
+        assert estimator.result() == pytest.approx(1.0)
+
+    def test_vertex_removal_cleans_sample(self):
+        estimator = StreamingTriangleEstimator(reservoir_size=10)
+        estimator.ingest(add_edge(0, 1))
+        estimator.ingest(add_edge(1, 2))
+        estimator.ingest(remove_vertex(1))
+        estimator.ingest(add_edge(0, 2))
+        assert estimator.result() == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StreamingTriangleEstimator(reservoir_size=2)

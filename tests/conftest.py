@@ -1,0 +1,65 @@
+"""Shared fixtures for the GraphTides reproduction test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.events import add_edge, add_vertex, marker, pause, update_vertex
+from repro.core.generator import StreamGenerator
+from repro.core.models import EventMix, UniformRules
+from repro.core.stream import GraphStream
+from repro.graph.builders import build_graph
+from repro.graph.graph import StreamGraph
+
+
+@pytest.fixture
+def tiny_stream() -> GraphStream:
+    """Four vertices, a path of three edges, one marker, one state update."""
+    return GraphStream(
+        [
+            add_vertex(0, "a"),
+            add_vertex(1, "b"),
+            add_vertex(2, "c"),
+            add_vertex(3, "d"),
+            add_edge(0, 1, "w=1"),
+            add_edge(1, 2, "w=2"),
+            add_edge(2, 3, "w=3"),
+            marker("built"),
+            pause(0.5),
+            update_vertex(0, "a2"),
+        ]
+    )
+
+
+@pytest.fixture
+def tiny_graph(tiny_stream) -> StreamGraph:
+    graph, __ = build_graph(tiny_stream)
+    return graph
+
+
+@pytest.fixture
+def medium_stream() -> GraphStream:
+    """A generated stream with all six operations (seeded)."""
+    mix = EventMix(
+        add_vertex=0.2,
+        remove_vertex=0.05,
+        update_vertex=0.15,
+        add_edge=0.4,
+        remove_edge=0.15,
+        update_edge=0.05,
+    )
+    generator = StreamGenerator(UniformRules(mix=mix), rounds=600, seed=1234)
+    return generator.generate()
+
+
+@pytest.fixture
+def medium_graph(medium_stream) -> StreamGraph:
+    graph, __ = build_graph(medium_stream)
+    return graph
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(99)

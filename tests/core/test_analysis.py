@@ -1,0 +1,177 @@
+"""Unit tests for result-log analyses."""
+
+import math
+
+import pytest
+
+from repro.core.analysis import (
+    cross_correlation,
+    marker_latency,
+    result_reflection_latency,
+    retrospective_rank_errors,
+    stacked_series,
+)
+from repro.core.metrics import Sample, TimeSeries
+from repro.core.resultlog import Record, ResultLog
+from repro.errors import AnalysisError
+
+
+def _marker(t: float, label: str) -> Record:
+    return Record(t, "replayer", "marker", 0.0, kind="marker",
+                  tags={"label": label})
+
+
+class TestMarkerLatency:
+    def test_between_two_markers(self):
+        log = ResultLog([_marker(1.0, "a"), _marker(4.5, "b")])
+        assert marker_latency(log, "a", "b") == pytest.approx(3.5)
+
+    def test_missing_marker_raises(self):
+        log = ResultLog([_marker(1.0, "a")])
+        with pytest.raises(AnalysisError):
+            marker_latency(log, "a", "b")
+
+
+class TestResultReflectionLatency:
+    def test_latency_until_predicate(self):
+        log = ResultLog(
+            [
+                _marker(1.0, "inserted"),
+                Record(0.5, "p", "vertex_count", 5.0, kind="result"),
+                Record(2.0, "p", "vertex_count", 5.0, kind="result"),
+                Record(3.0, "p", "vertex_count", 10.0, kind="result"),
+            ]
+        )
+        latency = result_reflection_latency(
+            log, "inserted", "vertex_count", lambda v: v >= 10
+        )
+        assert latency == pytest.approx(2.0)
+
+    def test_records_before_marker_ignored(self):
+        log = ResultLog(
+            [
+                Record(0.5, "p", "x", 10.0),
+                _marker(1.0, "m"),
+                Record(2.0, "p", "x", 10.0),
+            ]
+        )
+        assert result_reflection_latency(log, "m", "x", lambda v: v >= 10) == 1.0
+
+    def test_never_reflected_raises(self):
+        log = ResultLog([_marker(1.0, "m"), Record(2.0, "p", "x", 1.0)])
+        with pytest.raises(AnalysisError):
+            result_reflection_latency(log, "m", "x", lambda v: v > 5)
+
+
+class TestRetrospectiveRankErrors:
+    def test_error_decreases_towards_exact(self):
+        exact = {0: 0.5, 1: 0.3, 2: 0.2}
+        samples = [
+            (0.0, {0: 0.1, 1: 0.1, 2: 0.8}),
+            (1.0, {0: 0.4, 1: 0.3, 2: 0.3}),
+            (2.0, dict(exact)),
+        ]
+        series = retrospective_rank_errors(samples, exact)
+        assert series.values[0] > series.values[1] > series.values[2]
+        assert series.values[-1] == 0.0
+
+    def test_tracked_subset(self):
+        exact = {0: 0.5, 1: 0.5}
+        samples = [(0.0, {0: 0.5, 1: 0.0})]
+        series = retrospective_rank_errors(samples, exact, tracked=[0])
+        assert series.values == [0.0]
+
+    def test_unknown_tracked_vertices_raise(self):
+        with pytest.raises(AnalysisError):
+            retrospective_rank_errors([(0.0, {})], {0: 1.0}, tracked=[99])
+
+    def test_missing_vertex_counts_as_full_error(self):
+        exact = {0: 0.5, 1: 0.5}
+        samples = [(0.0, {0: 0.5})]
+        series = retrospective_rank_errors(samples, exact)
+        assert series.values[0] == pytest.approx(0.5)  # median of [0, 1]
+
+
+class TestCrossCorrelation:
+    def test_identical_series_correlate_at_zero_lag(self):
+        a = TimeSeries("a", [Sample(t, math.sin(t / 3)) for t in range(30)])
+        result = cross_correlation(a, a, max_lag=3)
+        assert result[0] == pytest.approx(1.0)
+
+    def test_lagged_series_peak_at_lag(self):
+        values = [math.sin(t / 2.0) for t in range(60)]
+        a = TimeSeries("a", [Sample(float(t), values[t]) for t in range(50)])
+        b = TimeSeries(
+            "b", [Sample(float(t), values[max(0, t - 5)]) for t in range(50)]
+        )
+        result = cross_correlation(a, b, max_lag=8)
+        best_lag = max(result, key=result.get)
+        assert best_lag == 5
+
+    def test_empty_series_raise(self):
+        a = TimeSeries("a", [Sample(0, 1)])
+        with pytest.raises(AnalysisError):
+            cross_correlation(a, TimeSeries("b"))
+
+    def test_disjoint_series_raise(self):
+        a = TimeSeries("a", [Sample(0, 1), Sample(1, 2)])
+        b = TimeSeries("b", [Sample(100, 1), Sample(101, 2)])
+        with pytest.raises(AnalysisError):
+            cross_correlation(a, b)
+
+    def test_constant_series_omitted(self):
+        a = TimeSeries("a", [Sample(float(t), 1.0) for t in range(10)])
+        b = TimeSeries("b", [Sample(float(t), float(t)) for t in range(10)])
+        result = cross_correlation(a, b, max_lag=2)
+        assert result == {}
+
+
+class TestStackedSeries:
+    @pytest.fixture
+    def log(self) -> ResultLog:
+        records = []
+        for t in range(5):
+            records.append(Record(float(t), "replayer", "ingress_rate", t * 10.0))
+            records.append(Record(float(t), "w0", "queue_length", t * 2.0))
+        return ResultLog(records)
+
+    def test_alignment(self, log):
+        table = stacked_series(
+            log,
+            [("rate", "ingress_rate", "replayer"), ("queue", "queue_length", "w0")],
+        )
+        assert table.labels() == ["rate", "queue"]
+        assert len(table.timestamps) == 5
+        assert table.series["rate"][-1] == 40.0
+        assert table.series["queue"][2] == 4.0
+
+    def test_extra_series(self, log):
+        extra = TimeSeries("err", [Sample(0.0, 1.0), Sample(4.0, 0.1)])
+        table = stacked_series(
+            log, [("rate", "ingress_rate", "replayer")], extra={"err": extra}
+        )
+        assert "err" in table.labels()
+        assert table.series["err"][0] == 1.0
+        assert table.series["err"][-1] == 0.1
+
+    def test_rows(self, log):
+        table = stacked_series(log, [("rate", "ingress_rate", "replayer")])
+        rows = table.rows()
+        assert rows[0] == (0.0, 0.0)
+        assert rows[-1][1] == 40.0
+
+    def test_no_series_raises(self, log):
+        with pytest.raises(AnalysisError):
+            stacked_series(log, [])
+
+    def test_empty_extra_raises(self, log):
+        with pytest.raises(AnalysisError):
+            stacked_series(
+                log,
+                [("rate", "ingress_rate", "replayer")],
+                extra={"empty": TimeSeries("empty")},
+            )
+
+    def test_invalid_step(self, log):
+        with pytest.raises(ValueError):
+            stacked_series(log, [("rate", "ingress_rate", "replayer")], step=0)

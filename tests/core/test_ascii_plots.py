@@ -1,0 +1,77 @@
+"""Tests for the ASCII time-series visualizations."""
+
+import pytest
+
+from repro.core.metrics import Sample, TimeSeries
+from repro.core.report import ascii_plot, ascii_sparkline
+from repro.errors import AnalysisError
+
+
+@pytest.fixture
+def ramp_series() -> TimeSeries:
+    return TimeSeries("ramp", [Sample(float(t), float(t)) for t in range(100)])
+
+
+class TestSparkline:
+    def test_width_respected(self, ramp_series):
+        # The grid spans the range inclusively: width buckets + endpoint.
+        line = ascii_sparkline(ramp_series, width=40)
+        assert len(line) <= 41
+
+    def test_monotone_series_monotone_blocks(self, ramp_series):
+        line = ascii_sparkline(ramp_series, width=40)
+        levels = [ord(c) for c in line]
+        assert levels == sorted(levels)
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+
+    def test_constant_series_flat(self):
+        series = TimeSeries("c", [Sample(float(t), 5.0) for t in range(10)])
+        line = ascii_sparkline(series)
+        assert len(set(line)) == 1
+
+    def test_single_sample(self):
+        series = TimeSeries("one", [Sample(0.0, 1.0)])
+        assert len(ascii_sparkline(series)) >= 1
+
+    def test_empty_raises(self):
+        with pytest.raises(AnalysisError):
+            ascii_sparkline(TimeSeries("empty"))
+
+    def test_invalid_width(self, ramp_series):
+        with pytest.raises(ValueError):
+            ascii_sparkline(ramp_series, width=0)
+
+
+class TestAsciiPlot:
+    def test_dimensions(self, ramp_series):
+        plot = ascii_plot(ramp_series, width=50, height=8)
+        lines = plot.splitlines()
+        # title + height rows + footer + time axis
+        assert len(lines) == 8 + 3
+
+    def test_title_contains_range(self, ramp_series):
+        plot = ascii_plot(ramp_series, label="my series")
+        assert "my series" in plot.splitlines()[0]
+        assert "0.00" in plot.splitlines()[0]
+        assert "99.00" in plot.splitlines()[0]
+
+    def test_ramp_fills_lower_left(self, ramp_series):
+        plot = ascii_plot(ramp_series, width=40, height=6)
+        lines = plot.splitlines()
+        bottom_row = lines[6]  # last value row
+        top_row = lines[1]
+        assert bottom_row.count("█") > top_row.count("█")
+
+    def test_time_axis_endpoints(self, ramp_series):
+        plot = ascii_plot(ramp_series)
+        assert "t=0.0s" in plot
+        assert "t=99.0s" in plot
+
+    def test_empty_raises(self):
+        with pytest.raises(AnalysisError):
+            ascii_plot(TimeSeries("empty"))
+
+    def test_invalid_dimensions(self, ramp_series):
+        with pytest.raises(ValueError):
+            ascii_plot(ramp_series, height=0)

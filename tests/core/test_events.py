@@ -1,0 +1,212 @@
+"""Unit tests for the event model and the CSV stream format."""
+
+import pytest
+
+from repro.core.events import (
+    EdgeId,
+    EventType,
+    GraphEvent,
+    MarkerEvent,
+    PauseEvent,
+    SpeedEvent,
+    add_edge,
+    add_vertex,
+    format_edge_id,
+    format_event,
+    marker,
+    parse_edge_id,
+    parse_line,
+    pause,
+    remove_edge,
+    remove_vertex,
+    speed,
+    update_edge,
+    update_vertex,
+)
+from repro.errors import StreamFormatError
+
+
+class TestEventType:
+    def test_six_graph_event_types(self):
+        graph_types = [t for t in EventType if t.is_graph_event]
+        assert len(graph_types) == 6
+
+    def test_topology_vs_state_partition(self):
+        for event_type in EventType:
+            if event_type.is_graph_event:
+                assert event_type.is_topology_event != event_type.is_state_event
+
+    def test_vertex_edge_partition(self):
+        for event_type in EventType:
+            if event_type.is_graph_event:
+                assert event_type.is_vertex_event != event_type.is_edge_event
+
+    def test_control_events(self):
+        assert EventType.SPEED.is_control_event
+        assert EventType.PAUSE.is_control_event
+        assert not EventType.MARKER.is_control_event
+        assert not EventType.ADD_VERTEX.is_control_event
+
+    def test_marker_is_not_graph_event(self):
+        assert not EventType.MARKER.is_graph_event
+
+
+class TestEdgeId:
+    def test_str_round_trip(self):
+        edge = EdgeId(3, 7)
+        assert str(edge) == "3-7"
+        assert parse_edge_id("3-7") == edge
+
+    def test_reversed(self):
+        assert EdgeId(1, 2).reversed() == EdgeId(2, 1)
+
+    def test_as_tuple(self):
+        assert EdgeId(4, 5).as_tuple() == (4, 5)
+
+    def test_parse_rejects_missing_separator(self):
+        with pytest.raises(StreamFormatError):
+            parse_edge_id("37")
+
+    def test_parse_rejects_non_integer(self):
+        with pytest.raises(StreamFormatError):
+            parse_edge_id("a-b")
+
+    def test_format_edge_id(self):
+        assert format_edge_id(10, 20) == "10-20"
+
+
+class TestConstructors:
+    def test_add_vertex(self):
+        event = add_vertex(5, "state")
+        assert event.event_type is EventType.ADD_VERTEX
+        assert event.vertex_id == 5
+        assert event.payload == "state"
+
+    def test_remove_vertex_has_empty_payload(self):
+        assert remove_vertex(1).payload == ""
+
+    def test_add_edge(self):
+        event = add_edge(1, 2, "w=5")
+        assert event.edge_id == EdgeId(1, 2)
+        assert event.payload == "w=5"
+
+    def test_update_events(self):
+        assert update_vertex(1, "x").event_type is EventType.UPDATE_VERTEX
+        assert update_edge(1, 2, "y").event_type is EventType.UPDATE_EDGE
+
+    def test_vertex_event_rejects_edge_entity(self):
+        with pytest.raises(ValueError):
+            GraphEvent(EventType.ADD_VERTEX, EdgeId(1, 2))
+
+    def test_edge_event_rejects_vertex_entity(self):
+        with pytest.raises(ValueError):
+            GraphEvent(EventType.ADD_EDGE, 7)
+
+    def test_graph_event_rejects_marker_type(self):
+        with pytest.raises(ValueError):
+            GraphEvent(EventType.MARKER, 1)
+
+    def test_vertex_id_accessor_raises_on_edge_event(self):
+        with pytest.raises(TypeError):
+            __ = add_edge(1, 2).vertex_id
+
+    def test_edge_id_accessor_raises_on_vertex_event(self):
+        with pytest.raises(TypeError):
+            __ = add_vertex(1).edge_id
+
+    def test_speed_rejects_non_positive_factor(self):
+        with pytest.raises(ValueError):
+            speed(0)
+        with pytest.raises(ValueError):
+            SpeedEvent(-1)
+
+    def test_pause_rejects_negative(self):
+        with pytest.raises(ValueError):
+            pause(-0.1)
+
+    def test_pause_zero_allowed(self):
+        assert PauseEvent(0).seconds == 0
+
+
+class TestSerialization:
+    @pytest.mark.parametrize(
+        "event,line",
+        [
+            (add_vertex(1, "s"), "ADD_VERTEX,1,s"),
+            (remove_vertex(2), "REMOVE_VERTEX,2,"),
+            (update_vertex(3, "x"), "UPDATE_VERTEX,3,x"),
+            (add_edge(1, 2, "w"), "ADD_EDGE,1-2,w"),
+            (remove_edge(4, 5), "REMOVE_EDGE,4-5,"),
+            (update_edge(6, 7, "z"), "UPDATE_EDGE,6-7,z"),
+            (marker("phase-1"), "MARKER,phase-1,"),
+            (speed(2.5), "SPEED,2.5,"),
+            (pause(20), "PAUSE,20,"),
+        ],
+    )
+    def test_format(self, event, line):
+        assert format_event(event) == line
+
+    @pytest.mark.parametrize(
+        "event",
+        [
+            add_vertex(1, "s"),
+            remove_vertex(2),
+            update_vertex(3, '{"json": true}'),
+            add_edge(1, 2, "w=1.5"),
+            remove_edge(4, 5),
+            update_edge(6, 7, ""),
+            marker("m"),
+            speed(0.5),
+            pause(3.25),
+        ],
+    )
+    def test_round_trip(self, event):
+        assert parse_line(format_event(event)) == event
+
+    def test_payload_with_comma_round_trips(self):
+        event = add_vertex(1, "a,b,c")
+        parsed = parse_line(format_event(event))
+        assert parsed.payload == "a,b,c"
+
+    def test_payload_with_newline_round_trips(self):
+        event = update_vertex(1, "line1\nline2")
+        assert parse_line(format_event(event)).payload == "line1\nline2"
+
+    def test_payload_with_backslash_round_trips(self):
+        event = update_vertex(1, "a\\b")
+        assert parse_line(format_event(event)).payload == "a\\b"
+
+    def test_parse_strips_trailing_newline(self):
+        assert parse_line("ADD_VERTEX,1,\n") == add_vertex(1)
+
+    def test_parse_unknown_command(self):
+        with pytest.raises(StreamFormatError, match="unknown command"):
+            parse_line("FROBNICATE,1,")
+
+    def test_parse_empty_line(self):
+        with pytest.raises(StreamFormatError):
+            parse_line("")
+
+    def test_parse_missing_fields(self):
+        with pytest.raises(StreamFormatError):
+            parse_line("ADD_VERTEX")
+
+    def test_parse_bad_vertex_id(self):
+        with pytest.raises(StreamFormatError, match="not an integer"):
+            parse_line("ADD_VERTEX,abc,")
+
+    def test_parse_bad_edge_id(self):
+        with pytest.raises(StreamFormatError):
+            parse_line("ADD_EDGE,12,")
+
+    def test_parse_bad_speed(self):
+        with pytest.raises(StreamFormatError):
+            parse_line("SPEED,fast,")
+
+    def test_parse_reports_line_number(self):
+        with pytest.raises(StreamFormatError, match="line 42"):
+            parse_line("NOPE,1,", line_number=42)
+
+    def test_marker_label_may_contain_spaces(self):
+        event = marker("phase one start")
+        assert parse_line(format_event(event)) == event

@@ -1,0 +1,151 @@
+"""Unit tests for the round-based stream generator engine (Listing 1 API)."""
+
+import pytest
+
+from repro.core.events import EventType, GraphEvent, MarkerEvent, PauseEvent
+from repro.core.generator import GeneratorContext, GeneratorRules, StreamGenerator
+from repro.core.stream import BOOTSTRAP_END_MARKER
+from repro.graph.builders import build_graph
+
+
+class AddOnlyRules(GeneratorRules):
+    """Adds a vertex every round; bootstraps two seed vertices."""
+
+    def bootstrap_graph(self, context):
+        from repro.core.events import add_vertex
+
+        yield add_vertex(context.fresh_vertex_id())
+        yield add_vertex(context.fresh_vertex_id())
+
+
+class AlternatingRules(GeneratorRules):
+    """Alternates vertex adds and edge adds."""
+
+    def bootstrap_graph(self, context):
+        from repro.core.events import add_vertex
+
+        for __ in range(3):
+            yield add_vertex(context.fresh_vertex_id())
+
+    def next_event_type(self, context):
+        if context.round_number % 2 == 0:
+            return EventType.ADD_VERTEX
+        return EventType.ADD_EDGE
+
+
+class VetoingRules(AddOnlyRules):
+    """Constraint rejects every event."""
+
+    def constraint(self, event, context):
+        return False
+
+
+class StatefulRules(AddOnlyRules):
+    """Uses the global context object across callbacks."""
+
+    def bootstrap_global_context(self, context):
+        return {"created": 0}
+
+    def insert_vertex(self, vertex_id, context):
+        context.user["created"] += 1
+        return f"n{context.user['created']}"
+
+
+class TestStreamGenerator:
+    def test_round_count(self):
+        stream = StreamGenerator(AddOnlyRules(), rounds=10, seed=0).generate()
+        graph_events = [e for e in stream if isinstance(e, GraphEvent)]
+        assert len(graph_events) == 12  # 2 bootstrap + 10 rounds
+
+    def test_phase_marker_and_pause(self):
+        stream = StreamGenerator(AddOnlyRules(), rounds=1, seed=0).generate()
+        markers = [e for e in stream if isinstance(e, MarkerEvent)]
+        pauses = [e for e in stream if isinstance(e, PauseEvent)]
+        assert len(markers) == 1
+        assert markers[0].label == BOOTSTRAP_END_MARKER
+        assert len(pauses) == 1
+
+    def test_phase_marker_disabled(self):
+        stream = StreamGenerator(
+            AddOnlyRules(), rounds=1, seed=0, emit_phase_marker=False
+        ).generate()
+        assert not [e for e in stream if isinstance(e, MarkerEvent)]
+
+    def test_zero_pause_omitted(self):
+        stream = StreamGenerator(
+            AddOnlyRules(), rounds=1, seed=0, phase_pause_seconds=0
+        ).generate()
+        assert not [e for e in stream if isinstance(e, PauseEvent)]
+
+    def test_stream_is_consistent(self):
+        stream = StreamGenerator(AlternatingRules(), rounds=50, seed=2).generate()
+        __, report = build_graph(stream)
+        assert not report.failed
+
+    def test_deterministic_per_seed(self):
+        a = StreamGenerator(AlternatingRules(), rounds=40, seed=9).generate()
+        b = StreamGenerator(AlternatingRules(), rounds=40, seed=9).generate()
+        assert a == b
+
+    def test_seeds_differ(self):
+        a = StreamGenerator(AlternatingRules(), rounds=40, seed=1).generate()
+        b = StreamGenerator(AlternatingRules(), rounds=40, seed=2).generate()
+        assert a != b
+
+    def test_vetoed_rounds_are_skipped(self):
+        generator = StreamGenerator(VetoingRules(), rounds=5, seed=0)
+        stream = generator.generate()
+        graph_events = [e for e in stream if isinstance(e, GraphEvent)]
+        assert len(graph_events) == 2  # bootstrap only
+        assert generator.skipped_rounds == 5
+
+    def test_user_context_flows_through(self):
+        stream = StreamGenerator(StatefulRules(), rounds=3, seed=0).generate()
+        payloads = [
+            e.payload
+            for e in stream
+            if isinstance(e, GraphEvent)
+            and e.event_type is EventType.ADD_VERTEX
+            and e.payload
+        ]
+        assert payloads == ["n1", "n2", "n3"]
+
+    def test_lazy_iteration(self):
+        generator = StreamGenerator(AddOnlyRules(), rounds=1000, seed=0)
+        iterator = generator.iter_events()
+        first = next(iterator)
+        assert isinstance(first, GraphEvent)
+
+    def test_default_rules_add_vertices(self):
+        stream = StreamGenerator(GeneratorRules(), rounds=5, seed=0).generate()
+        graph, __ = build_graph(stream)
+        assert graph.vertex_count == 5
+
+
+class TestGeneratorContext:
+    def test_fresh_vertex_ids_are_unique(self):
+        from repro.graph.graph import StreamGraph
+        import random
+
+        context = GeneratorContext(graph=StreamGraph(), rng=random.Random(0))
+        ids = [context.fresh_vertex_id() for __ in range(5)]
+        assert ids == [0, 1, 2, 3, 4]
+
+    def test_add_vertex_advances_id_counter(self):
+        # A rule returning an explicit high id must not cause collisions
+        # for later fresh ids.
+        class HighIdRules(GeneratorRules):
+            def vertex_select(self, event_type, context):
+                if event_type is EventType.ADD_VERTEX:
+                    if context.round_number == 0:
+                        return 100
+                    return context.fresh_vertex_id()
+                return super().vertex_select(event_type, context)
+
+        stream = StreamGenerator(
+            HighIdRules(), rounds=3, seed=0, emit_phase_marker=False
+        ).generate()
+        graph, report = build_graph(stream)
+        assert not report.failed
+        assert graph.has_vertex(100)
+        assert graph.vertex_count == 3

@@ -1,0 +1,178 @@
+"""Integration tests for the test harness (Figure 2 wiring)."""
+
+import pytest
+
+from repro.core.events import add_vertex, marker
+from repro.core.generator import StreamGenerator
+from repro.core.harness import HarnessConfig, InternalProbeSpec, TestHarness
+from repro.core.models import UniformRules
+from repro.core.stream import GraphStream
+from repro.errors import GraphTidesError
+from repro.platforms.chronolike import ChronoLikePlatform
+from repro.platforms.inmem import InMemoryPlatform
+from repro.platforms.weaverlike import WeaverLikePlatform
+
+
+@pytest.fixture
+def stream() -> GraphStream:
+    return StreamGenerator(UniformRules(), rounds=500, seed=11).generate()
+
+
+class TestConfigValidation:
+    def test_rate_positive(self):
+        with pytest.raises(ValueError):
+            HarnessConfig(rate=0)
+
+    def test_level_range(self):
+        with pytest.raises(ValueError):
+            HarnessConfig(rate=100, level=3)
+
+    def test_level_capped_by_platform(self, stream):
+        with pytest.raises(GraphTidesError, match="level"):
+            TestHarness(WeaverLikePlatform(), stream, HarnessConfig(rate=100, level=1))
+
+    def test_internal_probes_require_level2(self, stream):
+        with pytest.raises(GraphTidesError, match="level 2"):
+            TestHarness(
+                ChronoLikePlatform(),
+                stream,
+                HarnessConfig(rate=100, level=1),
+                internal_probes=[InternalProbeSpec("queue_lengths", "queue_length")],
+            )
+
+
+class TestRunLifecycle:
+    def test_processes_whole_stream(self, stream):
+        harness = TestHarness(
+            InMemoryPlatform(), stream, HarnessConfig(rate=1000, level=0)
+        )
+        result = harness.run()
+        graph_events = len(list(stream.graph_events()))
+        assert result.events_emitted == graph_events
+        assert result.events_processed == graph_events
+        assert result.drained
+
+    def test_flushes_partial_weaver_batch(self, stream):
+        platform = WeaverLikePlatform(batch_size=7)
+        harness = TestHarness(platform, stream, HarnessConfig(rate=1000, level=0))
+        result = harness.run()
+        assert result.events_processed == result.events_emitted
+        assert result.drained
+
+    def test_waits_for_chrono_backlog(self, stream):
+        platform = ChronoLikePlatform()
+        harness = TestHarness(platform, stream, HarnessConfig(rate=5000, level=0))
+        result = harness.run()
+        assert result.drained
+        assert platform.is_idle
+
+    def test_max_duration_bounds_undrainable_run(self, stream):
+        # Absurdly slow platform: the harness must give up at the
+        # horizon rather than simulating (and retrying) forever.
+        platform = InMemoryPlatform(service_time=100.0, queue_capacity=10)
+        config = HarnessConfig(
+            rate=1000, level=0, drain_grace=5.0, max_duration=10.0
+        )
+        result = TestHarness(platform, stream, config).run()
+        assert not result.drained
+        assert result.events_emitted < len(list(stream.graph_events()))
+
+    def test_max_duration_validation(self):
+        with pytest.raises(ValueError):
+            HarnessConfig(rate=100, max_duration=0)
+
+    def test_mean_throughput(self, stream):
+        result = TestHarness(
+            InMemoryPlatform(), stream, HarnessConfig(rate=1000, level=0)
+        ).run()
+        assert result.mean_throughput > 0
+
+
+class TestCollectedMetrics:
+    def test_level0_collects_cpu_and_markers(self, stream):
+        result = TestHarness(
+            InMemoryPlatform(), stream, HarnessConfig(rate=1000, level=0)
+        ).run()
+        assert "cpu_load" in result.log.metrics()
+        assert "ingress_rate" in result.log.metrics()
+        labels = [r.tags["label"] for r in result.log.markers()]
+        assert "replay-finished" in labels
+
+    def test_level0_omits_native_metrics(self, stream):
+        result = TestHarness(
+            InMemoryPlatform(), stream, HarnessConfig(rate=1000, level=0)
+        ).run()
+        assert "events_processed" not in result.log.metrics()
+
+    def test_level1_collects_native_metrics(self, stream):
+        result = TestHarness(
+            InMemoryPlatform(), stream, HarnessConfig(rate=1000, level=1)
+        ).run()
+        assert "queue_length" in result.log.metrics()
+
+    def test_level2_internal_probes(self, stream):
+        result = TestHarness(
+            ChronoLikePlatform(worker_count=2),
+            stream,
+            HarnessConfig(rate=2000, level=2),
+            internal_probes=[
+                InternalProbeSpec(
+                    "queue_lengths",
+                    "queue_length",
+                    extract=lambda q: [
+                        (f"worker-{i}", float(v)) for i, v in enumerate(q)
+                    ],
+                )
+            ],
+        ).run()
+        sources = result.log.filter(metric="queue_length").sources()
+        assert "chronograph-worker-0" in sources
+        assert "chronograph-worker-1" in sources
+
+    def test_query_probes_recorded_as_results(self, stream):
+        result = TestHarness(
+            InMemoryPlatform(),
+            stream,
+            HarnessConfig(rate=1000, level=0),
+            query_probes={"vertex_count": lambda p: p.query("vertex_count")},
+        ).run()
+        records = result.log.filter(metric="vertex_count", kind="result")
+        assert len(records) > 0
+        values = [r.value for r in records]
+        assert values == sorted(values)  # monotone growth for this workload
+
+    def test_object_probes_captured(self, stream):
+        result = TestHarness(
+            InMemoryPlatform(),
+            stream,
+            HarnessConfig(rate=1000, level=0),
+            object_probes={"snapshot_size": lambda p: p.query("vertex_count")},
+        ).run()
+        samples = result.object_series["snapshot_size"]
+        assert samples
+        assert all(isinstance(t, float) for t, __ in samples)
+
+    def test_log_is_chronologically_sorted(self, stream):
+        result = TestHarness(
+            InMemoryPlatform(), stream, HarnessConfig(rate=1000, level=1)
+        ).run()
+        timestamps = [r.timestamp for r in result.log]
+        assert timestamps == sorted(timestamps)
+
+
+class TestMarkerCorrelation:
+    def test_marker_to_result_latency(self):
+        events = [add_vertex(i) for i in range(100)]
+        stream = GraphStream(events[:50] + [marker("half")] + events[50:])
+        result = TestHarness(
+            InMemoryPlatform(service_time=0.001),
+            stream,
+            HarnessConfig(rate=100, level=0, log_interval=0.1),
+            query_probes={"vertex_count": lambda p: p.query("vertex_count")},
+        ).run()
+        from repro.core.analysis import result_reflection_latency
+
+        latency = result_reflection_latency(
+            result.log, "half", "vertex_count", lambda v: v >= 50
+        )
+        assert 0 <= latency < 1.0

@@ -1,0 +1,83 @@
+"""Tests for periodic watermarks and the reflection-latency profile."""
+
+import pytest
+
+from repro.core.analysis import reflection_latency_profile
+from repro.core.events import MarkerEvent, add_vertex
+from repro.core.harness import HarnessConfig, TestHarness
+from repro.core.metrics import Aggregate
+from repro.core.shaping import with_periodic_markers
+from repro.core.stream import GraphStream
+from repro.errors import AnalysisError
+from repro.platforms.inmem import InMemoryPlatform
+
+
+@pytest.fixture
+def flat_stream() -> GraphStream:
+    return GraphStream([add_vertex(i) for i in range(1000)])
+
+
+class TestWithPeriodicMarkers:
+    def test_marker_labels_and_positions(self, flat_stream):
+        marked = with_periodic_markers(flat_stream, every=250)
+        labels = [e.label for e in marked if isinstance(e, MarkerEvent)]
+        assert labels == ["wm-250", "wm-500", "wm-750", "wm-1000"]
+
+    def test_graph_events_unchanged(self, flat_stream):
+        marked = with_periodic_markers(flat_stream, every=100)
+        assert list(marked.graph_events()) == list(flat_stream.graph_events())
+
+    def test_custom_prefix(self, flat_stream):
+        marked = with_periodic_markers(flat_stream, every=500, prefix="tick")
+        labels = [e.label for e in marked if isinstance(e, MarkerEvent)]
+        assert labels == ["tick-500", "tick-1000"]
+
+    def test_validation(self, flat_stream):
+        with pytest.raises(ValueError):
+            with_periodic_markers(flat_stream, every=0)
+
+
+class TestReflectionLatencyProfile:
+    def _run(self, service_time: float):
+        stream = with_periodic_markers(
+            GraphStream([add_vertex(i) for i in range(2000)]), every=200
+        )
+        platform = InMemoryPlatform(service_time=service_time)
+        result = TestHarness(
+            platform,
+            stream,
+            HarnessConfig(rate=2_000, level=0, log_interval=0.05),
+            query_probes={
+                "events_reflected": lambda p: float(p.events_processed()),
+            },
+        ).run()
+        return reflection_latency_profile(
+            result.log, "wm", "events_reflected"
+        )
+
+    def test_latencies_nonnegative_and_present(self):
+        latencies = self._run(service_time=1e-5)
+        assert len(latencies) >= 8
+        assert all(latency >= 0 for latency in latencies)
+
+    def test_overloaded_platform_higher_latency(self):
+        # 1e-5 s/event = 100k/s capacity: keeps up; latency ~ sampling.
+        fast = Aggregate.of(self._run(service_time=1e-5))
+        # 1e-3 s/event = 1k/s capacity against 2k/s offered: the backlog
+        # grows, so watermarks are reflected later and later.
+        slow = Aggregate.of(self._run(service_time=1e-3))
+        assert slow.mean > 2 * fast.mean
+        assert slow.maximum > slow.minimum  # latency grows over the run
+
+    def test_p99_computable(self):
+        latencies = self._run(service_time=1e-4)
+        profile = Aggregate.of(latencies)
+        assert profile.p99 >= profile.p50
+
+    def test_missing_markers_raise(self):
+        stream = GraphStream([add_vertex(0)])
+        result = TestHarness(
+            InMemoryPlatform(), stream, HarnessConfig(rate=100, level=0)
+        ).run()
+        with pytest.raises(AnalysisError):
+            reflection_latency_profile(result.log, "wm", "anything")

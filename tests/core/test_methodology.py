@@ -1,0 +1,117 @@
+"""Unit tests for the Jain/Popper-style evaluation methodology."""
+
+import random
+
+import pytest
+
+from repro.core.methodology import (
+    MINIMUM_RECOMMENDED_RUNS,
+    ComparisonVerdict,
+    ExperimentDesign,
+    Factor,
+    compare,
+    repeat_runs,
+)
+from repro.errors import MethodologyError
+
+
+class TestFactor:
+    def test_needs_levels(self):
+        with pytest.raises(MethodologyError):
+            Factor("rate", ())
+
+
+class TestExperimentDesign:
+    @pytest.fixture
+    def design(self) -> ExperimentDesign:
+        return ExperimentDesign(
+            (
+                Factor("rate", (100, 1000, 10000)),
+                Factor("batch", (1, 10)),
+            )
+        )
+
+    def test_configuration_count(self, design):
+        assert design.configuration_count == 6
+
+    def test_full_factorial(self, design):
+        configs = list(design.full_factorial())
+        assert len(configs) == 6
+        assert {"rate": 100, "batch": 1} in configs
+        assert {"rate": 10000, "batch": 10} in configs
+
+    def test_full_factorial_unique(self, design):
+        configs = [tuple(sorted(c.items())) for c in design.full_factorial()]
+        assert len(set(configs)) == len(configs)
+
+    def test_one_factor_at_a_time(self, design):
+        configs = list(design.one_factor_at_a_time())
+        # baseline + 2 extra rates + 1 extra batch
+        assert len(configs) == 4
+        assert configs[0] == {"rate": 100, "batch": 1}
+
+    def test_duplicate_factor_names_rejected(self):
+        with pytest.raises(MethodologyError):
+            ExperimentDesign((Factor("a", (1,)), Factor("a", (2,))))
+
+    def test_empty_design_rejected(self):
+        with pytest.raises(MethodologyError):
+            ExperimentDesign(())
+
+
+class TestRepeatRuns:
+    def test_seeds_are_sequential(self):
+        seen = []
+        repeat_runs(lambda seed: seen.append(seed) or float(seed), 5)
+        assert seen == [0, 1, 2, 3, 4]
+
+    def test_aggregate(self):
+        result = repeat_runs(lambda seed: float(seed), 10)
+        assert result.count == 10
+        assert result.aggregate.mean == pytest.approx(4.5)
+        assert not result.meets_n30
+
+    def test_n30_flag(self):
+        result = repeat_runs(lambda seed: 1.0 + seed * 1e-6, 30)
+        assert result.meets_n30
+        assert MINIMUM_RECOMMENDED_RUNS == 30
+
+    def test_too_few_repetitions(self):
+        with pytest.raises(MethodologyError):
+            repeat_runs(lambda seed: 1.0, 1)
+
+
+class TestCompare:
+    def _noisy(self, mean, n=20, seed=0, spread=0.5):
+        rng = random.Random(seed)
+        return [mean + rng.uniform(-spread, spread) for __ in range(n)]
+
+    def test_clear_winner_higher_better(self):
+        result = compare(self._noisy(100), self._noisy(50), higher_is_better=True)
+        assert result.verdict == ComparisonVerdict.A_BETTER
+        assert result.significant
+
+    def test_clear_winner_lower_better(self):
+        result = compare(self._noisy(100), self._noisy(50), higher_is_better=False)
+        assert result.verdict == ComparisonVerdict.B_BETTER
+
+    def test_indistinguishable(self):
+        result = compare(
+            self._noisy(10, seed=1, spread=5),
+            self._noisy(10.2, seed=2, spread=5),
+        )
+        assert result.verdict == ComparisonVerdict.INDISTINGUISHABLE
+        assert not result.significant
+
+    def test_symmetry(self):
+        a = self._noisy(10)
+        b = self._noisy(20)
+        forward = compare(a, b)
+        backward = compare(b, a)
+        assert forward.verdict == ComparisonVerdict.B_BETTER
+        assert backward.verdict == ComparisonVerdict.A_BETTER
+
+    def test_aggregates_attached(self):
+        result = compare([1, 2, 3], [4, 5, 6])
+        assert result.a.mean == 2
+        assert result.b.mean == 5

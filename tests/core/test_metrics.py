@@ -1,0 +1,198 @@
+"""Unit tests for metrics: time series, percentiles, CIs, aggregates."""
+
+import math
+
+import pytest
+
+from repro.core.metrics import (
+    STANDARD_METRICS,
+    Aggregate,
+    Optimum,
+    Sample,
+    TimeSeries,
+    confidence_interval,
+    percentile,
+)
+from repro.errors import AnalysisError
+
+
+class TestMetricSpecs:
+    def test_standard_metrics_present(self):
+        assert "throughput" in STANDARD_METRICS
+        assert "result_latency" in STANDARD_METRICS
+        assert "cpu_load" in STANDARD_METRICS
+
+    def test_optimum_directions(self):
+        assert STANDARD_METRICS["throughput"].optimum is Optimum.HIGHER_IS_BETTER
+        assert STANDARD_METRICS["result_latency"].optimum is Optimum.LOWER_IS_BETTER
+
+
+class TestTimeSeries:
+    def test_append_and_len(self):
+        series = TimeSeries("x")
+        series.append(0.0, 1.0)
+        series.append(1.0, 2.0)
+        assert len(series) == 2
+        assert series.values == [1.0, 2.0]
+
+    def test_rejects_decreasing_timestamps(self):
+        series = TimeSeries("x")
+        series.append(5.0, 1.0)
+        with pytest.raises(ValueError):
+            series.append(4.0, 2.0)
+
+    def test_equal_timestamps_allowed(self):
+        series = TimeSeries("x")
+        series.append(1.0, 1.0)
+        series.append(1.0, 2.0)
+        assert len(series) == 2
+
+    def test_construct_from_samples(self):
+        series = TimeSeries("x", [Sample(0, 1), Sample(1, 2)])
+        assert series.values == [1, 2]
+
+    def test_mean_min_max(self):
+        series = TimeSeries("x", [Sample(0, 2), Sample(1, 4), Sample(2, 6)])
+        assert series.mean() == 4
+        assert series.minimum() == 2
+        assert series.maximum() == 6
+
+    def test_empty_statistics_raise(self):
+        with pytest.raises(AnalysisError):
+            TimeSeries("x").mean()
+        with pytest.raises(AnalysisError):
+            TimeSeries("x").percentile(50)
+
+    def test_between(self):
+        series = TimeSeries("x", [Sample(t, t) for t in range(10)])
+        window = series.between(3, 7)
+        assert window.timestamps == [3, 4, 5, 6]
+
+    def test_resample_locf(self):
+        series = TimeSeries("x", [Sample(0, 1), Sample(2.5, 5)])
+        grid = series.resample(1.0)
+        assert grid.timestamps == [0.0, 1.0, 2.0]
+        assert grid.values == [1, 1, 1]
+
+    def test_resample_picks_up_new_values(self):
+        series = TimeSeries("x", [Sample(0, 1), Sample(1, 5), Sample(2, 9)])
+        grid = series.resample(1.0)
+        assert grid.values == [1, 5, 9]
+
+    def test_resample_empty(self):
+        assert len(TimeSeries("x").resample(1.0)) == 0
+
+    def test_resample_invalid_step(self):
+        with pytest.raises(ValueError):
+            TimeSeries("x").resample(0)
+
+    def test_rate_from_counter(self):
+        series = TimeSeries("count", [Sample(0, 0), Sample(1, 100), Sample(3, 400)])
+        rate = series.rate()
+        assert rate.values == [100.0, 150.0]
+        assert rate.timestamps == [1, 3]
+
+    def test_rate_skips_zero_intervals(self):
+        series = TimeSeries("count", [Sample(1, 0), Sample(1, 5), Sample(2, 10)])
+        rate = series.rate()
+        assert len(rate) == 1
+
+
+class TestPercentile:
+    def test_median_odd(self):
+        assert percentile([3, 1, 2], 50) == 2
+
+    def test_median_even_interpolates(self):
+        assert percentile([1, 2, 3, 4], 50) == 2.5
+
+    def test_extremes(self):
+        values = [5, 1, 9, 3]
+        assert percentile(values, 0) == 1
+        assert percentile(values, 100) == 9
+
+    def test_p95(self):
+        values = list(range(1, 101))
+        assert percentile(values, 95) == pytest.approx(95.05)
+
+    def test_single_value(self):
+        assert percentile([7], 99) == 7
+
+    def test_empty_raises(self):
+        with pytest.raises(AnalysisError):
+            percentile([], 50)
+
+    def test_out_of_range_q(self):
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+
+
+class TestConfidenceInterval:
+    def test_known_value(self):
+        # n=4 -> t(3)=3.182; width = 2 * t * sd / sqrt(n) = t * sd (n=4).
+        values = [9, 9.6667, 10.3333, 11]
+        sd = 0.8606543595815143
+        low, high = confidence_interval(values)
+        assert (low + high) / 2 == pytest.approx(10, abs=1e-3)
+        assert high - low == pytest.approx(3.182 * sd, rel=1e-3)
+
+    def test_needs_two_values(self):
+        with pytest.raises(AnalysisError):
+            confidence_interval([1.0])
+
+    def test_99_wider_than_95(self):
+        values = [1, 2, 3, 4, 5, 6]
+        low95, high95 = confidence_interval(values, 0.95)
+        low99, high99 = confidence_interval(values, 0.99)
+        assert high99 - low99 > high95 - low95
+
+    def test_unsupported_confidence(self):
+        with pytest.raises(ValueError):
+            confidence_interval([1, 2, 3], 0.5)
+
+    def test_large_sample_uses_normal(self):
+        values = list(range(100))
+        low, high = confidence_interval(values)
+        mean = sum(values) / len(values)
+        assert low < mean < high
+
+    def test_identical_values_zero_width(self):
+        low, high = confidence_interval([5.0] * 10)
+        assert low == high == 5.0
+
+
+class TestAggregate:
+    def test_of(self):
+        aggregate = Aggregate.of([1, 2, 3, 4, 5])
+        assert aggregate.count == 5
+        assert aggregate.mean == 3
+        assert aggregate.minimum == 1
+        assert aggregate.maximum == 5
+        assert aggregate.p50 == 3
+
+    def test_single_value_has_nan_ci(self):
+        aggregate = Aggregate.of([5.0])
+        assert math.isnan(aggregate.ci_low)
+        assert aggregate.std == 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(AnalysisError):
+            Aggregate.of([])
+
+    def test_overlap_detection(self):
+        tight_low = Aggregate.of([1.0, 1.1, 0.9, 1.0])
+        tight_high = Aggregate.of([5.0, 5.1, 4.9, 5.0])
+        wide = Aggregate.of([0.0, 6.0, 1.0, 5.0])
+        assert not tight_low.overlaps(tight_high)
+        assert tight_low.overlaps(wide)
+        assert wide.overlaps(tight_high)
+
+    def test_overlap_symmetric(self):
+        a = Aggregate.of([1, 2, 3])
+        b = Aggregate.of([2.5, 3.5, 4.5])
+        assert a.overlaps(b) == b.overlaps(a)
+
+    def test_overlap_undefined_raises(self):
+        a = Aggregate.of([1.0])
+        b = Aggregate.of([1, 2, 3])
+        with pytest.raises(AnalysisError):
+            a.overlaps(b)

@@ -1,0 +1,100 @@
+"""Tests for Popper-convention experiment packaging."""
+
+import json
+
+import pytest
+
+from repro.core.generator import StreamGenerator
+from repro.core.harness import HarnessConfig, TestHarness
+from repro.core.models import UniformRules
+from repro.core.popper import load_bundle, package_run, verify_bundle
+from repro.errors import GraphTidesError
+from repro.platforms.inmem import InMemoryPlatform
+
+
+@pytest.fixture(scope="module")
+def run_artifacts():
+    stream = StreamGenerator(UniformRules(), rounds=300, seed=8).generate()
+    config = HarnessConfig(rate=2000, level=1)
+    result = TestHarness(InMemoryPlatform(), stream, config).run()
+    return stream, config, result
+
+
+@pytest.fixture
+def bundle_dir(tmp_path, run_artifacts):
+    stream, config, result = run_artifacts
+    return package_run(
+        tmp_path,
+        "exp-001",
+        stream,
+        config,
+        result,
+        description="quick harness run",
+        extra_metadata={"seed": 8},
+    )
+
+
+class TestPackageRun:
+    def test_all_files_written(self, bundle_dir):
+        names = {p.name for p in bundle_dir.iterdir()}
+        assert names == {
+            "metadata.json",
+            "config.json",
+            "stream.csv",
+            "result.jsonl",
+            "summary.json",
+            "README.md",
+        }
+
+    def test_refuses_overwrite(self, bundle_dir, run_artifacts, tmp_path):
+        stream, config, result = run_artifacts
+        with pytest.raises(GraphTidesError, match="already exists"):
+            package_run(tmp_path, "exp-001", stream, config, result)
+
+    def test_metadata_contents(self, bundle_dir):
+        metadata = json.loads((bundle_dir / "metadata.json").read_text())
+        assert metadata["experiment_id"] == "exp-001"
+        assert metadata["seed"] == 8
+        assert "python" in metadata
+
+    def test_readme_mentions_outcome(self, bundle_dir):
+        text = (bundle_dir / "README.md").read_text()
+        assert "exp-001" in text
+        assert "events processed" in text
+
+
+class TestLoadBundle:
+    def test_round_trip(self, bundle_dir, run_artifacts):
+        stream, config, result = run_artifacts
+        bundle = load_bundle(bundle_dir)
+        assert bundle.stream == stream
+        assert len(bundle.log) == len(result.log)
+        assert bundle.config["rate"] == 2000
+        assert bundle.summary["events_processed"] == result.events_processed
+
+    def test_missing_file_detected(self, bundle_dir):
+        (bundle_dir / "summary.json").unlink()
+        with pytest.raises(GraphTidesError, match="missing"):
+            load_bundle(bundle_dir)
+
+
+class TestVerifyBundle:
+    def test_clean_bundle_verifies(self, bundle_dir):
+        assert verify_bundle(bundle_dir) == []
+
+    def test_detects_tampered_summary(self, bundle_dir):
+        summary = json.loads((bundle_dir / "summary.json").read_text())
+        summary["record_count"] = 999_999
+        (bundle_dir / "summary.json").write_text(json.dumps(summary))
+        problems = verify_bundle(bundle_dir)
+        assert any("record_count" in p for p in problems)
+
+    def test_detects_truncated_stream(self, bundle_dir):
+        lines = (bundle_dir / "stream.csv").read_text().splitlines()
+        (bundle_dir / "stream.csv").write_text("\n".join(lines[:3]) + "\n")
+        problems = verify_bundle(bundle_dir)
+        assert any("more emitted events" in p for p in problems)
+
+    def test_incomplete_bundle_reports(self, tmp_path):
+        problems = verify_bundle(tmp_path)
+        assert problems

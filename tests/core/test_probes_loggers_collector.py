@@ -1,0 +1,160 @@
+"""Unit tests for probes, periodic loggers, and the log collector."""
+
+import os
+
+import pytest
+
+from repro.core.collector import collect_files, collect_records
+from repro.core.events import add_vertex
+from repro.core.loggers import ObjectSeriesLogger, SimPeriodicLogger
+from repro.core.probes import (
+    CpuUtilizationProbe,
+    InternalProbe,
+    LiveProcessProbe,
+    NativeMetricsProbe,
+)
+from repro.core.resultlog import Record, ResultLog
+from repro.platforms.chronolike import ChronoLikePlatform
+from repro.platforms.inmem import InMemoryPlatform
+from repro.sim.kernel import Simulation
+
+
+class TestSimPeriodicLogger:
+    def test_samples_at_interval(self):
+        sim = Simulation()
+        calls = []
+        logger = SimPeriodicLogger(
+            sim, 1.0, lambda: [Record(sim.now, "s", "m", len(calls))], name="t"
+        )
+        logger.start()
+        sim.schedule(5.5, lambda: logger.stop())
+        sim.run()
+        assert len(logger.records) == 5
+        assert [r.timestamp for r in logger.records] == [1, 2, 3, 4, 5]
+
+    def test_stop_prevents_further_samples(self):
+        sim = Simulation()
+        logger = SimPeriodicLogger(
+            sim, 1.0, lambda: [Record(sim.now, "s", "m", 0.0)]
+        )
+        logger.start()
+        sim.schedule(2.5, logger.stop)
+        sim.run()
+        assert len(logger.records) == 2
+
+    def test_double_start_ignored(self):
+        sim = Simulation()
+        logger = SimPeriodicLogger(
+            sim, 1.0, lambda: [Record(sim.now, "s", "m", 0.0)]
+        )
+        logger.start()
+        logger.start()
+        sim.schedule(1.5, logger.stop)
+        sim.run()
+        assert len(logger.records) == 1
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            SimPeriodicLogger(Simulation(), 0, lambda: [])
+
+
+class TestObjectSeriesLogger:
+    def test_captures_objects(self):
+        sim = Simulation()
+        state = {"n": 0}
+
+        def bump():
+            state["n"] += 1
+
+        sim.schedule(0.5, bump)
+        sim.schedule(1.5, bump)
+        logger = ObjectSeriesLogger(sim, 1.0, lambda: dict(state))
+        logger.start()
+        sim.schedule(2.5, logger.stop)
+        sim.run()
+        assert [obj["n"] for __, obj in logger.samples] == [1, 2]
+
+
+class TestProbes:
+    def test_cpu_probe_reports_per_process(self):
+        sim = Simulation()
+        platform = InMemoryPlatform(service_time=0.5)
+        platform.attach(sim)
+        platform.ingest(add_vertex(0))
+        probe = CpuUtilizationProbe(platform, sim)
+        sim.run(until=1.0)
+        records = probe()
+        assert len(records) == 1
+        assert records[0].source == "inmem-worker"
+        assert records[0].metric == "cpu_load"
+        assert records[0].value == pytest.approx(50.0)
+
+    def test_native_metrics_probe(self):
+        sim = Simulation()
+        platform = InMemoryPlatform()
+        platform.attach(sim)
+        records = NativeMetricsProbe(platform, sim)()
+        metrics = {r.metric for r in records}
+        assert "queue_length" in metrics
+
+    def test_internal_probe_scalar(self):
+        sim = Simulation()
+        platform = ChronoLikePlatform()
+        platform.attach(sim)
+        probe = InternalProbe(
+            platform, sim, "pending_compute", "pending_compute"
+        )
+        (record,) = probe()
+        assert record.metric == "pending_compute"
+
+    def test_internal_probe_list_extraction(self):
+        sim = Simulation()
+        platform = ChronoLikePlatform(worker_count=3)
+        platform.attach(sim)
+        probe = InternalProbe(
+            platform,
+            sim,
+            "queue_lengths",
+            "queue_length",
+            extract=lambda q: [(f"w{i}", float(v)) for i, v in enumerate(q)],
+        )
+        records = probe()
+        assert [r.source for r in records] == [
+            "chronograph-w0", "chronograph-w1", "chronograph-w2",
+        ]
+
+    @pytest.mark.skipif(
+        not os.path.exists("/proc/self/stat"), reason="requires procfs"
+    )
+    def test_live_process_probe(self):
+        probe = LiveProcessProbe()
+        first = probe()  # first call establishes the baseline
+        # Burn some CPU.
+        total = sum(i * i for i in range(200_000))
+        assert total > 0
+        second = probe()
+        metrics = {r.metric for r in second}
+        assert "memory_usage" in metrics
+        assert "cpu_load" in metrics
+
+
+class TestCollector:
+    def test_collect_records_merges_sorted(self):
+        a = [Record(3.0, "a", "m", 1.0)]
+        b = [Record(1.0, "b", "m", 2.0), Record(2.0, "b", "m", 3.0)]
+        log = collect_records(a, b)
+        assert [r.timestamp for r in log] == [1.0, 2.0, 3.0]
+
+    def test_collect_files(self, tmp_path):
+        log_a = ResultLog([Record(2.0, "a", "m", 1.0)])
+        log_b = ResultLog([Record(1.0, "b", "m", 2.0)])
+        path_a = tmp_path / "a.jsonl"
+        path_b = tmp_path / "b.jsonl"
+        log_a.write(path_a)
+        log_b.write(path_b)
+        merged = collect_files([path_a, path_b])
+        assert len(merged) == 2
+        assert merged[0].source == "b"
+
+    def test_collect_no_files(self):
+        assert len(collect_files([])) == 0

@@ -1,0 +1,107 @@
+"""Tests for derived comparison metrics and the run report."""
+
+import pytest
+
+from repro.core.generator import StreamGenerator
+from repro.core.harness import HarnessConfig, TestHarness
+from repro.core.models import UniformRules
+from repro.core.report import (
+    coefficient_of_variation,
+    robustness_score,
+    run_report,
+    scalability_efficiency,
+    speedup_curve,
+)
+from repro.errors import AnalysisError, MethodologyError
+from repro.platforms.inmem import InMemoryPlatform
+
+
+class TestVariability:
+    def test_identical_values_zero(self):
+        assert coefficient_of_variation([5, 5, 5]) == 0.0
+
+    def test_known_value(self):
+        # mean 10, sample std ~ 1
+        cv = coefficient_of_variation([9, 10, 11])
+        assert cv == pytest.approx(1.0 / 10, rel=0.01)
+
+    def test_needs_two(self):
+        with pytest.raises(AnalysisError):
+            coefficient_of_variation([1.0])
+
+    def test_zero_mean_undefined(self):
+        with pytest.raises(AnalysisError):
+            coefficient_of_variation([-1.0, 1.0])
+
+
+class TestScalability:
+    def test_speedup_curve(self):
+        curve = speedup_curve({1: 100, 2: 190, 4: 350})
+        assert curve[1] == 1.0
+        assert curve[2] == pytest.approx(1.9)
+        assert curve[4] == pytest.approx(3.5)
+
+    def test_custom_baseline(self):
+        curve = speedup_curve({2: 200, 4: 300}, baseline_units=2)
+        assert curve[4] == pytest.approx(1.5)
+
+    def test_missing_baseline(self):
+        with pytest.raises(MethodologyError):
+            speedup_curve({2: 100}, baseline_units=1)
+
+    def test_efficiency_linear_is_one(self):
+        assert scalability_efficiency({1: 100, 2: 200, 4: 400}) == pytest.approx(1.0)
+
+    def test_efficiency_sublinear(self):
+        efficiency = scalability_efficiency({1: 100, 2: 150, 4: 200})
+        assert 0.4 < efficiency < 0.7
+
+    def test_efficiency_single_point(self):
+        assert scalability_efficiency({4: 100}) == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(MethodologyError):
+            speedup_curve({})
+
+
+class TestRobustness:
+    def test_higher_is_better(self):
+        # Clean throughput 100; under stress 80 and 60 -> worst 0.6.
+        assert robustness_score(100, [80, 60]) == pytest.approx(0.6)
+
+    def test_lower_is_better(self):
+        # Clean latency 10ms; stressed 20ms and 40ms -> worst 0.25.
+        assert robustness_score(10, [20, 40], higher_is_better=False) == (
+            pytest.approx(0.25)
+        )
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            robustness_score(0, [1])
+        with pytest.raises(AnalysisError):
+            robustness_score(1, [])
+
+
+class TestRunReport:
+    @pytest.fixture(scope="class")
+    def result(self):
+        stream = StreamGenerator(UniformRules(), rounds=400, seed=2).generate()
+        return TestHarness(
+            InMemoryPlatform(), stream, HarnessConfig(rate=2000, level=1)
+        ).run()
+
+    def test_contains_headline_numbers(self, result):
+        text = run_report(result, title="test run")
+        assert "test run" in text
+        assert f"events processed:  {result.events_processed}" in text
+        assert "drained:           True" in text
+
+    def test_contains_metric_aggregates(self, result):
+        text = run_report(result)
+        assert "cpu_load" in text
+        assert "ingress_rate" in text
+
+    def test_contains_marker_timeline(self, result):
+        text = run_report(result)
+        assert "marker timeline:" in text
+        assert "replay-finished" in text

@@ -1,0 +1,107 @@
+"""Unit tests for the result log and record model."""
+
+import pytest
+
+from repro.core.resultlog import Record, ResultLog
+from repro.errors import AnalysisError
+
+
+@pytest.fixture
+def sample_log() -> ResultLog:
+    return ResultLog(
+        [
+            Record(2.0, "worker-1", "cpu_load", 50.0),
+            Record(1.0, "worker-0", "cpu_load", 30.0),
+            Record(1.5, "replayer", "marker", 100.0, kind="marker",
+                   tags={"label": "phase-1"}),
+            Record(3.0, "worker-0", "cpu_load", 60.0),
+            Record(3.5, "platform", "rank", 0.25, kind="result"),
+        ]
+    )
+
+
+class TestRecord:
+    def test_json_round_trip(self):
+        record = Record(1.5, "src", "metric", 42.0, kind="result",
+                        tags={"a": "b"})
+        assert Record.from_json(record.to_json()) == record
+
+    def test_json_without_tags(self):
+        record = Record(1.0, "s", "m", 1.0)
+        parsed = Record.from_json(record.to_json())
+        assert parsed.tags == {}
+
+    def test_defaults(self):
+        record = Record(0.0, "s", "m", 0.0)
+        assert record.kind == "metric"
+
+
+class TestResultLog:
+    def test_chronological_sorting(self, sample_log):
+        timestamps = [r.timestamp for r in sample_log]
+        assert timestamps == sorted(timestamps)
+
+    def test_len_and_index(self, sample_log):
+        assert len(sample_log) == 5
+        assert sample_log[0].timestamp == 1.0
+
+    def test_sources(self, sample_log):
+        assert set(sample_log.sources()) == {
+            "worker-0", "worker-1", "replayer", "platform",
+        }
+
+    def test_metrics(self, sample_log):
+        assert set(sample_log.metrics()) == {"cpu_load", "marker", "rank"}
+
+    def test_filter_by_source(self, sample_log):
+        filtered = sample_log.filter(source="worker-0")
+        assert len(filtered) == 2
+
+    def test_filter_by_metric_and_kind(self, sample_log):
+        assert len(sample_log.filter(metric="rank", kind="result")) == 1
+
+    def test_filter_empty_result(self, sample_log):
+        assert len(sample_log.filter(source="nope")) == 0
+
+    def test_series(self, sample_log):
+        series = sample_log.series("cpu_load", source="worker-0")
+        assert series.values == [30.0, 60.0]
+
+    def test_series_all_sources(self, sample_log):
+        series = sample_log.series("cpu_load")
+        assert len(series) == 3
+
+    def test_series_missing_raises(self, sample_log):
+        with pytest.raises(AnalysisError):
+            sample_log.series("nonexistent")
+
+    def test_markers(self, sample_log):
+        markers = sample_log.markers()
+        assert len(markers) == 1
+        assert markers[0].tags["label"] == "phase-1"
+
+    def test_marker_time(self, sample_log):
+        assert sample_log.marker_time("phase-1") == 1.5
+
+    def test_marker_time_missing(self, sample_log):
+        with pytest.raises(AnalysisError):
+            sample_log.marker_time("absent")
+
+    def test_merged_with(self, sample_log):
+        other = ResultLog([Record(0.5, "x", "m", 1.0)])
+        merged = sample_log.merged_with(other)
+        assert len(merged) == 6
+        assert merged[0].source == "x"
+
+    def test_write_read_round_trip(self, sample_log, tmp_path):
+        path = tmp_path / "result.jsonl"
+        sample_log.write(path)
+        loaded = ResultLog.read(path)
+        assert loaded.records == sample_log.records
+
+    def test_read_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        path.write_text(
+            Record(1.0, "s", "m", 1.0).to_json() + "\n\n"
+        )
+        assert len(ResultLog.read(path)) == 1

@@ -1,0 +1,120 @@
+"""Tests for stream rate shaping (bursts, waves, ramps, pauses)."""
+
+import pytest
+
+from repro.core.events import GraphEvent, PauseEvent, SpeedEvent, add_vertex
+from repro.core.shaping import with_burst, with_pause, with_ramp, with_wave
+from repro.core.stream import GraphStream
+from repro.platforms.inmem import InMemoryPlatform
+from repro.sim.kernel import Simulation
+from repro.sim.replay import SimulatedReplayer
+
+
+@pytest.fixture
+def flat_stream() -> GraphStream:
+    return GraphStream([add_vertex(i) for i in range(100)])
+
+
+def _graph_events_before_controls(stream):
+    """Map control events to the number of graph events preceding them."""
+    positions = []
+    count = 0
+    for event in stream:
+        if isinstance(event, (SpeedEvent, PauseEvent)):
+            positions.append((event, count))
+        elif isinstance(event, GraphEvent):
+            count += 1
+    return positions
+
+
+class TestWithPause:
+    def test_pause_inserted_at_position(self, flat_stream):
+        shaped = with_pause(flat_stream, after_events=40, seconds=3.0)
+        ((event, position),) = _graph_events_before_controls(shaped)
+        assert isinstance(event, PauseEvent)
+        assert event.seconds == 3.0
+        assert position == 40
+
+    def test_graph_events_preserved(self, flat_stream):
+        shaped = with_pause(flat_stream, 10, 1.0)
+        assert list(shaped.graph_events()) == list(flat_stream.graph_events())
+
+    def test_pause_beyond_end_appends(self, flat_stream):
+        shaped = with_pause(flat_stream, 1000, 1.0)
+        assert isinstance(shaped[-1], PauseEvent)
+
+    def test_validation(self, flat_stream):
+        with pytest.raises(ValueError):
+            with_pause(flat_stream, -1, 1.0)
+
+
+class TestWithBurst:
+    def test_burst_boundaries(self, flat_stream):
+        shaped = with_burst(flat_stream, start_event=20, burst_events=30, factor=5)
+        controls = _graph_events_before_controls(shaped)
+        assert [(e.factor, p) for e, p in controls] == [(5.0, 20), (1.0, 50)]
+
+    def test_replay_timing(self, flat_stream):
+        shaped = with_burst(flat_stream, 0, 50, factor=2.0)
+        sim = Simulation()
+        platform = InMemoryPlatform(service_time=0.0)
+        platform.attach(sim)
+        replayer = SimulatedReplayer(sim, shaped, platform, rate=100)
+        replayer.start()
+        sim.run()
+        # 50 events at 200/s + 50 events at 100/s = 0.25 + 0.5
+        assert replayer.finished_at == pytest.approx(0.75, abs=0.05)
+
+    def test_validation(self, flat_stream):
+        with pytest.raises(ValueError):
+            with_burst(flat_stream, 0, 0)
+        with pytest.raises(ValueError):
+            with_burst(flat_stream, 0, 10, factor=0)
+
+
+class TestWithWave:
+    def test_alternating_phases(self, flat_stream):
+        shaped = with_wave(flat_stream, period_events=25, high_factor=2, low_factor=0.5)
+        controls = _graph_events_before_controls(shaped)
+        factors = [e.factor for e, __ in controls]
+        assert factors == [2.0, 0.5, 2.0, 0.5, 1.0]
+
+    def test_positions(self, flat_stream):
+        shaped = with_wave(flat_stream, period_events=25)
+        controls = _graph_events_before_controls(shaped)
+        assert [p for __, p in controls] == [0, 25, 50, 75, 100]
+
+    def test_validation(self, flat_stream):
+        with pytest.raises(ValueError):
+            with_wave(flat_stream, 0)
+
+
+class TestWithRamp:
+    def test_factors_interpolate(self, flat_stream):
+        shaped = with_ramp(flat_stream, steps=4, start_factor=1.0, end_factor=4.0)
+        controls = _graph_events_before_controls(shaped)
+        factors = [e.factor for e, __ in controls]
+        assert factors == [1.0, 2.0, 3.0, 4.0]
+
+    def test_single_step(self, flat_stream):
+        shaped = with_ramp(flat_stream, steps=1, start_factor=2.0, end_factor=9.0)
+        controls = _graph_events_before_controls(shaped)
+        assert [e.factor for e, __ in controls] == [2.0]
+
+    def test_empty_stream(self):
+        assert with_ramp(GraphStream(), steps=3) == GraphStream()
+
+    def test_ramp_accelerates_replay(self, flat_stream):
+        sim = Simulation()
+        platform = InMemoryPlatform(service_time=0.0)
+        platform.attach(sim)
+        shaped = with_ramp(flat_stream, steps=2, start_factor=1.0, end_factor=4.0)
+        replayer = SimulatedReplayer(sim, shaped, platform, rate=100)
+        replayer.start()
+        sim.run()
+        # 50 @ 100/s + 50 @ 400/s = 0.5 + 0.125
+        assert replayer.finished_at == pytest.approx(0.625, abs=0.05)
+
+    def test_validation(self, flat_stream):
+        with pytest.raises(ValueError):
+            with_ramp(flat_stream, steps=0)

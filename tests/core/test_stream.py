@@ -1,0 +1,186 @@
+"""Unit tests for GraphStream: container, phases, statistics, file I/O."""
+
+import math
+
+import pytest
+
+from repro.core.events import (
+    add_edge,
+    add_vertex,
+    marker,
+    pause,
+    remove_edge,
+    remove_vertex,
+    speed,
+    update_edge,
+    update_vertex,
+)
+from repro.core.stream import BOOTSTRAP_END_MARKER, GraphStream
+from repro.errors import StreamFormatError
+
+
+class TestContainer:
+    def test_len_and_iteration(self, tiny_stream):
+        assert len(tiny_stream) == 10
+        assert len(list(tiny_stream)) == 10
+
+    def test_indexing(self, tiny_stream):
+        assert tiny_stream[0] == add_vertex(0, "a")
+        assert tiny_stream[-1] == update_vertex(0, "a2")
+
+    def test_slicing_returns_stream(self, tiny_stream):
+        prefix = tiny_stream[:4]
+        assert isinstance(prefix, GraphStream)
+        assert len(prefix) == 4
+
+    def test_append_extend(self):
+        stream = GraphStream()
+        stream.append(add_vertex(0))
+        stream.extend([add_vertex(1), add_edge(0, 1)])
+        assert len(stream) == 3
+
+    def test_equality(self, tiny_stream):
+        assert tiny_stream == GraphStream(list(tiny_stream))
+        assert tiny_stream != GraphStream()
+
+    def test_events_view_is_immutable_copy(self, tiny_stream):
+        view = tiny_stream.events
+        assert isinstance(view, tuple)
+
+    def test_graph_events_filters_markers(self, tiny_stream):
+        graph_events = list(tiny_stream.graph_events())
+        assert len(graph_events) == 8  # 10 minus marker and pause
+
+
+class TestMarkers:
+    def test_markers_with_indices(self, tiny_stream):
+        found = tiny_stream.markers()
+        assert len(found) == 1
+        index, event = found[0]
+        assert index == 7
+        assert event.label == "built"
+
+    def test_marker_index(self, tiny_stream):
+        assert tiny_stream.marker_index("built") == 7
+
+    def test_marker_index_missing(self, tiny_stream):
+        with pytest.raises(ValueError, match="no marker"):
+            tiny_stream.marker_index("nope")
+
+    def test_split_phases_includes_pause_in_bootstrap(self, tiny_stream):
+        bootstrap, evaluation = tiny_stream.split_phases("built")
+        assert len(bootstrap) == 9  # events + marker + pause
+        assert len(evaluation) == 1
+
+    def test_split_phases_default_label(self):
+        stream = GraphStream(
+            [add_vertex(0), marker(BOOTSTRAP_END_MARKER), add_vertex(1)]
+        )
+        bootstrap, evaluation = stream.split_phases()
+        assert len(bootstrap) == 2
+        assert len(evaluation) == 1
+
+
+class TestStatistics:
+    def test_counts(self, tiny_stream):
+        stats = tiny_stream.statistics()
+        assert stats.total_events == 10
+        assert stats.graph_events == 8
+        assert stats.marker_events == 1
+        assert stats.control_events == 1
+        assert stats.topology_events == 7
+        assert stats.state_events == 1
+        assert stats.add_events == 7
+        assert stats.remove_events == 0
+
+    def test_ratios(self, tiny_stream):
+        stats = tiny_stream.statistics()
+        assert stats.event_mix == pytest.approx(7 / 8)
+        assert stats.direction_ratio == 1.0
+        assert stats.vertex_ratio == pytest.approx(5 / 8)
+
+    def test_empty_stream_ratios_are_nan(self):
+        stats = GraphStream().statistics()
+        assert math.isnan(stats.event_mix)
+        assert math.isnan(stats.direction_ratio)
+
+    def test_direction_ratio_with_removals(self):
+        stream = GraphStream(
+            [
+                add_vertex(0),
+                add_vertex(1),
+                add_edge(0, 1),
+                remove_edge(0, 1),
+                remove_vertex(1),
+            ]
+        )
+        stats = stream.statistics()
+        assert stats.direction_ratio == pytest.approx(3 / 5)
+
+    def test_counts_by_type_complete(self, tiny_stream):
+        counts = tiny_stream.statistics().counts_by_type
+        assert sum(counts.values()) == 10
+
+
+class TestWindowedStatistics:
+    def test_window_partitioning(self, tiny_stream):
+        windows = tiny_stream.windowed_statistics(4)
+        assert len(windows) == 3
+        assert windows[0].start_index == 0
+        assert windows[-1].end_index == 10
+
+    def test_window_counts(self):
+        stream = GraphStream(
+            [add_vertex(0), add_vertex(1), update_vertex(0, "x"), add_edge(0, 1)]
+        )
+        (window,) = stream.windowed_statistics(10)
+        assert window.topology_events == 3
+        assert window.state_events == 1
+        assert window.add_events == 3
+        assert window.total_events == 4
+
+    def test_rejects_non_positive_window(self, tiny_stream):
+        with pytest.raises(ValueError):
+            tiny_stream.windowed_statistics(0)
+
+
+class TestFileIO:
+    def test_write_read_round_trip(self, tiny_stream, tmp_path):
+        path = tmp_path / "stream.csv"
+        tiny_stream.write(path)
+        assert GraphStream.read(path) == tiny_stream
+
+    def test_read_skips_comments_and_blanks(self, tmp_path):
+        path = tmp_path / "stream.csv"
+        path.write_text("# comment\n\nADD_VERTEX,1,\n   \nADD_VERTEX,2,\n")
+        stream = GraphStream.read(path)
+        assert len(stream) == 2
+
+    def test_read_reports_bad_line_number(self, tmp_path):
+        path = tmp_path / "stream.csv"
+        path.write_text("ADD_VERTEX,1,\nGARBAGE\n")
+        with pytest.raises(StreamFormatError, match="line 2"):
+            GraphStream.read(path)
+
+    def test_to_lines_from_lines_round_trip(self, medium_stream):
+        lines = medium_stream.to_lines()
+        assert GraphStream.from_lines(lines) == medium_stream
+
+    def test_control_events_survive_round_trip(self, tmp_path):
+        stream = GraphStream([add_vertex(0), speed(2.0), pause(5.0), marker("m")])
+        path = tmp_path / "s.csv"
+        stream.write(path)
+        assert GraphStream.read(path) == stream
+
+    def test_state_payload_with_commas_round_trips_via_file(self, tmp_path):
+        stream = GraphStream([add_vertex(0, '{"a": 1, "b": 2}'),
+                              update_edge_fixture()])
+        path = tmp_path / "s.csv"
+        stream.write(path)
+        loaded = GraphStream.read(path)
+        assert loaded == stream
+
+
+def update_edge_fixture():
+    """An edge update with a JSON payload containing commas."""
+    return update_vertex(0, '{"x": 1, "y": [1, 2, 3]}')

@@ -1,0 +1,68 @@
+"""Unit tests for the experiment configurations (Tables 2-4)."""
+
+import pytest
+
+from repro.experiments.configs import (
+    ChronographExperimentConfig,
+    ReplayerExperimentConfig,
+    WeaverExperimentConfig,
+)
+
+
+class TestReplayerConfig:
+    def test_paper_scale_defaults(self):
+        config = ReplayerExperimentConfig()
+        assert config.target_rates == (10_000, 20_000, 40_000, 80_000, 160_000, 320_000)
+
+    def test_events_for_rate_scales_with_rate(self):
+        config = ReplayerExperimentConfig(run_seconds=10, max_events_per_rate=10**9)
+        assert config.events_for_rate(1000) == 10_000
+        assert config.events_for_rate(100_000) == 1_000_000
+
+    def test_events_for_rate_capped(self):
+        config = ReplayerExperimentConfig(run_seconds=100, max_events_per_rate=5000)
+        assert config.events_for_rate(320_000) == 5000
+
+    def test_scaled(self):
+        scaled = ReplayerExperimentConfig().scaled(0.1)
+        assert scaled.run_seconds == pytest.approx(2.0)
+        assert scaled.target_rates == ReplayerExperimentConfig().target_rates
+
+    def test_scaled_bounds(self):
+        with pytest.raises(ValueError):
+            ReplayerExperimentConfig().scaled(0)
+        with pytest.raises(ValueError):
+            ReplayerExperimentConfig().scaled(1.5)
+
+
+class TestWeaverConfig:
+    def test_paper_scale_defaults_match_table3(self):
+        config = WeaverExperimentConfig()
+        assert config.bootstrap_n == 10_000
+        assert config.bootstrap_m0 == 250
+        assert config.bootstrap_m == 50
+        assert config.streaming_rates == (100, 1_000, 10_000)
+        assert config.batch_sizes == (1, 10)
+
+    def test_scaled_preserves_rates(self):
+        scaled = WeaverExperimentConfig().scaled(0.01)
+        assert scaled.streaming_rates == (100, 1_000, 10_000)
+        assert scaled.bootstrap_n == 100
+        assert scaled.bootstrap_m >= 3
+
+
+class TestChronographConfig:
+    def test_paper_scale_defaults_match_table4(self):
+        config = ChronographExperimentConfig()
+        assert config.total_events == 190_518
+        assert config.base_rate == 2_000.0
+        assert config.pause_after == 100_000
+        assert config.pause_seconds == 20.0
+        assert config.double_rate_until == 150_000
+        assert config.worker_count == 4
+
+    def test_scaled_preserves_proportions(self):
+        scaled = ChronographExperimentConfig().scaled(0.1)
+        ratio = scaled.pause_after / scaled.total_events
+        assert ratio == pytest.approx(100_000 / 190_518, rel=0.01)
+        assert scaled.double_rate_until > scaled.pause_after

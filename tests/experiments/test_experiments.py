@@ -1,0 +1,142 @@
+"""Smoke/shape tests for the figure-regeneration experiments.
+
+Each experiment runs at a small scale and the test asserts the
+paper's *qualitative* findings — who saturates, who dominates CPU,
+whether the backlog outlives the stream — rather than absolute numbers.
+"""
+
+import pytest
+
+from repro.experiments.configs import (
+    ChronographExperimentConfig,
+    ReplayerExperimentConfig,
+    WeaverExperimentConfig,
+)
+from repro.experiments.fig3a import build_social_stream, run_replayer_throughput
+from repro.experiments.fig3b import build_weaver_stream, run_weaver_throughput
+from repro.experiments.fig3c import run_weaver_cpu
+from repro.experiments.fig3d import build_chronograph_stream, run_chronograph
+
+
+@pytest.fixture(scope="module")
+def weaver_config():
+    return WeaverExperimentConfig(
+        bootstrap_n=150,
+        bootstrap_m0=10,
+        bootstrap_m=3,
+        evolution_rounds=6_000,
+        run_seconds=10.0,
+    )
+
+
+@pytest.fixture(scope="module")
+def weaver_stream(weaver_config):
+    return build_weaver_stream(weaver_config)
+
+
+class TestFig3aReplayer:
+    def test_low_rates_track_target(self):
+        config = ReplayerExperimentConfig(
+            target_rates=(5_000, 20_000), run_seconds=1.0, stream_rounds=2_000
+        )
+        rows = run_replayer_throughput(config, transports=("pipe",))
+        for row in rows:
+            assert row.achieved_fraction == pytest.approx(1.0, rel=0.15)
+
+    def test_both_transports_work(self):
+        config = ReplayerExperimentConfig(
+            target_rates=(10_000,), run_seconds=0.5, stream_rounds=1_000
+        )
+        rows = run_replayer_throughput(config)
+        assert {row.transport for row in rows} == {"pipe", "tcp"}
+
+    def test_social_stream_has_events(self):
+        config = ReplayerExperimentConfig(stream_rounds=2_000)
+        stream = build_social_stream(config)
+        assert len(stream) >= 2_000
+
+
+class TestFig3bWeaverThroughput:
+    def test_upper_bound_independent_of_offered_rate(self, weaver_config, weaver_stream):
+        results = run_weaver_throughput(weaver_config, stream=weaver_stream)
+        by_cell = {
+            (r.streaming_rate, r.batch_size): r for r in results
+        }
+        # At low rates Weaver keeps pace.
+        assert by_cell[(100, 1)].kept_pace
+        assert by_cell[(100, 10)].kept_pace
+        # At 10k with single-event transactions it back-throttles ...
+        assert not by_cell[(10_000, 1)].kept_pace
+        # ... to roughly the same ceiling regardless of pressure: the
+        # ceiling is set by the timestamper (~1.85k events/s).
+        capped = by_cell[(10_000, 1)]
+        peak = capped.throughput_series.maximum()
+        assert peak < 2_500
+
+    def test_batching_raises_throughput(self, weaver_config, weaver_stream):
+        results = run_weaver_throughput(weaver_config, stream=weaver_stream)
+        by_cell = {(r.streaming_rate, r.batch_size): r for r in results}
+        assert (
+            by_cell[(10_000, 10)].mean_throughput
+            > 2 * by_cell[(10_000, 1)].mean_throughput
+        )
+
+
+class TestFig3cWeaverCpu:
+    def test_timestamper_dominates(self, weaver_config, weaver_stream):
+        result = run_weaver_cpu(
+            weaver_config, stream=weaver_stream,
+            streaming_rate=10_000, batch_size=10,
+        )
+        assert result.timestamper_dominates
+        assert result.timestamper_mean > 2 * result.shard_mean
+
+    def test_cpu_bounded_by_100_percent(self, weaver_config, weaver_stream):
+        result = run_weaver_cpu(weaver_config, stream=weaver_stream)
+        assert result.timestamper_cpu.maximum() <= 100.0 + 1e-9
+
+
+class TestFig3dChronograph:
+    @pytest.fixture(scope="class")
+    def result(self):
+        config = ChronographExperimentConfig(
+            total_events=8_000,
+            pause_after=4_000,
+            pause_seconds=2.0,
+            double_rate_until=6_000,
+        )
+        return run_chronograph(config)
+
+    def test_backlog_outlives_stream(self, result):
+        assert result.backlog_seconds > 0
+
+    def test_queues_grow_during_run(self, result):
+        peak = max(
+            series.maximum() for series in result.worker_queues.values()
+        )
+        assert peak > 0
+
+    def test_rank_error_declines_after_drain(self, result):
+        errors = result.rank_error.values
+        assert errors[-1] < errors[0]
+        assert errors[-1] < 0.1
+
+    def test_replay_rate_reflects_pause_and_doubling(self, result):
+        rates = result.replay_rate.values
+        assert max(rates) > 2_500  # the doubled-rate phase
+        assert min(rates) < 500    # the pause
+
+    def test_stacked_table_has_all_series(self, result):
+        table = result.stacked()
+        labels = table.labels()
+        assert "replay_rate" in labels
+        assert "relative_rank_error" in labels
+        assert sum(1 for l in labels if l.startswith("queue_")) == 4
+        assert sum(1 for l in labels if l.startswith("cpu_")) == 4
+
+    def test_stream_builder_event_count(self):
+        config = ChronographExperimentConfig(
+            total_events=5_000, pause_after=2_000, double_rate_until=3_000
+        )
+        stream = build_chronograph_stream(config)
+        assert len(list(stream.graph_events())) == 5_000

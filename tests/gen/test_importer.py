@@ -1,0 +1,142 @@
+"""Tests for importing existing graphs as streams (edge lists, diffs)."""
+
+import pytest
+
+from repro.core.events import EventType
+from repro.errors import StreamFormatError
+from repro.gen.importer import edge_list_to_stream, graph_diff_stream, parse_edge_list
+from repro.graph.builders import build_graph
+from repro.graph.graph import StreamGraph
+
+
+class TestParseEdgeList:
+    def test_basic(self):
+        edges = parse_edge_list(["1 2", "2 3"])
+        assert edges == [(1, 2, ""), (2, 3, "")]
+
+    def test_weights(self):
+        edges = parse_edge_list(["1 2 0.5"])
+        assert edges == [(1, 2, "w=0.5")]
+
+    def test_comments_and_blanks(self):
+        edges = parse_edge_list(["# header", "% konect", "", "1 2"])
+        assert edges == [(1, 2, "")]
+
+    def test_comma_separated(self):
+        assert parse_edge_list(["1,2"]) == [(1, 2, "")]
+
+    def test_self_loops_dropped(self):
+        assert parse_edge_list(["1 1", "1 2"]) == [(1, 2, "")]
+
+    def test_duplicates_dropped(self):
+        assert parse_edge_list(["1 2", "1 2"]) == [(1, 2, "")]
+
+    def test_malformed_line(self):
+        with pytest.raises(StreamFormatError, match="line 1"):
+            parse_edge_list(["justone"])
+
+    def test_non_integer_ids(self):
+        with pytest.raises(StreamFormatError):
+            parse_edge_list(["a b"])
+
+
+class TestEdgeListToStream:
+    def test_stream_applies_cleanly(self):
+        stream = edge_list_to_stream(["1 2", "2 3", "3 1"])
+        graph, report = build_graph(stream)
+        assert not report.failed
+        assert graph.vertex_count == 3
+        assert graph.edge_count == 3
+
+    def test_vertices_created_before_edges(self):
+        stream = edge_list_to_stream(["5 7"])
+        types = [e.event_type for e in stream.graph_events()]
+        assert types == [
+            EventType.ADD_VERTEX,
+            EventType.ADD_VERTEX,
+            EventType.ADD_EDGE,
+        ]
+
+    def test_from_file(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("# test graph\n1 2\n2 3\n")
+        stream = edge_list_to_stream(path)
+        graph, __ = build_graph(stream)
+        assert graph.edge_count == 2
+
+    def test_shuffled_stream_still_consistent(self):
+        lines = [f"{i} {i + 1}" for i in range(50)]
+        stream = edge_list_to_stream(lines, shuffle_seed=3)
+        graph, report = build_graph(stream)
+        assert not report.failed
+        assert graph.edge_count == 50
+
+    def test_shuffle_changes_order(self):
+        lines = [f"{i} {i + 1}" for i in range(50)]
+        plain = edge_list_to_stream(lines)
+        shuffled = edge_list_to_stream(lines, shuffle_seed=3)
+        assert plain != shuffled
+
+    def test_weight_states_preserved(self):
+        stream = edge_list_to_stream(["1 2 2.5"])
+        graph, __ = build_graph(stream)
+        assert graph.edge_state(1, 2) == "w=2.5"
+
+
+class TestGraphDiffStream:
+    def _graph(self, vertices, edges, vertex_states=None, edge_states=None):
+        graph = StreamGraph()
+        for v in vertices:
+            graph.add_vertex(v, (vertex_states or {}).get(v, ""))
+        for s, t in edges:
+            graph.add_edge(s, t, (edge_states or {}).get((s, t), ""))
+        return graph
+
+    def test_identity_diff_is_empty(self):
+        graph = self._graph([1, 2], [(1, 2)])
+        assert len(graph_diff_stream(graph, graph.copy())) == 0
+
+    def test_diff_replays_to_target(self):
+        before = self._graph([1, 2, 3], [(1, 2), (2, 3)])
+        after = self._graph(
+            [2, 3, 4], [(2, 3), (3, 4)],
+            vertex_states={3: "updated"},
+        )
+        diff = graph_diff_stream(before, after)
+        replayed, report = build_graph(diff, graph=before.copy())
+        assert not report.failed
+        assert replayed == after
+
+    def test_state_updates_detected(self):
+        before = self._graph([1, 2], [(1, 2)], edge_states={(1, 2): "old"})
+        after = self._graph([1, 2], [(1, 2)], edge_states={(1, 2): "new"})
+        diff = graph_diff_stream(before, after)
+        assert len(diff) == 1
+        assert diff[0].event_type is EventType.UPDATE_EDGE
+
+    def test_vertex_removal_skips_cascaded_edges(self):
+        before = self._graph([1, 2, 3], [(1, 2), (1, 3)])
+        after = self._graph([2, 3], [])
+        diff = graph_diff_stream(before, after)
+        # No explicit edge removals: removing vertex 1 cascades.
+        types = [e.event_type for e in diff.graph_events()]
+        assert types == [EventType.REMOVE_VERTEX]
+        replayed, __ = build_graph(diff, graph=before.copy())
+        assert replayed == after
+
+    def test_snapshot_sequence_to_stream(self):
+        # The temporal-graph use: a chain of snapshots becomes one stream.
+        snapshots = [
+            self._graph([1], []),
+            self._graph([1, 2], [(1, 2)]),
+            self._graph([1, 2, 3], [(1, 2), (2, 3)]),
+            self._graph([2, 3], [(2, 3)]),
+        ]
+        from repro.core.stream import GraphStream
+
+        combined = GraphStream()
+        for before, after in zip(snapshots, snapshots[1:]):
+            combined.extend(graph_diff_stream(before, after))
+        replayed, report = build_graph(combined, graph=snapshots[0].copy())
+        assert not report.failed
+        assert replayed == snapshots[-1]

@@ -1,0 +1,85 @@
+"""Unit tests for the SNB-like social-network workload generator."""
+
+import json
+
+import pytest
+
+from repro.core.events import EventType
+from repro.core.stream import GraphStream
+from repro.gen.snb import SnbConfig, snb_stream
+from repro.graph.builders import build_graph
+
+
+class TestSnbConfig:
+    def test_defaults_match_table4(self):
+        config = SnbConfig()
+        assert config.total_events == 190_518
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SnbConfig(total_events=1)
+        with pytest.raises(ValueError):
+            SnbConfig(person_ratio=0)
+        with pytest.raises(ValueError):
+            SnbConfig(person_ratio=0.9, update_ratio=0.2)
+        with pytest.raises(ValueError):
+            SnbConfig(update_ratio=-0.1)
+
+
+class TestSnbStream:
+    @pytest.fixture(scope="class")
+    def stream(self):
+        return GraphStream(snb_stream(SnbConfig(total_events=5000, seed=7)))
+
+    def test_exact_event_count(self, stream):
+        assert len(stream) == 5000
+
+    def test_applies_cleanly(self, stream):
+        graph, report = build_graph(stream)
+        assert not report.failed
+        assert graph.vertex_count > 0
+        assert graph.edge_count > 0
+
+    def test_event_mix_near_configuration(self, stream):
+        stats = stream.statistics()
+        person_fraction = stats.counts_by_type[EventType.ADD_VERTEX] / len(stream)
+        # Configured 0.30; edge fallbacks may push it slightly higher.
+        assert 0.25 < person_fraction < 0.45
+
+    def test_no_removals(self, stream):
+        stats = stream.statistics()
+        assert stats.remove_events == 0
+
+    def test_person_states_are_json(self, stream):
+        first_add = next(
+            e for e in stream.graph_events()
+            if e.event_type is EventType.ADD_VERTEX
+        )
+        payload = json.loads(first_add.payload)
+        assert {"name", "country", "id", "posts"} <= set(payload)
+
+    def test_knows_edges_have_kind(self, stream):
+        first_edge = next(
+            e for e in stream.graph_events()
+            if e.event_type is EventType.ADD_EDGE
+        )
+        assert json.loads(first_edge.payload)["kind"] == "knows"
+
+    def test_deterministic_per_seed(self):
+        a = list(snb_stream(SnbConfig(total_events=500, seed=3)))
+        b = list(snb_stream(SnbConfig(total_events=500, seed=3)))
+        assert a == b
+
+    def test_seeds_differ(self):
+        a = list(snb_stream(SnbConfig(total_events=500, seed=3)))
+        b = list(snb_stream(SnbConfig(total_events=500, seed=4)))
+        assert a != b
+
+    def test_heavy_tailed_popularity(self):
+        stream = GraphStream(snb_stream(SnbConfig(total_events=8000, seed=1)))
+        graph, __ = build_graph(stream)
+        degrees = sorted(
+            (graph.degree(v) for v in graph.vertices()), reverse=True
+        )
+        median = degrees[len(degrees) // 2]
+        assert degrees[0] > 5 * max(1, median)

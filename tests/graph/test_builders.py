@@ -1,0 +1,107 @@
+"""Unit tests for stream -> graph reconstruction and snapshots."""
+
+import pytest
+
+from repro.core.events import add_edge, add_vertex, marker, remove_vertex
+from repro.core.stream import GraphStream
+from repro.errors import VertexNotFoundError
+from repro.graph.builders import (
+    build_graph,
+    marker_snapshots,
+    snapshot_at_index,
+    snapshot_at_marker,
+)
+
+
+class TestBuildGraph:
+    def test_builds_expected_graph(self, tiny_stream):
+        graph, report = build_graph(tiny_stream)
+        assert graph.vertex_count == 4
+        assert graph.edge_count == 3
+        assert report.applied == 8
+        assert not report.failed
+
+    def test_strict_raises_on_violation(self):
+        stream = GraphStream([add_edge(0, 1)])  # endpoints missing
+        with pytest.raises(VertexNotFoundError):
+            build_graph(stream)
+
+    def test_tolerant_records_failures(self):
+        stream = GraphStream([add_vertex(0), add_edge(0, 1), add_vertex(1)])
+        graph, report = build_graph(stream, strict=False)
+        assert graph.vertex_count == 2
+        assert graph.edge_count == 0
+        assert len(report.failed) == 1
+        index, event, error = report.failed[0]
+        assert index == 1
+        assert isinstance(error, VertexNotFoundError)
+
+    def test_failure_rate(self):
+        stream = GraphStream([add_vertex(0), add_vertex(0)])
+        __, report = build_graph(stream, strict=False)
+        assert report.failure_rate == pytest.approx(0.5)
+
+    def test_failure_rate_empty(self):
+        __, report = build_graph(GraphStream())
+        assert report.failure_rate == 0.0
+
+    def test_into_existing_graph(self, tiny_graph):
+        stream = GraphStream([add_vertex(100)])
+        graph, __ = build_graph(stream, graph=tiny_graph)
+        assert graph is tiny_graph
+        assert graph.has_vertex(100)
+
+
+class TestSnapshots:
+    def test_snapshot_at_index(self, tiny_stream):
+        graph = snapshot_at_index(tiny_stream, 4)
+        assert graph.vertex_count == 4
+        assert graph.edge_count == 0
+
+    def test_snapshot_at_index_zero_is_empty(self, tiny_stream):
+        graph = snapshot_at_index(tiny_stream, 0)
+        assert graph.vertex_count == 0
+
+    def test_snapshot_negative_index_rejected(self, tiny_stream):
+        with pytest.raises(ValueError):
+            snapshot_at_index(tiny_stream, -1)
+
+    def test_snapshot_at_marker(self, tiny_stream):
+        graph = snapshot_at_marker(tiny_stream, "built")
+        assert graph.vertex_count == 4
+        assert graph.edge_count == 3
+        # The state update after the marker is not applied.
+        assert graph.vertex_state(0) == "a"
+
+    def test_snapshot_at_missing_marker(self, tiny_stream):
+        with pytest.raises(ValueError):
+            snapshot_at_marker(tiny_stream, "missing")
+
+    def test_marker_snapshots_single_pass(self):
+        stream = GraphStream(
+            [
+                add_vertex(0),
+                marker("one"),
+                add_vertex(1),
+                add_edge(0, 1),
+                marker("two"),
+                remove_vertex(0),
+                marker("three"),
+            ]
+        )
+        snapshots = marker_snapshots(stream)
+        assert [m.label for m, __ in snapshots] == ["one", "two", "three"]
+        graphs = [g for __, g in snapshots]
+        assert graphs[0].vertex_count == 1
+        assert graphs[1].edge_count == 1
+        assert graphs[2].vertex_count == 1
+        assert not graphs[2].has_vertex(0)
+
+    def test_marker_snapshots_match_per_marker_reconstruction(self, medium_stream):
+        # Cross-check the single-pass approach against snapshot_at_marker.
+        stream = GraphStream(list(medium_stream) + [marker("end")])
+        snapshots = dict(
+            (m.label, g) for m, g in marker_snapshots(stream)
+        )
+        for label in snapshots:
+            assert snapshots[label] == snapshot_at_marker(stream, label)

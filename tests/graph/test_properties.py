@@ -1,0 +1,119 @@
+"""Unit tests for structural graph properties."""
+
+import pytest
+
+from repro.graph.graph import StreamGraph
+from repro.graph.properties import (
+    average_degree,
+    clustering_coefficient,
+    degree_distribution,
+    density,
+    global_clustering,
+    in_degree_distribution,
+    out_degree_distribution,
+    reciprocity,
+    summarize,
+)
+
+
+@pytest.fixture
+def triangle() -> StreamGraph:
+    graph = StreamGraph()
+    for v in range(3):
+        graph.add_vertex(v)
+    graph.add_edge(0, 1)
+    graph.add_edge(1, 2)
+    graph.add_edge(2, 0)
+    return graph
+
+
+@pytest.fixture
+def star() -> StreamGraph:
+    """Hub 0 pointing at 1..4."""
+    graph = StreamGraph()
+    for v in range(5):
+        graph.add_vertex(v)
+    for leaf in range(1, 5):
+        graph.add_edge(0, leaf)
+    return graph
+
+
+class TestDegreeDistributions:
+    def test_star_total_degrees(self, star):
+        assert degree_distribution(star) == {4: 1, 1: 4}
+
+    def test_star_in_out(self, star):
+        assert in_degree_distribution(star) == {0: 1, 1: 4}
+        assert out_degree_distribution(star) == {4: 1, 0: 4}
+
+    def test_empty_graph(self):
+        assert degree_distribution(StreamGraph()) == {}
+
+
+class TestDensityAndDegree:
+    def test_triangle_density(self, triangle):
+        assert density(triangle) == pytest.approx(3 / 6)
+
+    def test_single_vertex_density_zero(self):
+        graph = StreamGraph()
+        graph.add_vertex(0)
+        assert density(graph) == 0.0
+
+    def test_average_degree(self, triangle):
+        assert average_degree(triangle) == pytest.approx(2.0)
+
+    def test_average_degree_empty(self):
+        assert average_degree(StreamGraph()) == 0.0
+
+
+class TestClustering:
+    def test_triangle_fully_clustered(self, triangle):
+        for v in range(3):
+            assert clustering_coefficient(triangle, v) == pytest.approx(1.0)
+        assert global_clustering(triangle) == pytest.approx(1.0)
+
+    def test_star_unclustered(self, star):
+        assert clustering_coefficient(star, 0) == 0.0
+        assert global_clustering(star) == 0.0
+
+    def test_low_degree_vertex_zero(self):
+        graph = StreamGraph()
+        graph.add_vertex(0)
+        graph.add_vertex(1)
+        graph.add_edge(0, 1)
+        assert clustering_coefficient(graph, 0) == 0.0
+
+    def test_global_clustering_empty(self):
+        assert global_clustering(StreamGraph()) == 0.0
+
+
+class TestReciprocity:
+    def test_no_edges(self):
+        assert reciprocity(StreamGraph()) == 0.0
+
+    def test_fully_reciprocal(self):
+        graph = StreamGraph()
+        graph.add_vertex(0)
+        graph.add_vertex(1)
+        graph.add_edge(0, 1)
+        graph.add_edge(1, 0)
+        assert reciprocity(graph) == 1.0
+
+    def test_one_directional_triangle(self, triangle):
+        assert reciprocity(triangle) == 0.0
+
+
+class TestSummarize:
+    def test_star_summary(self, star):
+        summary = summarize(star)
+        assert summary.vertex_count == 5
+        assert summary.edge_count == 4
+        assert summary.max_out_degree == 4
+        assert summary.max_in_degree == 1
+        assert summary.average_degree == pytest.approx(8 / 5)
+
+    def test_empty_summary(self):
+        summary = summarize(StreamGraph())
+        assert summary.vertex_count == 0
+        assert summary.max_in_degree == 0
+        assert summary.density == 0.0

@@ -1,0 +1,131 @@
+"""Unit tests for temporal (evolution) properties of streams."""
+
+import math
+
+import pytest
+
+from repro.core.events import (
+    add_edge,
+    add_vertex,
+    marker,
+    remove_edge,
+    remove_vertex,
+    update_edge,
+    update_vertex,
+)
+from repro.core.stream import GraphStream
+from repro.graph.builders import build_graph
+from repro.graph.temporal import (
+    churn_rates,
+    growth_curve,
+    locality_gini,
+    update_locality,
+)
+
+
+class TestGrowthCurve:
+    def test_simple_growth(self):
+        stream = GraphStream(
+            [add_vertex(0), add_vertex(1), add_edge(0, 1), remove_vertex(1)]
+        )
+        points = growth_curve(stream)
+        assert [(p.vertices, p.edges) for p in points] == [
+            (0, 0), (1, 0), (2, 0), (2, 1), (1, 0),
+        ]
+
+    def test_sampling_interval(self, medium_stream):
+        points = growth_curve(medium_stream, sample_every=100)
+        assert points[0].event_index == 0
+        assert points[-1].event_index == len(medium_stream)
+
+    def test_final_point_matches_reconstruction(self, medium_stream):
+        points = growth_curve(medium_stream, sample_every=50)
+        graph, __ = build_graph(medium_stream)
+        assert points[-1].vertices == graph.vertex_count
+        assert points[-1].edges == graph.edge_count
+
+    def test_vertex_removal_cascades_edge_count(self):
+        stream = GraphStream(
+            [
+                add_vertex(0),
+                add_vertex(1),
+                add_vertex(2),
+                add_edge(0, 1),
+                add_edge(2, 1),
+                remove_vertex(1),
+            ]
+        )
+        points = growth_curve(stream)
+        assert points[-1].edges == 0
+        assert points[-1].vertices == 2
+
+    def test_rejects_bad_interval(self, medium_stream):
+        with pytest.raises(ValueError):
+            growth_curve(medium_stream, sample_every=0)
+
+    def test_markers_count_as_positions(self):
+        stream = GraphStream([add_vertex(0), marker("m"), add_vertex(1)])
+        points = growth_curve(stream)
+        assert points[-1].event_index == 3
+        assert points[-1].vertices == 2
+
+
+class TestChurnRates:
+    def test_single_window(self):
+        stream = GraphStream(
+            [add_vertex(0), add_vertex(1), add_edge(0, 1), remove_edge(0, 1)]
+        )
+        (window,) = churn_rates(stream, window=10)
+        assert window.vertex_churn == 2
+        assert window.edge_churn == 2
+        assert window.net_vertex == 2
+        assert window.net_edge == 0
+
+    def test_multiple_windows(self, medium_stream):
+        windows = churn_rates(medium_stream, window=100)
+        assert sum(w.vertex_churn + w.edge_churn for w in windows) == (
+            medium_stream.statistics().topology_events
+        )
+
+    def test_rejects_bad_window(self, medium_stream):
+        with pytest.raises(ValueError):
+            churn_rates(medium_stream, window=-1)
+
+    def test_state_updates_do_not_churn(self):
+        stream = GraphStream([add_vertex(0), update_vertex(0, "x")])
+        (window,) = churn_rates(stream, window=10)
+        assert window.vertex_churn == 1  # only the add
+
+
+class TestUpdateLocality:
+    def test_histogram_keys(self):
+        stream = GraphStream(
+            [
+                add_vertex(0),
+                add_vertex(1),
+                add_edge(0, 1),
+                update_vertex(0, "a"),
+                update_vertex(0, "b"),
+                update_edge(0, 1, "w"),
+            ]
+        )
+        histogram = update_locality(stream)
+        assert histogram == {"v:0": 2, "e:0-1": 1}
+
+    def test_empty_stream(self):
+        assert update_locality(GraphStream()) == {}
+
+    def test_gini_uniform_is_zero(self):
+        assert locality_gini({"a": 5, "b": 5, "c": 5}) == pytest.approx(0.0)
+
+    def test_gini_concentrated_is_high(self):
+        skewed = locality_gini({"hot": 1000, "a": 1, "b": 1, "c": 1})
+        assert skewed > 0.7
+
+    def test_gini_empty_is_nan(self):
+        assert math.isnan(locality_gini({}))
+
+    def test_gini_monotone_in_skew(self):
+        mild = locality_gini({"a": 4, "b": 3, "c": 3})
+        strong = locality_gini({"a": 8, "b": 1, "c": 1})
+        assert strong > mild

@@ -1,0 +1,179 @@
+"""End-to-end integration tests: full evaluation pipelines across modules.
+
+These exercise the complete framework loop — generate a workload,
+replay it into a platform through the harness, collect the result log,
+and run the section-4.5 analyses on it.
+"""
+
+import pytest
+
+from repro.algorithms.base import rank_error
+from repro.algorithms.pagerank import OnlinePageRank, PageRank
+from repro.core.analysis import (
+    cross_correlation,
+    result_reflection_latency,
+    retrospective_rank_errors,
+)
+from repro.core.faults import FaultPlan, apply_fault_plan
+from repro.core.generator import StreamGenerator
+from repro.core.harness import HarnessConfig, InternalProbeSpec, TestHarness
+from repro.core.methodology import ComparisonVerdict, compare, repeat_runs
+from repro.core.models import SocialNetworkRules, UniformRules
+from repro.graph.builders import build_graph, snapshot_at_marker
+from repro.platforms.chronolike import ChronoLikePlatform
+from repro.platforms.inmem import InMemoryPlatform
+from repro.platforms.weaverlike import WeaverLikePlatform
+
+
+class TestFullPipeline:
+    def test_generate_replay_collect_analyze(self):
+        stream = StreamGenerator(
+            SocialNetworkRules(), rounds=1500, seed=42
+        ).generate()
+        platform = InMemoryPlatform()
+        platform.add_online(OnlinePageRank(work_per_event=16))
+        harness = TestHarness(
+            platform,
+            stream,
+            HarnessConfig(rate=2000, level=1, log_interval=0.25),
+            query_probes={"vertex_count": lambda p: p.query("vertex_count")},
+            object_probes={
+                "ranks": lambda p: p.query("online:online_pagerank"),
+            },
+        )
+        result = harness.run()
+        assert result.drained
+
+        # Marker correlation: the graph reflects the bootstrap phase.
+        bootstrap_graph = snapshot_at_marker(stream, "bootstrap-end")
+        latency = result_reflection_latency(
+            result.log,
+            "bootstrap-end",
+            "vertex_count",
+            lambda v: v >= bootstrap_graph.vertex_count,
+        )
+        assert latency >= 0
+
+        # Retrospective accuracy against the exact reference.
+        final_graph, __ = build_graph(stream)
+        exact = PageRank().compute(final_graph)
+        errors = retrospective_rank_errors(
+            result.object_series["ranks"], exact
+        )
+        assert len(errors) > 2
+        # The online computation keeps up at this modest rate.
+        assert errors.values[-1] < 0.5
+
+    def test_faulty_stream_against_tolerant_platform(self):
+        stream = StreamGenerator(UniformRules(), rounds=800, seed=1).generate()
+        faulty = apply_fault_plan(
+            stream, FaultPlan(drop_probability=0.1, duplicate_probability=0.1, seed=3)
+        )
+        graph_strict, report = build_graph(faulty, strict=False)
+        assert report.failed  # faults do violate preconditions
+        # The reference graph from the clean stream differs.
+        clean_graph, __ = build_graph(stream)
+        assert graph_strict != clean_graph
+
+    def test_cross_platform_correlation(self):
+        stream = StreamGenerator(UniformRules(), rounds=3000, seed=7).generate()
+        platform = ChronoLikePlatform(worker_count=2)
+        result = TestHarness(
+            platform,
+            stream,
+            HarnessConfig(rate=4000, level=2, log_interval=0.25),
+            internal_probes=[
+                InternalProbeSpec(
+                    "queue_lengths",
+                    "queue_length",
+                    extract=lambda q: [
+                        (f"worker-{i}", float(v)) for i, v in enumerate(q)
+                    ],
+                )
+            ],
+        ).run()
+        ingress = result.log.series("ingress_rate", source="replayer")
+        queue = result.log.series(
+            "queue_length", source="chronograph-worker-0"
+        )
+        correlation = cross_correlation(ingress, queue, max_lag=4, step=0.25)
+        assert correlation  # enough overlap to correlate
+
+
+class TestMethodologyPipeline:
+    def test_repeated_runs_and_ci_comparison(self):
+        """Section 4.5: repeated runs per configuration, CI95 verdicts."""
+
+        def run_platform(batch_size):
+            def run(seed):
+                stream = StreamGenerator(
+                    UniformRules(),
+                    rounds=4000,
+                    seed=seed,
+                    emit_phase_marker=False,
+                ).generate()
+                platform = WeaverLikePlatform(batch_size=batch_size)
+                result = TestHarness(
+                    platform,
+                    stream,
+                    HarnessConfig(rate=10_000, level=0),
+                ).run()
+                # committed events per second of pure processing
+                return result.events_processed / result.duration
+
+            return run
+
+        unbatched = repeat_runs(run_platform(1), repetitions=5)
+        batched = repeat_runs(run_platform(10), repetitions=5)
+        verdict = compare(
+            batched.values, unbatched.values, higher_is_better=True
+        )
+        assert verdict.verdict == ComparisonVerdict.A_BETTER
+        assert verdict.significant
+
+    def test_identical_systems_indistinguishable(self):
+        def run(seed):
+            stream = StreamGenerator(
+                UniformRules(), rounds=300, seed=seed
+            ).generate()
+            platform = InMemoryPlatform()
+            result = TestHarness(
+                platform, stream, HarnessConfig(rate=5_000, level=0)
+            ).run()
+            return result.events_processed / result.duration
+
+        a = repeat_runs(run, repetitions=5)
+        b = repeat_runs(run, repetitions=5)
+        verdict = compare(a.values, b.values)
+        assert verdict.verdict == ComparisonVerdict.INDISTINGUISHABLE
+
+
+class TestLevelScenarios:
+    """The paper's examples: level-0 comparison vs level-2 engineering."""
+
+    def test_level0_average_load_comparison(self):
+        """Comparing two systems' average load is possible on level 0."""
+        stream = StreamGenerator(UniformRules(), rounds=1000, seed=3).generate()
+
+        def average_cpu(platform):
+            result = TestHarness(
+                platform, stream, HarnessConfig(rate=2000, level=0)
+            ).run()
+            return result.log.series("cpu_load").mean()
+
+        fast = average_cpu(InMemoryPlatform(service_time=5e-6))
+        slow = average_cpu(InMemoryPlatform(service_time=200e-6))
+        assert slow > fast
+
+    def test_level2_scheduling_insight(self):
+        """In-depth engineering: which message type dominates workers."""
+        stream = StreamGenerator(UniformRules(), rounds=1000, seed=3).generate()
+        platform = ChronoLikePlatform()
+        TestHarness(
+            platform, stream, HarnessConfig(rate=5000, level=2)
+        ).run()
+        updates = sum(platform.internal_probe("worker_update_ops"))
+        computes = sum(platform.internal_probe("worker_compute_ops"))
+        # Online rank computation generates far more internal traffic
+        # than graph evolution itself (the paper's Chronograph finding).
+        assert computes > updates

@@ -1,0 +1,44 @@
+"""Smoke tests: every example script must run to completion.
+
+Examples are the library's living documentation; breaking one silently
+is worse than breaking an internal helper.  Each runs as a subprocess
+with a generous timeout.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_is_complete():
+    # The README promises at least these seven.
+    expected = {
+        "quickstart.py",
+        "social_network.py",
+        "ddos_detection.py",
+        "blockchain.py",
+        "compare_platforms.py",
+        "external_system.py",
+        "full_evaluation.py",
+    }
+    assert expected <= set(EXAMPLES)
+
+
+@pytest.mark.parametrize("example", EXAMPLES)
+def test_example_runs_cleanly(example):
+    process = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / example)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert process.returncode == 0, (
+        f"{example} failed:\n{process.stdout[-2000:]}\n{process.stderr[-2000:]}"
+    )
+    assert process.stdout.strip(), f"{example} produced no output"

@@ -1,0 +1,63 @@
+"""Unit tests for the Platform interface and evaluation levels."""
+
+import pytest
+
+from repro.core.events import add_vertex
+from repro.errors import EvaluationLevelError, PlatformError
+from repro.platforms.base import Platform
+from repro.platforms.inmem import InMemoryPlatform
+from repro.platforms.weaverlike import WeaverLikePlatform
+from repro.platforms.chronolike import ChronoLikePlatform
+from repro.sim.kernel import Simulation
+
+
+class TestEvaluationLevels:
+    def test_level0_platform_rejects_native_metrics(self):
+        platform = WeaverLikePlatform()
+        with pytest.raises(EvaluationLevelError) as exc:
+            platform.native_metrics()
+        assert exc.value.required == 1
+        assert exc.value.actual == 0
+
+    def test_level0_platform_rejects_internal_probe(self):
+        with pytest.raises(EvaluationLevelError):
+            WeaverLikePlatform().internal_probe("anything")
+
+    def test_level1_platform_allows_native_metrics(self):
+        platform = InMemoryPlatform()
+        platform.attach(Simulation())
+        assert isinstance(platform.native_metrics(), dict)
+
+    def test_level1_platform_rejects_internal_probe(self):
+        with pytest.raises(EvaluationLevelError):
+            InMemoryPlatform().internal_probe("x")
+
+    def test_level2_platform_allows_everything(self):
+        platform = ChronoLikePlatform()
+        platform.attach(Simulation())
+        assert isinstance(platform.native_metrics(), dict)
+        assert isinstance(platform.internal_probe("queue_lengths"), list)
+
+    def test_unknown_internal_probe(self):
+        platform = ChronoLikePlatform()
+        platform.attach(Simulation())
+        with pytest.raises(PlatformError):
+            platform.internal_probe("bogus")
+
+
+class TestLifecycle:
+    def test_unattached_platform_rejects_ingest(self):
+        with pytest.raises(PlatformError):
+            InMemoryPlatform().ingest(add_vertex(0))
+
+    def test_sim_property_requires_attach(self):
+        with pytest.raises(PlatformError):
+            __ = InMemoryPlatform().sim
+
+    def test_default_drained_semantics(self):
+        platform = InMemoryPlatform()
+        platform.attach(Simulation())
+        assert platform.is_drained  # nothing accepted yet
+
+    def test_repr(self):
+        assert "level=1" in repr(InMemoryPlatform())

@@ -1,0 +1,119 @@
+"""Unit tests for the in-memory reference platform."""
+
+import pytest
+
+from repro.algorithms.degree import OnlineDegreeDistribution
+from repro.algorithms.pagerank import PageRank
+from repro.core.events import add_edge, add_vertex
+from repro.errors import PlatformError
+from repro.platforms.inmem import InMemoryPlatform
+from repro.sim.kernel import Simulation
+
+
+@pytest.fixture
+def attached():
+    sim = Simulation()
+    platform = InMemoryPlatform(service_time=0.01, queue_capacity=4)
+    platform.attach(sim)
+    return sim, platform
+
+
+class TestIngestion:
+    def test_event_applied_after_service_time(self, attached):
+        sim, platform = attached
+        assert platform.ingest(add_vertex(0))
+        assert platform.events_processed() == 0
+        sim.run()
+        assert platform.events_processed() == 1
+        assert platform.graph.has_vertex(0)
+
+    def test_backpressure_when_queue_full(self, attached):
+        sim, platform = attached
+        for i in range(4):
+            assert platform.ingest(add_vertex(i))
+        assert not platform.ingest(add_vertex(99))
+        sim.run()
+        assert platform.ingest(add_vertex(99))
+
+    def test_accepted_vs_processed_counters(self, attached):
+        sim, platform = attached
+        platform.ingest(add_vertex(0))
+        platform.ingest(add_vertex(1))
+        assert platform.events_accepted() == 2
+        sim.run()
+        assert platform.events_processed() == 2
+        assert platform.is_drained
+
+
+class TestQueries:
+    def test_counts(self, attached):
+        sim, platform = attached
+        platform.ingest(add_vertex(0))
+        platform.ingest(add_vertex(1))
+        platform.ingest(add_edge(0, 1))
+        sim.run()
+        assert platform.query("vertex_count") == 2
+        assert platform.query("edge_count") == 1
+
+    def test_snapshot_is_copy(self, attached):
+        sim, platform = attached
+        platform.ingest(add_vertex(0))
+        sim.run()
+        snapshot = platform.query("snapshot")
+        snapshot.add_vertex(99)
+        assert not platform.graph.has_vertex(99)
+
+    def test_online_computation(self, attached):
+        sim, platform = attached
+        platform.add_online(OnlineDegreeDistribution())
+        platform.ingest(add_vertex(0))
+        platform.ingest(add_vertex(1))
+        platform.ingest(add_edge(0, 1))
+        sim.run()
+        assert platform.query("online:online_degree_distribution") == {1: 2}
+
+    def test_batch_computation(self, attached):
+        sim, platform = attached
+        platform.add_batch(PageRank())
+        platform.ingest(add_vertex(0))
+        sim.run()
+        ranks = platform.query("batch:pagerank")
+        assert ranks == {0: pytest.approx(1.0)}
+
+    def test_unknown_query(self, attached):
+        __, platform = attached
+        with pytest.raises(PlatformError):
+            platform.query("bogus")
+
+    def test_unknown_online_computation(self, attached):
+        __, platform = attached
+        with pytest.raises(PlatformError):
+            platform.query("online:nope")
+
+
+class TestMetrics:
+    def test_native_metrics(self, attached):
+        sim, platform = attached
+        platform.ingest(add_vertex(0))
+        metrics = platform.native_metrics()
+        assert metrics["queue_length"] == 1.0
+        sim.run()
+        assert platform.native_metrics()["queue_length"] == 0.0
+        assert platform.native_metrics()["events_processed"] == 1.0
+
+    def test_rejections_counted(self, attached):
+        sim, platform = attached
+        for i in range(5):
+            platform.ingest(add_vertex(i))
+        assert platform.native_metrics()["events_rejected"] == 1.0
+
+    def test_processes(self, attached):
+        __, platform = attached
+        (cpu,) = platform.processes()
+        assert cpu.name == "inmem-worker"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            InMemoryPlatform(service_time=-1)
+        with pytest.raises(ValueError):
+            InMemoryPlatform(queue_capacity=0)

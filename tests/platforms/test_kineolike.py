@@ -1,0 +1,123 @@
+"""Unit tests for the simulated Kineograph-style epoch-snapshot platform."""
+
+import pytest
+
+from repro.algorithms.degree import GlobalProperties
+from repro.algorithms.pagerank import PageRank
+from repro.core.events import add_edge, add_vertex
+from repro.core.generator import StreamGenerator
+from repro.core.harness import HarnessConfig, TestHarness
+from repro.core.models import UniformRules
+from repro.errors import PlatformError
+from repro.platforms.kineolike import KineoLikePlatform
+from repro.sim.kernel import Simulation
+
+
+def _attached(**kwargs):
+    sim = Simulation()
+    platform = KineoLikePlatform(**kwargs)
+    platform.attach(sim)
+    return sim, platform
+
+
+class TestEpochs:
+    def test_epochs_cut_periodically(self):
+        sim, platform = _attached(epoch_interval=1.0)
+        platform.ingest(add_vertex(0))
+        sim.run(until=3.5)
+        assert platform.query("epoch") >= 2
+
+    def test_no_epoch_before_first_interval(self):
+        sim, platform = _attached(epoch_interval=10.0)
+        platform.ingest(add_vertex(0))
+        sim.run(until=5.0)
+        assert platform.query("epoch") == -1
+        with pytest.raises(PlatformError):
+            platform.query("epoch_age")
+
+    def test_epoch_results_are_snapshot_exact(self):
+        sim, platform = _attached(epoch_interval=1.0)
+        platform.add_computation(PageRank())
+        platform.ingest(add_vertex(0))
+        platform.ingest(add_vertex(1))
+        platform.ingest(add_edge(0, 1))
+        sim.run(until=1.5)
+        ranks = platform.query("epoch:pagerank")
+        assert set(ranks) == {0, 1}
+        assert ranks[1] > ranks[0]  # 1 receives rank from 0
+
+    def test_results_are_stale_wrt_live_graph(self):
+        sim, platform = _attached(epoch_interval=1.0)
+        platform.add_computation(GlobalProperties())
+        platform.ingest(add_vertex(0))
+        sim.run(until=1.5)  # epoch 0 sees one vertex
+        platform.ingest(add_vertex(1))
+        sim.run(until=1.8)  # applied to live graph, but no new epoch yet
+        summary = platform.query("epoch:global_properties")
+        assert summary.vertex_count == 1
+        assert platform.query("vertex_count") == 2
+
+    def test_epoch_age_grows_until_next_epoch(self):
+        sim, platform = _attached(epoch_interval=1.0)
+        platform.ingest(add_vertex(0))
+        sim.run(until=1.2)
+        age_early = platform.query("epoch_age")
+        sim.run(until=1.9)
+        age_late = platform.query("epoch_age")
+        assert age_late > age_early
+
+    def test_unknown_epoch_result(self):
+        sim, platform = _attached(epoch_interval=1.0)
+        sim.run(until=1.5)
+        with pytest.raises(PlatformError):
+            platform.query("epoch:nonexistent")
+
+
+class TestIngestion:
+    def test_backpressure_at_capacity(self):
+        sim, platform = _attached(queue_capacity=2, ingest_service=1.0)
+        assert platform.ingest(add_vertex(0))
+        assert platform.ingest(add_vertex(1))
+        assert not platform.ingest(add_vertex(2))
+
+    def test_drained_ignores_epoch_work(self):
+        sim, platform = _attached(epoch_interval=0.5, compute_cost_per_element=1.0)
+        platform.ingest(add_vertex(0))
+        sim.run(until=0.1)
+        # All ingested events applied -> drained, even with epochs pending.
+        assert platform.is_drained
+
+    def test_processes_exposed(self):
+        __, platform = _attached()
+        names = [cpu.name for cpu in platform.processes()]
+        assert names == ["kineograph-ingest", "kineograph-compute"]
+
+    def test_native_metrics(self):
+        sim, platform = _attached(epoch_interval=1.0)
+        platform.ingest(add_vertex(0))
+        sim.run(until=1.5)
+        metrics = platform.native_metrics()
+        assert metrics["epochs_completed"] == 1.0
+        assert metrics["snapshot_vertices"] == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KineoLikePlatform(epoch_interval=0)
+        with pytest.raises(ValueError):
+            KineoLikePlatform(ingest_service=-1)
+        with pytest.raises(ValueError):
+            KineoLikePlatform(queue_capacity=0)
+
+
+class TestHarnessIntegration:
+    def test_full_run_with_epoch_computation(self):
+        stream = StreamGenerator(UniformRules(), rounds=1000, seed=5).generate()
+        platform = KineoLikePlatform(epoch_interval=0.5)
+        platform.add_computation(GlobalProperties())
+        result = TestHarness(
+            platform, stream, HarnessConfig(rate=2000, level=1)
+        ).run()
+        assert result.drained
+        assert platform.query("epoch") >= 0
+        summary = platform.query("epoch:global_properties")
+        assert summary.vertex_count > 0

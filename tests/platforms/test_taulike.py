@@ -1,0 +1,134 @@
+"""Unit tests for the simulated GraphTau-style hybrid platform."""
+
+import pytest
+
+from repro.algorithms.base import rank_error
+from repro.algorithms.pagerank import PageRank
+from repro.core.events import add_edge, add_vertex
+from repro.core.generator import StreamGenerator
+from repro.core.harness import HarnessConfig, TestHarness
+from repro.core.models import UniformRules
+from repro.errors import PlatformError
+from repro.graph.builders import build_graph
+from repro.platforms.taulike import TauLikePlatform
+from repro.sim.kernel import Simulation
+
+
+def _attached(**kwargs):
+    sim = Simulation()
+    platform = TauLikePlatform(**kwargs)
+    platform.attach(sim)
+    return sim, platform
+
+
+class TestWindows:
+    def test_windows_complete_periodically(self):
+        sim, platform = _attached(window_interval=1.0)
+        platform.ingest(add_vertex(0))
+        sim.run(until=3.6)
+        assert platform.native_metrics()["windows_completed"] >= 3
+
+    def test_rank_age_bounded_by_window(self):
+        sim, platform = _attached(window_interval=1.0)
+        platform.ingest(add_vertex(0))
+        sim.run(until=2.4)
+        assert platform.query("rank_age") <= 1.5
+
+    def test_no_rank_before_first_window(self):
+        sim, platform = _attached(window_interval=10.0)
+        platform.ingest(add_vertex(0))
+        sim.run(until=1.0)
+        with pytest.raises(PlatformError):
+            platform.query("rank_age")
+        assert platform.query("rank") == {}
+
+    def test_window_rank_matches_exact_pagerank(self):
+        sim, platform = _attached(window_interval=1.0, max_iterations=100)
+        for v in range(6):
+            platform.ingest(add_vertex(v))
+        for v in range(5):
+            platform.ingest(add_edge(v, v + 1))
+        sim.run(until=1.5)
+        ranks = platform.query("rank")
+        # Build the same graph directly for the exact reference.
+        from repro.graph.graph import StreamGraph
+
+        graph = StreamGraph()
+        for v in range(6):
+            graph.add_vertex(v)
+        for v in range(5):
+            graph.add_edge(v, v + 1)
+        exact = PageRank().compute(graph)
+        assert rank_error(ranks, exact) < 1e-3
+
+    def test_warm_start_uses_fewer_iterations(self):
+        sim, platform = _attached(window_interval=1.0, max_iterations=200,
+                                  tolerance=1e-10)
+        for v in range(30):
+            platform.ingest(add_vertex(v))
+        for v in range(29):
+            platform.ingest(add_edge(v, v + 1))
+        sim.run(until=1.5)
+        cold_iterations = platform.native_metrics()["last_window_iterations"]
+        # One tiny change, next window: warm start converges faster.
+        platform.ingest(add_vertex(1000))
+        sim.run(until=2.5)
+        warm_iterations = platform.native_metrics()["last_window_iterations"]
+        assert warm_iterations < cold_iterations
+
+
+class TestPauseShiftResume:
+    def test_events_buffered_during_shift(self):
+        sim, platform = _attached(
+            window_interval=1.0,
+            iteration_cost_per_element=0.05,  # slow shift
+        )
+        for v in range(10):
+            platform.ingest(add_vertex(v))
+        sim.run(until=1.005)  # inside the shift
+        platform.ingest(add_vertex(99))
+        assert platform.native_metrics()["buffered_events"] == 1.0
+        # The window timer reschedules forever; run to a horizon past
+        # the slow shift instead of draining the simulation.
+        sim.run(until=60.0)
+        assert platform.graph.has_vertex(99)
+        assert platform.is_drained
+
+    def test_never_rejects(self):
+        sim, platform = _attached()
+        for v in range(500):
+            assert platform.ingest(add_vertex(v))
+
+    def test_harness_run_drains(self):
+        stream = StreamGenerator(UniformRules(), rounds=800, seed=4).generate()
+        platform = TauLikePlatform(window_interval=0.5)
+        result = TestHarness(
+            platform, stream, HarnessConfig(rate=2000, level=1)
+        ).run()
+        assert result.drained
+        assert platform.native_metrics()["windows_completed"] >= 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TauLikePlatform(window_interval=0)
+        with pytest.raises(ValueError):
+            TauLikePlatform(max_iterations=0)
+        with pytest.raises(ValueError):
+            TauLikePlatform(damping=1.0)
+
+
+class TestQueries:
+    def test_counts_and_top(self):
+        sim, platform = _attached(window_interval=0.5)
+        for v in range(4):
+            platform.ingest(add_vertex(v))
+        for v in range(1, 4):
+            platform.ingest(add_edge(v, 0))
+        sim.run(until=0.9)
+        assert platform.query("vertex_count") == 4
+        assert platform.query("top_influencers", k=1) == [0]
+
+    def test_unknown_query(self):
+        __, platform = _attached()
+        with pytest.raises(PlatformError):
+            platform.query("bogus")

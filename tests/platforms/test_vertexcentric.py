@@ -1,0 +1,177 @@
+"""Tests for the generic vertex-centric platform and example programs."""
+
+import pytest
+
+from repro.algorithms.components import WeaklyConnectedComponents
+from repro.core.events import add_edge, add_vertex, remove_vertex
+from repro.core.generator import StreamGenerator
+from repro.core.harness import HarnessConfig, TestHarness
+from repro.core.models import EventMix, UniformRules
+from repro.errors import PlatformError
+from repro.graph.builders import build_graph
+from repro.platforms.programs import DegreeGossipProgram, LabelSpreadingProgram
+from repro.platforms.vertexcentric import (
+    VertexCentricPlatform,
+    VertexContext,
+    VertexProgram,
+)
+from repro.sim.kernel import Simulation
+
+
+def _attached(program, **kwargs):
+    sim = Simulation()
+    platform = VertexCentricPlatform(program, **kwargs)
+    platform.attach(sim)
+    return sim, platform
+
+
+class CountingProgram(VertexProgram):
+    """Counts callback invocations (test instrumentation)."""
+
+    name = "counting"
+
+    def __init__(self):
+        self.updates = 0
+        self.messages = 0
+
+    def initial_value(self, vertex):
+        return 0
+
+    def on_update(self, vertex, ctx):
+        self.updates += 1
+
+    def on_message(self, vertex, payload, ctx):
+        self.messages += 1
+
+
+class EchoProgram(VertexProgram):
+    """Sends one message per update to each successor."""
+
+    name = "echo"
+
+    def initial_value(self, vertex):
+        return None
+
+    def on_update(self, vertex, ctx):
+        for successor in ctx.successors():
+            ctx.send(successor, "ping")
+
+    def on_message(self, vertex, payload, ctx):
+        ctx.set_value(payload)
+
+
+class TestSubstrate:
+    def test_update_callbacks_fired(self):
+        program = CountingProgram()
+        sim, platform = _attached(program)
+        platform.ingest(add_vertex(0))
+        platform.ingest(add_vertex(1))
+        platform.ingest(add_edge(0, 1))
+        sim.run()
+        # vertex adds: 1 each; edge add touches both endpoints.
+        assert program.updates == 4
+
+    def test_messages_delivered(self):
+        program = EchoProgram()
+        sim, platform = _attached(program)
+        platform.ingest(add_vertex(0))
+        platform.ingest(add_vertex(1))
+        platform.ingest(add_edge(0, 1))
+        sim.run()
+        assert platform.query("value", vertex=1) == "ping"
+
+    def test_messages_to_removed_vertices_dropped(self):
+        program = EchoProgram()
+        sim, platform = _attached(program)
+        platform.ingest(add_vertex(0))
+        platform.ingest(add_vertex(1))
+        platform.ingest(add_edge(0, 1))
+        platform.ingest(remove_vertex(1))
+        sim.run()  # pending ping to 1 must not crash
+        assert platform.query("vertex_count") == 1
+
+    def test_runaway_program_guard(self):
+        class PingPong(VertexProgram):
+            name = "pingpong"
+
+            def initial_value(self, vertex):
+                return None
+
+            def on_update(self, vertex, ctx):
+                for s in ctx.successors():
+                    ctx.send(s, "go")
+
+            def on_message(self, vertex, payload, ctx):
+                for s in ctx.successors():
+                    ctx.send(s, payload)  # loops forever on a cycle
+
+        sim, platform = _attached(PingPong(), max_messages=500)
+        platform.ingest(add_vertex(0))
+        platform.ingest(add_vertex(1))
+        platform.ingest(add_edge(0, 1))
+        platform.ingest(add_edge(1, 0))
+        with pytest.raises(PlatformError, match="messages"):
+            sim.run()
+
+    def test_metrics_and_probes(self):
+        program = EchoProgram()
+        sim, platform = _attached(program, worker_count=2)
+        platform.ingest(add_vertex(0))
+        platform.ingest(add_vertex(1))
+        platform.ingest(add_edge(0, 1))
+        sim.run()
+        metrics = platform.native_metrics()
+        assert metrics["messages_processed"] >= 1
+        assert len(platform.internal_probe("queue_lengths")) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VertexCentricPlatform(CountingProgram(), worker_count=0)
+        with pytest.raises(ValueError):
+            VertexCentricPlatform(CountingProgram(), max_messages=0)
+
+    def test_unknown_query(self):
+        __, platform = _attached(CountingProgram())
+        with pytest.raises(PlatformError):
+            platform.query("bogus")
+
+
+class TestLabelSpreading:
+    def test_converges_to_wcc_on_insert_only_stream(self):
+        mix = EventMix(add_vertex=0.3, add_edge=0.7)
+        stream = StreamGenerator(
+            UniformRules(mix=mix), rounds=600, seed=9
+        ).generate()
+        platform = VertexCentricPlatform(LabelSpreadingProgram())
+        result = TestHarness(
+            platform, stream, HarnessConfig(rate=5_000, level=1)
+        ).run()
+        assert result.drained
+        graph, __ = build_graph(stream)
+        expected = WeaklyConnectedComponents().compute(graph)
+        assert platform.query("values") == expected
+
+    def test_two_components_stay_distinct(self):
+        sim, platform = _attached(LabelSpreadingProgram())
+        for v in range(4):
+            platform.ingest(add_vertex(v))
+        platform.ingest(add_edge(0, 1))
+        platform.ingest(add_edge(2, 3))
+        sim.run()
+        values = platform.query("values")
+        assert values[0] == values[1] == 0
+        assert values[2] == values[3] == 2
+
+
+class TestDegreeGossip:
+    def test_tracks_own_and_upstream_degree(self):
+        sim, platform = _attached(DegreeGossipProgram())
+        for v in range(3):
+            platform.ingest(add_vertex(v))
+        platform.ingest(add_edge(0, 1))
+        platform.ingest(add_edge(0, 2))
+        platform.ingest(add_edge(1, 2))
+        sim.run()
+        values = platform.query("values")
+        assert values[0] == (2, 0)       # hub, nothing upstream
+        assert values[2][1] == 2         # saw the hub's degree

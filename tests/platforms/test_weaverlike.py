@@ -1,0 +1,127 @@
+"""Unit tests for the simulated Weaver-style transactional store."""
+
+import pytest
+
+from repro.core.events import add_edge, add_vertex
+from repro.errors import PlatformError
+from repro.platforms.weaverlike import WeaverLikePlatform
+from repro.sim.kernel import Simulation
+
+
+def _attached(**kwargs):
+    sim = Simulation()
+    platform = WeaverLikePlatform(**kwargs)
+    platform.attach(sim)
+    return sim, platform
+
+
+class TestTransactions:
+    def test_single_event_transactions(self):
+        sim, platform = _attached(batch_size=1)
+        platform.ingest(add_vertex(0))
+        platform.ingest(add_vertex(1))
+        sim.run()
+        assert platform.committed_transactions == 2
+        assert platform.events_processed() == 2
+
+    def test_batching_groups_events(self):
+        sim, platform = _attached(batch_size=10)
+        for i in range(20):
+            platform.ingest(add_vertex(i))
+        sim.run()
+        assert platform.committed_transactions == 2
+        assert platform.events_processed() == 20
+
+    def test_partial_batch_needs_flush(self):
+        sim, platform = _attached(batch_size=10)
+        for i in range(5):
+            platform.ingest(add_vertex(i))
+        sim.run()
+        assert platform.events_processed() == 0
+        platform.flush()
+        sim.run()
+        assert platform.events_processed() == 5
+
+    def test_on_stream_end_flushes(self):
+        sim, platform = _attached(batch_size=10)
+        platform.ingest(add_vertex(0))
+        platform.on_stream_end()
+        sim.run()
+        assert platform.events_processed() == 1
+
+    def test_transaction_applies_atomically_in_order(self):
+        sim, platform = _attached(batch_size=3)
+        platform.ingest(add_vertex(0))
+        platform.ingest(add_vertex(1))
+        platform.ingest(add_edge(0, 1))
+        sim.run()
+        assert platform.graph.has_edge(0, 1)
+
+
+class TestBackThrottling:
+    def test_inflight_window_limits_acceptance(self):
+        sim, platform = _attached(batch_size=1, max_inflight_transactions=2)
+        assert platform.ingest(add_vertex(0))
+        assert platform.ingest(add_vertex(1))
+        assert not platform.ingest(add_vertex(2))
+        assert platform.rejected_offers == 1
+        sim.run()
+        assert platform.ingest(add_vertex(2))
+
+    def test_throughput_ceiling_independent_of_offered_rate(self):
+        # Offered rate is irrelevant in this direct-drive test: committing
+        # N single-event transactions takes N * (timestamper + shard
+        # pipeline) regardless of how fast ingest is called.
+        sim, platform = _attached(batch_size=1, max_inflight_transactions=10_000)
+        n = 1000
+        for i in range(n):
+            platform.ingest(add_vertex(i))
+        sim.run()
+        ceiling = n / sim.now
+        expected = 1.0 / (500e-6 + 40e-6)  # timestamper-bound
+        assert ceiling == pytest.approx(expected, rel=0.1)
+
+    def test_batching_raises_ceiling(self):
+        def ceiling(batch):
+            sim, platform = _attached(
+                batch_size=batch, max_inflight_transactions=10_000
+            )
+            n = 1000
+            for i in range(n):
+                platform.ingest(add_vertex(i))
+            platform.flush()
+            sim.run()
+            return n / sim.now
+
+        assert ceiling(10) > 4 * ceiling(1)
+
+
+class TestCpuAccounting:
+    def test_timestamper_busier_than_shard(self):
+        sim, platform = _attached(batch_size=10)
+        for i in range(500):
+            platform.ingest(add_vertex(i))
+        sim.run()
+        timestamper, shard = platform.processes()
+        assert timestamper.name == "weaver-timestamper"
+        assert timestamper.busy_time_total > shard.busy_time_total
+
+
+class TestQueries:
+    def test_reads(self):
+        sim, platform = _attached(batch_size=1)
+        platform.ingest(add_vertex(0, "state0"))
+        sim.run()
+        assert platform.query("vertex_count") == 1
+        assert platform.query("vertex_state", vertex_id=0) == "state0"
+
+    def test_unknown_query(self):
+        __, platform = _attached()
+        with pytest.raises(PlatformError):
+            platform.query("rank")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WeaverLikePlatform(batch_size=0)
+        with pytest.raises(ValueError):
+            WeaverLikePlatform(timestamper_per_event=-1)

@@ -1,0 +1,185 @@
+"""Property-based tests: graph operation invariants and incremental
+computations matching their batch references on arbitrary valid streams."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.base import rank_error
+from repro.algorithms.coloring import OnlineColoring, is_proper_coloring
+from repro.algorithms.components import OnlineWcc, UnionFind, WeaklyConnectedComponents
+from repro.algorithms.degree import DegreeDistribution, OnlineDegreeDistribution
+from repro.algorithms.pagerank import OnlinePageRank, PageRank
+from repro.core.events import (
+    add_edge,
+    add_vertex,
+    remove_edge,
+    remove_vertex,
+    update_vertex,
+)
+from repro.core.stream import GraphStream
+from repro.graph.builders import build_graph
+from repro.graph.graph import StreamGraph
+
+
+@st.composite
+def valid_streams(draw):
+    """Streams whose events always satisfy their preconditions."""
+    rng = random.Random(draw(st.integers(0, 2**30)))
+    length = draw(st.integers(0, 120))
+    graph = StreamGraph()
+    events = []
+    next_id = 0
+    for __ in range(length):
+        choices = ["add_vertex"]
+        vertices = list(graph.vertices())
+        edges = list(graph.edges())
+        if vertices:
+            choices += ["update_vertex", "remove_vertex"]
+        if len(vertices) >= 2:
+            choices.append("add_edge")
+        if edges:
+            choices.append("remove_edge")
+        kind = rng.choice(choices)
+        if kind == "add_vertex":
+            event = add_vertex(next_id, f"s{next_id}")
+            next_id += 1
+        elif kind == "update_vertex":
+            event = update_vertex(rng.choice(vertices), "upd")
+        elif kind == "remove_vertex":
+            event = remove_vertex(rng.choice(vertices))
+        elif kind == "add_edge":
+            found = None
+            for __attempt in range(30):
+                source = rng.choice(vertices)
+                target = rng.choice(vertices)
+                if source != target and not graph.has_edge(source, target):
+                    found = (source, target)
+                    break
+            if found is None:
+                event = add_vertex(next_id)
+                next_id += 1
+            else:
+                event = add_edge(found[0], found[1])
+        else:
+            edge = rng.choice(edges)
+            event = remove_edge(edge.source, edge.target)
+        graph.apply(event)
+        events.append(event)
+    return GraphStream(events)
+
+
+class TestGraphInvariants:
+    @given(valid_streams())
+    @settings(max_examples=60)
+    def test_valid_streams_apply_cleanly(self, stream):
+        __, report = build_graph(stream)
+        assert not report.failed
+
+    @given(valid_streams())
+    @settings(max_examples=60)
+    def test_degree_sums_equal_twice_edges(self, stream):
+        graph, __ = build_graph(stream)
+        total_degree = sum(graph.degree(v) for v in graph.vertices())
+        assert total_degree == 2 * graph.edge_count
+
+    @given(valid_streams())
+    @settings(max_examples=60)
+    def test_in_out_degree_sums_match(self, stream):
+        graph, __ = build_graph(stream)
+        assert sum(graph.in_degree(v) for v in graph.vertices()) == sum(
+            graph.out_degree(v) for v in graph.vertices()
+        )
+
+    @given(valid_streams())
+    @settings(max_examples=60)
+    def test_copy_equals_original(self, stream):
+        graph, __ = build_graph(stream)
+        assert graph.copy() == graph
+
+    @given(valid_streams())
+    @settings(max_examples=40)
+    def test_add_then_remove_vertex_is_inverse(self, stream):
+        graph, __ = build_graph(stream)
+        before = graph.copy()
+        fresh = max(graph.vertices(), default=-1) + 1
+        graph.add_vertex(fresh, "tmp")
+        graph.remove_vertex(fresh)
+        assert graph == before
+
+
+class TestIncrementalEquivalence:
+    @given(valid_streams())
+    @settings(max_examples=40)
+    def test_online_wcc_matches_batch(self, stream):
+        online = OnlineWcc()
+        for event in stream.graph_events():
+            online.ingest(event)
+        graph, __ = build_graph(stream)
+        assert online.result() == WeaklyConnectedComponents().compute(graph)
+
+    @given(valid_streams())
+    @settings(max_examples=40)
+    def test_online_degree_matches_batch(self, stream):
+        online = OnlineDegreeDistribution()
+        for event in stream.graph_events():
+            online.ingest(event)
+        graph, __ = build_graph(stream)
+        assert online.result() == DegreeDistribution().compute(graph)
+
+    @given(valid_streams())
+    @settings(max_examples=25, deadline=None)
+    def test_drained_online_pagerank_matches_batch(self, stream):
+        online = OnlinePageRank(work_per_event=8)
+        for event in stream.graph_events():
+            online.ingest(event)
+        online.drain()
+        graph, __ = build_graph(stream)
+        exact = PageRank().compute(graph)
+        if exact:
+            assert rank_error(online.result(), exact) < 1e-4
+
+    @given(valid_streams())
+    @settings(max_examples=40)
+    def test_online_coloring_always_proper(self, stream):
+        online = OnlineColoring()
+        for event in stream.graph_events():
+            online.ingest(event)
+        graph, __ = build_graph(stream)
+        assert is_proper_coloring(graph, online.result())
+
+
+class TestUnionFindProperties:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 30), st.integers(0, 30)), max_size=80
+        )
+    )
+    def test_components_consistent_with_groups(self, unions):
+        uf = UnionFind()
+        for a, b in unions:
+            uf.add(a)
+            uf.add(b)
+            uf.union(a, b)
+        groups = uf.groups()
+        assert len(groups) == uf.components
+        # Groups partition the universe.
+        seen = set()
+        for group in groups.values():
+            assert not (seen & group)
+            seen |= group
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 20), st.integers(0, 20)), max_size=60
+        )
+    )
+    def test_find_is_equivalence_relation(self, unions):
+        uf = UnionFind()
+        for a, b in unions:
+            uf.add(a)
+            uf.add(b)
+            uf.union(a, b)
+        for a, b in unions:
+            assert uf.find(a) == uf.find(b)

@@ -1,0 +1,136 @@
+"""Property-based tests: graph-diff correctness and shaping invariants."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.events import GraphEvent
+from repro.core.shaping import (
+    with_burst,
+    with_pause,
+    with_periodic_markers,
+    with_ramp,
+    with_wave,
+)
+from repro.core.stream import GraphStream
+from repro.gen.importer import edge_list_to_stream, graph_diff_stream
+from repro.graph.builders import build_graph
+from repro.graph.graph import StreamGraph
+
+
+@st.composite
+def random_graphs(draw):
+    """Small random directed graphs with states."""
+    rng = random.Random(draw(st.integers(0, 2**30)))
+    n = draw(st.integers(0, 12))
+    graph = StreamGraph()
+    for v in range(n):
+        graph.add_vertex(v, f"s{rng.randint(0, 3)}")
+    for s in range(n):
+        for t in range(n):
+            if s != t and rng.random() < 0.25:
+                graph.add_edge(s, t, f"e{rng.randint(0, 3)}")
+    return graph
+
+
+class TestGraphDiffProperties:
+    @given(random_graphs(), random_graphs())
+    @settings(max_examples=60)
+    def test_diff_replays_before_into_after(self, before, after):
+        diff = graph_diff_stream(before, after)
+        replayed, report = build_graph(diff, graph=before.copy())
+        assert not report.failed
+        assert replayed == after
+
+    @given(random_graphs())
+    @settings(max_examples=40)
+    def test_self_diff_is_empty(self, graph):
+        assert len(graph_diff_stream(graph, graph.copy())) == 0
+
+    @given(random_graphs())
+    @settings(max_examples=40)
+    def test_diff_from_empty_is_pure_additions(self, graph):
+        diff = graph_diff_stream(StreamGraph(), graph)
+        stats = diff.statistics()
+        assert stats.remove_events == 0
+        replayed, __ = build_graph(diff)
+        assert replayed == graph
+
+    @given(random_graphs())
+    @settings(max_examples=40)
+    def test_diff_to_empty_clears_everything(self, graph):
+        diff = graph_diff_stream(graph, StreamGraph())
+        replayed, report = build_graph(diff, graph=graph.copy())
+        assert not report.failed
+        assert replayed.vertex_count == 0
+
+
+class TestEdgeListProperties:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 30), st.integers(0, 30)), max_size=60
+        ),
+        st.integers(0, 100),
+    )
+    @settings(max_examples=50)
+    def test_shuffled_import_always_consistent(self, pairs, seed):
+        lines = [f"{a} {b}" for a, b in pairs]
+        stream = edge_list_to_stream(lines, shuffle_seed=seed)
+        __, report = build_graph(stream)
+        assert not report.failed
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 30), st.integers(0, 30)), max_size=60
+        )
+    )
+    @settings(max_examples=50)
+    def test_import_edge_count_matches_distinct_pairs(self, pairs):
+        lines = [f"{a} {b}" for a, b in pairs]
+        distinct = {(a, b) for a, b in pairs if a != b}
+        graph, __ = build_graph(edge_list_to_stream(lines))
+        assert graph.edge_count == len(distinct)
+
+
+_shapers = st.sampled_from(
+    [
+        lambda s: with_pause(s, 5, 1.0),
+        lambda s: with_burst(s, 2, 7, factor=3.0),
+        lambda s: with_wave(s, 10),
+        lambda s: with_ramp(s, 3),
+        lambda s: with_periodic_markers(s, 6),
+    ]
+)
+
+
+class TestShapingProperties:
+    @given(
+        st.integers(0, 80),
+        st.lists(_shapers, min_size=1, max_size=4),
+    )
+    @settings(max_examples=50)
+    def test_shaping_never_touches_graph_events(self, n, shapers):
+        from repro.core.events import add_vertex
+
+        stream = GraphStream([add_vertex(i) for i in range(n)])
+        shaped = stream
+        for shaper in shapers:
+            shaped = shaper(shaped)
+        assert list(shaped.graph_events()) == list(stream.graph_events())
+
+    @given(st.integers(1, 80))
+    @settings(max_examples=30)
+    def test_shaped_streams_survive_serialization(self, n):
+        from repro.core.events import add_vertex
+
+        stream = with_wave(
+            with_burst(
+                GraphStream([add_vertex(i) for i in range(n)]), 0, max(1, n // 2)
+            ),
+            max(1, n // 3),
+        )
+        lines = stream.to_lines()
+        reparsed = GraphStream.from_lines(lines)
+        assert len(reparsed) == len(stream)
+        assert list(reparsed.graph_events()) == list(stream.graph_events())

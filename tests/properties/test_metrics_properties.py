@@ -1,0 +1,102 @@
+"""Property-based tests: statistical primitives behave like statistics."""
+
+import math
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.metrics import Aggregate, TimeSeries, confidence_interval, percentile
+
+# Subnormals are excluded: interpolating between denormal values
+# underflows to 0.0, which is a floating-point artefact rather than a
+# percentile bug worth defending against.
+finite_floats = st.floats(
+    min_value=-1e9,
+    max_value=1e9,
+    allow_nan=False,
+    allow_infinity=False,
+    allow_subnormal=False,
+)
+value_lists = st.lists(finite_floats, min_size=1, max_size=50)
+
+
+class TestPercentileProperties:
+    @given(value_lists, st.floats(0, 100))
+    def test_within_range(self, values, q):
+        result = percentile(values, q)
+        assert min(values) <= result <= max(values)
+
+    @given(value_lists)
+    def test_monotone_in_q(self, values):
+        qs = [0, 25, 50, 75, 100]
+        results = [percentile(values, q) for q in qs]
+        assert results == sorted(results)
+
+    @given(value_lists)
+    def test_invariant_under_permutation(self, values):
+        reordered = list(reversed(values))
+        assert percentile(values, 50) == percentile(reordered, 50)
+
+    @given(finite_floats, st.floats(0, 100))
+    def test_single_value(self, value, q):
+        assert percentile([value], q) == value
+
+
+class TestConfidenceIntervalProperties:
+    @given(st.lists(finite_floats, min_size=2, max_size=50))
+    def test_contains_mean(self, values):
+        low, high = confidence_interval(values)
+        mean = sum(values) / len(values)
+        assert low <= mean + 1e-9
+        assert mean - 1e-9 <= high
+
+    @given(st.lists(finite_floats, min_size=2, max_size=50))
+    def test_symmetric_about_mean(self, values):
+        low, high = confidence_interval(values)
+        mean = sum(values) / len(values)
+        assert math.isclose(mean - low, high - mean, rel_tol=1e-6, abs_tol=1e-6)
+
+    @given(st.lists(st.floats(0, 100), min_size=2, max_size=30), st.integers(1, 5))
+    def test_shrinks_with_replication(self, values, factor):
+        assume(len(set(values)) > 1)
+        low1, high1 = confidence_interval(values)
+        replicated = values * (factor + 1)
+        low2, high2 = confidence_interval(replicated)
+        assert high2 - low2 <= high1 - low1 + 1e-9
+
+
+class TestAggregateProperties:
+    @given(value_lists)
+    def test_order_statistics_consistent(self, values):
+        aggregate = Aggregate.of(values)
+        assert aggregate.minimum <= aggregate.p50 <= aggregate.maximum
+        tolerance = 1e-12 + abs(aggregate.p99) * 1e-12
+        assert aggregate.p50 <= aggregate.p95 <= aggregate.p99 + tolerance
+        # Mean can exceed max by an ulp through float summation.
+        mean_tolerance = 1e-9 + abs(aggregate.mean) * 1e-12
+        assert aggregate.minimum - mean_tolerance <= aggregate.mean
+        assert aggregate.mean <= aggregate.maximum + mean_tolerance
+
+    @given(value_lists)
+    def test_count(self, values):
+        assert Aggregate.of(values).count == len(values)
+
+
+class TestTimeSeriesProperties:
+    @given(st.lists(st.floats(0, 1e6, allow_nan=False), min_size=1, max_size=40))
+    def test_resample_preserves_last_value(self, values):
+        series = TimeSeries("x")
+        for i, value in enumerate(values):
+            series.append(float(i), value)
+        grid = series.resample(1.0)
+        assert grid.values[-1] == values[-1]
+
+    @given(st.lists(st.floats(0, 1e6, allow_nan=False), min_size=2, max_size=40))
+    def test_rate_of_cumulative_counter_nonnegative(self, increments):
+        series = TimeSeries("count")
+        total = 0.0
+        for i, inc in enumerate(increments):
+            total += inc
+            series.append(float(i), total)
+        rate = series.rate()
+        assert all(value >= -1e-9 for value in rate.values)

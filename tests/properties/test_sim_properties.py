@@ -1,0 +1,99 @@
+"""Property-based tests for the simulation kernel and resources."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.kernel import Simulation
+from repro.sim.network import Link
+from repro.sim.resources import CpuResource
+
+delays = st.floats(min_value=0.0, max_value=100.0, allow_nan=False)
+
+
+class TestKernelProperties:
+    @given(st.lists(delays, max_size=60))
+    @settings(max_examples=60)
+    def test_events_execute_in_time_order(self, schedule):
+        sim = Simulation()
+        executed: list[float] = []
+        for delay in schedule:
+            sim.schedule(delay, lambda: executed.append(sim.now))
+        sim.run()
+        assert executed == sorted(executed)
+        assert len(executed) == len(schedule)
+
+    @given(st.lists(delays, min_size=1, max_size=60))
+    @settings(max_examples=60)
+    def test_clock_ends_at_last_event(self, schedule):
+        sim = Simulation()
+        for delay in schedule:
+            sim.schedule(delay, lambda: None)
+        sim.run()
+        assert sim.now == max(schedule)
+
+    @given(st.lists(delays, max_size=40), delays)
+    @settings(max_examples=60)
+    def test_run_until_never_executes_beyond_horizon(self, schedule, horizon):
+        sim = Simulation()
+        executed: list[float] = []
+        for delay in schedule:
+            sim.schedule(delay, lambda: executed.append(sim.now))
+        sim.run(until=horizon)
+        assert all(t <= horizon + 1e-12 for t in executed)
+        # Resuming executes exactly the remainder.
+        sim.run()
+        assert len(executed) == len(schedule)
+
+
+class TestCpuProperties:
+    @given(st.lists(st.floats(0.0, 10.0, allow_nan=False), max_size=40))
+    @settings(max_examples=60)
+    def test_busy_time_equals_sum_of_service(self, services):
+        sim = Simulation()
+        cpu = CpuResource(sim, "cpu")
+        for service in services:
+            cpu.submit(service)
+        sim.run()
+        assert cpu.busy_time_total == sum(services)
+        assert cpu.completed == len(services)
+        # A serial server finishes exactly at total service time.
+        if services:
+            assert sim.now == sum(services)
+
+    @given(st.lists(st.floats(0.001, 5.0, allow_nan=False), min_size=1, max_size=30))
+    @settings(max_examples=60)
+    def test_fifo_completion_order(self, services):
+        sim = Simulation()
+        cpu = CpuResource(sim, "cpu")
+        order: list[int] = []
+        for index, service in enumerate(services):
+            cpu.submit(service, lambda index=index: order.append(index))
+        sim.run()
+        assert order == list(range(len(services)))
+
+
+class TestLinkProperties:
+    @given(
+        st.lists(st.integers(0, 10_000), min_size=1, max_size=30),
+        st.floats(0.0, 5.0, allow_nan=False),
+        st.floats(1.0, 10_000.0, allow_nan=False),
+    )
+    @settings(max_examples=60)
+    def test_in_order_delivery(self, sizes, latency, bandwidth):
+        sim = Simulation()
+        link = Link(sim, "l", latency=latency, bandwidth=bandwidth)
+        received: list[int] = []
+        for index, size in enumerate(sizes):
+            link.send(index, received.append, size_bytes=size)
+        sim.run()
+        assert received == list(range(len(sizes)))
+
+    @given(st.lists(st.integers(0, 1000), max_size=30))
+    @settings(max_examples=60)
+    def test_byte_accounting(self, sizes):
+        sim = Simulation()
+        link = Link(sim, "l", bandwidth=100.0)
+        for size in sizes:
+            link.send(None, lambda __: None, size_bytes=size)
+        assert link.bytes_sent == sum(sizes)
+        assert link.messages_sent == len(sizes)

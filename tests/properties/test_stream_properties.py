@@ -1,0 +1,147 @@
+"""Property-based tests (hypothesis): stream format and fault invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.events import (
+    EventType,
+    GraphEvent,
+    MarkerEvent,
+    PauseEvent,
+    SpeedEvent,
+    add_edge,
+    add_vertex,
+    format_event,
+    marker,
+    parse_line,
+    pause,
+    remove_edge,
+    remove_vertex,
+    speed,
+    update_edge,
+    update_vertex,
+)
+from repro.core.faults import drop_events, duplicate_events, shuffle_windows
+from repro.core.stream import GraphStream
+
+# -- strategies -------------------------------------------------------------
+
+vertex_ids = st.integers(min_value=0, max_value=10_000)
+payloads = st.text(max_size=40)
+labels = st.text(
+    alphabet=st.characters(blacklist_characters=",\n\r\\", min_codepoint=32),
+    min_size=1,
+    max_size=20,
+)
+
+
+@st.composite
+def graph_events(draw):
+    kind = draw(st.sampled_from(list(EventType)[:6]))
+    if kind is EventType.ADD_VERTEX:
+        return add_vertex(draw(vertex_ids), draw(payloads))
+    if kind is EventType.REMOVE_VERTEX:
+        return remove_vertex(draw(vertex_ids))
+    if kind is EventType.UPDATE_VERTEX:
+        return update_vertex(draw(vertex_ids), draw(payloads))
+    source = draw(vertex_ids)
+    target = draw(vertex_ids.filter(lambda t: True))
+    if kind is EventType.ADD_EDGE:
+        return add_edge(source, target, draw(payloads))
+    if kind is EventType.REMOVE_EDGE:
+        return remove_edge(source, target)
+    return update_edge(source, target, draw(payloads))
+
+
+@st.composite
+def any_events(draw):
+    choice = draw(st.integers(0, 9))
+    if choice < 7:
+        return draw(graph_events())
+    if choice == 7:
+        return marker(draw(labels))
+    if choice == 8:
+        return speed(draw(st.floats(min_value=0.01, max_value=100)))
+    return pause(draw(st.floats(min_value=0, max_value=60)))
+
+
+streams = st.lists(any_events(), max_size=60).map(GraphStream)
+
+
+# -- serialization round trip -----------------------------------------------
+
+
+class TestSerializationProperties:
+    @given(graph_events())
+    def test_graph_event_round_trip(self, event):
+        assert parse_line(format_event(event)) == event
+
+    @given(labels)
+    def test_marker_round_trip(self, label):
+        assert parse_line(format_event(marker(label))) == marker(label)
+
+    @given(streams)
+    @settings(max_examples=50)
+    def test_stream_lines_round_trip(self, stream):
+        lines = stream.to_lines()
+        reparsed = GraphStream.from_lines(lines)
+        # Float formatting may lose precision on speed/pause values;
+        # compare graph events exactly and control events approximately.
+        assert len(reparsed) == len(stream)
+        for original, parsed in zip(stream, reparsed):
+            if isinstance(original, GraphEvent):
+                assert parsed == original
+            elif isinstance(original, MarkerEvent):
+                assert parsed == original
+            elif isinstance(original, SpeedEvent):
+                assert abs(parsed.factor - original.factor) < 1e-4 * max(
+                    1, abs(original.factor)
+                )
+            elif isinstance(original, PauseEvent):
+                assert abs(parsed.seconds - original.seconds) < 1e-4 * max(
+                    1, abs(original.seconds)
+                )
+
+
+# -- fault injection invariants -----------------------------------------------
+
+
+class TestFaultProperties:
+    @given(streams, st.floats(0, 1), st.integers(0, 100))
+    @settings(max_examples=50)
+    def test_drop_never_adds_events(self, stream, probability, seed):
+        dropped = drop_events(stream, probability, seed=seed)
+        assert len(dropped) <= len(stream)
+
+    @given(streams, st.floats(0, 1), st.integers(0, 100))
+    @settings(max_examples=50)
+    def test_drop_preserves_relative_order(self, stream, probability, seed):
+        dropped = drop_events(stream, probability, seed=seed)
+        it = iter(stream)
+        for event in dropped:
+            assert any(original == event for original in it)
+
+    @given(streams, st.floats(0, 1), st.integers(0, 100))
+    @settings(max_examples=50)
+    def test_duplicate_never_removes_events(self, stream, probability, seed):
+        duplicated = duplicate_events(stream, probability, seed=seed)
+        assert len(duplicated) >= len(stream)
+        # Original sequence is a subsequence of the duplicated stream.
+        it = iter(duplicated)
+        for original in stream:
+            assert any(event == original for event in it)
+
+    @given(streams, st.integers(1, 20), st.integers(0, 100))
+    @settings(max_examples=50)
+    def test_shuffle_is_multiset_permutation(self, stream, window, seed):
+        shuffled = shuffle_windows(stream, window, seed=seed)
+        assert len(shuffled) == len(stream)
+        assert sorted(map(repr, shuffled)) == sorted(map(repr, stream))
+
+    @given(streams, st.integers(1, 20), st.integers(0, 100))
+    @settings(max_examples=50)
+    def test_shuffle_fixes_non_graph_positions(self, stream, window, seed):
+        shuffled = shuffle_windows(stream, window, seed=seed)
+        for index, (a, b) in enumerate(zip(stream, shuffled)):
+            if not isinstance(a, GraphEvent):
+                assert a == b, f"non-graph event moved at {index}"

@@ -1,0 +1,111 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim.kernel import Simulation
+
+
+class TestScheduling:
+    def test_time_advances_with_events(self):
+        sim = Simulation()
+        times = []
+        sim.schedule(1.0, lambda: times.append(sim.now))
+        sim.schedule(3.0, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [1.0, 3.0]
+        assert sim.now == 3.0
+
+    def test_execution_in_time_order(self):
+        sim = Simulation()
+        order = []
+        sim.schedule(2.0, lambda: order.append("b"))
+        sim.schedule(1.0, lambda: order.append("a"))
+        sim.schedule(3.0, lambda: order.append("c"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_fifo_among_equal_timestamps(self):
+        sim = Simulation()
+        order = []
+        for label in "abc":
+            sim.schedule(1.0, lambda label=label: order.append(label))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_scheduling_from_callbacks(self):
+        sim = Simulation()
+        hits = []
+
+        def recurse():
+            hits.append(sim.now)
+            if len(hits) < 3:
+                sim.schedule(1.0, recurse)
+
+        sim.schedule(0.0, recurse)
+        sim.run()
+        assert hits == [0.0, 1.0, 2.0]
+
+    def test_schedule_at_absolute_time(self):
+        sim = Simulation()
+        times = []
+        sim.schedule_at(5.0, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [5.0]
+
+    def test_schedule_in_past_rejected(self):
+        sim = Simulation()
+        sim.schedule(1.0, lambda: sim.schedule_at(0.5, lambda: None))
+        with pytest.raises(ValueError):
+            sim.run()
+
+    def test_negative_delay_rejected(self):
+        sim = Simulation()
+        with pytest.raises(ValueError):
+            sim.schedule(-1.0, lambda: None)
+
+
+class TestRun:
+    def test_run_returns_event_count(self):
+        sim = Simulation()
+        for __ in range(5):
+            sim.schedule(1.0, lambda: None)
+        assert sim.run() == 5
+
+    def test_run_until_horizon(self):
+        sim = Simulation()
+        hits = []
+        for t in (1.0, 2.0, 3.0):
+            sim.schedule(t, lambda t=t: hits.append(t))
+        executed = sim.run(until=2.0)
+        assert executed == 2
+        assert hits == [1.0, 2.0]
+        assert sim.now == 2.0
+        assert sim.pending_events == 1
+
+    def test_run_until_advances_clock_when_idle(self):
+        sim = Simulation()
+        sim.run(until=10.0)
+        assert sim.now == 10.0
+
+    def test_resume_after_horizon(self):
+        sim = Simulation()
+        hits = []
+        sim.schedule(5.0, lambda: hits.append(sim.now))
+        sim.run(until=1.0)
+        sim.run()
+        assert hits == [5.0]
+
+    def test_max_events_guard(self):
+        sim = Simulation()
+
+        def forever():
+            sim.schedule(0.0, forever)
+
+        sim.schedule(0.0, forever)
+        with pytest.raises(RuntimeError, match="exceeded"):
+            sim.run(max_events=100)
+
+    def test_empty_run(self):
+        sim = Simulation()
+        assert sim.run() == 0
+        assert sim.now == 0.0

@@ -1,0 +1,68 @@
+"""Unit tests for simulated network links."""
+
+import pytest
+
+from repro.sim.kernel import Simulation
+from repro.sim.network import Link
+
+
+class TestLink:
+    def test_latency_only(self):
+        sim = Simulation()
+        link = Link(sim, "l", latency=0.5)
+        arrivals = []
+        link.send("a", lambda m: arrivals.append((sim.now, m)))
+        sim.run()
+        assert arrivals == [(0.5, "a")]
+
+    def test_bandwidth_serialization_delay(self):
+        sim = Simulation()
+        link = Link(sim, "l", latency=0.0, bandwidth=1000.0)
+        arrivals = []
+        link.send("big", lambda m: arrivals.append(sim.now), size_bytes=500)
+        sim.run()
+        assert arrivals == [pytest.approx(0.5)]
+
+    def test_in_order_delivery(self):
+        sim = Simulation()
+        link = Link(sim, "l", latency=0.1, bandwidth=100.0)
+        arrivals = []
+        link.send("first", lambda m: arrivals.append(m), size_bytes=100)
+        link.send("second", lambda m: arrivals.append(m), size_bytes=1)
+        sim.run()
+        assert arrivals == ["first", "second"]
+
+    def test_serialization_queues_behind_previous(self):
+        sim = Simulation()
+        link = Link(sim, "l", bandwidth=100.0)
+        times = []
+        link.send("a", lambda m: times.append(sim.now), size_bytes=100)  # 1s
+        link.send("b", lambda m: times.append(sim.now), size_bytes=100)  # +1s
+        sim.run()
+        assert times == [pytest.approx(1.0), pytest.approx(2.0)]
+
+    def test_counters(self):
+        sim = Simulation()
+        link = Link(sim, "l")
+        link.send("x", lambda m: None, size_bytes=10)
+        link.send("y", lambda m: None, size_bytes=20)
+        assert link.messages_sent == 2
+        assert link.bytes_sent == 30
+
+    def test_infinite_bandwidth(self):
+        sim = Simulation()
+        link = Link(sim, "l")
+        times = []
+        link.send("a", lambda m: times.append(sim.now), size_bytes=10**9)
+        sim.run()
+        assert times == [0.0]
+
+    def test_validation(self):
+        sim = Simulation()
+        with pytest.raises(ValueError):
+            Link(sim, "l", latency=-1)
+        with pytest.raises(ValueError):
+            Link(sim, "l", bandwidth=0)
+        link = Link(sim, "l")
+        with pytest.raises(ValueError):
+            link.send("x", lambda m: None, size_bytes=-1)

@@ -1,0 +1,130 @@
+"""Unit tests for the simulated stream replayer."""
+
+import pytest
+
+from repro.core.events import add_vertex, marker, pause, speed
+from repro.core.stream import GraphStream
+from repro.platforms.inmem import InMemoryPlatform
+from repro.sim.kernel import Simulation
+from repro.sim.replay import SimulatedReplayer
+
+
+def _make(stream, rate=100.0, platform=None, **kwargs):
+    sim = Simulation()
+    if platform is None:
+        platform = InMemoryPlatform(service_time=0.0)
+    platform.attach(sim)
+    replayer = SimulatedReplayer(sim, stream, platform, rate=rate, **kwargs)
+    return sim, platform, replayer
+
+
+class TestPacing:
+    def test_uniform_rate(self):
+        stream = GraphStream([add_vertex(i) for i in range(100)])
+        sim, platform, replayer = _make(stream, rate=100.0)
+        replayer.start()
+        sim.run()
+        # 100 events at 100/s: last emission at ~1.0s.
+        assert replayer.finished_at == pytest.approx(1.0, abs=0.05)
+        assert replayer.emitted == 100
+
+    def test_speed_event_doubles_rate(self):
+        events = [add_vertex(i) for i in range(100)]
+        stream = GraphStream(events[:50] + [speed(2.0)] + events[50:])
+        sim, __, replayer = _make(stream, rate=100.0)
+        replayer.start()
+        sim.run()
+        # 50 events at 100/s + 50 events at 200/s = 0.5 + 0.25
+        assert replayer.finished_at == pytest.approx(0.75, abs=0.05)
+
+    def test_speed_one_restores_base_rate(self):
+        events = [add_vertex(i) for i in range(90)]
+        stream = GraphStream(
+            events[:30] + [speed(3.0)] + events[30:60] + [speed(1.0)] + events[60:]
+        )
+        sim, __, replayer = _make(stream, rate=100.0)
+        replayer.start()
+        sim.run()
+        assert replayer.finished_at == pytest.approx(0.3 + 0.1 + 0.3, abs=0.05)
+
+    def test_pause_suspends_emission(self):
+        events = [add_vertex(i) for i in range(20)]
+        stream = GraphStream(events[:10] + [pause(5.0)] + events[10:])
+        sim, __, replayer = _make(stream, rate=100.0)
+        replayer.start()
+        sim.run()
+        assert replayer.finished_at == pytest.approx(5.2, abs=0.05)
+
+    def test_invalid_rate(self):
+        sim = Simulation()
+        platform = InMemoryPlatform()
+        platform.attach(sim)
+        with pytest.raises(ValueError):
+            SimulatedReplayer(sim, GraphStream(), platform, rate=0)
+
+
+class TestBackpressure:
+    def test_rejections_are_retried(self):
+        stream = GraphStream([add_vertex(i) for i in range(50)])
+        platform = InMemoryPlatform(service_time=0.1, queue_capacity=5)
+        sim, __, replayer = _make(
+            stream, rate=10_000.0, platform=platform, retry_interval=0.01
+        )
+        replayer.start()
+        sim.run()
+        assert replayer.emitted == 50
+        assert replayer.rejected_attempts > 0
+        # Throughput throttled to the platform's 10 events/second.
+        assert replayer.finished_at == pytest.approx(50 * 0.1, rel=0.2)
+
+    def test_all_events_eventually_processed(self):
+        stream = GraphStream([add_vertex(i) for i in range(30)])
+        platform = InMemoryPlatform(service_time=0.05, queue_capacity=2)
+        sim, platform, replayer = _make(stream, rate=1000.0, platform=platform)
+        replayer.start()
+        sim.run()
+        assert platform.events_processed() == 30
+
+
+class TestInstrumentation:
+    def test_marker_records(self):
+        stream = GraphStream(
+            [add_vertex(0), marker("mid"), add_vertex(1)]
+        )
+        sim, __, replayer = _make(stream)
+        replayer.start()
+        sim.run()
+        labels = [
+            r.tags["label"] for r in replayer.records if r.kind == "marker"
+        ]
+        assert labels == ["mid", "replay-finished"]
+
+    def test_marker_value_counts_prior_emissions(self):
+        stream = GraphStream([add_vertex(0), add_vertex(1), marker("after-two")])
+        sim, __, replayer = _make(stream)
+        replayer.start()
+        sim.run()
+        marker_record = next(
+            r for r in replayer.records if r.tags.get("label") == "after-two"
+        )
+        assert marker_record.value == 2.0
+
+    def test_ingress_rate_sampling(self):
+        stream = GraphStream([add_vertex(i) for i in range(300)])
+        sim, __, replayer = _make(stream, rate=100.0, rate_sample_interval=1.0)
+        replayer.start()
+        sim.run()
+        rates = [
+            r.value for r in replayer.records if r.metric == "ingress_rate"
+        ]
+        assert rates, "no ingress rate samples"
+        assert rates[0] == pytest.approx(100.0, rel=0.1)
+
+    def test_stats(self):
+        stream = GraphStream([add_vertex(0)])
+        sim, __, replayer = _make(stream)
+        replayer.start()
+        sim.run()
+        stats = replayer.stats()
+        assert stats.emitted == 1
+        assert stats.finished_at >= 0

@@ -1,0 +1,143 @@
+"""Unit tests for simulated CPU resources and bounded queues."""
+
+import pytest
+
+from repro.sim.kernel import Simulation
+from repro.sim.resources import BoundedQueue, CpuResource, QueueFullError
+
+
+class TestCpuResource:
+    def test_serial_processing(self):
+        sim = Simulation()
+        cpu = CpuResource(sim, "cpu")
+        finished = []
+        cpu.submit(1.0, lambda: finished.append(sim.now))
+        cpu.submit(2.0, lambda: finished.append(sim.now))
+        sim.run()
+        assert finished == [1.0, 3.0]
+        assert cpu.completed == 2
+
+    def test_busy_flag(self):
+        sim = Simulation()
+        cpu = CpuResource(sim, "cpu")
+        cpu.submit(1.0)
+        assert cpu.busy
+        sim.run()
+        assert not cpu.busy
+
+    def test_queue_length_counts_waiting(self):
+        sim = Simulation()
+        cpu = CpuResource(sim, "cpu")
+        for __ in range(3):
+            cpu.submit(1.0)
+        assert cpu.queue_length == 2  # one in service
+
+    def test_busy_released_before_done_callback(self):
+        sim = Simulation()
+        cpu = CpuResource(sim, "cpu")
+        observed = []
+        cpu.submit(1.0, lambda: observed.append(cpu.busy))
+        sim.run()
+        assert observed == [False]
+
+    def test_busy_time_total(self):
+        sim = Simulation()
+        cpu = CpuResource(sim, "cpu")
+        cpu.submit(1.5)
+        cpu.submit(0.5)
+        sim.run()
+        assert cpu.busy_time_total == pytest.approx(2.0)
+
+    def test_utilization_window(self):
+        sim = Simulation()
+        cpu = CpuResource(sim, "cpu")
+        cpu.submit(1.0)
+        sim.run(until=2.0)
+        # 1s busy over a 2s window.
+        assert cpu.utilization_since_last_sample() == pytest.approx(0.5)
+
+    def test_utilization_resets_window(self):
+        sim = Simulation()
+        cpu = CpuResource(sim, "cpu")
+        cpu.submit(1.0)
+        sim.run(until=1.0)
+        cpu.utilization_since_last_sample()
+        sim.run(until=2.0)
+        assert cpu.utilization_since_last_sample() == pytest.approx(0.0)
+
+    def test_utilization_capped_at_one(self):
+        sim = Simulation()
+        cpu = CpuResource(sim, "cpu")
+        cpu.submit(5.0)
+        sim.run(until=5.0)
+        assert cpu.utilization_since_last_sample() <= 1.0
+
+    def test_zero_elapsed_returns_zero(self):
+        sim = Simulation()
+        cpu = CpuResource(sim, "cpu")
+        assert cpu.utilization_since_last_sample() == 0.0
+
+    def test_negative_service_time_rejected(self):
+        sim = Simulation()
+        cpu = CpuResource(sim, "cpu")
+        with pytest.raises(ValueError):
+            cpu.submit(-1.0)
+
+    def test_zero_service_time(self):
+        sim = Simulation()
+        cpu = CpuResource(sim, "cpu")
+        done = []
+        cpu.submit(0.0, lambda: done.append(True))
+        sim.run()
+        assert done == [True]
+
+
+class TestBoundedQueue:
+    def test_fifo_order(self):
+        queue = BoundedQueue[int]("q")
+        queue.push(1)
+        queue.push(2)
+        assert queue.pop() == 1
+        assert queue.pop() == 2
+
+    def test_capacity_enforced(self):
+        queue = BoundedQueue[int]("q", capacity=2)
+        queue.push(1)
+        queue.push(2)
+        assert queue.is_full
+        with pytest.raises(QueueFullError):
+            queue.push(3)
+
+    def test_try_push_counts_drops(self):
+        queue = BoundedQueue[int]("q", capacity=1)
+        assert queue.try_push(1)
+        assert not queue.try_push(2)
+        assert queue.dropped == 1
+        assert len(queue) == 1
+
+    def test_unbounded_never_full(self):
+        queue = BoundedQueue[int]("q")
+        for i in range(1000):
+            queue.push(i)
+        assert not queue.is_full
+
+    def test_peak_length(self):
+        queue = BoundedQueue[int]("q")
+        for i in range(5):
+            queue.push(i)
+        queue.pop()
+        assert queue.peak_length == 5
+
+    def test_peek_does_not_remove(self):
+        queue = BoundedQueue[int]("q")
+        queue.push(7)
+        assert queue.peek() == 7
+        assert len(queue) == 1
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            BoundedQueue[int]("q").pop()
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            BoundedQueue[int]("q", capacity=0)

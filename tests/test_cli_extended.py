@@ -1,0 +1,169 @@
+"""Tests for the convert / shape / faults / suite CLI commands."""
+
+import pytest
+
+from repro.cli import main
+from repro.core.events import PauseEvent, SpeedEvent
+from repro.core.stream import GraphStream
+from repro.graph.builders import build_graph
+
+
+@pytest.fixture
+def stream_file(tmp_path):
+    path = tmp_path / "stream.csv"
+    main(["generate", "--rounds", "200", "--seed", "1", "-o", str(path)])
+    return path
+
+
+class TestConvert:
+    def test_edge_list_conversion(self, tmp_path, capsys):
+        edge_list = tmp_path / "graph.txt"
+        edge_list.write_text("# comment\n1 2\n2 3\n3 1\n")
+        output = tmp_path / "stream.csv"
+        code = main(["convert", str(edge_list), "-o", str(output)])
+        assert code == 0
+        stream = GraphStream.read(output)
+        graph, report = build_graph(stream)
+        assert not report.failed
+        assert graph.edge_count == 3
+        assert "converted" in capsys.readouterr().out
+
+    def test_shuffle_seed(self, tmp_path):
+        edge_list = tmp_path / "graph.txt"
+        edge_list.write_text("\n".join(f"{i} {i+1}" for i in range(30)))
+        plain = tmp_path / "plain.csv"
+        shuffled = tmp_path / "shuffled.csv"
+        main(["convert", str(edge_list), "-o", str(plain)])
+        main(["convert", str(edge_list), "--shuffle-seed", "7", "-o", str(shuffled)])
+        assert plain.read_text() != shuffled.read_text()
+
+
+class TestShape:
+    def test_burst(self, stream_file, tmp_path):
+        output = tmp_path / "shaped.csv"
+        code = main([
+            "shape", str(stream_file), "-o", str(output),
+            "--burst", "10", "50", "3.0",
+        ])
+        assert code == 0
+        stream = GraphStream.read(output)
+        speeds = [e.factor for e in stream if isinstance(e, SpeedEvent)]
+        assert 3.0 in speeds and 1.0 in speeds
+
+    def test_pause(self, stream_file, tmp_path):
+        output = tmp_path / "shaped.csv"
+        main(["shape", str(stream_file), "-o", str(output), "--pause", "20", "5"])
+        stream = GraphStream.read(output)
+        pauses = [e for e in stream if isinstance(e, PauseEvent)]
+        assert any(p.seconds == 5 for p in pauses)
+
+    def test_combined_shapes(self, stream_file, tmp_path):
+        output = tmp_path / "shaped.csv"
+        main([
+            "shape", str(stream_file), "-o", str(output),
+            "--ramp", "3", "1", "4", "--pause", "100", "2",
+        ])
+        stream = GraphStream.read(output)
+        assert stream.statistics().control_events >= 4
+
+
+class TestFaults:
+    def test_drop(self, stream_file, tmp_path, capsys):
+        output = tmp_path / "faulty.csv"
+        code = main([
+            "faults", str(stream_file), "-o", str(output), "--drop", "0.5",
+        ])
+        assert code == 0
+        original = GraphStream.read(stream_file)
+        faulty = GraphStream.read(output)
+        assert len(list(faulty.graph_events())) < len(
+            list(original.graph_events())
+        )
+
+    def test_duplicate_and_reorder(self, stream_file, tmp_path):
+        output = tmp_path / "faulty.csv"
+        main([
+            "faults", str(stream_file), "-o", str(output),
+            "--duplicate", "0.3", "--shuffle-window", "8", "--seed", "3",
+        ])
+        original = GraphStream.read(stream_file)
+        faulty = GraphStream.read(output)
+        assert len(list(faulty.graph_events())) > len(
+            list(original.graph_events())
+        )
+
+
+class TestRunCommand:
+    def test_run_prints_report(self, stream_file, capsys):
+        code = main(["run", str(stream_file), "--platform", "inmem",
+                     "--level", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "events processed:" in out
+        assert "marker timeline:" in out
+
+    def test_run_with_bundle(self, stream_file, tmp_path, capsys):
+        bundle_dir = tmp_path / "bundles"
+        code = main([
+            "run", str(stream_file), "--bundle", str(bundle_dir),
+            "--experiment-id", "cli-test",
+        ])
+        assert code == 0
+        from repro.core.popper import verify_bundle
+
+        assert verify_bundle(bundle_dir / "cli-test") == []
+
+    def test_run_all_platforms(self, stream_file):
+        for platform in ("weaver-batched", "kineograph", "graphtau"):
+            assert main(["run", str(stream_file), "--platform", platform]) == 0
+
+
+class TestPlotCommand:
+    @pytest.fixture
+    def result_log(self, stream_file, tmp_path):
+        bundle_dir = tmp_path / "bundles"
+        main([
+            "run", str(stream_file), "--level", "1",
+            "--bundle", str(bundle_dir), "--experiment-id", "plot-test",
+        ])
+        return bundle_dir / "plot-test" / "result.jsonl"
+
+    def test_list_metrics(self, result_log, capsys):
+        code = main(["plot", str(result_log), "--list"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ingress_rate" in out
+        assert "cpu_load" in out
+
+    def test_plot_metric(self, result_log, capsys):
+        code = main([
+            "plot", str(result_log), "--metric", "ingress_rate",
+            "--source", "replayer", "--height", "5",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ingress_rate @ replayer" in out
+        assert "█" in out
+
+    def test_requires_metric_or_list(self, result_log, capsys):
+        assert main(["plot", str(result_log)]) == 2
+
+
+class TestSuiteCommand:
+    def test_suite_runs(self, capsys):
+        code = main([
+            "suite", "--platforms", "inmem", "--workloads", "uniform-small",
+            "--repetitions", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "inmem" in out
+        assert "uniform-small" in out
+
+    def test_unknown_platform(self, capsys):
+        code = main(["suite", "--platforms", "bogus"])
+        assert code == 2
+
+    def test_unknown_workload(self, capsys):
+        code = main(["suite", "--platforms", "inmem", "--workloads", "bogus"])
+        assert code == 2

@@ -1,0 +1,94 @@
+"""Package-level quality gates: documentation and API hygiene.
+
+These meta-tests keep the library honest as it grows: every public
+module and class must carry a docstring, the package must import
+cleanly without side effects, and declared ``__all__`` names must
+exist.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _iter_modules():
+    prefix = repro.__name__ + "."
+    for info in pkgutil.walk_packages(repro.__path__, prefix):
+        yield info.name
+
+
+ALL_MODULES = sorted(_iter_modules())
+
+
+class TestDocumentation:
+    @pytest.mark.parametrize("module_name", ALL_MODULES)
+    def test_module_has_docstring(self, module_name):
+        module = importlib.import_module(module_name)
+        assert module.__doc__ and module.__doc__.strip(), (
+            f"{module_name} lacks a module docstring"
+        )
+
+    @pytest.mark.parametrize("module_name", ALL_MODULES)
+    def test_public_classes_documented(self, module_name):
+        module = importlib.import_module(module_name)
+        for name, obj in vars(module).items():
+            if name.startswith("_") or not inspect.isclass(obj):
+                continue
+            if obj.__module__ != module_name:
+                continue  # re-export
+            assert obj.__doc__ and obj.__doc__.strip(), (
+                f"{module_name}.{name} lacks a class docstring"
+            )
+
+    @pytest.mark.parametrize("module_name", ALL_MODULES)
+    def test_public_functions_documented(self, module_name):
+        module = importlib.import_module(module_name)
+        for name, obj in vars(module).items():
+            if name.startswith("_") or not inspect.isfunction(obj):
+                continue
+            if obj.__module__ != module_name:
+                continue
+            assert obj.__doc__ and obj.__doc__.strip(), (
+                f"{module_name}.{name} lacks a function docstring"
+            )
+
+
+class TestApiHygiene:
+    @pytest.mark.parametrize("module_name", ALL_MODULES)
+    def test_dunder_all_names_exist(self, module_name):
+        module = importlib.import_module(module_name)
+        exported = getattr(module, "__all__", None)
+        if exported is None:
+            return
+        for name in exported:
+            assert hasattr(module, name), (
+                f"{module_name}.__all__ lists missing name {name!r}"
+            )
+
+    def test_top_level_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name)
+
+    def test_version_string(self):
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3
+        assert all(part.isdigit() for part in parts)
+
+    def test_errors_all_derive_from_base(self):
+        import repro.errors as errors_module
+        from repro.errors import GraphTidesError
+
+        for name, obj in vars(errors_module).items():
+            if (
+                inspect.isclass(obj)
+                and issubclass(obj, Exception)
+                and obj.__module__ == "repro.errors"
+                and obj is not GraphTidesError
+            ):
+                assert issubclass(obj, GraphTidesError), (
+                    f"{name} does not derive from GraphTidesError"
+                )

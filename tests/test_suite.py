@@ -1,0 +1,119 @@
+"""Tests for the benchmark-suite layer (the paper's future-work goal)."""
+
+import pytest
+
+from repro.core.methodology import ComparisonVerdict
+from repro.errors import MethodologyError
+from repro.platforms import InMemoryPlatform, WeaverLikePlatform
+from repro.suite import (
+    STANDARD_WORKLOADS,
+    BenchmarkSuite,
+    SuiteReport,
+    WorkloadSpec,
+)
+
+
+@pytest.fixture(scope="module")
+def small_report() -> SuiteReport:
+    suite = BenchmarkSuite(
+        {
+            "inmem": InMemoryPlatform,
+            "weaver-b1": lambda: WeaverLikePlatform(batch_size=1),
+        },
+        workloads=[STANDARD_WORKLOADS["uniform-small"]],
+        repetitions=2,
+    )
+    return suite.run()
+
+
+class TestStandardWorkloads:
+    def test_palette_contents(self):
+        assert {"uniform-small", "social-growth", "zipf-churn",
+                "ledger-batches"} <= set(STANDARD_WORKLOADS)
+
+    def test_workload_builds_reproducibly(self):
+        spec = STANDARD_WORKLOADS["uniform-small"]
+        assert spec.build(1) == spec.build(1)
+        assert spec.build(1) != spec.build(2)
+
+
+class TestBenchmarkSuite:
+    def test_report_covers_matrix(self, small_report):
+        assert small_report.platforms() == ["inmem", "weaver-b1"]
+        assert small_report.workloads() == ["uniform-small"]
+        assert len(small_report.cells) == 2
+
+    def test_all_runs_drained(self, small_report):
+        assert all(cell.all_drained for cell in small_report.cells)
+
+    def test_cell_lookup(self, small_report):
+        cell = small_report.cell("inmem", "uniform-small")
+        assert cell.throughput.mean > 0
+        with pytest.raises(KeyError):
+            small_report.cell("nope", "uniform-small")
+
+    def test_render_contains_platforms(self, small_report):
+        text = small_report.render()
+        assert "inmem" in text
+        assert "weaver-b1" in text
+        assert "CI95" in text
+
+    def test_compare_platforms_verdict_valid(self, small_report):
+        verdict = small_report.compare_platforms(
+            "inmem", "weaver-b1", "uniform-small"
+        )
+        assert verdict in (
+            ComparisonVerdict.A_BETTER,
+            ComparisonVerdict.B_BETTER,
+            ComparisonVerdict.INDISTINGUISHABLE,
+        )
+
+    def test_same_streams_for_all_platforms(self):
+        """Every platform must see the exact same inputs (benchmarking)."""
+        seen_streams: dict[str, list[int]] = {"a": [], "b": []}
+
+        def spying_platform(label):
+            def factory():
+                platform = InMemoryPlatform()
+                original = platform.ingest
+
+                def spy(event):
+                    seen_streams[label].append(hash(repr(event)))
+                    return original(event)
+
+                platform.ingest = spy
+                return platform
+
+            return factory
+
+        suite = BenchmarkSuite(
+            {"a": spying_platform("a"), "b": spying_platform("b")},
+            workloads=[STANDARD_WORKLOADS["uniform-small"]],
+            repetitions=2,
+        )
+        suite.run()
+        assert seen_streams["a"] == seen_streams["b"]
+
+    def test_validation(self):
+        with pytest.raises(MethodologyError):
+            BenchmarkSuite({})
+        with pytest.raises(MethodologyError):
+            BenchmarkSuite({"p": InMemoryPlatform}, repetitions=1)
+        with pytest.raises(MethodologyError):
+            BenchmarkSuite({"p": InMemoryPlatform}, workloads=[])
+
+    def test_custom_workload(self):
+        from repro.core.generator import StreamGenerator
+        from repro.core.models import UniformRules
+
+        spec = WorkloadSpec(
+            name="custom",
+            build=lambda seed: StreamGenerator(
+                UniformRules(), rounds=100, seed=seed
+            ).generate(),
+            rate=1000,
+        )
+        report = BenchmarkSuite(
+            {"inmem": InMemoryPlatform}, workloads=[spec], repetitions=2
+        ).run()
+        assert report.cell("inmem", "custom").all_drained
