@@ -1,0 +1,284 @@
+"""Stream pipeline throughput: legacy per-event path vs. batched fast path.
+
+Measures events-per-second for the three hot stages of the replayer
+pipeline (paper section 5.1 / Figure 3a):
+
+* **parse** — legacy ``events._legacy_parse_line`` per line vs. the
+  codec's bulk ``parse_lines`` (trusted and untrusted);
+* **format** — legacy ``events._legacy_format_event`` per event vs. the
+  codec's bulk ``format_events``;
+* **replay** — saturation rate of :class:`LiveReplayer` (target rate far
+  beyond reach) for ``batch_size`` 1 vs. batched, over a pipe to
+  ``/dev/null``.
+
+Results are written to ``BENCH_pipeline.json`` so future PRs can track
+regressions of the fast path.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_codec_throughput.py
+    PYTHONPATH=src python benchmarks/bench_codec_throughput.py --smoke
+
+``--smoke`` shrinks the workload so the whole run finishes in a few
+seconds (the CI guard); the full run takes ~30 s.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core import codec  # noqa: E402
+from repro.core.connectors import PipeTransport  # noqa: E402
+from repro.core.events import (  # noqa: E402
+    _legacy_format_event,
+    _legacy_parse_line,
+    add_edge,
+    add_vertex,
+    marker,
+    remove_edge,
+    remove_vertex,
+    update_edge,
+    update_vertex,
+)
+from repro.core.replayer import LiveReplayer  # noqa: E402
+
+#: Target rate far above what a Python emitter can reach: the replayer
+#: runs flat out, so the achieved rate is the saturation rate.
+UNREACHABLE_RATE = 100_000_000
+
+
+def build_events(count: int) -> list:
+    """A deterministic mixed workload (the paper's event-mix shape:
+    topology-heavy with stringified-JSON states and the odd marker)."""
+    events = []
+    for i in range(count):
+        step = i % 10
+        if step < 3:
+            events.append(
+                add_vertex(i, f'{{"user": {i}, "name": "u{i}", "region": {i % 32}}}')
+            )
+        elif step < 6:
+            events.append(
+                add_edge(i, i + 1, f'{{"weight": {i % 97}, "since": {i}}}')
+            )
+        elif step == 6:
+            events.append(
+                update_vertex(
+                    i % 1000, f'{{"score": {i}, "rank": {i % 7}, "active": true}}'
+                )
+            )
+        elif step == 7:
+            events.append(update_edge(i, i + 1, f"w={i % 13}"))
+        elif step == 8:
+            events.append(remove_edge(i, i + 1))
+        else:
+            events.append(remove_vertex(i))
+    if events:
+        events[len(events) // 2] = marker("bench-midpoint")
+    return events
+
+
+def _best_of(repeats: int, func, *args) -> float:
+    """Best (minimum) wall-clock seconds of ``repeats`` runs."""
+    best = float("inf")
+    for __ in range(repeats):
+        begin = time.perf_counter()
+        func(*args)
+        best = min(best, time.perf_counter() - begin)
+    return best
+
+
+def bench_format(events: list, repeats: int) -> dict:
+    def legacy():
+        for event in events:
+            _legacy_format_event(event)
+
+    legacy_s = _best_of(repeats, legacy)
+    fast_s = _best_of(repeats, codec.format_events, events)
+    count = len(events)
+    return {
+        "events": count,
+        "legacy_eps": count / legacy_s,
+        "fast_eps": count / fast_s,
+        "speedup": legacy_s / fast_s,
+    }
+
+
+def bench_parse(events: list, repeats: int) -> dict:
+    lines = codec.format_lines(events)
+
+    def legacy():
+        for line in lines:
+            _legacy_parse_line(line)
+
+    legacy_s = _best_of(repeats, legacy)
+    fast_s = _best_of(repeats, lambda: codec.parse_lines(lines, trusted=False))
+    trusted_s = _best_of(repeats, lambda: codec.parse_lines(lines, trusted=True))
+    count = len(lines)
+    return {
+        "events": count,
+        "legacy_eps": count / legacy_s,
+        "fast_eps": count / fast_s,
+        "fast_trusted_eps": count / trusted_s,
+        "speedup": legacy_s / fast_s,
+        "speedup_trusted": legacy_s / trusted_s,
+    }
+
+
+def bench_file_roundtrip(events: list, repeats: int, tmp_dir: Path) -> dict:
+    """Chunked file write + chunked trusted read (the GraphStream path)."""
+    path = tmp_dir / "bench_stream.csv"
+    write_s = _best_of(repeats, codec.write_stream_file, path, events)
+    read_s = _best_of(
+        repeats, lambda: codec.parse_stream_file(path, trusted=True)
+    )
+    count = len(events)
+    result = {
+        "events": count,
+        "write_eps": count / write_s,
+        "read_eps": count / read_s,
+    }
+    path.unlink(missing_ok=True)
+    return result
+
+
+def bench_replay_saturation(
+    events: list, batch_sizes: tuple[int, ...]
+) -> dict:
+    """Saturation events/s of the live replayer per batch size."""
+    rates = {}
+    for batch_size in batch_sizes:
+        with open(os.devnull, "w", encoding="utf-8") as sink:
+            replayer = LiveReplayer(
+                events,
+                PipeTransport(sink),
+                rate=UNREACHABLE_RATE,
+                batch_size=batch_size,
+            )
+            report = replayer.run()
+        rates[str(batch_size)] = report.mean_rate
+    baseline = rates[str(batch_sizes[0])]
+    best_batched = max(rate for key, rate in rates.items() if key != "1")
+    return {
+        "events": len(events),
+        "target_rate": UNREACHABLE_RATE,
+        "saturation_eps_by_batch_size": rates,
+        "batched_speedup": best_batched / baseline if baseline else 0.0,
+    }
+
+
+def run_suite(
+    event_count: int,
+    repeats: int,
+    batch_sizes: tuple[int, ...],
+    tmp_dir: Path,
+) -> dict:
+    events = build_events(event_count)
+    results = {
+        "benchmark": "pipeline",
+        "config": {
+            "event_count": event_count,
+            "repeats": repeats,
+            "batch_sizes": list(batch_sizes),
+        },
+        "machine": {
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+            "platform": platform.platform(),
+        },
+        "parse": bench_parse(events, repeats),
+        "format": bench_format(events, repeats),
+        "file_roundtrip": bench_file_roundtrip(events, repeats, tmp_dir),
+        "replay": bench_replay_saturation(events, batch_sizes),
+    }
+    parse = results["parse"]
+    fmt = results["format"]
+    # The headline number: combined parse+format speedup of the fast
+    # codec over the legacy per-line path (time-weighted).
+    legacy_s = parse["events"] / parse["legacy_eps"] + fmt["events"] / fmt["legacy_eps"]
+    fast_s = (
+        parse["events"] / parse["fast_trusted_eps"] + fmt["events"] / fmt["fast_eps"]
+    )
+    results["combined_parse_format_speedup"] = legacy_s / fast_s
+    return results
+
+
+def print_summary(results: dict) -> None:
+    parse = results["parse"]
+    fmt = results["format"]
+    roundtrip = results["file_roundtrip"]
+    replay = results["replay"]
+    print(f"\npipeline throughput — {parse['events']} events "
+          f"(python {results['machine']['python']})")
+    print(f"{'stage':<22} {'legacy':>14} {'fast':>14} {'speedup':>9}")
+    print(
+        f"{'parse':<22} {parse['legacy_eps']:>12,.0f}/s {parse['fast_eps']:>12,.0f}/s "
+        f"{parse['speedup']:>8.2f}x"
+    )
+    print(
+        f"{'parse (trusted)':<22} {parse['legacy_eps']:>12,.0f}/s "
+        f"{parse['fast_trusted_eps']:>12,.0f}/s {parse['speedup_trusted']:>8.2f}x"
+    )
+    print(
+        f"{'format':<22} {fmt['legacy_eps']:>12,.0f}/s {fmt['fast_eps']:>12,.0f}/s "
+        f"{fmt['speedup']:>8.2f}x"
+    )
+    print(
+        f"{'file write / read':<22} {roundtrip['write_eps']:>12,.0f}/s "
+        f"{roundtrip['read_eps']:>12,.0f}/s {'':>9}"
+    )
+    print(f"combined parse+format speedup: "
+          f"{results['combined_parse_format_speedup']:.2f}x")
+    print("replay saturation:")
+    for batch_size, rate in replay["saturation_eps_by_batch_size"].items():
+        print(f"  batch_size {batch_size:>4}: {rate:>12,.0f} events/s")
+    print(f"batched replayer speedup:      {replay['batched_speedup']:.2f}x")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("--events", type=int, default=200_000)
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument(
+        "--batch-sizes", default="1,8,32,256",
+        help="comma-separated replayer batch sizes (first is the baseline)",
+    )
+    parser.add_argument(
+        "-o", "--output", default="BENCH_pipeline.json",
+        help="result JSON path ('-' to skip writing)",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny workload, single repeat: finishes in a few seconds",
+    )
+    args = parser.parse_args(argv)
+
+    event_count = 20_000 if args.smoke else args.events
+    repeats = 1 if args.smoke else args.repeats
+    batch_sizes = tuple(int(b) for b in args.batch_sizes.split(","))
+    if args.smoke:
+        batch_sizes = (1, 32)
+
+    results = run_suite(
+        event_count, repeats, batch_sizes, Path(os.environ.get("TMPDIR", "/tmp"))
+    )
+    results["smoke"] = args.smoke
+    print_summary(results)
+
+    if args.output != "-" and not args.smoke:
+        output = Path(args.output)
+        output.write_text(json.dumps(results, indent=2) + "\n", encoding="utf-8")
+        print(f"\nwrote {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -61,6 +61,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     rep.add_argument("--host", default="127.0.0.1")
     rep.add_argument("--port", type=int, default=9999)
+    rep.add_argument(
+        "--batch-size",
+        type=int,
+        default=1,
+        help="token-bucket burst size: events emitted per wakeup "
+        "(1 = per-event pacing; larger values raise the saturation rate)",
+    )
 
     exp = sub.add_parser("experiment", help="run one of the paper's experiments")
     exp.add_argument("figure", choices=("fig3a", "fig3b", "fig3c", "fig3d"))
@@ -189,11 +196,15 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         transport = PipeTransport(sys.stdout)
     else:
         transport = TcpTransport(args.host, args.port)
-    replayer = LiveReplayer(args.stream, transport, rate=args.rate)
+    replayer = LiveReplayer(
+        args.stream, transport, rate=args.rate, batch_size=args.batch_size
+    )
     report = replayer.run()
     print(
         f"replayed {report.events_emitted} events in {report.duration:.2f}s "
-        f"({report.mean_rate:.0f} events/s)",
+        f"({report.mean_rate:.0f} events/s, "
+        f"window p5/median/p95 {report.p5_rate:.0f}/{report.median_rate:.0f}/"
+        f"{report.p95_rate:.0f})",
         file=sys.stderr,
     )
     return 0

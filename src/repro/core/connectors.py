@@ -25,7 +25,7 @@ import socket
 import threading
 import time
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Iterable
 
 from repro.errors import ConnectorError
 
@@ -46,6 +46,16 @@ class Transport:
     def send(self, line: str) -> None:  # pragma: no cover - interface
         raise NotImplementedError
 
+    def send_many(self, lines: Iterable[str]) -> None:
+        """Deliver a batch of lines (the replayer's batched fast path).
+
+        The default delegates to :meth:`send` per line; concrete
+        transports override this with a single buffered write so a
+        whole batch costs one I/O operation.
+        """
+        for line in lines:
+            self.send(line)
+
     def close(self) -> None:
         """Release resources; further sends raise :class:`ConnectorError`."""
 
@@ -61,6 +71,13 @@ class CallbackTransport(Transport):
         if self._closed:
             raise ConnectorError("transport is closed")
         self._callback(line)
+
+    def send_many(self, lines: Iterable[str]) -> None:
+        if self._closed:
+            raise ConnectorError("transport is closed")
+        callback = self._callback
+        for line in lines:
+            callback(line)
 
     def close(self) -> None:
         self._closed = True
@@ -96,6 +113,23 @@ class PipeTransport(Transport):
         except (OSError, ValueError) as exc:
             raise ConnectorError(f"pipe write failed: {exc}") from exc
         self._since_flush += 1
+        if self._since_flush >= self._flush_every:
+            self._file.flush()
+            self._since_flush = 0
+
+    def send_many(self, lines: Iterable[str]) -> None:
+        if self._closed:
+            raise ConnectorError("transport is closed")
+        if not isinstance(lines, list):
+            lines = list(lines)
+        if not lines:
+            return
+        try:
+            # One buffered write for the whole batch.
+            self._file.write("\n".join(lines) + "\n")
+        except (OSError, ValueError) as exc:
+            raise ConnectorError(f"pipe write failed: {exc}") from exc
+        self._since_flush += len(lines)
         if self._since_flush >= self._flush_every:
             self._file.flush()
             self._since_flush = 0
@@ -142,6 +176,24 @@ class TcpTransport(Transport):
         except OSError as exc:
             raise ConnectorError(f"tcp write failed: {exc}") from exc
         self._since_flush += 1
+        if self._since_flush >= self._flush_every:
+            self._file.flush()
+            self._since_flush = 0
+
+    def send_many(self, lines: Iterable[str]) -> None:
+        if self._closed:
+            raise ConnectorError("transport is closed")
+        if not isinstance(lines, list):
+            lines = list(lines)
+        if not lines:
+            return
+        try:
+            # One buffered write for the whole batch; the file object
+            # hands large batches to sendall in a single syscall.
+            self._file.write("\n".join(lines) + "\n")
+        except OSError as exc:
+            raise ConnectorError(f"tcp write failed: {exc}") from exc
+        self._since_flush += len(lines)
         if self._since_flush >= self._flush_every:
             self._file.flush()
             self._since_flush = 0

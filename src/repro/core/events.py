@@ -147,13 +147,19 @@ class EdgeId:
 def parse_edge_id(text: str) -> EdgeId:
     """Parse a ``"src-dst"`` edge identifier.
 
-    Raises :class:`StreamFormatError` when the identifier is malformed.
+    The parse is sign-aware — negative vertex ids such as ``"-1-4"``
+    (the edge from vertex ``-1`` to vertex ``4``) are accepted, and
+    optional whitespace around either id is tolerated.  Raises
+    :class:`StreamFormatError` when the identifier is malformed.
     """
-    source_text, sep, target_text = text.partition("-")
-    if not sep:
+    text = text.strip()
+    # Search from index 1 so a leading minus sign of a negative source
+    # id is never mistaken for the separator.
+    sep = text.find("-", 1)
+    if sep == -1:
         raise StreamFormatError(f"edge id {text!r} has no '-' separator")
     try:
-        return EdgeId(int(source_text), int(target_text))
+        return EdgeId(int(text[:sep]), int(text[sep + 1 :]))
     except ValueError:
         raise StreamFormatError(
             f"edge id {text!r} does not contain two integer vertex ids"
@@ -346,7 +352,33 @@ def _unescape_payload(payload: str) -> str:
 
 
 def format_event(event: Event) -> str:
-    """Serialize an event as one CSV stream line (without newline)."""
+    """Serialize an event as one CSV stream line (without newline).
+
+    Thin wrapper over :func:`repro.core.codec.format_event`; use
+    :func:`repro.core.codec.format_events` to serialize whole batches.
+    """
+    return _codec.format_event(event)
+
+
+def parse_line(line: str, line_number: int | None = None) -> Event:
+    """Parse one CSV stream line into an :class:`Event`.
+
+    Thin wrapper over :func:`repro.core.codec.parse_line`; use
+    :func:`repro.core.codec.parse_lines` to parse whole batches.
+    Raises :class:`StreamFormatError` on malformed input.  Payloads may
+    contain escaped commas (``\\,``); only the first two unescaped
+    commas separate the three fields.
+    """
+    return _codec.parse_line(line, line_number)
+
+
+def _legacy_format_event(event: Event) -> str:
+    """Pre-codec per-event serializer.
+
+    Retained as the baseline for ``benchmarks/bench_codec_throughput``
+    and the codec equivalence tests; new code should use
+    :func:`format_event` / :func:`repro.core.codec.format_events`.
+    """
     if isinstance(event, GraphEvent):
         entity = str(event.entity)
         return f"{event.event_type.value},{entity},{_escape_payload(event.payload)}"
@@ -359,12 +391,12 @@ def format_event(event: Event) -> str:
     raise TypeError(f"cannot serialize {type(event).__name__}")
 
 
-def parse_line(line: str, line_number: int | None = None) -> Event:
-    """Parse one CSV stream line into an :class:`Event`.
+def _legacy_parse_line(line: str, line_number: int | None = None) -> Event:
+    """Pre-codec per-line parser.
 
-    Raises :class:`StreamFormatError` on malformed input.  Payloads may
-    contain escaped commas (``\\,``); only the first two unescaped commas
-    separate the three fields.
+    Retained as the baseline for ``benchmarks/bench_codec_throughput``
+    and the codec equivalence tests; new code should use
+    :func:`parse_line` / :func:`repro.core.codec.parse_lines`.
     """
     line = line.rstrip("\n\r")
     if not line:
@@ -412,3 +444,10 @@ def parse_line(line: str, line_number: int | None = None) -> Event:
     except StreamFormatError as exc:
         raise StreamFormatError(str(exc), line_number) from None
     return GraphEvent(event_type, edge_id, payload)
+
+
+# Imported last: the codec depends on the event classes defined above,
+# while the parse_line/format_event wrappers delegate to the codec.
+# The module-object binding (rather than from-imports of functions)
+# keeps the circular import safe from either entry path.
+from repro.core import codec as _codec  # noqa: E402

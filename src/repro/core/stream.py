@@ -15,17 +15,14 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Iterator, Sequence
 
+from repro.core import codec
 from repro.core.events import (
     Event,
     EventType,
     GraphEvent,
     MarkerEvent,
     PauseEvent,
-    format_event,
-    parse_line,
 )
-from repro.errors import StreamFormatError
-
 __all__ = ["GraphStream", "StreamStatistics", "WindowStatistics"]
 
 #: Conventional marker label separating bootstrap phase from evaluation phase.
@@ -243,42 +240,30 @@ class GraphStream:
     # -- file I/O ----------------------------------------------------------
 
     def write(self, path: str | Path) -> None:
-        """Write the stream to a CSV stream file (one event per line)."""
-        path = Path(path)
-        with path.open("w", encoding="utf-8", newline="\n") as handle:
-            for event in self._events:
-                handle.write(format_event(event))
-                handle.write("\n")
+        """Write the stream to a CSV stream file (one event per line).
+
+        Uses the codec's bulk formatter: events are serialized in
+        chunks and written with one buffered write per chunk.
+        """
+        codec.write_stream_file(path, self._events)
 
     @classmethod
-    def read(cls, path: str | Path) -> "GraphStream":
+    def read(cls, path: str | Path, *, trusted: bool = False) -> "GraphStream":
         """Load a stream from a CSV stream file.
 
         Blank lines and lines starting with ``#`` are skipped; any other
         malformed line raises :class:`StreamFormatError` with its line
-        number.
+        number.  The file is decoded in ~64 KiB blocks through the
+        codec fast path; ``trusted=True`` additionally skips redundant
+        per-event validation for machine-generated files.
         """
-        path = Path(path)
-        events: list[Event] = []
-        with path.open("r", encoding="utf-8") as handle:
-            for line_number, line in enumerate(handle, start=1):
-                stripped = line.strip()
-                if not stripped or stripped.startswith("#"):
-                    continue
-                events.append(parse_line(line, line_number))
-        return cls(events)
+        return cls(codec.parse_stream_file(path, trusted=trusted))
 
     @classmethod
     def from_lines(cls, lines: Iterable[str]) -> "GraphStream":
         """Parse a stream from an iterable of CSV lines (skips blanks)."""
-        events: list[Event] = []
-        for line_number, line in enumerate(lines, start=1):
-            stripped = line.strip()
-            if not stripped or stripped.startswith("#"):
-                continue
-            events.append(parse_line(line, line_number))
-        return cls(events)
+        return cls(codec.parse_lines(lines, skip_comments=True))
 
     def to_lines(self) -> list[str]:
         """Serialize each event to its CSV line (without newlines)."""
-        return [format_event(event) for event in self._events]
+        return codec.format_lines(self._events)

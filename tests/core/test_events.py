@@ -74,6 +74,29 @@ class TestEdgeId:
     def test_format_edge_id(self):
         assert format_edge_id(10, 20) == "10-20"
 
+    def test_parse_negative_source(self):
+        assert parse_edge_id("-1-4") == EdgeId(-1, 4)
+
+    def test_parse_negative_target(self):
+        assert parse_edge_id("5--3") == EdgeId(5, -3)
+
+    def test_parse_both_negative(self):
+        assert parse_edge_id("-1--4") == EdgeId(-1, -4)
+
+    def test_parse_negative_round_trip(self):
+        edge = EdgeId(-7, -9)
+        assert parse_edge_id(str(edge)) == edge
+
+    def test_parse_rejects_bare_negative_number(self):
+        # "-14" is vertex id -14, not an edge: the leading sign is not
+        # a separator.
+        with pytest.raises(StreamFormatError):
+            parse_edge_id("-14")
+
+    def test_parse_tolerates_surrounding_whitespace(self):
+        assert parse_edge_id(" 1-4 ") == EdgeId(1, 4)
+        assert parse_edge_id("\t-1-4") == EdgeId(-1, 4)
+
 
 class TestConstructors:
     def test_add_vertex(self):
@@ -210,3 +233,20 @@ class TestSerialization:
     def test_marker_label_may_contain_spaces(self):
         event = marker("phase one start")
         assert parse_line(format_event(event)) == event
+
+    def test_marker_label_with_comma_round_trips(self):
+        event = marker("phase,with,commas")
+        assert parse_line(format_event(event)) == event
+
+    def test_negative_edge_event_round_trips(self):
+        event = add_edge(-1, 4, "w")
+        assert format_event(event) == "ADD_EDGE,-1-4,w"
+        assert parse_line("ADD_EDGE,-1-4,w") == event
+
+    def test_parse_tolerates_field_whitespace(self):
+        # The paper writes the format as "COMMAND, ENTITY_ID, PAYLOAD";
+        # payloads stay verbatim, the other fields may be padded.
+        assert parse_line("ADD_VERTEX , 1 ,x") == add_vertex(1, "x")
+        assert parse_line("ADD_EDGE, 1-4 ,w") == add_edge(1, 4, "w")
+        assert parse_line("SPEED, 2.5 ,") == speed(2.5)
+        assert parse_line("PAUSE, 1 ,") == pause(1)

@@ -1,0 +1,133 @@
+"""Property-based tests (hypothesis): codec round trips and equivalence.
+
+``format`` composed with ``parse`` must be the identity over all nine
+event types — including payloads and marker labels containing commas,
+backslashes and newlines, which exercise every escape path — and the
+bulk codec must agree with the legacy per-line parser on any stream the
+legacy serializer can produce.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import codec
+from repro.core.events import (
+    _legacy_format_event,
+    _legacy_parse_line,
+    add_edge,
+    add_vertex,
+    marker,
+    pause,
+    remove_edge,
+    remove_vertex,
+    speed,
+    update_edge,
+    update_vertex,
+)
+
+# Ids cover negative vertices (edge separators must stay sign-aware).
+vertex_ids = st.integers(min_value=-10_000, max_value=10_000)
+
+# Payloads weighted towards the characters with escape handling.
+nasty_text = st.text(
+    alphabet=st.one_of(
+        st.sampled_from(list(",\\\n\r")),
+        st.characters(min_codepoint=32, max_codepoint=0x2FF),
+    ),
+    max_size=40,
+)
+
+# Marker labels: arbitrary except bare newlines cannot survive a
+# line-oriented container... they can, actually, via escaping — so only
+# the line format's own separators are exercised too.
+labels = nasty_text
+
+
+@st.composite
+def any_events(draw):
+    choice = draw(st.integers(0, 8))
+    if choice == 0:
+        return add_vertex(draw(vertex_ids), draw(nasty_text))
+    if choice == 1:
+        return remove_vertex(draw(vertex_ids))
+    if choice == 2:
+        return update_vertex(draw(vertex_ids), draw(nasty_text))
+    if choice == 3:
+        return add_edge(draw(vertex_ids), draw(vertex_ids), draw(nasty_text))
+    if choice == 4:
+        return remove_edge(draw(vertex_ids), draw(vertex_ids))
+    if choice == 5:
+        return update_edge(draw(vertex_ids), draw(vertex_ids), draw(nasty_text))
+    if choice == 6:
+        return marker(draw(labels))
+    if choice == 7:
+        return speed(draw(st.floats(min_value=0.01, max_value=100)))
+    return pause(draw(st.floats(min_value=0, max_value=60)))
+
+
+def _approx_equal(a, b):
+    if type(a) is not type(b):
+        return False
+    if hasattr(a, "factor"):
+        return math.isclose(a.factor, b.factor, rel_tol=1e-4)
+    if hasattr(a, "seconds"):
+        return math.isclose(a.seconds, b.seconds, rel_tol=1e-4, abs_tol=1e-6)
+    return a == b
+
+
+class TestCodecRoundTrip:
+    @given(any_events())
+    def test_single_event_round_trip(self, event):
+        assert _approx_equal(codec.parse_line(codec.format_event(event)), event)
+
+    @given(st.lists(any_events(), max_size=40))
+    @settings(max_examples=50)
+    def test_bulk_round_trip(self, events):
+        # split("\n") rather than splitlines(): payloads may contain
+        # unicode line separators that are not stream line breaks.
+        text = codec.format_events(events)
+        lines = text.split("\n")[:-1] if text else []
+        reparsed = codec.parse_lines(lines, skip_comments=False)
+        assert len(reparsed) == len(events)
+        assert all(_approx_equal(p, e) for p, e in zip(reparsed, events))
+
+    @given(st.lists(any_events(), max_size=40))
+    @settings(max_examples=50)
+    def test_trusted_parse_matches_untrusted(self, events):
+        lines = codec.format_lines(events)
+        assert codec.parse_lines(lines, trusted=True) == codec.parse_lines(
+            lines, trusted=False
+        )
+
+class TestLegacyEquivalence:
+    @given(any_events())
+    def test_codec_parses_legacy_output(self, event):
+        # Markers whose labels contain escaped commas hit a legacy
+        # parser bug (labels truncated at the escape); the codec fixes
+        # it, so equivalence is asserted against the original event.
+        line = _legacy_format_event(event)
+        assert _approx_equal(codec.parse_line(line), event)
+
+    @given(any_events())
+    def test_legacy_parses_codec_output_for_graph_events(self, event):
+        line = codec.format_event(event)
+        if "MARKER" in line.split(",", 1)[0]:
+            return  # legacy marker parsing is buggy for escaped commas
+        assert _approx_equal(_legacy_parse_line(line), event)
+
+    @given(st.lists(any_events(), max_size=40))
+    @settings(max_examples=50)
+    def test_bulk_matches_legacy_per_line(self, events):
+        # Marker labels containing commas are excluded: the legacy
+        # parser truncates them (the bug the codec fixes), so the two
+        # implementations intentionally disagree there.
+        events = [
+            e
+            for e in events
+            if not (hasattr(e, "label") and "," in e.label)
+        ]
+        lines = [_legacy_format_event(e) for e in events]
+        expected = [_legacy_parse_line(line) for line in lines]
+        assert codec.parse_lines(lines, skip_comments=False) == expected
