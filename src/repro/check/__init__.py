@@ -1,0 +1,63 @@
+"""``repro check`` — static analysis enforcing the reproducibility contract.
+
+GraphTides' methodology (paper section 5) is only sound if the
+generator, simulation kernel, and replayer behave identically
+run-to-run.  This package turns the invariants the codebase keeps by
+convention into mechanical checks:
+
+* **determinism** (``DET0xx``) — no wall-clock reads inside simulated
+  code, every RNG explicitly seeded and threaded through parameters,
+  no iteration over unordered collections that could leak hash order
+  into emitted streams;
+* **concurrency** (``CONC0xx``) — attributes mutated from thread
+  targets must be lock-guarded or carry a ``# guarded-by:``
+  annotation, and daemon threads need a join/stop path;
+* **schema consistency** (``SCHEMA0xx``) — every
+  :class:`~repro.core.events.EventType` member must have parse entries
+  in both codec dispatch tables and a working formatter, so an event
+  type can never drift out of sync with its codec.
+
+Run it as ``graphtides check src/`` or ``python -m repro.check src/``.
+Violations can be suppressed per line with
+``# repro-check: disable=<ID>[,<ID>...]``.
+
+The sibling :mod:`repro.check.tsan` module is the *runtime* half: a
+lightweight thread-sanitizer harness that instruments shared state
+during tests and reports lockset-disjoint cross-thread accesses.
+"""
+
+from __future__ import annotations
+
+from repro.check.concurrency import CONCURRENCY_RULES
+from repro.check.determinism import DETERMINISM_RULES, DETERMINISM_SCOPE
+from repro.check.framework import (
+    CheckedModule,
+    CheckResult,
+    ProjectRule,
+    Rule,
+    Violation,
+    load_module,
+    run_check,
+)
+from repro.check.schema import SCHEMA_RULES
+
+__all__ = [
+    "CheckedModule",
+    "CheckResult",
+    "ProjectRule",
+    "Rule",
+    "Violation",
+    "load_module",
+    "run_check",
+    "all_rules",
+    "DETERMINISM_SCOPE",
+]
+
+
+def all_rules() -> list[Rule]:
+    """Fresh instances of every registered rule, in catalogue order."""
+    return [
+        *(rule() for rule in DETERMINISM_RULES),
+        *(rule() for rule in CONCURRENCY_RULES),
+        *(rule() for rule in SCHEMA_RULES),
+    ]

@@ -1,0 +1,10 @@
+"""``python -m repro.check [paths...]`` — run the static check suite."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.check.reporting import check_main
+
+if __name__ == "__main__":
+    sys.exit(check_main())

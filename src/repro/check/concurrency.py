@@ -1,0 +1,295 @@
+"""Concurrency rules (``CONC0xx``): lock discipline on shared state.
+
+The replayer and connectors hand data between threads; these rules
+mechanise the conventions that keep that safe:
+
+* ``CONC001`` — every attribute a class mutates from a
+  ``threading.Thread`` target (directly, or via methods the target
+  calls) must either be assigned under a lock (``with self._lock:``)
+  or carry a ``# guarded-by: <what orders the access>`` annotation on
+  the assignment or on its ``__init__`` declaration.  The annotation
+  documents *why* the unlocked access is safe (e.g. a happens-before
+  edge through ``Thread.join``).
+* ``CONC002`` — a ``threading.Thread(daemon=True)`` started by a class
+  needs a matching join/stop path (a ``.join(...)`` call or a
+  ``join``/``stop``/``close``/``shutdown`` method), so replays cannot
+  leak threads that outlive their work.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.check.framework import (
+    CheckedModule,
+    Rule,
+    Violation,
+    dotted_name,
+)
+
+__all__ = [
+    "UnguardedSharedAttributeRule",
+    "DaemonThreadJoinRule",
+    "CONCURRENCY_RULES",
+]
+
+#: Marker comment documenting an intentionally lock-free shared access.
+GUARDED_BY_MARKER = "# guarded-by:"
+
+_STOP_METHOD_NAMES = frozenset({"join", "stop", "close", "shutdown"})
+
+
+def _is_thread_call(node: ast.Call) -> bool:
+    name = dotted_name(node.func)
+    return name is not None and (
+        name == "Thread" or name.endswith(".Thread")
+    )
+
+
+def _thread_target_method(node: ast.Call) -> str | None:
+    """The ``self.<method>`` name passed as ``target=``, if any."""
+    for keyword in node.keywords:
+        if keyword.arg != "target":
+            continue
+        value = keyword.value
+        if (
+            isinstance(value, ast.Attribute)
+            and isinstance(value.value, ast.Name)
+            and value.value.id == "self"
+        ):
+            return value.attr
+    return None
+
+
+def _self_attribute(node: ast.expr) -> str | None:
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _is_lock_context(item: ast.withitem) -> bool:
+    """``with self._lock:`` style guards — any name containing lock/mutex."""
+    name = dotted_name(item.context_expr)
+    if name is None and isinstance(item.context_expr, ast.Call):
+        name = dotted_name(item.context_expr.func)
+    if name is None:
+        return False
+    lowered = name.lower()
+    return "lock" in lowered or "mutex" in lowered
+
+
+class _ClassModel:
+    """Per-class facts shared by the concurrency rules."""
+
+    def __init__(self, node: ast.ClassDef, module: CheckedModule):
+        self.node = node
+        self.module = module
+        self.methods: dict[str, ast.FunctionDef] = {
+            item.name: item
+            for item in node.body
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        self.thread_calls: list[ast.Call] = []
+        self.target_methods: set[str] = set()
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Call) and _is_thread_call(sub):
+                self.thread_calls.append(sub)
+                target = _thread_target_method(sub)
+                if target is not None:
+                    self.target_methods.add(target)
+
+    def reachable_from_targets(self) -> set[str]:
+        """Thread-target methods plus everything they call via ``self``."""
+        calls: dict[str, set[str]] = {}
+        for name, method in self.methods.items():
+            called: set[str] = set()
+            for sub in ast.walk(method):
+                if isinstance(sub, ast.Call):
+                    attr = _self_attribute(sub.func)
+                    if attr is not None and attr in self.methods:
+                        called.add(attr)
+            calls[name] = called
+        reachable: set[str] = set()
+        frontier = [name for name in self.target_methods if name in self.methods]
+        while frontier:
+            name = frontier.pop()
+            if name in reachable:
+                continue
+            reachable.add(name)
+            frontier.extend(calls.get(name, ()))
+        return reachable
+
+    def guarded_declarations(self) -> set[str]:
+        """Attributes whose assignment line carries ``# guarded-by:``."""
+        guarded: set[str] = set()
+        for sub in ast.walk(self.node):
+            targets: list[ast.expr]
+            if isinstance(sub, ast.Assign):
+                targets = sub.targets
+            elif isinstance(sub, (ast.AnnAssign, ast.AugAssign)):
+                targets = [sub.target]
+            else:
+                continue
+            line = self.module.line_text(sub.lineno)
+            if GUARDED_BY_MARKER not in line:
+                continue
+            for target in targets:
+                attr = _self_attribute(target)
+                if attr is not None:
+                    guarded.add(attr)
+        return guarded
+
+
+class UnguardedSharedAttributeRule(Rule):
+    """``CONC001``: cross-thread attribute mutations need a lock or a
+    ``# guarded-by:`` annotation explaining the ordering."""
+
+    rule_id = "CONC001"
+    title = "attributes mutated from thread targets need a lock or annotation"
+
+    def check_module(self, module: CheckedModule) -> Iterator[Violation]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(module, node)
+
+    def _check_class(
+        self, module: CheckedModule, node: ast.ClassDef
+    ) -> Iterator[Violation]:
+        model = _ClassModel(node, module)
+        if not model.target_methods:
+            return
+        guarded = model.guarded_declarations()
+        for name in sorted(model.reachable_from_targets()):
+            method = model.methods[name]
+            yield from self._check_method(module, model, method, guarded)
+
+    def _check_method(
+        self,
+        module: CheckedModule,
+        model: _ClassModel,
+        method: ast.FunctionDef,
+        guarded: set[str],
+    ) -> Iterator[Violation]:
+        yield from self._visit(module, model, method.body, method.name, guarded, False)
+
+    def _visit(
+        self,
+        module: CheckedModule,
+        model: _ClassModel,
+        body: list[ast.stmt],
+        method_name: str,
+        guarded: set[str],
+        locked: bool,
+    ) -> Iterator[Violation]:
+        for statement in body:
+            if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            now_locked = locked
+            if isinstance(statement, (ast.With, ast.AsyncWith)):
+                now_locked = locked or any(
+                    _is_lock_context(item) for item in statement.items
+                )
+            if isinstance(statement, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                targets = (
+                    statement.targets
+                    if isinstance(statement, ast.Assign)
+                    else [statement.target]
+                )
+                for target in targets:
+                    attr = _self_attribute(target)
+                    if attr is None:
+                        continue
+                    if now_locked or attr in guarded:
+                        continue
+                    if GUARDED_BY_MARKER in module.line_text(statement.lineno):
+                        continue
+                    yield self.violation(
+                        module,
+                        statement,
+                        f"attribute 'self.{attr}' is mutated from thread "
+                        f"target path '{method_name}' without holding a "
+                        "lock; guard it or annotate the assignment with "
+                        "'# guarded-by: <what orders this access>'",
+                    )
+            for child_body in self._child_bodies(statement):
+                yield from self._visit(
+                    module, model, child_body, method_name, guarded, now_locked
+                )
+
+    @staticmethod
+    def _child_bodies(statement: ast.stmt) -> Iterator[list[ast.stmt]]:
+        for field_name in ("body", "orelse", "finalbody"):
+            value = getattr(statement, field_name, None)
+            if isinstance(value, list) and value and isinstance(
+                value[0], ast.stmt
+            ):
+                yield value
+        handlers = getattr(statement, "handlers", None)
+        if handlers:
+            for handler in handlers:
+                yield handler.body
+
+
+class DaemonThreadJoinRule(Rule):
+    """``CONC002``: a class starting a daemon thread must expose a
+    join/stop path so tests can wait for it."""
+
+    rule_id = "CONC002"
+    title = "daemon threads need a join/stop path"
+
+    def check_module(self, module: CheckedModule) -> Iterator[Violation]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(module, node)
+
+    def _check_class(
+        self, module: CheckedModule, node: ast.ClassDef
+    ) -> Iterator[Violation]:
+        model = _ClassModel(node, module)
+        daemon_calls = [
+            call
+            for call in model.thread_calls
+            if any(
+                keyword.arg == "daemon"
+                and isinstance(keyword.value, ast.Constant)
+                and keyword.value.value is True
+                for keyword in call.keywords
+            )
+        ]
+        if not daemon_calls:
+            return
+        if self._has_stop_path(node, model):
+            return
+        for call in daemon_calls:
+            yield self.violation(
+                module,
+                call,
+                f"class '{node.name}' starts a daemon thread but has no "
+                "join/stop path (no .join(...) call and no "
+                "join/stop/close/shutdown method); leaked threads outlive "
+                "their work",
+            )
+
+    @staticmethod
+    def _has_stop_path(node: ast.ClassDef, model: _ClassModel) -> bool:
+        if _STOP_METHOD_NAMES & set(model.methods):
+            return True
+        for sub in ast.walk(node):
+            if (
+                isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Attribute)
+                and sub.func.attr == "join"
+            ):
+                return True
+        return False
+
+
+CONCURRENCY_RULES: tuple[type[Rule], ...] = (
+    UnguardedSharedAttributeRule,
+    DaemonThreadJoinRule,
+)

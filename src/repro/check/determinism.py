@@ -1,0 +1,312 @@
+"""Determinism rules (``DET0xx``): seeded randomness only, no wall clock.
+
+The generator, simulation kernel, platform models, and stream
+generators must behave identically run-to-run for the paper's
+statistical methodology to hold, so inside :data:`DETERMINISM_SCOPE`:
+
+* ``DET001`` — no wall-clock reads or real sleeps (``time.time``,
+  ``time.perf_counter``, ``datetime.now``, ...); simulated code takes
+  its clock from the simulation kernel.
+* ``DET002`` — no module-level :mod:`random` calls and no unseeded
+  ``random.Random()``; every RNG must be constructed from an explicit
+  seed and threaded through parameters.  (Checked everywhere, not just
+  the simulated scope: hidden global RNG state is never acceptable.)
+* ``DET003`` — no hard-coded ``random.Random(<literal>)`` fallbacks;
+  the seed must come from a parameter or config so callers control it.
+* ``DET004`` — no iteration over ``set``/``frozenset`` values or bare
+  ``dict.keys()`` calls: set order depends on hash seeds and can leak
+  into emitted streams.  Iterate ``sorted(...)`` or a list instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.check.framework import (
+    CheckedModule,
+    Rule,
+    Violation,
+    dotted_name,
+    from_imports,
+    imported_names,
+)
+
+__all__ = [
+    "DETERMINISM_SCOPE",
+    "WallClockRule",
+    "UnseededRandomRule",
+    "HardcodedSeedRule",
+    "SetIterationRule",
+    "DETERMINISM_RULES",
+]
+
+#: Directories (plus single files) holding *simulated* code, where
+#: wall-clock time and unordered iteration are forbidden outright.
+DETERMINISM_SCOPE: tuple[str, ...] = (
+    "sim/",
+    "platforms/",
+    "gen/",
+    "core/generator.py",
+)
+
+#: Dotted-call suffixes that read the wall clock or really sleep.
+_WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.sleep",
+        "time.localtime",
+        "time.gmtime",
+        "datetime.now",
+        "datetime.utcnow",
+        "datetime.today",
+        "date.today",
+    }
+)
+
+#: Module-level :mod:`random` functions drawing from the hidden global RNG.
+_GLOBAL_RANDOM_CALLS = frozenset(
+    {
+        "random",
+        "randint",
+        "randrange",
+        "choice",
+        "choices",
+        "shuffle",
+        "sample",
+        "uniform",
+        "gauss",
+        "seed",
+        "getrandbits",
+        "betavariate",
+        "expovariate",
+        "lognormvariate",
+        "normalvariate",
+        "paretovariate",
+        "triangular",
+        "vonmisesvariate",
+        "weibullvariate",
+    }
+)
+
+
+def _matches_wall_clock(name: str) -> bool:
+    if name in _WALL_CLOCK_CALLS:
+        return True
+    return any(name.endswith("." + call) for call in _WALL_CLOCK_CALLS)
+
+
+class WallClockRule(Rule):
+    """``DET001``: simulated code must not read the wall clock."""
+
+    rule_id = "DET001"
+    title = "no wall-clock reads inside simulated code"
+    scope = DETERMINISM_SCOPE
+
+    def check_module(self, module: CheckedModule) -> Iterator[Violation]:
+        imports = imported_names(module.tree)
+        if not ({"time", "datetime"} & imports):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None or not _matches_wall_clock(name):
+                continue
+            yield self.violation(
+                module,
+                node,
+                f"wall-clock call {name}() in simulated code; take time "
+                "from the simulation kernel instead",
+            )
+
+
+class UnseededRandomRule(Rule):
+    """``DET002``: no hidden global RNG state, anywhere in the tree."""
+
+    rule_id = "DET002"
+    title = "no global-RNG calls or unseeded random.Random()"
+    # Deliberately unscoped: module-level random state is global mutable
+    # state and breaks reproducibility wherever it hides.
+
+    def check_module(self, module: CheckedModule) -> Iterator[Violation]:
+        if "random" not in imported_names(module.tree):
+            return
+        bound = from_imports(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            if name in bound:
+                name = bound[name]
+            if name == "random.Random" and not node.args and not node.keywords:
+                yield self.violation(
+                    module,
+                    node,
+                    "unseeded random.Random(); construct it from an "
+                    "explicit seed parameter",
+                )
+            elif (
+                name.startswith("random.")
+                and name.removeprefix("random.") in _GLOBAL_RANDOM_CALLS
+            ):
+                yield self.violation(
+                    module,
+                    node,
+                    f"module-level {name}() draws from the hidden global "
+                    "RNG; thread a seeded random.Random through parameters",
+                )
+
+
+class HardcodedSeedRule(Rule):
+    """``DET003``: seeds come from parameters, not literals."""
+
+    rule_id = "DET003"
+    title = "no hard-coded random.Random(<literal>) fallbacks"
+    scope = DETERMINISM_SCOPE
+
+    def check_module(self, module: CheckedModule) -> Iterator[Violation]:
+        if "random" not in imported_names(module.tree):
+            return
+        bound = from_imports(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            if name in bound:
+                name = bound[name]
+            if name != "random.Random":
+                continue
+            if len(node.args) == 1 and isinstance(node.args[0], ast.Constant):
+                yield self.violation(
+                    module,
+                    node,
+                    f"hard-coded RNG seed {node.args[0].value!r}; accept the "
+                    "seed as an explicit parameter so callers control it",
+                )
+
+
+class SetIterationRule(Rule):
+    """``DET004``: hash order must not leak into simulated output."""
+
+    rule_id = "DET004"
+    title = "no iteration over unordered sets in simulated code"
+    scope = DETERMINISM_SCOPE
+
+    def check_module(self, module: CheckedModule) -> Iterator[Violation]:
+        yield from self._check_scope(module, module.tree, {})
+
+    def _check_scope(
+        self,
+        module: CheckedModule,
+        scope: ast.AST,
+        outer_env: dict[str, bool],
+    ) -> Iterator[Violation]:
+        """Walk one function/module scope tracking set-valued names.
+
+        ``env`` maps local names to "definitely a set right now"; a
+        rebinding to anything else clears the flag, so converting via
+        ``sorted()``/``list()`` before iterating is always clean.
+        """
+        env = dict(outer_env)
+        for node in ast.iter_child_nodes(scope):
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                yield from self._check_scope(module, node, env)
+                continue
+            for sub in self._walk_statement(node):
+                if isinstance(sub, (ast.Assign, ast.AnnAssign)):
+                    targets = (
+                        sub.targets
+                        if isinstance(sub, ast.Assign)
+                        else [sub.target]
+                    )
+                    value = sub.value
+                    for target in targets:
+                        if isinstance(target, ast.Name):
+                            env[target.id] = value is not None and (
+                                self._is_set_expr(value)
+                            )
+                elif isinstance(sub, (ast.For, ast.AsyncFor)):
+                    yield from self._flag_iterable(module, sub.iter, env)
+                    if isinstance(sub.target, ast.Name):
+                        env[sub.target.id] = False
+                elif isinstance(
+                    sub, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+                ):
+                    for comp in sub.generators:
+                        yield from self._flag_iterable(module, comp.iter, env)
+
+    @staticmethod
+    def _walk_statement(node: ast.AST) -> Iterator[ast.AST]:
+        """Walk a statement without descending into nested def/class."""
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            yield from SetIterationRule._walk_statement(child)
+
+    @staticmethod
+    def _is_set_expr(node: ast.expr) -> bool:
+        if isinstance(node, ast.Set):
+            return True
+        if isinstance(node, ast.SetComp):
+            return True
+        if isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            return name in ("set", "frozenset")
+        return False
+
+    def _flag_iterable(
+        self,
+        module: CheckedModule,
+        iterable: ast.expr,
+        env: dict[str, bool],
+    ) -> Iterator[Violation]:
+        if self._is_set_expr(iterable):
+            yield self.violation(
+                module,
+                iterable,
+                "iteration over a set: the order depends on hash seeds and "
+                "can leak into emitted streams; iterate sorted(...) instead",
+            )
+        elif isinstance(iterable, ast.Name) and env.get(iterable.id):
+            yield self.violation(
+                module,
+                iterable,
+                f"iteration over set {iterable.id!r}: the order depends on "
+                "hash seeds and can leak into emitted streams; iterate "
+                "sorted(...) instead",
+            )
+        elif (
+            isinstance(iterable, ast.Call)
+            and isinstance(iterable.func, ast.Attribute)
+            and iterable.func.attr == "keys"
+            and not iterable.args
+        ):
+            yield self.violation(
+                module,
+                iterable,
+                "iteration over .keys(): iterate the dict directly (explicit "
+                "insertion order) or sorted(...) when order must be canonical",
+            )
+
+
+DETERMINISM_RULES: tuple[type[Rule], ...] = (
+    WallClockRule,
+    UnseededRandomRule,
+    HardcodedSeedRule,
+    SetIterationRule,
+)

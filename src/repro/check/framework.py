@@ -1,0 +1,304 @@
+"""Pluggable AST lint framework underlying ``repro check``.
+
+A :class:`Rule` walks the :mod:`ast` of one module at a time; a
+:class:`ProjectRule` sees the whole scanned module set at once (the
+schema-consistency rules need cross-module facts).  The runner
+(:func:`run_check`) loads every ``*.py`` file under the given paths,
+applies each rule to the modules in its scope, and filters out
+violations suppressed with ``# repro-check: disable=<ID>`` comments on
+the offending line.
+
+Rules are identified by stable ids (``DET001``, ``CONC002``,
+``SCHEMA001``...) documented in the README's rule catalogue; the ids
+are part of the suppression contract and must never be renumbered.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+__all__ = [
+    "Violation",
+    "CheckedModule",
+    "CheckResult",
+    "Rule",
+    "ProjectRule",
+    "load_module",
+    "iter_python_files",
+    "run_check",
+]
+
+#: Line-scoped suppression comment: ``# repro-check: disable=DET001,CONC002``.
+_SUPPRESS_RE = re.compile(r"#\s*repro-check:\s*disable=([A-Za-z0-9_,\s]+)")
+
+#: Rule id reserved for files the framework itself cannot parse.
+PARSE_ERROR_ID = "PARSE001"
+
+
+@dataclass(frozen=True, slots=True)
+class Violation:
+    """One finding: a rule id, a location, and a human-readable message."""
+
+    rule_id: str
+    message: str
+    path: str
+    line: int
+    column: int = 0
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.column + 1}: {self.rule_id} {self.message}"
+
+    @property
+    def sort_key(self) -> tuple[str, int, int, str]:
+        return (self.path, self.line, self.column, self.rule_id)
+
+
+class CheckedModule:
+    """A parsed source file plus the metadata rules need.
+
+    ``scope_path`` is the path relative to the ``repro`` package root
+    when the file lives inside one (``core/generator.py``), otherwise
+    relative to the scanned root — rule scoping patterns match against
+    it, so checks behave identically whether the tree is scanned as
+    ``src/``, ``src/repro/``, or a test fixture directory.
+    """
+
+    def __init__(self, path: Path, source: str, root: Path | None = None):
+        self.path = path
+        self.source = source
+        self.lines: list[str] = source.splitlines()
+        self.tree: ast.Module = ast.parse(source, filename=str(path))
+        self.scope_path = self._compute_scope_path(path, root)
+        self._suppressed = self._parse_suppressions(self.lines)
+
+    @staticmethod
+    def _compute_scope_path(path: Path, root: Path | None) -> str:
+        parts = path.resolve().parts
+        # Use the *last* ``repro`` component so nested checkouts resolve
+        # to the innermost package.
+        for index in range(len(parts) - 1, -1, -1):
+            if parts[index] == "repro":
+                return "/".join(parts[index + 1 :])
+        if root is not None:
+            try:
+                return path.resolve().relative_to(root.resolve()).as_posix()
+            except ValueError:
+                pass
+        return path.name
+
+    @staticmethod
+    def _parse_suppressions(lines: Sequence[str]) -> dict[int, frozenset[str]]:
+        suppressed: dict[int, frozenset[str]] = {}
+        for number, line in enumerate(lines, start=1):
+            match = _SUPPRESS_RE.search(line)
+            if match is None:
+                continue
+            ids = frozenset(
+                part.strip() for part in match.group(1).split(",") if part.strip()
+            )
+            if ids:
+                suppressed[number] = ids
+        return suppressed
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        ids = self._suppressed.get(line)
+        return ids is not None and (rule_id in ids or "all" in ids)
+
+    def line_text(self, line: int) -> str:
+        """The 1-indexed physical source line ('' when out of range)."""
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1]
+        return ""
+
+
+class Rule:
+    """Base class for per-module AST rules.
+
+    Subclasses set ``rule_id``/``title`` and implement
+    :meth:`check_module`.  ``scope`` restricts the rule to modules
+    whose ``scope_path`` matches one of the given prefixes (or equals
+    an exact file path); an empty scope means every module.
+    """
+
+    rule_id: str = ""
+    title: str = ""
+    scope: tuple[str, ...] = ()
+
+    def applies_to(self, module: CheckedModule) -> bool:
+        if not self.scope:
+            return True
+        scope_path = module.scope_path
+        return any(
+            scope_path == pattern or scope_path.startswith(pattern)
+            for pattern in self.scope
+        )
+
+    def check_module(self, module: CheckedModule) -> Iterator[Violation]:
+        return iter(())
+
+    def violation(
+        self, module: CheckedModule, node: ast.AST, message: str
+    ) -> Violation:
+        return Violation(
+            rule_id=self.rule_id,
+            message=message,
+            path=str(module.path),
+            line=getattr(node, "lineno", 1),
+            column=getattr(node, "col_offset", 0),
+        )
+
+
+class ProjectRule(Rule):
+    """A rule that inspects the whole scanned module set at once."""
+
+    def check_project(
+        self, modules: Sequence[CheckedModule]
+    ) -> Iterator[Violation]:
+        return iter(())
+
+
+@dataclass(slots=True)
+class CheckResult:
+    """Outcome of one :func:`run_check` invocation."""
+
+    violations: list[Violation] = field(default_factory=list)
+    files_checked: int = 0
+    rules_run: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def iter_python_files(path: Path) -> Iterator[Path]:
+    """Yield ``*.py`` files under ``path`` (or ``path`` itself), sorted."""
+    if path.is_file():
+        yield path
+        return
+    yield from sorted(
+        candidate
+        for candidate in path.rglob("*.py")
+        if "__pycache__" not in candidate.parts
+    )
+
+
+def load_module(path: Path, root: Path | None = None) -> CheckedModule:
+    """Read and parse one source file into a :class:`CheckedModule`."""
+    source = path.read_text(encoding="utf-8")
+    return CheckedModule(path, source, root=root)
+
+
+def run_check(
+    paths: Iterable[str | Path],
+    rules: Sequence[Rule] | None = None,
+) -> CheckResult:
+    """Run ``rules`` (default: the full catalogue) over ``paths``.
+
+    Unparseable files surface as ``PARSE001`` violations rather than
+    aborting the run, so one syntax error cannot hide findings in the
+    rest of the tree.
+    """
+    if rules is None:
+        from repro.check import all_rules
+
+        rules = all_rules()
+
+    modules: list[CheckedModule] = []
+    violations: list[Violation] = []
+    seen: set[Path] = set()
+    for raw in paths:
+        root = Path(raw)
+        for file_path in iter_python_files(root):
+            resolved = file_path.resolve()
+            if resolved in seen:
+                continue
+            seen.add(resolved)
+            try:
+                modules.append(load_module(file_path, root=root))
+            except SyntaxError as exc:
+                violations.append(
+                    Violation(
+                        rule_id=PARSE_ERROR_ID,
+                        message=f"cannot parse file: {exc.msg}",
+                        path=str(file_path),
+                        line=exc.lineno or 1,
+                        column=(exc.offset or 1) - 1,
+                    )
+                )
+
+    by_path = {str(module.path): module for module in modules}
+
+    def admit(violation: Violation) -> None:
+        module = by_path.get(violation.path)
+        if module is not None and module.is_suppressed(
+            violation.rule_id, violation.line
+        ):
+            return
+        violations.append(violation)
+
+    for rule in rules:
+        if isinstance(rule, ProjectRule):
+            scoped = [module for module in modules if rule.applies_to(module)]
+            for violation in rule.check_project(scoped):
+                admit(violation)
+            continue
+        for module in modules:
+            if not rule.applies_to(module):
+                continue
+            for violation in rule.check_module(module):
+                admit(violation)
+
+    violations.sort(key=lambda violation: violation.sort_key)
+    return CheckResult(
+        violations=violations,
+        files_checked=len(modules),
+        rules_run=len(rules),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Shared AST helpers used by the rule families
+# ---------------------------------------------------------------------------
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for Name/Attribute chains, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def imported_names(tree: ast.Module) -> set[str]:
+    """Top-level module names imported anywhere in the module.
+
+    ``import random`` and ``from random import Random`` both
+    contribute ``random``; rules use this to avoid flagging unrelated
+    variables that merely shadow a stdlib module name.
+    """
+    names: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                names.add(alias.name.split(".")[0])
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            names.add(node.module.split(".")[0])
+    return names
+
+
+def from_imports(tree: ast.Module) -> dict[str, str]:
+    """Map of locally bound name -> ``module.original`` for from-imports."""
+    bound: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module:
+            for alias in node.names:
+                bound[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+    return bound

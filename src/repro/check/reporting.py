@@ -1,0 +1,95 @@
+"""Rendering and CLI plumbing for ``repro check``.
+
+Shared by the ``graphtides check`` subcommand and the
+``python -m repro.check`` entry point so both print identical reports
+and exit codes (0 clean, 1 violations, 2 usage error).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.check.framework import CheckResult, Rule, run_check
+
+__all__ = [
+    "render_report",
+    "render_rule_catalogue",
+    "run_and_report",
+    "build_check_parser",
+    "check_main",
+]
+
+
+def render_report(result: CheckResult) -> str:
+    """Human-readable report: one line per violation plus a summary."""
+    lines = [violation.render() for violation in result.violations]
+    if result.violations:
+        lines.append(
+            f"repro check: {len(result.violations)} violation(s) in "
+            f"{result.files_checked} file(s)"
+        )
+    else:
+        lines.append(
+            f"repro check: OK ({result.files_checked} file(s), "
+            f"{result.rules_run} rule(s))"
+        )
+    return "\n".join(lines)
+
+
+def render_rule_catalogue(rules: Sequence[Rule]) -> str:
+    """The ``--list-rules`` output: id, scope, and title per rule."""
+    lines = ["rule      scope                                    description"]
+    for rule in rules:
+        scope = ",".join(rule.scope) if rule.scope else "(all files)"
+        lines.append(f"{rule.rule_id:<9} {scope:<40} {rule.title}")
+    return "\n".join(lines)
+
+
+def build_check_parser(prog: str = "repro-check") -> argparse.ArgumentParser:
+    """Argument parser shared by the CLI subcommand and ``__main__``."""
+    parser = argparse.ArgumentParser(
+        prog=prog,
+        description=(
+            "Static determinism/concurrency/schema checks for the "
+            "GraphTides reproduction (see README: 'repro check')."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to scan (default: src)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def run_and_report(paths: Sequence[str], *, list_rules: bool = False) -> int:
+    """Run the full rule catalogue and print the report; returns exit code."""
+    from repro.check import all_rules
+
+    if list_rules:
+        print(render_rule_catalogue(all_rules()))
+        return 0
+    missing = [path for path in paths if not Path(path).exists()]
+    if missing:
+        for path in missing:
+            print(f"repro check: no such path: {path}", file=sys.stderr)
+        return 2
+    result = run_check(paths)
+    print(render_report(result))
+    return 0 if result.ok else 1
+
+
+def check_main(argv: Sequence[str] | None = None) -> int:
+    """Entry point shared by ``python -m repro.check`` and the console
+    script."""
+    args = build_check_parser().parse_args(argv)
+    return run_and_report(args.paths, list_rules=args.list_rules)

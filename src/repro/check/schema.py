@@ -1,0 +1,256 @@
+"""Schema-consistency rules (``SCHEMA0xx``): event model ↔ codec lockstep.
+
+The batched codec keeps hand-maintained per-command dispatch tables
+(``_DISPATCH``/``_DISPATCH_TRUSTED``) and a formatter table; nothing in
+the language ties them to :class:`~repro.core.events.EventType`, so a
+new event type (or a deleted dispatch entry) would silently fall back
+to the slow parser — or fail at replay time.  These rules verify the
+tables against the enum by introspecting the *imported* modules (the
+tables are built programmatically, so textual AST matching cannot see
+their contents):
+
+* ``SCHEMA001`` — every ``EventType`` member has a parse entry in both
+  dispatch tables, and no table carries stale entries.
+* ``SCHEMA002`` — every concrete :class:`~repro.core.events.Event`
+  subclass has a formatter registered in ``_FORMATTERS``.
+* ``SCHEMA003`` — a sample event of every ``EventType`` member
+  round-trips through ``format_event`` → ``parse_line`` unchanged (in
+  both careful and trusted modes).
+
+The rules anchor their findings at the dispatch-table assignments in
+``core/codec.py`` when that file is part of the scanned tree.  For
+testing, alternative ``codec``/``events`` module objects may be
+injected via the constructor.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Sequence
+
+from repro.check.framework import CheckedModule, ProjectRule, Violation
+
+__all__ = [
+    "DispatchCoverageRule",
+    "FormatterCoverageRule",
+    "RoundTripRule",
+    "SCHEMA_RULES",
+]
+
+_CODEC_SCOPE_PATH = "core/codec.py"
+
+
+class _SchemaRule(ProjectRule):
+    """Shared plumbing: module resolution and violation anchoring."""
+
+    def __init__(self, codec=None, events=None):
+        self._codec = codec
+        self._events = events
+
+    def _resolve_modules(self):
+        codec, events = self._codec, self._events
+        if codec is None:
+            from repro.core import codec as codec  # noqa: PLW0127
+        if events is None:
+            from repro.core import events as events  # noqa: PLW0127
+        return codec, events
+
+    def _should_run(self, modules: Sequence[CheckedModule]) -> bool:
+        """Run when the codec is part of the scan or explicitly injected.
+
+        Scanning an unrelated tree (a fixture directory, a single
+        generator file) must not drag repro's own codec into the
+        report.
+        """
+        if self._codec is not None:
+            return True
+        return any(
+            module.scope_path == _CODEC_SCOPE_PATH for module in modules
+        )
+
+    def _anchor(
+        self, modules: Sequence[CheckedModule], symbol: str
+    ) -> tuple[str, int]:
+        """(path, line) of ``symbol``'s assignment in the scanned codec."""
+        for module in modules:
+            if module.scope_path != _CODEC_SCOPE_PATH:
+                continue
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.Assign) and any(
+                    isinstance(target, ast.Name) and target.id == symbol
+                    for target in node.targets
+                ):
+                    return str(module.path), node.lineno
+            return str(module.path), 1
+        return "repro/core/codec.py", 1
+
+    def _make_violation(
+        self,
+        modules: Sequence[CheckedModule],
+        symbol: str,
+        message: str,
+    ) -> Violation:
+        path, line = self._anchor(modules, symbol)
+        return Violation(
+            rule_id=self.rule_id, message=message, path=path, line=line
+        )
+
+
+class DispatchCoverageRule(_SchemaRule):
+    """``SCHEMA001``: EventType and the codec dispatch tables move in
+    lockstep — no missing and no stale entries."""
+
+    rule_id = "SCHEMA001"
+    title = "every EventType member has entries in both dispatch tables"
+
+    def check_project(
+        self, modules: Sequence[CheckedModule]
+    ) -> Iterator[Violation]:
+        if not self._should_run(modules):
+            return
+        codec, events = self._resolve_modules()
+        expected = {member.value for member in events.EventType}
+        for table_name in ("_DISPATCH", "_DISPATCH_TRUSTED"):
+            table = getattr(codec, table_name, None)
+            if table is None:
+                yield self._make_violation(
+                    modules,
+                    table_name,
+                    f"codec has no {table_name} dispatch table",
+                )
+                continue
+            for missing in sorted(expected - set(table)):
+                yield self._make_violation(
+                    modules,
+                    table_name,
+                    f"EventType.{missing} has no parse entry in "
+                    f"codec.{table_name}; streams with this command fall "
+                    "off the fast path (or fail to parse)",
+                )
+            for stale in sorted(set(table) - expected):
+                yield self._make_violation(
+                    modules,
+                    table_name,
+                    f"codec.{table_name} entry {stale!r} does not "
+                    "correspond to any EventType member",
+                )
+
+
+class FormatterCoverageRule(_SchemaRule):
+    """``SCHEMA002``: every concrete Event subclass can be formatted."""
+
+    rule_id = "SCHEMA002"
+    title = "every concrete Event subclass has a registered formatter"
+
+    def check_project(
+        self, modules: Sequence[CheckedModule]
+    ) -> Iterator[Violation]:
+        if not self._should_run(modules):
+            return
+        codec, events = self._resolve_modules()
+        formatters = getattr(codec, "_FORMATTERS", None)
+        if formatters is None:
+            yield self._make_violation(
+                modules, "_FORMATTERS", "codec has no _FORMATTERS table"
+            )
+            return
+        base = events.Event
+        concrete = [
+            value
+            for value in vars(events).values()
+            if isinstance(value, type)
+            and issubclass(value, base)
+            and value is not base
+        ]
+        for event_class in sorted(concrete, key=lambda cls: cls.__name__):
+            if event_class not in formatters:
+                yield self._make_violation(
+                    modules,
+                    "_FORMATTERS",
+                    f"{event_class.__name__} has no formatter in "
+                    "codec._FORMATTERS; format_events falls back to "
+                    "per-event isinstance dispatch (or fails)",
+                )
+
+
+def _sample_event(events, member):
+    """A representative event for ``member``, or None when unknown.
+
+    An unknown member is itself a schema violation: whoever adds an
+    ``EventType`` must teach the codec (and this table) about it.
+    """
+    if member.is_vertex_event:
+        return events.GraphEvent(member, 7, "state,with\\escapes")
+    if member.is_edge_event:
+        return events.GraphEvent(member, events.EdgeId(3, 4), "s")
+    name = member.name
+    if name == "MARKER":
+        return events.MarkerEvent("phase,one")
+    if name == "SPEED":
+        return events.SpeedEvent(2.5)
+    if name == "PAUSE":
+        return events.PauseEvent(0.25)
+    return None
+
+
+class RoundTripRule(_SchemaRule):
+    """``SCHEMA003``: format → parse is the identity for every member,
+    in both trusted and untrusted parse modes."""
+
+    rule_id = "SCHEMA003"
+    title = "every EventType member round-trips through the codec"
+
+    def check_project(
+        self, modules: Sequence[CheckedModule]
+    ) -> Iterator[Violation]:
+        if not self._should_run(modules):
+            return
+        codec, events = self._resolve_modules()
+        for member in events.EventType:
+            sample = _sample_event(events, member)
+            if sample is None:
+                yield self._make_violation(
+                    modules,
+                    "_DISPATCH",
+                    f"EventType.{member.name} has no codec support: add "
+                    "parse/format handling (and a sample in the schema "
+                    "checker) for the new event type",
+                )
+                continue
+            try:
+                line = codec.format_event(sample)
+            except Exception as exc:
+                yield self._make_violation(
+                    modules,
+                    "_FORMATTERS",
+                    f"formatting a sample EventType.{member.name} event "
+                    f"failed: {exc}",
+                )
+                continue
+            for trusted in (False, True):
+                try:
+                    parsed = codec.parse_line(line, trusted=trusted)
+                except Exception as exc:
+                    yield self._make_violation(
+                        modules,
+                        "_DISPATCH",
+                        f"parsing the formatted sample for "
+                        f"EventType.{member.name} failed "
+                        f"(trusted={trusted}): {exc}",
+                    )
+                    continue
+                if parsed != sample:
+                    yield self._make_violation(
+                        modules,
+                        "_DISPATCH",
+                        f"EventType.{member.name} does not round-trip "
+                        f"(trusted={trusted}): {sample!r} -> {line!r} -> "
+                        f"{parsed!r}",
+                    )
+
+
+SCHEMA_RULES: tuple[type[ProjectRule], ...] = (
+    DispatchCoverageRule,
+    FormatterCoverageRule,
+    RoundTripRule,
+)

@@ -156,6 +156,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     ste.add_argument("--repetitions", type=int, default=3)
 
+    chk = sub.add_parser(
+        "check",
+        help="run the determinism/concurrency/schema static checks",
+    )
+    chk.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to scan (default: src)",
+    )
+    chk.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+
     return parser
 
 
@@ -414,6 +427,12 @@ def _cmd_suite(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.check.reporting import run_and_report
+
+    return run_and_report(args.paths, list_rules=args.list_rules)
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point: parse arguments and dispatch to the subcommand."""
     args = build_parser().parse_args(argv)
@@ -428,6 +447,7 @@ def main(argv: list[str] | None = None) -> int:
         "convert": _cmd_convert,
         "shape": _cmd_shape,
         "faults": _cmd_faults,
+        "check": _cmd_check,
     }
     return handlers[args.command](args)
 

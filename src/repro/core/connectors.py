@@ -231,10 +231,10 @@ class WindowCounter:
             raise ValueError("window_seconds must be positive")
         self.window_seconds = window_seconds
         self._lock = threading.Lock()
-        self._windows: list[tuple[float, int]] = []
-        self._current_start: float | None = None
-        self._current_count = 0
-        self.total = 0
+        self._windows: list[tuple[float, int]] = []  # guarded-by: self._lock
+        self._current_start: float | None = None  # guarded-by: self._lock
+        self._current_count = 0  # guarded-by: self._lock
+        self.total = 0  # guarded-by: self._lock
 
     def record(self, count: int = 1) -> None:
         now = time.perf_counter()

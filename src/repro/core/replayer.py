@@ -144,15 +144,17 @@ class LiveReplayer:
         # The queue holds chunks, so express the event-denominated
         # capacity in chunk units (at least two so reader and emitter
         # can overlap).
-        self._queue: queue.Queue = queue.Queue(
+        self._queue: queue.Queue[list[Event] | object] = queue.Queue(
             maxsize=max(2, queue_capacity // read_chunk)
         )
         self._stop = threading.Event()
+        # guarded-by: reader writes before exiting; run() reads only
+        # after reader.join(), so the join edge orders the accesses.
         self._reader_error: Exception | None = None
 
     # -- reader thread ---------------------------------------------------
 
-    def _put(self, item) -> bool:
+    def _put(self, item: list[Event] | object) -> bool:
         """Enqueue ``item``, giving up when the emitter has stopped."""
         while not self._stop.is_set():
             try:
@@ -183,7 +185,7 @@ class LiveReplayer:
                 if buffer:
                     self._put(buffer)
         except Exception as exc:  # surfaced on the emitter thread
-            self._reader_error = exc
+            self._reader_error = exc  # guarded-by: reader.join() in run()
         finally:
             self._put(_SENTINEL)
 

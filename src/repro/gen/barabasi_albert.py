@@ -30,12 +30,16 @@ def barabasi_albert_stream(
     state_for_vertex=None,
     state_for_edge=None,
     first_id: int = 0,
+    *,
+    seed: int = 0,
 ) -> Iterator[GraphEvent]:
     """Yield a BA graph as a stream of add events.
 
     ``state_for_vertex(vertex_id)`` / ``state_for_edge(src, dst)`` may
     supply initial state strings; both default to empty states.
-    Vertices are numbered ``first_id .. first_id + n - 1``.
+    Vertices are numbered ``first_id .. first_id + n - 1``.  The
+    stream is fully determined by ``rng`` (or, when no ``rng`` is
+    passed, by the explicit ``seed``).
 
     The seed component connects the first ``m0`` vertices in a ring
     plus random chords (a clique would need m0*(m0-1)/2 edges — 31k for
@@ -45,7 +49,7 @@ def barabasi_albert_stream(
     to distinct existing vertices chosen proportionally to degree.
     """
     if rng is None:
-        rng = random.Random(0)
+        rng = random.Random(seed)
     if m0 < 2:
         raise ValueError(f"m0 must be >= 2, got {m0}")
     if n < m0:

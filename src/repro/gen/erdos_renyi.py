@@ -22,19 +22,23 @@ def erdos_renyi_stream(
     p: float | None = None,
     rng: random.Random | None = None,
     first_id: int = 0,
+    *,
+    seed: int = 0,
 ) -> Iterator[GraphEvent]:
     """Yield a G(n, m) or G(n, p) directed random graph as a stream.
 
     Exactly one of ``edge_count`` (the G(n, m) model) or ``p`` (the
     G(n, p) model) must be given.  Vertices are numbered
-    ``first_id .. first_id + n - 1``.
+    ``first_id .. first_id + n - 1``.  The stream is fully determined
+    by ``rng`` (or, when no ``rng`` is passed, by the explicit
+    ``seed``).
     """
     if (edge_count is None) == (p is None):
         raise ValueError("exactly one of edge_count or p must be given")
     if n < 0:
         raise ValueError(f"n must be >= 0, got {n}")
     if rng is None:
-        rng = random.Random(0)
+        rng = random.Random(seed)
 
     for i in range(n):
         yield add_vertex(first_id + i)

@@ -48,13 +48,17 @@ def rmat_stream(
     rng: random.Random | None = None,
     first_id: int = 0,
     max_retries_factor: int = 50,
+    *,
+    seed: int = 0,
 ) -> Iterator[GraphEvent]:
     """Yield an R-MAT graph with ``2**scale`` vertices as a stream.
 
     ``edge_count`` distinct directed edges are sampled; if the quadrant
     probabilities concentrate edges so heavily that distinct sampling
     stalls, a :class:`RuntimeError` is raised after
-    ``max_retries_factor * edge_count`` attempts.
+    ``max_retries_factor * edge_count`` attempts.  The stream is fully
+    determined by ``rng`` (or, when no ``rng`` is passed, by the
+    explicit ``seed``).
     """
     if scale <= 0:
         raise ValueError(f"scale must be positive, got {scale}")
@@ -68,7 +72,7 @@ def rmat_stream(
     if edge_count > max_edges:
         raise ValueError(f"edge_count {edge_count} exceeds maximum {max_edges}")
     if rng is None:
-        rng = random.Random(0)
+        rng = random.Random(seed)
 
     for i in range(n):
         yield add_vertex(first_id + i)

@@ -1,0 +1,46 @@
+"""Fixtures for the ``repro check`` rule suite and the tsan harness."""
+
+from __future__ import annotations
+
+import itertools
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.check.framework import Rule, Violation, run_check
+from repro.check.tsan import Monitor, watch_threads
+
+
+@pytest.fixture
+def check_source(tmp_path: Path):
+    """Run one rule over one fixture source placed at a scope path.
+
+    Returns the violations; each call uses a fresh scan root so
+    fixtures never see each other.
+    """
+    counter = itertools.count()
+
+    def run(
+        source: str, rule: Rule, rel: str = "sim/module.py"
+    ) -> list[Violation]:
+        root = tmp_path / f"case_{next(counter)}"
+        target = root / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(source), encoding="utf-8")
+        return run_check([root], rules=[rule]).violations
+
+    return run
+
+
+@pytest.fixture
+def tsan_monitor():
+    """A thread-sanitizer monitor with start/join tracking active.
+
+    Asserts race-freedom at teardown — tests that *expect* races
+    should build their own :class:`Monitor` instead.
+    """
+    monitor = Monitor()
+    with watch_threads(monitor):
+        yield monitor
+    monitor.assert_race_free()

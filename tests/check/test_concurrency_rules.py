@@ -1,0 +1,194 @@
+"""Concurrency rules: lock discipline and daemon-thread lifecycles."""
+
+from __future__ import annotations
+
+from repro.check.concurrency import (
+    DaemonThreadJoinRule,
+    UnguardedSharedAttributeRule,
+)
+
+UNGUARDED = """\
+    import threading
+
+    class Worker:
+        def __init__(self):
+            self.value = 0
+            self._thread = threading.Thread(target=self._run, daemon=True)
+
+        def _run(self):
+            self.value = 1
+
+        def join(self):
+            self._thread.join()
+"""
+
+
+class TestUnguardedSharedAttribute:
+    def test_unguarded_write_in_thread_target_fires(self, check_source):
+        violations = check_source(
+            UNGUARDED, UnguardedSharedAttributeRule(), rel="core/worker.py"
+        )
+        assert [v.rule_id for v in violations] == ["CONC001"]
+        assert "self.value" in violations[0].message
+
+    def test_lock_guarded_write_is_clean(self, check_source):
+        source = """\
+            import threading
+
+            class Worker:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.value = 0
+                    self._thread = threading.Thread(target=self._run, daemon=True)
+
+                def _run(self):
+                    with self._lock:
+                        self.value = 1
+
+                def join(self):
+                    self._thread.join()
+        """
+        assert (
+            check_source(
+                source, UnguardedSharedAttributeRule(), rel="core/worker.py"
+            )
+            == []
+        )
+
+    def test_guarded_by_annotation_on_write_is_clean(self, check_source):
+        source = UNGUARDED.replace(
+            "self.value = 1",
+            "self.value = 1  # guarded-by: join() in the owner",
+        )
+        assert (
+            check_source(
+                source, UnguardedSharedAttributeRule(), rel="core/worker.py"
+            )
+            == []
+        )
+
+    def test_guarded_by_annotation_on_declaration_is_clean(self, check_source):
+        source = UNGUARDED.replace(
+            "self.value = 0",
+            "self.value = 0  # guarded-by: join() in the owner",
+        )
+        assert (
+            check_source(
+                source, UnguardedSharedAttributeRule(), rel="core/worker.py"
+            )
+            == []
+        )
+
+    def test_transitive_helper_mutation_fires(self, check_source):
+        source = """\
+            import threading
+
+            class Worker:
+                def __init__(self):
+                    self.count = 0
+                    self._thread = threading.Thread(target=self._run, daemon=True)
+
+                def _run(self):
+                    self._bump()
+
+                def _bump(self):
+                    self.count += 1
+
+                def join(self):
+                    self._thread.join()
+        """
+        violations = check_source(
+            source, UnguardedSharedAttributeRule(), rel="core/worker.py"
+        )
+        assert [v.rule_id for v in violations] == ["CONC001"]
+        assert "self.count" in violations[0].message
+
+    def test_class_without_threads_is_clean(self, check_source):
+        source = """\
+            class Plain:
+                def __init__(self):
+                    self.value = 0
+
+                def bump(self):
+                    self.value += 1
+        """
+        assert (
+            check_source(
+                source, UnguardedSharedAttributeRule(), rel="core/plain.py"
+            )
+            == []
+        )
+
+
+class TestDaemonThreadJoin:
+    def test_daemon_without_join_fires(self, check_source):
+        source = """\
+            import threading
+
+            class FireAndForget:
+                def launch(self):
+                    thread = threading.Thread(target=self._run, daemon=True)
+                    thread.start()
+
+                def _run(self):
+                    pass
+        """
+        violations = check_source(
+            source, DaemonThreadJoinRule(), rel="core/fire.py"
+        )
+        assert [v.rule_id for v in violations] == ["CONC002"]
+        assert "FireAndForget" in violations[0].message
+
+    def test_join_call_in_class_is_clean(self, check_source):
+        source = """\
+            import threading
+
+            class Managed:
+                def launch(self):
+                    self._thread = threading.Thread(target=self._run, daemon=True)
+                    self._thread.start()
+                    self._thread.join(timeout=1.0)
+
+                def _run(self):
+                    pass
+        """
+        assert (
+            check_source(source, DaemonThreadJoinRule(), rel="core/ok.py")
+            == []
+        )
+
+    def test_stop_method_is_clean(self, check_source):
+        source = """\
+            import threading
+
+            class Stoppable:
+                def launch(self):
+                    self._thread = threading.Thread(target=self._run, daemon=True)
+                    self._thread.start()
+
+                def _run(self):
+                    pass
+
+                def stop(self):
+                    pass
+        """
+        assert (
+            check_source(source, DaemonThreadJoinRule(), rel="core/ok.py")
+            == []
+        )
+
+    def test_non_daemon_thread_is_clean(self, check_source):
+        source = """\
+            import threading
+
+            class Foreground:
+                def launch(self):
+                    threading.Thread(target=self._run).start()
+
+                def _run(self):
+                    pass
+        """
+        assert (
+            check_source(source, DaemonThreadJoinRule(), rel="core/fg.py")
+            == []
+        )

@@ -1,0 +1,272 @@
+"""Determinism rules: each fires on a seeded violation, stays silent on
+the clean spelling."""
+
+from __future__ import annotations
+
+from repro.check.determinism import (
+    HardcodedSeedRule,
+    SetIterationRule,
+    UnseededRandomRule,
+    WallClockRule,
+)
+
+
+class TestWallClock:
+    def test_time_time_fires(self, check_source):
+        violations = check_source(
+            """\
+            import time
+
+            def stamp():
+                return time.time()
+            """,
+            WallClockRule(),
+        )
+        assert [v.rule_id for v in violations] == ["DET001"]
+        assert "time.time" in violations[0].message
+
+    def test_datetime_now_fires(self, check_source):
+        violations = check_source(
+            """\
+            import datetime
+
+            def stamp():
+                return datetime.datetime.now()
+            """,
+            WallClockRule(),
+            rel="platforms/demo.py",
+        )
+        assert [v.rule_id for v in violations] == ["DET001"]
+
+    def test_time_sleep_fires_in_generator_module(self, check_source):
+        violations = check_source(
+            """\
+            import time
+
+            def wait():
+                time.sleep(1.0)
+            """,
+            WallClockRule(),
+            rel="core/generator.py",
+        )
+        assert [v.rule_id for v in violations] == ["DET001"]
+
+    def test_simulated_clock_is_clean(self, check_source):
+        assert (
+            check_source(
+                """\
+                def stamp(kernel):
+                    return kernel.now()
+                """,
+                WallClockRule(),
+            )
+            == []
+        )
+
+    def test_out_of_scope_wall_clock_is_allowed(self, check_source):
+        # The live replayer must read real clocks; core/ (except the
+        # generator) is outside the simulated scope.
+        assert (
+            check_source(
+                """\
+                import time
+
+                def pace():
+                    return time.perf_counter()
+                """,
+                WallClockRule(),
+                rel="core/replayer.py",
+            )
+            == []
+        )
+
+
+class TestUnseededRandom:
+    def test_module_level_random_fires(self, check_source):
+        violations = check_source(
+            """\
+            import random
+
+            def pick(items):
+                return random.choice(items)
+            """,
+            UnseededRandomRule(),
+        )
+        assert [v.rule_id for v in violations] == ["DET002"]
+
+    def test_zero_arg_random_constructor_fires(self, check_source):
+        violations = check_source(
+            """\
+            import random
+
+            def make():
+                return random.Random()
+            """,
+            UnseededRandomRule(),
+        )
+        assert [v.rule_id for v in violations] == ["DET002"]
+        assert "unseeded" in violations[0].message
+
+    def test_from_import_random_constructor_fires(self, check_source):
+        violations = check_source(
+            """\
+            from random import Random
+
+            def make():
+                return Random()
+            """,
+            UnseededRandomRule(),
+        )
+        assert [v.rule_id for v in violations] == ["DET002"]
+
+    def test_seeded_instance_is_clean(self, check_source):
+        assert (
+            check_source(
+                """\
+                import random
+
+                def make(seed):
+                    rng = random.Random(seed)
+                    return rng.random()
+                """,
+                UnseededRandomRule(),
+            )
+            == []
+        )
+
+    def test_unrelated_attribute_named_random_is_clean(self, check_source):
+        # ``rng.random()`` is an instance method, not the module.
+        assert (
+            check_source(
+                """\
+                import random
+
+                def draw(rng: random.Random):
+                    return rng.random()
+                """,
+                UnseededRandomRule(),
+            )
+            == []
+        )
+
+
+class TestHardcodedSeed:
+    def test_literal_fallback_fires(self, check_source):
+        violations = check_source(
+            """\
+            import random
+
+            def gen(rng=None):
+                if rng is None:
+                    rng = random.Random(0)
+                return rng
+            """,
+            HardcodedSeedRule(),
+            rel="gen/demo.py",
+        )
+        assert [v.rule_id for v in violations] == ["DET003"]
+
+    def test_parameter_seed_is_clean(self, check_source):
+        assert (
+            check_source(
+                """\
+                import random
+
+                def gen(rng=None, *, seed=0):
+                    if rng is None:
+                        rng = random.Random(seed)
+                    return rng
+                """,
+                HardcodedSeedRule(),
+                rel="gen/demo.py",
+            )
+            == []
+        )
+
+
+class TestSetIteration:
+    def test_set_literal_iteration_fires(self, check_source):
+        violations = check_source(
+            """\
+            def emit():
+                for vertex in {3, 1, 2}:
+                    yield vertex
+            """,
+            SetIterationRule(),
+        )
+        assert [v.rule_id for v in violations] == ["DET004"]
+
+    def test_set_call_iteration_fires(self, check_source):
+        violations = check_source(
+            """\
+            def emit(edges):
+                return [edge for edge in set(edges)]
+            """,
+            SetIterationRule(),
+        )
+        assert [v.rule_id for v in violations] == ["DET004"]
+
+    def test_local_set_variable_iteration_fires(self, check_source):
+        violations = check_source(
+            """\
+            def emit(edges):
+                seen = set(edges)
+                for edge in seen:
+                    yield edge
+            """,
+            SetIterationRule(),
+        )
+        assert [v.rule_id for v in violations] == ["DET004"]
+
+    def test_keys_iteration_fires(self, check_source):
+        violations = check_source(
+            """\
+            def emit(states):
+                for key in states.keys():
+                    yield key
+            """,
+            SetIterationRule(),
+        )
+        assert [v.rule_id for v in violations] == ["DET004"]
+
+    def test_sorted_set_is_clean(self, check_source):
+        assert (
+            check_source(
+                """\
+                def emit(edges):
+                    seen = set(edges)
+                    for edge in sorted(seen):
+                        yield edge
+                """,
+                SetIterationRule(),
+            )
+            == []
+        )
+
+    def test_rebound_name_is_clean(self, check_source):
+        assert (
+            check_source(
+                """\
+                def emit(edges):
+                    seen = set(edges)
+                    seen = sorted(seen)
+                    for edge in seen:
+                        yield edge
+                """,
+                SetIterationRule(),
+            )
+            == []
+        )
+
+    def test_dict_iteration_is_clean(self, check_source):
+        assert (
+            check_source(
+                """\
+                def emit(states):
+                    for key in states:
+                        yield key
+                """,
+                SetIterationRule(),
+            )
+            == []
+        )

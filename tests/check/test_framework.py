@@ -1,0 +1,117 @@
+"""Framework behaviour: suppressions, scoping, parse errors, reporting."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.check.determinism import HardcodedSeedRule, UnseededRandomRule
+from repro.check.framework import (
+    PARSE_ERROR_ID,
+    CheckedModule,
+    Violation,
+    run_check,
+)
+from repro.check.reporting import render_report, render_rule_catalogue
+
+BAD_SEED = """\
+    import random
+
+    def gen(rng=None):
+        if rng is None:
+            rng = random.Random(0)
+        return rng
+"""
+
+
+def test_suppression_comment_silences_violation(check_source):
+    source = BAD_SEED.replace(
+        "random.Random(0)", "random.Random(0)  # repro-check: disable=DET003"
+    )
+    assert check_source(source, HardcodedSeedRule()) == []
+
+
+def test_suppression_is_id_specific(check_source):
+    source = BAD_SEED.replace(
+        "random.Random(0)", "random.Random(0)  # repro-check: disable=CONC001"
+    )
+    violations = check_source(source, HardcodedSeedRule())
+    assert [v.rule_id for v in violations] == ["DET003"]
+
+
+def test_suppression_accepts_multiple_ids(check_source):
+    source = BAD_SEED.replace(
+        "random.Random(0)",
+        "random.Random(0)  # repro-check: disable=DET001,DET003",
+    )
+    assert check_source(source, HardcodedSeedRule()) == []
+
+
+def test_scoped_rule_skips_files_outside_scope(check_source):
+    assert (
+        check_source(BAD_SEED, HardcodedSeedRule(), rel="core/replayer.py")
+        == []
+    )
+
+
+def test_unscoped_rule_applies_everywhere(check_source):
+    source = """\
+        import random
+
+        def draw():
+            return random.random()
+    """
+    violations = check_source(source, UnseededRandomRule(), rel="core/x.py")
+    assert [v.rule_id for v in violations] == ["DET002"]
+
+
+def test_parse_error_is_reported_not_raised(tmp_path):
+    bad = tmp_path / "broken.py"
+    bad.write_text("def broken(:\n", encoding="utf-8")
+    result = run_check([tmp_path], rules=[UnseededRandomRule()])
+    assert [v.rule_id for v in result.violations] == [PARSE_ERROR_ID]
+
+
+def test_scope_path_is_relative_to_repro_package(tmp_path):
+    target = tmp_path / "src" / "repro" / "gen" / "demo.py"
+    target.parent.mkdir(parents=True)
+    target.write_text("x = 1\n", encoding="utf-8")
+    module = CheckedModule(target, target.read_text(), root=tmp_path)
+    assert module.scope_path == "gen/demo.py"
+
+
+def test_violation_render_is_path_line_column():
+    violation = Violation("DET001", "message", "a/b.py", 12, 4)
+    assert violation.render() == "a/b.py:12:5: DET001 message"
+
+
+def test_report_and_catalogue_render(check_source, tmp_path):
+    result = run_check([tmp_path], rules=[UnseededRandomRule()])
+    assert "repro check: OK" in render_report(result)
+
+    from repro.check import all_rules
+
+    catalogue = render_rule_catalogue(all_rules())
+    for rule_id in (
+        "DET001", "DET002", "DET003", "DET004",
+        "CONC001", "CONC002",
+        "SCHEMA001", "SCHEMA002", "SCHEMA003",
+    ):
+        assert rule_id in catalogue
+
+
+def test_report_counts_violations(tmp_path):
+    target = tmp_path / "mod.py"
+    target.write_text(
+        textwrap.dedent(
+            """\
+            import random
+
+            def f():
+                return random.choice([1, 2])
+            """
+        ),
+        encoding="utf-8",
+    )
+    result = run_check([tmp_path], rules=[UnseededRandomRule()])
+    assert not result.ok
+    assert "1 violation(s)" in render_report(result)

@@ -1,0 +1,156 @@
+"""Schema rules: EventType ↔ codec dispatch/formatter lockstep."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from types import SimpleNamespace
+
+from repro.check.framework import run_check
+from repro.check.schema import (
+    DispatchCoverageRule,
+    FormatterCoverageRule,
+    RoundTripRule,
+)
+from repro.core import codec, events
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+def _fake_codec(**overrides) -> SimpleNamespace:
+    base = {
+        "_DISPATCH": dict(codec._DISPATCH),
+        "_DISPATCH_TRUSTED": dict(codec._DISPATCH_TRUSTED),
+        "_FORMATTERS": dict(codec._FORMATTERS),
+        "format_event": codec.format_event,
+        "parse_line": codec.parse_line,
+    }
+    base.update(overrides)
+    return SimpleNamespace(**base)
+
+
+class TestDispatchCoverage:
+    def test_shipped_codec_is_clean(self):
+        rule = DispatchCoverageRule(codec=codec, events=events)
+        assert list(rule.check_project([])) == []
+
+    def test_missing_entry_fires(self):
+        table = dict(codec._DISPATCH)
+        del table[events.EventType.PAUSE.value]
+        rule = DispatchCoverageRule(
+            codec=_fake_codec(_DISPATCH=table), events=events
+        )
+        violations = list(rule.check_project([]))
+        assert len(violations) == 1
+        assert violations[0].rule_id == "SCHEMA001"
+        assert "PAUSE" in violations[0].message
+        assert "_DISPATCH" in violations[0].message
+
+    def test_missing_trusted_entry_fires(self):
+        table = dict(codec._DISPATCH_TRUSTED)
+        del table[events.EventType.ADD_EDGE.value]
+        rule = DispatchCoverageRule(
+            codec=_fake_codec(_DISPATCH_TRUSTED=table), events=events
+        )
+        violations = list(rule.check_project([]))
+        assert [v.rule_id for v in violations] == ["SCHEMA001"]
+        assert "_DISPATCH_TRUSTED" in violations[0].message
+
+    def test_stale_entry_fires(self):
+        table = dict(codec._DISPATCH)
+        table["BOGUS"] = table[events.EventType.MARKER.value]
+        rule = DispatchCoverageRule(
+            codec=_fake_codec(_DISPATCH=table), events=events
+        )
+        violations = list(rule.check_project([]))
+        assert [v.rule_id for v in violations] == ["SCHEMA001"]
+        assert "BOGUS" in violations[0].message
+
+
+class TestFormatterCoverage:
+    def test_shipped_codec_is_clean(self):
+        rule = FormatterCoverageRule(codec=codec, events=events)
+        assert list(rule.check_project([])) == []
+
+    def test_missing_formatter_fires(self):
+        table = dict(codec._FORMATTERS)
+        del table[events.PauseEvent]
+        rule = FormatterCoverageRule(
+            codec=_fake_codec(_FORMATTERS=table), events=events
+        )
+        violations = list(rule.check_project([]))
+        assert [v.rule_id for v in violations] == ["SCHEMA002"]
+        assert "PauseEvent" in violations[0].message
+
+
+class TestRoundTrip:
+    def test_shipped_codec_round_trips(self):
+        rule = RoundTripRule(codec=codec, events=events)
+        assert list(rule.check_project([])) == []
+
+    def test_broken_formatter_fires(self):
+        def broken_format(event):
+            raise TypeError("no formatter")
+
+        rule = RoundTripRule(
+            codec=_fake_codec(format_event=broken_format), events=events
+        )
+        violations = list(rule.check_project([]))
+        assert violations
+        assert all(v.rule_id == "SCHEMA003" for v in violations)
+
+    def test_lossy_parser_fires(self):
+        def lossy_parse(line, line_number=None, *, trusted=False):
+            return events.marker("wrong")
+
+        rule = RoundTripRule(
+            codec=_fake_codec(parse_line=lossy_parse), events=events
+        )
+        violations = list(rule.check_project([]))
+        assert violations
+        assert all("round-trip" in v.message for v in violations)
+
+
+class TestAgainstRealTree:
+    """End-to-end: the shipped tree passes; a deleted entry fails."""
+
+    def test_shipped_tree_is_schema_clean(self):
+        result = run_check([SRC], rules=[DispatchCoverageRule()])
+        assert result.violations == []
+
+    def test_deleting_dispatch_entry_fails_repro_check(self, monkeypatch):
+        monkeypatch.delitem(codec._DISPATCH, events.EventType.PAUSE.value)
+        result = run_check([SRC], rules=[DispatchCoverageRule()])
+        assert any(
+            violation.rule_id == "SCHEMA001" and "PAUSE" in violation.message
+            for violation in result.violations
+        )
+        # The finding is anchored at the dispatch-table assignment in
+        # the real codec module.
+        violation = result.violations[0]
+        assert violation.path.endswith("codec.py")
+        assert violation.line > 1
+
+    def test_new_event_type_without_codec_support_fails(self):
+        class FakeMember:
+            """An EventType-shaped member the codec knows nothing about."""
+
+            name = "COMPACTION"
+            value = "COMPACTION"
+            is_vertex_event = False
+            is_edge_event = False
+
+        fake_events = SimpleNamespace(
+            EventType=list(events.EventType) + [FakeMember()],
+            Event=events.Event,
+            GraphEvent=events.GraphEvent,
+            MarkerEvent=events.MarkerEvent,
+            SpeedEvent=events.SpeedEvent,
+            PauseEvent=events.PauseEvent,
+            EdgeId=events.EdgeId,
+        )
+        dispatch = DispatchCoverageRule(codec=_fake_codec(), events=fake_events)
+        round_trip = RoundTripRule(codec=_fake_codec(), events=fake_events)
+        dispatch_violations = list(dispatch.check_project([]))
+        round_trip_violations = list(round_trip.check_project([]))
+        assert any("COMPACTION" in v.message for v in dispatch_violations)
+        assert any("COMPACTION" in v.message for v in round_trip_violations)

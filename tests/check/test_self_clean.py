@@ -1,0 +1,57 @@
+"""The shipped tree must pass its own checker (the dogfood gate)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro import cli
+from repro.check.framework import run_check
+from repro.core import codec, events
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+def test_shipped_tree_is_clean():
+    result = run_check([SRC])
+    assert result.violations == [], "\n".join(
+        violation.render() for violation in result.violations
+    )
+    assert result.files_checked > 50
+    assert result.rules_run == 9
+
+
+def test_cli_check_exits_zero(capsys):
+    assert cli.main(["check", str(SRC)]) == 0
+    out = capsys.readouterr().out
+    assert "repro check: OK" in out
+
+
+def test_cli_check_list_rules(capsys):
+    assert cli.main(["check", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    assert "DET001" in out
+    assert "SCHEMA003" in out
+
+
+def test_cli_check_fails_on_violation(tmp_path, capsys):
+    bad = tmp_path / "sim" / "clock.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text("import time\nNOW = time.time()\n", encoding="utf-8")
+    assert cli.main(["check", str(tmp_path)]) == 1
+    out = capsys.readouterr().out
+    assert "DET001" in out
+
+
+def test_deleting_dispatch_entry_breaks_the_build(monkeypatch, capsys):
+    """Acceptance gate: removing a codec dispatch entry fails ``repro
+    check`` over the real tree."""
+    monkeypatch.delitem(codec._DISPATCH, events.EventType.MARKER.value)
+    assert cli.main(["check", str(SRC)]) == 1
+    out = capsys.readouterr().out
+    assert "SCHEMA001" in out
+    assert "MARKER" in out
+
+
+def test_cli_check_rejects_missing_path(capsys):
+    assert cli.main(["check", "/no/such/path"]) == 2
+    assert "no such path" in capsys.readouterr().err
