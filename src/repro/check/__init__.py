@@ -11,7 +11,8 @@ convention into mechanical checks:
   into emitted streams;
 * **concurrency** (``CONC0xx``) — attributes mutated from thread
   targets must be lock-guarded or carry a ``# guarded-by:``
-  annotation, and daemon threads need a join/stop path;
+  annotation, daemon threads need a join/stop path, and classes owning
+  sockets or fd-backed files need a close/stop path;
 * **schema consistency** (``SCHEMA0xx``) — every
   :class:`~repro.core.events.EventType` member must have parse entries
   in both codec dispatch tables and a working formatter, so an event

@@ -14,6 +14,12 @@ mechanise the conventions that keep that safe:
   needs a matching join/stop path (a ``.join(...)`` call or a
   ``join``/``stop``/``close``/``shutdown`` method), so replays cannot
   leak threads that outlive their work.
+* ``CONC003`` — a class that opens an OS-level resource (a socket via
+  ``socket.socket``/``socket.create_connection``, or a file object
+  adopted from a raw fd via ``os.fdopen``) must expose a release path
+  (a ``close``/``stop``/``shutdown`` method or ``__exit__``), so
+  receivers and transports cannot strand sockets or fds on the error
+  paths the resilience layer exercises.
 """
 
 from __future__ import annotations
@@ -31,6 +37,7 @@ from repro.check.framework import (
 __all__ = [
     "UnguardedSharedAttributeRule",
     "DaemonThreadJoinRule",
+    "ResourceClosePathRule",
     "CONCURRENCY_RULES",
 ]
 
@@ -289,7 +296,61 @@ class DaemonThreadJoinRule(Rule):
         return False
 
 
+#: Methods that count as releasing an OS-level resource for CONC003.
+_CLOSE_METHOD_NAMES = frozenset({"close", "stop", "shutdown", "__exit__"})
+
+#: Calls that acquire an OS-level resource the class then owns.
+_RESOURCE_CALLS = frozenset(
+    {"socket.socket", "socket.create_connection", "os.fdopen"}
+)
+
+
+class ResourceClosePathRule(Rule):
+    """``CONC003``: a class owning a socket or fd-backed file must have
+    a close/stop path so the resource cannot be stranded."""
+
+    rule_id = "CONC003"
+    title = "socket/fd-owning classes need a close/stop path"
+
+    def check_module(self, module: CheckedModule) -> Iterator[Violation]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(module, node)
+
+    def _check_class(
+        self, module: CheckedModule, node: ast.ClassDef
+    ) -> Iterator[Violation]:
+        model = _ClassModel(node, module)
+        if _CLOSE_METHOD_NAMES & set(model.methods):
+            return
+        for sub in ast.walk(node):
+            if not isinstance(sub, ast.Call):
+                continue
+            name = self._resource_call_name(sub)
+            if name is None:
+                continue
+            yield self.violation(
+                module,
+                sub,
+                f"class '{node.name}' acquires an OS resource via "
+                f"'{name}' but has no close/stop path (no "
+                "close/stop/shutdown/__exit__ method); the socket or fd "
+                "leaks when the owner is dropped",
+            )
+
+    @staticmethod
+    def _resource_call_name(node: ast.Call) -> str | None:
+        name = dotted_name(node.func)
+        if name is None:
+            return None
+        for resource in _RESOURCE_CALLS:
+            if name == resource or name.endswith("." + resource):
+                return resource
+        return None
+
+
 CONCURRENCY_RULES: tuple[type[Rule], ...] = (
     UnguardedSharedAttributeRule,
     DaemonThreadJoinRule,
+    ResourceClosePathRule,
 )

@@ -68,9 +68,68 @@ def build_parser() -> argparse.ArgumentParser:
         help="token-bucket burst size: events emitted per wakeup "
         "(1 = per-event pacing; larger values raise the saturation rate)",
     )
+    retry = rep.add_argument_group(
+        "resilient delivery",
+        "retry/backoff, circuit breaking and checkpoint resume "
+        "(repro.core.resilience)",
+    )
+    retry.add_argument(
+        "--retry-attempts", type=int, default=1,
+        help="delivery attempts per batch (1 = no retries)",
+    )
+    retry.add_argument(
+        "--retry-base-delay", type=float, default=0.01,
+        help="first backoff delay in seconds (doubles per retry, jittered)",
+    )
+    retry.add_argument(
+        "--retry-deadline", type=float, default=None,
+        help="overall per-batch delivery deadline in seconds",
+    )
+    retry.add_argument(
+        "--breaker-threshold", type=int, default=0,
+        help="consecutive failures that open the circuit breaker "
+        "(0 = no breaker)",
+    )
+    retry.add_argument(
+        "--breaker-recovery", type=float, default=1.0,
+        help="seconds the breaker stays open before probing again",
+    )
+    retry.add_argument(
+        "--max-resumes", type=int, default=0,
+        help="checkpoint resumes after a delivery failure "
+        "(resumes from the last marker boundary)",
+    )
+    chaos = rep.add_argument_group(
+        "chaos injection",
+        "seeded runtime faults injected into the delivery path "
+        "(deterministic per --chaos-seed)",
+    )
+    chaos.add_argument(
+        "--chaos-send-failure", type=float, default=0.0,
+        help="probability a send operation fails before delivering",
+    )
+    chaos.add_argument(
+        "--chaos-reset", type=float, default=0.0,
+        help="probability of a connection reset after an unacknowledged send",
+    )
+    chaos.add_argument(
+        "--chaos-partial", type=float, default=0.0,
+        help="probability a batch is only partially delivered",
+    )
+    chaos.add_argument(
+        "--chaos-latency", type=float, default=0.0,
+        help="probability of injected latency on a send",
+    )
+    chaos.add_argument(
+        "--chaos-latency-seconds", type=float, default=0.005,
+        help="injected latency duration in seconds",
+    )
+    chaos.add_argument("--chaos-seed", type=int, default=0)
 
     exp = sub.add_parser("experiment", help="run one of the paper's experiments")
-    exp.add_argument("figure", choices=("fig3a", "fig3b", "fig3c", "fig3d"))
+    exp.add_argument(
+        "figure", choices=("fig3a", "fig3b", "fig3c", "fig3d", "robustness")
+    )
     exp.add_argument(
         "--scale", type=float, default=0.05,
         help="fraction of the paper-scale configuration (1.0 = full)",
@@ -93,6 +152,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="package the run as a Popper-style bundle in this directory",
     )
     run.add_argument("--experiment-id", default="run-001")
+    run.add_argument(
+        "--fault-schedule", default=None,
+        help="JSON runtime fault schedule (from 'graphtides faults "
+        "--crash ... --schedule-out'): timed platform crash/recovery",
+    )
 
     cnv = sub.add_parser(
         "convert", help="convert an edge-list file into a graph stream"
@@ -119,7 +183,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="pause for SECONDS after AFTER events")
 
     flt = sub.add_parser(
-        "faults", help="derive a faulty stream (drop/duplicate/reorder)"
+        "faults",
+        help="derive a faulty stream (drop/duplicate/reorder) and/or "
+        "emit a runtime crash schedule",
     )
     flt.add_argument("stream")
     flt.add_argument("-o", "--output", required=True)
@@ -127,6 +193,16 @@ def build_parser() -> argparse.ArgumentParser:
     flt.add_argument("--duplicate", type=float, default=0.0)
     flt.add_argument("--shuffle-window", type=int, default=0)
     flt.add_argument("--seed", type=int, default=0)
+    flt.add_argument(
+        "--crash", action="append", default=[], metavar="PROCESS:AT:DURATION",
+        help="runtime fault: crash processes matching PROCESS at AT "
+        "simulated seconds for DURATION seconds (repeatable)",
+    )
+    flt.add_argument(
+        "--schedule-out", default=None,
+        help="write the --crash entries as a JSON FaultSchedule for "
+        "'graphtides run --fault-schedule'",
+    )
 
     plo = sub.add_parser(
         "plot", help="ASCII-plot a metric from a result log (JSONL)"
@@ -201,16 +277,65 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_replay(args: argparse.Namespace) -> int:
+def _build_replay_transport(args: argparse.Namespace):
+    """Compose the replay delivery chain: base -> chaos -> retrying."""
     from repro.core.connectors import PipeTransport, TcpTransport
+    from repro.core.resilience import (
+        ChaosConfig,
+        ChaosTransport,
+        CircuitBreaker,
+        RetryPolicy,
+        RetryingTransport,
+    )
+
+    def build():
+        if args.transport == "stdout":
+            transport = PipeTransport(sys.stdout)
+        else:
+            transport = TcpTransport(args.host, args.port)
+        chaos = ChaosConfig(
+            send_failure_probability=args.chaos_send_failure,
+            reset_probability=args.chaos_reset,
+            partial_batch_probability=args.chaos_partial,
+            latency_probability=args.chaos_latency,
+            latency_seconds=args.chaos_latency_seconds,
+            seed=args.chaos_seed,
+        )
+        if not chaos.is_noop:
+            transport = ChaosTransport(transport, chaos)
+        if args.retry_attempts > 1 or args.breaker_threshold > 0:
+            breaker = None
+            if args.breaker_threshold > 0:
+                breaker = CircuitBreaker(
+                    failure_threshold=args.breaker_threshold,
+                    recovery_time=args.breaker_recovery,
+                )
+            transport = RetryingTransport(
+                transport,
+                RetryPolicy(
+                    max_attempts=max(1, args.retry_attempts),
+                    base_delay=args.retry_base_delay,
+                    deadline=args.retry_deadline,
+                    seed=args.chaos_seed,
+                ),
+                breaker=breaker,
+            )
+        return transport
+
+    return build
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
     from repro.core.replayer import LiveReplayer
 
-    if args.transport == "stdout":
-        transport = PipeTransport(sys.stdout)
-    else:
-        transport = TcpTransport(args.host, args.port)
+    build = _build_replay_transport(args)
     replayer = LiveReplayer(
-        args.stream, transport, rate=args.rate, batch_size=args.batch_size
+        args.stream,
+        build(),
+        rate=args.rate,
+        batch_size=args.batch_size,
+        max_resumes=args.max_resumes,
+        transport_factory=build if args.max_resumes > 0 else None,
     )
     report = replayer.run()
     print(
@@ -220,6 +345,18 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         f"{report.p95_rate:.0f})",
         file=sys.stderr,
     )
+    if (
+        report.chaos_faults or report.retries or report.redeliveries
+        or report.breaker_openings or report.resumes
+    ):
+        print(
+            f"faults: {report.chaos_faults} injected, {report.retries} retries, "
+            f"{report.redeliveries} redeliveries, "
+            f"{report.breaker_openings} breaker openings, "
+            f"{report.resumes} resumes "
+            f"(from {report.checkpoints} checkpoints)",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -227,14 +364,34 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro.experiments import (
         ChronographExperimentConfig,
         ReplayerExperimentConfig,
+        RobustnessExperimentConfig,
         WeaverExperimentConfig,
         run_chronograph,
         run_replayer_throughput,
+        run_robustness,
         run_weaver_cpu,
         run_weaver_throughput,
     )
 
     scale = args.scale
+    if args.figure == "robustness":
+        config = RobustnessExperimentConfig().scaled(scale)
+        rows = run_robustness(config)
+        print(
+            "target    p5/median/max rate      achieved  "
+            "faults retries redeliv breaker resumes lost"
+        )
+        for row in rows:
+            print(
+                f"{row.target_rate:>6} "
+                f"{row.p5_rate:>8.0f}/{row.median_rate:>7.0f}/"
+                f"{row.max_rate:>7.0f} "
+                f"{row.achieved_fraction:>9.1%} "
+                f"{row.chaos_faults:>6} {row.retries:>7} "
+                f"{row.redeliveries:>7} {row.breaker_openings:>7} "
+                f"{row.resumes:>7} {row.events_lost:>4}"
+            )
+        return 0
     if args.figure == "fig3a":
         config = ReplayerExperimentConfig().scaled(scale)
         rows = run_replayer_throughput(config)
@@ -298,7 +455,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
     stream = GraphStream.read(args.stream)
     platform = _platform_registry()[args.platform]()
-    config = HarnessConfig(rate=args.rate, level=args.level)
+    fault_schedule = None
+    if args.fault_schedule:
+        import json
+
+        from repro.platforms.base import FaultSchedule
+
+        with open(args.fault_schedule, encoding="utf-8") as handle:
+            fault_schedule = FaultSchedule.from_json_dict(json.load(handle))
+    config = HarnessConfig(
+        rate=args.rate, level=args.level, fault_schedule=fault_schedule
+    )
     result = TestHarness(platform, stream, config).run()
     print(run_report(result, title=f"{args.platform} vs {args.stream}"))
 
@@ -355,8 +522,44 @@ def _cmd_shape(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_crash_spec(spec: str):
+    from repro.platforms.base import ProcessFault
+
+    parts = spec.rsplit(":", 2)
+    if len(parts) != 3:
+        raise ValueError(
+            f"--crash expects PROCESS:AT:DURATION, got {spec!r}"
+        )
+    process, at, duration = parts
+    return ProcessFault(process=process, at=float(at), duration=float(duration))
+
+
 def _cmd_faults(args: argparse.Namespace) -> int:
+    import json
+
     from repro.core.faults import FaultPlan, apply_fault_plan
+    from repro.platforms.base import FaultSchedule
+
+    if args.schedule_out:
+        try:
+            faults = [_parse_crash_spec(spec) for spec in args.crash]
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        if not faults:
+            print("--schedule-out requires at least one --crash", file=sys.stderr)
+            return 2
+        schedule = FaultSchedule(faults=faults)
+        with open(args.schedule_out, "w", encoding="utf-8") as handle:
+            json.dump(schedule.to_json_dict(), handle, indent=2)
+            handle.write("\n")
+        print(
+            f"wrote {args.schedule_out}: {len(faults)} runtime fault(s)",
+            file=sys.stderr,
+        )
+    elif args.crash:
+        print("--crash requires --schedule-out", file=sys.stderr)
+        return 2
 
     stream = GraphStream.read(args.stream)
     plan = FaultPlan(

@@ -143,7 +143,12 @@ class PipeTransport(Transport):
         except (OSError, ValueError):
             pass
         if self._owns:
-            self._file.close()
+            # close() flushes again internally; a broken pipe there must
+            # still release the fd (close always does, even on error).
+            try:
+                self._file.close()
+            except OSError:
+                pass
 
 
 class TcpTransport(Transport):
@@ -202,8 +207,13 @@ class TcpTransport(Transport):
         if self._closed:
             return
         self._closed = True
+        # Flush and close in separate try blocks: a failing flush (peer
+        # gone) must not leave the file object — and its fd — open.
         try:
             self._file.flush()
+        except OSError:
+            pass
+        try:
             self._file.close()
         except OSError:
             pass
@@ -260,14 +270,20 @@ class PipeReceiver:
     """Reads lines from a readable file object / fd on a thread.
 
     Counts events into a :class:`WindowCounter`; reading stops at EOF.
+    Usable as a context manager: ``with PipeReceiver(fd) as receiver:``
+    starts the reader thread and guarantees join-and-close on exit,
+    even when the body raises.
     """
 
     def __init__(self, source, window_seconds: float = 1.0):
         if isinstance(source, int):
             self._file = os.fdopen(source, "r", encoding="utf-8", buffering=1 << 16)
+            self._owns = True
         else:
             self._file = source
+            self._owns = False
         self.counter = WindowCounter(window_seconds)
+        self._closed = False
         self._thread = threading.Thread(target=self._read_loop, daemon=True)
 
     def start(self) -> None:
@@ -275,11 +291,15 @@ class PipeReceiver:
 
     def _read_loop(self) -> None:
         batch = 0
-        for __ in self._file:
-            batch += 1
-            if batch >= 256:
-                self.counter.record(batch)
-                batch = 0
+        try:
+            for __ in self._file:
+                batch += 1
+                if batch >= 256:
+                    self.counter.record(batch)
+                    batch = 0
+        except ValueError:
+            # File closed under the reader by close(): stop counting.
+            pass
         if batch:
             self.counter.record(batch)
 
@@ -288,30 +308,86 @@ class PipeReceiver:
         if self._thread.is_alive():
             raise ConnectorError("pipe receiver did not finish in time")
 
+    def close(self) -> None:
+        """Close the file the receiver owns (constructed from a raw fd).
+
+        Safe to call repeatedly; files passed in as objects stay open
+        (their owner closes them).  While the reader thread is still
+        blocked in a read this is a no-op — closing a buffered file
+        under an active reader deadlocks on its internal lock; the
+        writer closing its end (EOF) is what unblocks the reader.
+        """
+        if self._closed or self._thread.is_alive():
+            return
+        self._closed = True
+        if self._owns:
+            try:
+                self._file.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "PipeReceiver":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        try:
+            if self._thread.is_alive():
+                self._thread.join(timeout=10.0)
+        finally:
+            self.close()
+
 
 class TcpReceiver:
     """Accepts one TCP connection and counts received lines.
 
     Binds an ephemeral local port (``port`` attribute) so benchmarks
-    need no fixed port assignments.
+    need no fixed port assignments.  The accept loop polls with a
+    timeout and honours :meth:`close`, so a receiver whose client never
+    connects can always be shut down instead of blocking forever.
+    Usable as a context manager like :class:`PipeReceiver`.
     """
+
+    #: Poll period of the accept loop; bounds close() latency.
+    accept_poll_seconds = 0.2
 
     def __init__(self, window_seconds: float = 1.0, host: str = "127.0.0.1"):
         self._server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._server.bind((host, 0))
         self._server.listen(1)
+        self._server.settimeout(self.accept_poll_seconds)
         self.host = host
         self.port = self._server.getsockname()[1]
         self.counter = WindowCounter(window_seconds)
+        self._stop = threading.Event()
         self._thread = threading.Thread(target=self._serve, daemon=True)
 
     def start(self) -> None:
         self._thread.start()
 
+    def _accept(self) -> socket.socket | None:
+        """Accept with a timeout, re-checking the stop flag between
+        polls; returns None when stopped before any client arrived."""
+        while not self._stop.is_set():
+            try:
+                connection, __ = self._server.accept()
+                return connection
+            except socket.timeout:
+                continue
+            except OSError:
+                # Server socket closed under us by close().
+                return None
+        return None
+
     def _serve(self) -> None:
-        connection, __ = self._server.accept()
-        self._server.close()
+        connection = self._accept()
+        try:
+            self._server.close()
+        except OSError:
+            pass
+        if connection is None:
+            return
         with connection:
             reader = connection.makefile("r", encoding="utf-8", buffering=1 << 16)
             batch = 0
@@ -327,3 +403,25 @@ class TcpReceiver:
         self._thread.join(timeout)
         if self._thread.is_alive():
             raise ConnectorError("tcp receiver did not finish in time")
+
+    def close(self) -> None:
+        """Stop accepting, close the server socket, join the thread.
+
+        Safe whether or not a client ever connected, and safe to call
+        repeatedly.  An active client connection is still read to EOF
+        by the serving thread before it exits.
+        """
+        self._stop.set()
+        try:
+            self._server.close()
+        except OSError:
+            pass
+        if self._thread.is_alive():
+            self._thread.join(timeout=max(10.0, 2 * self.accept_poll_seconds))
+
+    def __enter__(self) -> "TcpReceiver":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

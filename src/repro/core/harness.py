@@ -19,11 +19,17 @@ from repro.core.probes import CpuUtilizationProbe, InternalProbe, NativeMetricsP
 from repro.core.resultlog import Record, ResultLog
 from repro.core.stream import GraphStream
 from repro.errors import GraphTidesError
-from repro.platforms.base import Platform
+from repro.platforms.base import FaultSchedule, Platform
 from repro.sim.kernel import Simulation
 from repro.sim.replay import SimulatedReplayer
 
-__all__ = ["HarnessConfig", "RunResult", "TestHarness", "InternalProbeSpec"]
+__all__ = [
+    "HarnessConfig",
+    "RunResult",
+    "TestHarness",
+    "InternalProbeSpec",
+    "FaultRecovery",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -63,6 +69,11 @@ class HarnessConfig:
     #: unbounded.  Protects against platforms that cannot absorb the
     #: stream at all (permanent back-throttling).
     max_duration: float | None = None
+    #: Timed platform crash/recovery schedule; ``None`` runs fault-free.
+    #: With a schedule, the harness additionally samples the platform's
+    #: client-observable backlog each ``log_interval`` and reports
+    #: per-fault recovery (see :class:`FaultRecovery`).
+    fault_schedule: FaultSchedule | None = None
 
     def __post_init__(self) -> None:
         if self.rate <= 0:
@@ -79,6 +90,30 @@ class HarnessConfig:
             raise ValueError("max_duration must be positive or None")
 
 
+@dataclass(frozen=True, slots=True)
+class FaultRecovery:
+    """Recovery behaviour of one scheduled crash/restore pair.
+
+    ``backlog_at_crash`` is the pre-crash steady backlog envelope (the
+    largest backlog sampled before the crash); ``backlog_peak`` bounds
+    the growth during the outage; ``recovery_seconds`` is how long
+    after restore the backlog first returned to that pre-crash level
+    (``None`` when it never did within the run — degradation without
+    recovery).
+    """
+
+    process: str
+    crash_at: float
+    restore_at: float
+    backlog_at_crash: int
+    backlog_peak: int
+    recovery_seconds: float | None
+
+    @property
+    def recovered(self) -> bool:
+        return self.recovery_seconds is not None
+
+
 @dataclass(slots=True)
 class RunResult:
     """Outcome of one harness run."""
@@ -90,6 +125,10 @@ class RunResult:
     rejected_attempts: int
     drained: bool
     object_series: dict[str, list[tuple[float, Any]]] = field(default_factory=dict)
+    #: Armed crash/restore timeline: ``(time, action, process)``.
+    fault_events: list[tuple[float, str, str]] = field(default_factory=list)
+    #: Per-crash recovery measurements (one entry per crash/restore pair).
+    recoveries: list[FaultRecovery] = field(default_factory=list)
 
     @property
     def mean_throughput(self) -> float:
@@ -159,6 +198,29 @@ class TestHarness:
 
         loggers: list[SimPeriodicLogger] = []
         object_loggers: list[ObjectSeriesLogger] = []
+
+        fault_events: list[tuple[float, str, str]] = []
+        backlog_samples: list[tuple[float, int]] = []
+        if config.fault_schedule is not None and not config.fault_schedule.is_noop:
+            fault_events = platform.schedule_faults(config.fault_schedule)
+
+            def backlog_probe() -> list[Record]:
+                backlog = platform.backlog
+                backlog_samples.append((sim.now, backlog))
+                return [
+                    Record(
+                        timestamp=sim.now,
+                        source="harness",
+                        metric="backlog",
+                        value=float(backlog),
+                    )
+                ]
+
+            loggers.append(
+                SimPeriodicLogger(
+                    sim, config.log_interval, backlog_probe, name="backlog-probe"
+                )
+            )
 
         loggers.append(
             SimPeriodicLogger(
@@ -248,8 +310,28 @@ class TestHarness:
         sim.schedule(config.drain_poll_interval, supervise)
         sim.run()
 
+        if fault_events:
+            # Final backlog observation: the periodic probe stops with
+            # the loggers, so a run that drained right at the end would
+            # otherwise never show its backlog back at zero.
+            backlog_samples.append((sim.now, platform.backlog))
+
+        fault_records = [
+            Record(
+                timestamp=at,
+                source="harness",
+                metric="fault",
+                value=1.0 if action == "crash" else 0.0,
+                kind="result",
+                tags={"action": action, "process": process},
+            )
+            for at, action, process in fault_events
+            if at <= sim.now
+        ]
         log = collect_records(
-            replayer.records, *(logger.records for logger in loggers)
+            replayer.records,
+            *(logger.records for logger in loggers),
+            fault_records,
         )
         return RunResult(
             log=log,
@@ -261,7 +343,60 @@ class TestHarness:
             object_series={
                 logger.name: logger.samples for logger in object_loggers
             },
+            fault_events=fault_events,
+            recoveries=_compute_recoveries(fault_events, backlog_samples),
         )
+
+
+def _compute_recoveries(
+    fault_events: list[tuple[float, str, str]],
+    backlog_samples: list[tuple[float, int]],
+) -> list[FaultRecovery]:
+    """Pair crash/restore events and measure backlog recovery.
+
+    The pre-crash level is the *envelope* (maximum) of the backlog
+    samples taken before the crash, not the last instantaneous sample:
+    a serial pipeline under continuous load holds O(1) events in flight
+    at any sampling instant, so a point baseline that happened to catch
+    an idle instant would make recovery undetectable.  Recovery time is
+    measured from the restore instant to the first backlog sample at or
+    below that envelope; ``None`` when the run ended before the backlog
+    got back down.
+    """
+    recoveries: list[FaultRecovery] = []
+    restores: dict[str, list[float]] = {}
+    for at, action, process in fault_events:
+        if action == "restore":
+            restores.setdefault(process, []).append(at)
+    for at, action, process in fault_events:
+        if action != "crash":
+            continue
+        candidates = [t for t in restores.get(process, ()) if t > at]
+        if not candidates:
+            continue
+        restore_at = min(candidates)
+        before = [value for t, value in backlog_samples if t <= at]
+        baseline = max(before) if before else 0
+        outage = [value for t, value in backlog_samples if at <= t <= restore_at]
+        after = [value for t, value in backlog_samples if t >= restore_at]
+        peak = max(outage + after[:1], default=baseline)
+        recovery_seconds = None
+        for t, value in backlog_samples:
+            if t >= restore_at and value <= baseline:
+                recovery_seconds = t - restore_at
+                break
+        recoveries.append(
+            FaultRecovery(
+                process=process,
+                crash_at=at,
+                restore_at=restore_at,
+                backlog_at_crash=baseline,
+                backlog_peak=peak,
+                recovery_seconds=recovery_seconds,
+            )
+        )
+    return recoveries
+
 
 def _make_query_probe(
     sim: Simulation,

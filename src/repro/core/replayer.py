@@ -25,6 +25,15 @@ granularity for a substantially higher saturation rate (see
 ``benchmarks/bench_codec_throughput.py``).  Control events always take
 effect at their exact stream position: a pending batch is flushed
 before any ``MARKER``/``SPEED``/``PAUSE`` is handled.
+
+Resilience: the replayer checkpoints at every marker boundary.  When a
+transport failure escapes the delivery layer (see
+:mod:`repro.core.resilience`) and ``max_resumes`` allows it, the replay
+*resumes* from the last checkpoint instead of dying: the source is
+re-read, events up to the checkpoint are fast-forwarded without
+emission, and events after it are re-emitted (at-least-once
+redelivery, counted in the report).  Resume requires a re-iterable
+source (file path, :class:`~repro.core.stream.GraphStream`, list).
 """
 
 from __future__ import annotations
@@ -34,7 +43,7 @@ import threading
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable
+from typing import Callable, Iterable
 
 from repro.core import codec
 from repro.core.connectors import Transport
@@ -46,10 +55,11 @@ from repro.core.events import (
     SpeedEvent,
 )
 from repro.core.metrics import percentile
+from repro.core.resilience import FaultCounters, collect_fault_counters
 from repro.core.stream import GraphStream
-from repro.errors import ReplayError
+from repro.errors import ConnectorError, ReplayError
 
-__all__ = ["LiveReplayer", "ReplayReport"]
+__all__ = ["LiveReplayer", "ReplayReport", "ReplayCheckpoint"]
 
 _SENTINEL = object()
 
@@ -58,13 +68,46 @@ _SPIN_THRESHOLD = 0.0015
 
 
 @dataclass(frozen=True, slots=True)
+class ReplayCheckpoint:
+    """A resume point taken at a marker boundary.
+
+    ``position`` is the number of stream items fully handled before
+    the checkpoint (the fast-forward distance on resume);
+    ``speed_factor`` restores the rate state the markers were passed
+    at; ``marker_count`` is how many marker timestamps were recorded,
+    so a failed attempt's markers can be rolled back.
+    """
+
+    label: str
+    position: int
+    emitted: int
+    speed_factor: float
+    marker_count: int
+
+
+@dataclass(frozen=True, slots=True)
 class ReplayReport:
-    """Outcome of a live replay."""
+    """Outcome of a live replay.
+
+    ``events_emitted`` counts every delivered emission, including
+    re-emissions after a checkpoint resume; ``redeliveries`` counts the
+    lines that may have reached the system under test more than once
+    (transport-level unacknowledged resends plus checkpoint-rewind
+    re-emissions), so ``events_emitted - redeliveries`` is the
+    exactly-once floor.  The fault counters are zero for replays
+    through plain transports.
+    """
 
     events_emitted: int
     duration: float
     window_rates: tuple[float, ...]
     marker_times: tuple[tuple[str, float], ...]
+    retries: int = 0
+    redeliveries: int = 0
+    breaker_openings: int = 0
+    chaos_faults: int = 0
+    resumes: int = 0
+    checkpoints: int = 0
 
     @property
     def mean_rate(self) -> float:
@@ -96,69 +139,44 @@ class ReplayReport:
         return self.rate_percentile(95)
 
 
-class LiveReplayer:
-    """Replays a stream over a transport at a tunable uniform rate.
+class _ReaderThread:
+    """One replay attempt's reader: thread + hand-off queue + stop flag.
 
-    ``source`` is a :class:`GraphStream`, a path to a stream file, or
-    any iterable of events.  File sources are parsed on a dedicated
-    reader thread, decoupled from emission through a bounded queue of
-    event chunks.
-
-    ``batch_size`` is the token-bucket burst size: the emitter sends up
-    to that many events per wakeup in a single ``send_many`` call.  The
-    default of 1 matches the paper's per-event pacing; raising it (e.g.
-    to 32-256) lifts the saturation rate at the cost of event timing
-    being uniform only at batch granularity.  ``read_chunk`` is how
-    many events the reader hands over per queue operation; it does not
-    affect emission timing.
+    Each resume attempt gets a fresh instance, so a reader that is
+    stuck in a slow source can never feed chunks into a later
+    attempt's queue.
     """
 
     def __init__(
         self,
         source: GraphStream | str | Path | Iterable[Event],
-        transport: Transport,
-        rate: float,
-        window_seconds: float = 1.0,
-        queue_capacity: int = 65536,
-        batch_size: int = 1,
-        read_chunk: int = 1024,
-        trusted_parse: bool = True,
+        read_chunk: int,
+        queue_capacity: int,
+        trusted_parse: bool,
     ):
-        if rate <= 0:
-            raise ValueError(f"rate must be positive, got {rate}")
-        if window_seconds <= 0:
-            raise ValueError("window_seconds must be positive")
-        if queue_capacity <= 0:
-            raise ValueError("queue_capacity must be positive")
-        if batch_size <= 0:
-            raise ValueError(f"batch_size must be positive, got {batch_size}")
-        if read_chunk <= 0:
-            raise ValueError(f"read_chunk must be positive, got {read_chunk}")
         self._source = source
-        self._transport = transport
-        self._base_rate = rate
-        self._window_seconds = window_seconds
-        self._batch_size = batch_size
         self._read_chunk = read_chunk
         self._trusted_parse = trusted_parse
         # The queue holds chunks, so express the event-denominated
         # capacity in chunk units (at least two so reader and emitter
         # can overlap).
-        self._queue: queue.Queue[list[Event] | object] = queue.Queue(
+        self.queue: queue.Queue[list[Event] | object] = queue.Queue(
             maxsize=max(2, queue_capacity // read_chunk)
         )
         self._stop = threading.Event()
-        # guarded-by: reader writes before exiting; run() reads only
-        # after reader.join(), so the join edge orders the accesses.
-        self._reader_error: Exception | None = None
+        # guarded-by: the reader writes before exiting; readers of
+        # `error` only look after join(), so the join edge orders it.
+        self.error: Exception | None = None
+        self._thread = threading.Thread(target=self._read_source, daemon=True)
 
-    # -- reader thread ---------------------------------------------------
+    def start(self) -> None:
+        self._thread.start()
 
     def _put(self, item: list[Event] | object) -> bool:
         """Enqueue ``item``, giving up when the emitter has stopped."""
         while not self._stop.is_set():
             try:
-                self._queue.put(item, timeout=0.05)
+                self.queue.put(item, timeout=0.05)
                 return True
             except queue.Full:
                 continue
@@ -185,16 +203,118 @@ class LiveReplayer:
                 if buffer:
                     self._put(buffer)
         except Exception as exc:  # surfaced on the emitter thread
-            self._reader_error = exc  # guarded-by: reader.join() in run()
+            self.error = exc  # guarded-by: join() before error is read
         finally:
             self._put(_SENTINEL)
 
     def _drain_queue(self) -> None:
         try:
             while True:
-                self._queue.get_nowait()
+                self.queue.get_nowait()
         except queue.Empty:
             pass
+
+    def stop(self, join_timeout: float) -> bool:
+        """Stop, drain and join; returns False when the thread leaked.
+
+        A reader stuck inside a blocking source cannot be interrupted;
+        after ``join_timeout`` it is abandoned (it is a daemon thread
+        and its queue is attempt-local, so it cannot corrupt a resume).
+        """
+        self._stop.set()
+        self._drain_queue()
+        self._thread.join(timeout=join_timeout)
+        if self._thread.is_alive():
+            return False
+        # One more drain: the reader may have enqueued its sentinel
+        # between our drain and its exit.
+        self._drain_queue()
+        return True
+
+
+class LiveReplayer:
+    """Replays a stream over a transport at a tunable uniform rate.
+
+    ``source`` is a :class:`GraphStream`, a path to a stream file, or
+    any iterable of events.  File sources are parsed on a dedicated
+    reader thread, decoupled from emission through a bounded queue of
+    event chunks.
+
+    ``batch_size`` is the token-bucket burst size: the emitter sends up
+    to that many events per wakeup in a single ``send_many`` call.  The
+    default of 1 matches the paper's per-event pacing; raising it (e.g.
+    to 32-256) lifts the saturation rate at the cost of event timing
+    being uniform only at batch granularity.  ``read_chunk`` is how
+    many events the reader hands over per queue operation; it does not
+    affect emission timing.
+
+    ``max_resumes`` enables checkpoint resume: when a
+    :class:`~repro.errors.ConnectorError` escapes the transport during
+    emission, up to that many resumes restart delivery from the last
+    marker checkpoint (requires a re-iterable source).
+    ``transport_factory`` builds a replacement transport per resume
+    (e.g. reconnecting TCP); without it the existing transport is
+    reused.  ``resume_delay`` sleeps before each resume so a crashed
+    system under test gets time to come back.
+    """
+
+    def __init__(
+        self,
+        source: GraphStream | str | Path | Iterable[Event],
+        transport: Transport,
+        rate: float,
+        window_seconds: float = 1.0,
+        queue_capacity: int = 65536,
+        batch_size: int = 1,
+        read_chunk: int = 1024,
+        trusted_parse: bool = True,
+        max_resumes: int = 0,
+        resume_delay: float = 0.0,
+        transport_factory: Callable[[], Transport] | None = None,
+        reader_join_timeout: float = 5.0,
+    ):
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        if window_seconds <= 0:
+            raise ValueError("window_seconds must be positive")
+        if queue_capacity <= 0:
+            raise ValueError("queue_capacity must be positive")
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        if read_chunk <= 0:
+            raise ValueError(f"read_chunk must be positive, got {read_chunk}")
+        if max_resumes < 0:
+            raise ValueError(f"max_resumes must be >= 0, got {max_resumes}")
+        if resume_delay < 0:
+            raise ValueError("resume_delay must be >= 0")
+        if reader_join_timeout <= 0:
+            raise ValueError("reader_join_timeout must be positive")
+        self._source = source
+        self._transport = transport
+        self._base_rate = rate
+        self._window_seconds = window_seconds
+        self._batch_size = batch_size
+        self._read_chunk = read_chunk
+        self._queue_capacity = queue_capacity
+        self._trusted_parse = trusted_parse
+        self._max_resumes = max_resumes
+        self._resume_delay = resume_delay
+        self._transport_factory = transport_factory
+        self._reader_join_timeout = reader_join_timeout
+        #: True when a reader thread could not be joined (stuck source).
+        self.reader_leaked = False
+
+    def _resumable(self) -> bool:
+        """Resume needs a source that can be iterated again."""
+        return isinstance(self._source, (str, Path, GraphStream, list, tuple))
+
+    def _new_reader(self) -> _ReaderThread:
+        return _ReaderThread(
+            self._source,
+            self._read_chunk,
+            self._queue_capacity,
+            self._trusted_parse,
+        )
 
     # -- emission ----------------------------------------------------------
 
@@ -203,112 +323,182 @@ class LiveReplayer:
 
         Raises :class:`ReplayError` when the reader thread failed
         (malformed file) or :class:`ConnectorError` when the transport
-        raised.  The transport is closed and the reader thread stopped
-        on every exit path.
+        raised and the resume budget is spent.  The transport is closed
+        and the reader thread stopped on every exit path.
         """
-        reader = threading.Thread(target=self._read_source, daemon=True)
-        reader.start()
-
-        transport = self._transport
         batch_size = self._batch_size
         window_seconds = self._window_seconds
         format_lines = codec.format_lines
         perf_counter = time.perf_counter
 
+        # Totals surviving across resume attempts.
         emitted = 0
         window_rates: list[float] = []
         marker_times: list[tuple[str, float]] = []
-        interval = 1.0 / self._base_rate
-        pending: list[Event] = []
+        resumes = 0
+        resume_redeliveries = 0
+        checkpoints = 0
+        checkpoint = ReplayCheckpoint(
+            label="", position=0, emitted=0, speed_factor=1.0, marker_count=0
+        )
 
         start = perf_counter()
-        next_emit = start
-        window_start = start
-        window_count = 0
+        reader_error: Exception | None = None
 
-        def flush() -> None:
-            """Token-bucket emission: wait for the batch's deadline,
-            then burst the whole pending batch in one ``send_many``."""
-            nonlocal emitted, next_emit, window_start, window_count
-            if not pending:
-                return
-            now = perf_counter()
-            wait = next_emit - now
-            if wait > 0:
-                if wait > _SPIN_THRESHOLD:
-                    time.sleep(wait - 0.001)
-                while perf_counter() < next_emit:
-                    pass
-                now = next_emit
-            elif -wait > window_seconds:
-                # Behind schedule: do not accumulate debt beyond one
-                # window, so a slow transport degrades rate rather than
-                # bursting unboundedly afterwards.
-                next_emit = now
-            transport.send_many(format_lines(pending))
-            count = len(pending)
-            pending.clear()
-            emitted += count
-            window_count += count
-            next_emit += count * interval
-            if now - window_start >= window_seconds:
-                window_rates.append(window_count / (now - window_start))
-                window_start = now
-                window_count = 0
+        while True:
+            transport = self._transport
+            reader = self._new_reader()
+            reader.start()
 
-        failure: BaseException | None = None
-        try:
-            while True:
-                chunk = self._queue.get()
-                if chunk is _SENTINEL:
-                    break
-                for item in chunk:
-                    if isinstance(item, GraphEvent):
-                        pending.append(item)
-                        if len(pending) >= batch_size:
-                            flush()
-                    elif isinstance(item, MarkerEvent):
-                        flush()
-                        marker_times.append((item.label, perf_counter() - start))
-                    elif isinstance(item, SpeedEvent):
-                        flush()
-                        interval = 1.0 / (self._base_rate * item.factor)
-                    elif isinstance(item, PauseEvent):
-                        flush()
-                        time.sleep(item.seconds)
-                        next_emit = perf_counter()
-                    else:
-                        raise ReplayError(f"cannot replay {type(item).__name__}")
-            flush()
-            duration = perf_counter() - start
-        except BaseException as exc:
-            failure = exc
-            raise
-        finally:
-            # Always stop the reader and close the transport — a
-            # raising transport must not leak the reader thread or the
-            # transport's file descriptors.
-            self._stop.set()
-            self._drain_queue()
+            interval = 1.0 / (self._base_rate * checkpoint.speed_factor)
+            position = 0
+            emitted_since_checkpoint = 0
+            pending: list[Event] = []
+            next_emit = perf_counter()
+            window_start = next_emit
+            window_count = 0
+
+            def flush() -> None:
+                """Token-bucket emission: wait for the batch's deadline,
+                then burst the whole pending batch in one ``send_many``."""
+                nonlocal emitted, emitted_since_checkpoint, next_emit
+                nonlocal window_start, window_count
+                if not pending:
+                    return
+                now = perf_counter()
+                wait = next_emit - now
+                if wait > 0:
+                    if wait > _SPIN_THRESHOLD:
+                        time.sleep(wait - 0.001)
+                    while perf_counter() < next_emit:
+                        pass
+                    now = next_emit
+                elif -wait > window_seconds:
+                    # Behind schedule: do not accumulate debt beyond one
+                    # window, so a slow transport degrades rate rather
+                    # than bursting unboundedly afterwards.
+                    next_emit = now
+                transport.send_many(format_lines(pending))
+                count = len(pending)
+                pending.clear()
+                emitted += count
+                emitted_since_checkpoint += count
+                window_count += count
+                next_emit += count * interval
+                if now - window_start >= window_seconds:
+                    window_rates.append(window_count / (now - window_start))
+                    window_start = now
+                    window_count = 0
+
+            failure: BaseException | None = None
             try:
-                self._transport.close()
-            except Exception:
-                if failure is None:
+                while True:
+                    chunk = reader.queue.get()
+                    if chunk is _SENTINEL:
+                        break
+                    for item in chunk:
+                        if position < checkpoint.position:
+                            # Fast-forward to the checkpoint: already
+                            # delivered before the resume, do not
+                            # re-emit, re-pause, or re-record markers.
+                            position += 1
+                            continue
+                        if isinstance(item, GraphEvent):
+                            pending.append(item)
+                            if len(pending) >= batch_size:
+                                flush()
+                        elif isinstance(item, MarkerEvent):
+                            flush()
+                            marker_times.append(
+                                (item.label, perf_counter() - start)
+                            )
+                            checkpoints += 1
+                            checkpoint = ReplayCheckpoint(
+                                label=item.label,
+                                position=position + 1,
+                                emitted=emitted,
+                                speed_factor=interval_factor(
+                                    self._base_rate, interval
+                                ),
+                                marker_count=len(marker_times),
+                            )
+                            emitted_since_checkpoint = 0
+                        elif isinstance(item, SpeedEvent):
+                            flush()
+                            interval = 1.0 / (self._base_rate * item.factor)
+                        elif isinstance(item, PauseEvent):
+                            flush()
+                            time.sleep(item.seconds)
+                            next_emit = perf_counter()
+                        else:
+                            raise ReplayError(
+                                f"cannot replay {type(item).__name__}"
+                            )
+                        position += 1
+                flush()
+            except ConnectorError as exc:
+                failure = exc
+                if not reader.stop(self._reader_join_timeout):
+                    self.reader_leaked = True  # guarded-by: emitter-only
+                if resumes >= self._max_resumes or not self._resumable():
+                    self._close_transport(failure)
                     raise
-            reader.join(timeout=5.0)
+                # Resume from the last checkpoint: events emitted after
+                # it will be delivered again (at-least-once).
+                resumes += 1
+                resume_redeliveries += emitted_since_checkpoint
+                del marker_times[checkpoint.marker_count :]
+                if self._transport_factory is not None:
+                    try:
+                        transport.close()
+                    except ConnectorError:
+                        pass
+                    self._transport = self._transport_factory()
+                if self._resume_delay:
+                    time.sleep(self._resume_delay)
+                continue
+            except BaseException as exc:
+                failure = exc
+                if not reader.stop(self._reader_join_timeout):
+                    self.reader_leaked = True  # guarded-by: emitter-only
+                self._close_transport(failure)
+                raise
+            else:
+                duration = perf_counter() - start
+                if not reader.stop(self._reader_join_timeout):
+                    self.reader_leaked = True  # guarded-by: emitter-only
+                reader_error = reader.error
+                self._close_transport(None)
+                break
 
-        if self._reader_error is not None:
+        if reader_error is not None:
             raise ReplayError(
-                f"stream source failed: {self._reader_error}"
-            ) from self._reader_error
-        if window_count and duration > 0:
-            # Final partial window.
-            tail = duration - (window_start - start)
-            if tail > 0:
-                window_rates.append(window_count / tail)
+                f"stream source failed: {reader_error}"
+            ) from reader_error
+        counters: FaultCounters = collect_fault_counters(self._transport)
         return ReplayReport(
             events_emitted=emitted,
             duration=duration,
             window_rates=tuple(window_rates),
             marker_times=tuple(marker_times),
+            retries=counters.retries,
+            redeliveries=counters.redeliveries + resume_redeliveries,
+            breaker_openings=counters.breaker_openings,
+            chaos_faults=counters.chaos_faults,
+            resumes=resumes,
+            checkpoints=checkpoints,
         )
+
+    def _close_transport(self, failure: BaseException | None) -> None:
+        """Close the transport; swallow close errors only when already
+        propagating a more interesting failure."""
+        try:
+            self._transport.close()
+        except Exception:
+            if failure is None:
+                raise
+
+
+def interval_factor(base_rate: float, interval: float) -> float:
+    """The SPEED factor currently in effect given the emit interval."""
+    return 1.0 / (interval * base_rate)

@@ -215,4 +215,19 @@ def run_report(result: RunResult, title: str = "GraphTides run") -> str:
             lines.append(
                 f"  t={record.timestamp:>8.2f}s  {record.tags.get('label', '')}"
             )
+    if result.fault_events:
+        lines.append("")
+        lines.append("fault timeline:")
+        for at, action, process in result.fault_events:
+            lines.append(f"  t={at:>8.2f}s  {action:<8} {process}")
+        for recovery in result.recoveries:
+            recovered = (
+                f"recovered in {recovery.recovery_seconds:.2f}s"
+                if recovery.recovered
+                else "not recovered within the run"
+            )
+            lines.append(
+                f"  {recovery.process}: backlog {recovery.backlog_at_crash} -> "
+                f"peak {recovery.backlog_peak}, {recovered}"
+            )
     return "\n".join(lines)

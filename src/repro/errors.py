@@ -61,6 +61,40 @@ class ConnectorError(GraphTidesError):
     """A platform connector failed to deliver or acknowledge events."""
 
 
+class TransientTransportError(ConnectorError):
+    """A send failed in a way that is worth retrying.
+
+    ``delivered`` is the number of leading batch lines the transport
+    *knows* reached the system under test before the failure (a partial
+    batch write); ``unacknowledged`` is the number of lines that were
+    possibly delivered but never acknowledged (a connection reset after
+    the write) — a retrier must resend them, producing at-least-once
+    redelivery.
+    """
+
+    def __init__(self, message: str, delivered: int = 0, unacknowledged: int = 0):
+        super().__init__(message)
+        self.delivered = delivered
+        self.unacknowledged = unacknowledged
+
+
+class CircuitOpenError(ConnectorError):
+    """Delivery refused because the circuit breaker is open.
+
+    Raised instead of attempting a send when the system under test has
+    failed repeatedly; the caller should degrade (checkpoint, resume
+    later) rather than block on a dead endpoint.
+    """
+
+
+class DeliveryExhaustedError(ConnectorError):
+    """A retrying transport gave up after exhausting its retry budget."""
+
+    def __init__(self, message: str, attempts: int = 0):
+        super().__init__(message)
+        self.attempts = attempts
+
+
 class PlatformError(GraphTidesError):
     """A system under test rejected a request or reached an invalid state."""
 

@@ -9,17 +9,20 @@ code path.  Configuration dataclasses mirror the paper's Tables 2–4.
 from repro.experiments.configs import (
     ChronographExperimentConfig,
     ReplayerExperimentConfig,
+    RobustnessExperimentConfig,
     WeaverExperimentConfig,
 )
 from repro.experiments.fig3a import ReplayerThroughputRow, run_replayer_throughput
 from repro.experiments.fig3b import WeaverThroughputResult, run_weaver_throughput
 from repro.experiments.fig3c import WeaverCpuResult, run_weaver_cpu
 from repro.experiments.fig3d import ChronographResult, run_chronograph
+from repro.experiments.robustness import RobustnessRow, run_robustness
 
 __all__ = [
     "ReplayerExperimentConfig",
     "WeaverExperimentConfig",
     "ChronographExperimentConfig",
+    "RobustnessExperimentConfig",
     "run_replayer_throughput",
     "ReplayerThroughputRow",
     "run_weaver_throughput",
@@ -28,4 +31,6 @@ __all__ = [
     "WeaverCpuResult",
     "run_chronograph",
     "ChronographResult",
+    "run_robustness",
+    "RobustnessRow",
 ]

@@ -14,6 +14,7 @@ __all__ = [
     "ReplayerExperimentConfig",
     "WeaverExperimentConfig",
     "ChronographExperimentConfig",
+    "RobustnessExperimentConfig",
 ]
 
 
@@ -114,4 +115,49 @@ class ChronographExperimentConfig:
                 2, int(total * self.double_rate_until / self.total_events)
             ),
             pause_seconds=max(2.0, self.pause_seconds * factor),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class RobustnessExperimentConfig:
+    """Replayer robustness runs: rate-vs-achieved under runtime faults.
+
+    The Figure-3a shape run through a lossy delivery path: each target
+    rate is replayed through a seeded chaos transport (send failures,
+    connection resets, partial batches) behind a retrying transport, so
+    the measured quantity is the *degraded* achieved-rate band plus the
+    fault counters that explain it.  Not a paper figure — the runtime
+    complement of the paper's a-priori fault derivation (section 3.2).
+    """
+
+    target_rates: tuple[int, ...] = (2_000, 4_000, 8_000, 16_000)
+    run_seconds: float = 4.0
+    max_events_per_rate: int = 100_000
+    stream_rounds: int = 20_000
+    batch_size: int = 32
+    send_failure_probability: float = 0.01
+    reset_probability: float = 0.002
+    partial_batch_probability: float = 0.005
+    retry_attempts: int = 6
+    retry_base_delay: float = 0.002
+    breaker_threshold: int = 8
+    breaker_recovery_time: float = 0.1
+    max_resumes: int = 2
+    seed: int = 42
+
+    def events_for_rate(self, target_rate: int) -> int:
+        """Events to replay at one rate level: rate × duration, capped."""
+        return max(
+            1_000,
+            min(self.max_events_per_rate, int(target_rate * self.run_seconds)),
+        )
+
+    def scaled(self, factor: float) -> "RobustnessExperimentConfig":
+        if not 0 < factor <= 1:
+            raise ValueError(f"factor must be in (0, 1], got {factor}")
+        return replace(
+            self,
+            run_seconds=max(1.0, self.run_seconds * factor),
+            max_events_per_rate=max(2_000, int(self.max_events_per_rate * factor)),
+            stream_rounds=max(2_000, int(self.stream_rounds * factor)),
         )

@@ -22,6 +22,7 @@ box simply has no such interface.
 from __future__ import annotations
 
 import abc
+from dataclasses import dataclass
 from typing import Any
 
 from repro.core.events import GraphEvent
@@ -29,7 +30,77 @@ from repro.errors import EvaluationLevelError, PlatformError
 from repro.sim.kernel import Simulation
 from repro.sim.resources import CpuResource
 
-__all__ = ["Platform"]
+__all__ = ["Platform", "ProcessFault", "FaultSchedule"]
+
+
+@dataclass(frozen=True, slots=True)
+class ProcessFault:
+    """One timed crash: kill processes matching ``process`` at ``at``
+    simulated seconds, restore them ``duration`` seconds later.
+
+    ``process`` matches by substring against
+    :meth:`CpuResource.name <repro.sim.resources.CpuResource>` (e.g.
+    ``"shard"`` hits ``weaver-shard``), so schedules stay portable
+    across platforms with different process naming.
+    """
+
+    process: str
+    at: float
+    duration: float
+
+    def __post_init__(self) -> None:
+        if not self.process:
+            raise ValueError("process must be a non-empty name/substring")
+        if self.at < 0:
+            raise ValueError(f"at must be >= 0, got {self.at}")
+        if self.duration <= 0:
+            raise ValueError(f"duration must be positive, got {self.duration}")
+
+    def to_json_dict(self) -> dict[str, Any]:
+        return {"process": self.process, "at": self.at, "duration": self.duration}
+
+    @classmethod
+    def from_json_dict(cls, payload: dict[str, Any]) -> "ProcessFault":
+        return cls(
+            process=str(payload["process"]),
+            at=float(payload["at"]),
+            duration=float(payload["duration"]),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class FaultSchedule:
+    """A timed crash/recovery schedule for a simulated platform.
+
+    The runtime complement of the a-priori
+    :class:`~repro.core.faults.FaultPlan`: instead of deriving a faulty
+    *stream*, it makes the *system under test* fail while a correct
+    stream is replayed (paper section 3.2's fault-injection axis,
+    applied to the platform side).
+    """
+
+    faults: tuple[ProcessFault, ...] = ()
+
+    def __post_init__(self) -> None:
+        # Accept any iterable for convenience but store a tuple.
+        if not isinstance(self.faults, tuple):
+            object.__setattr__(self, "faults", tuple(self.faults))
+
+    @property
+    def is_noop(self) -> bool:
+        return not self.faults
+
+    def to_json_dict(self) -> dict[str, Any]:
+        return {"faults": [fault.to_json_dict() for fault in self.faults]}
+
+    @classmethod
+    def from_json_dict(cls, payload: dict[str, Any]) -> "FaultSchedule":
+        return cls(
+            faults=tuple(
+                ProcessFault.from_json_dict(item)
+                for item in payload.get("faults", ())
+            )
+        )
 
 
 class Platform(abc.ABC):
@@ -107,6 +178,55 @@ class Platform(abc.ABC):
         Platforms with self-rescheduling periodic activity (epoch
         timers etc.) must stop it here so the simulation can run dry.
         """
+
+    # -- fault injection -----------------------------------------------------
+
+    def schedule_faults(self, schedule: FaultSchedule) -> list[tuple[float, str, str]]:
+        """Arm a timed crash/recovery schedule on the attached kernel.
+
+        For every :class:`ProcessFault`, the matching processes'
+        :meth:`~repro.sim.resources.CpuResource.fail` and
+        :meth:`~repro.sim.resources.CpuResource.restore` are put on the
+        simulation calendar.  Returns the armed timeline as
+        ``(time, action, process-name)`` tuples (``action`` is
+        ``"crash"`` or ``"restore"``) so the harness can log it.
+
+        The default implementation works for any platform whose
+        :meth:`processes` exposes its CPUs; platforms with additional
+        failure semantics (dropping in-flight state, rerouting) can
+        override it.
+        """
+        sim = self.sim
+        timeline: list[tuple[float, str, str]] = []
+        for fault in schedule.faults:
+            matches = [
+                process
+                for process in self.processes()
+                if fault.process in process.name
+            ]
+            if not matches:
+                raise PlatformError(
+                    f"fault schedule names process {fault.process!r}, but "
+                    f"platform {self.name!r} has no matching process "
+                    f"(have: {[p.name for p in self.processes()]})"
+                )
+            for process in matches:
+                sim.schedule_at(fault.at, process.fail)
+                sim.schedule_at(fault.at + fault.duration, process.restore)
+                timeline.append((fault.at, "crash", process.name))
+                timeline.append((fault.at + fault.duration, "restore", process.name))
+        timeline.sort(key=lambda entry: (entry[0], entry[2]))
+        return timeline
+
+    @property
+    def backlog(self) -> int:
+        """Accepted-but-unprocessed events (client-observable, level 0).
+
+        The quantity that grows during a crash window and drains after
+        recovery; the harness samples it when a fault schedule is
+        active.
+        """
+        return max(0, self.events_accepted() - self.events_processed())
 
     @property
     def is_drained(self) -> bool:

@@ -200,6 +200,7 @@ class ChronoLikePlatform(Platform):
         return {
             "internal_ops": float(total_ops),
             "queued_messages": float(sum(len(m) for m in self._mailboxes)),
+            "failed_workers": float(sum(1 for c in self._cpus if c.failed)),
         }
 
     # -- level 2 -------------------------------------------------------------
@@ -207,6 +208,8 @@ class ChronoLikePlatform(Platform):
     def _internal_probe(self, name: str) -> Any:
         if name == "queue_lengths":
             return [len(mailbox) for mailbox in self._mailboxes]
+        if name == "failed_workers":
+            return [i for i, cpu in enumerate(self._cpus) if cpu.failed]
         if name == "worker_update_ops":
             return list(self._update_ops)
         if name == "worker_compute_ops":
@@ -221,9 +224,14 @@ class ChronoLikePlatform(Platform):
 
     @property
     def is_idle(self) -> bool:
-        """True when all mailboxes are empty and all CPUs idle."""
+        """True when all mailboxes are empty and all CPUs idle.
+
+        A crashed worker with stalled queued work is *not* idle —
+        without this, a fault window could masquerade as a drained
+        platform.
+        """
         return all(not len(m) for m in self._mailboxes) and all(
-            not c.busy for c in self._cpus
+            not c.busy and not c.queue_length for c in self._cpus
         )
 
     @property

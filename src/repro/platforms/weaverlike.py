@@ -165,3 +165,26 @@ class WeaverLikePlatform(Platform):
     def rejected_offers(self) -> int:
         """Ingest attempts that were back-throttled."""
         return self._rejected
+
+    # -- crash/recovery observability (client-side, still level 0) -----------
+
+    @property
+    def pipeline_backlog(self) -> int:
+        """Transactions queued in the timestamper→shard pipeline.
+
+        Grows while a :class:`~repro.platforms.base.FaultSchedule`
+        holds a process down (in-flight transactions stall behind the
+        crashed stage) and drains after restore — the client observes
+        this as acknowledgement latency and back-throttling.
+        """
+        backlog = self._inflight
+        if self._timestamper is not None:
+            backlog += self._timestamper.queue_length
+        if self._shard is not None:
+            backlog += self._shard.queue_length
+        return backlog
+
+    @property
+    def process_crashes(self) -> int:
+        """Total crash events across the platform's processes."""
+        return sum(process.crash_count for process in self.processes())

@@ -44,6 +44,8 @@ class CpuResource:
         self._window_start = 0.0
         self._busy_time_window = 0.0
         self._completed = 0
+        self._failed = False
+        self._crash_count = 0
 
     @property
     def completed(self) -> int:
@@ -63,6 +65,38 @@ class CpuResource:
     def busy_time_total(self) -> float:
         return self._busy_time_total
 
+    @property
+    def failed(self) -> bool:
+        """True while the process is crashed (not serving work)."""
+        return self._failed
+
+    @property
+    def crash_count(self) -> int:
+        """How many times :meth:`fail` has been called."""
+        return self._crash_count
+
+    def fail(self) -> None:
+        """Crash the process: queued work stalls until :meth:`restore`.
+
+        The item currently in service completes (its completion is
+        already on the simulation calendar), matching a process whose
+        in-flight operation commits before the crash takes effect;
+        everything behind it waits.  Submitting during the outage is
+        allowed — work accumulates as backlog.
+        """
+        if self._failed:
+            return
+        self._failed = True
+        self._crash_count += 1
+
+    def restore(self) -> None:
+        """Recover the process and resume draining the backlog."""
+        if not self._failed:
+            return
+        self._failed = False
+        if not self._busy:
+            self._start_next()
+
     def submit(
         self, service_time: float, done: Callable[[], None] | None = None
     ) -> None:
@@ -74,7 +108,7 @@ class CpuResource:
             self._start_next()
 
     def _start_next(self) -> None:
-        if not self._pending:
+        if self._failed or not self._pending:
             self._busy = False
             return
         self._busy = True

@@ -10,15 +10,17 @@ from repro.core.replayer import LiveReplayer
 from repro.check.tsan import Monitor, instrument, watch_threads
 from repro.errors import ReplayError
 
-#: Every field the reader and emitter threads can both touch.
-SHARED_FIELDS = (
-    "_reader_error",
-    "_queue",
+#: Replayer fields the emitter thread reads while the reader runs.
+REPLAYER_FIELDS = (
     "_base_rate",
     "_source",
     "_trusted_parse",
     "_read_chunk",
+    "reader_leaked",
 )
+
+#: Per-attempt reader fields both threads can touch.
+READER_FIELDS = ("queue", "error")
 
 
 def _write_stream(path, count=3000):
@@ -26,6 +28,20 @@ def _write_stream(path, count=3000):
         path, (events.add_vertex(i, f"s{i}") for i in range(count))
     )
     return path
+
+
+def _instrument_replay(replayer, monitor):
+    """Instrument the replayer plus every reader it creates."""
+    instrument(replayer, monitor, fields=REPLAYER_FIELDS)
+    original = replayer._new_reader
+
+    def make_reader():
+        reader = original()
+        instrument(reader, monitor, fields=READER_FIELDS)
+        return reader
+
+    replayer._new_reader = make_reader
+    return replayer
 
 
 def test_clean_replay_is_race_free(tmp_path, tsan_monitor):
@@ -37,7 +53,7 @@ def test_clean_replay_is_race_free(tmp_path, tsan_monitor):
         rate=1e6,
         batch_size=256,
     )
-    instrument(replayer, tsan_monitor, fields=SHARED_FIELDS)
+    _instrument_replay(replayer, tsan_monitor)
     report = replayer.run()
     assert report.events_emitted == 3000
     assert len(received) == 3000
@@ -58,13 +74,13 @@ def test_reader_failure_handoff_is_race_free(tmp_path):
             rate=1e6,
             trusted_parse=False,
         )
-        instrument(replayer, monitor, fields=SHARED_FIELDS)
+        _instrument_replay(replayer, monitor)
         with pytest.raises(ReplayError, match="stream source failed"):
             replayer.run()
-    # The reader wrote _reader_error and run() read it afterwards; the
-    # join edge must order those accesses, so no race is reported.
+    # The reader wrote its error field and run() read it after joining;
+    # the join edge must order those accesses, so no race is reported.
     error_accesses = [
-        access for access in monitor.accesses if access.field == "_reader_error"
+        access for access in monitor.accesses if access.field == "error"
     ]
     assert any(access.write for access in error_accesses)
     assert len({access.thread for access in error_accesses}) == 2
@@ -80,6 +96,6 @@ def test_iterable_source_replay_is_race_free(tsan_monitor):
         batch_size=64,
         read_chunk=50,
     )
-    instrument(replayer, tsan_monitor, fields=SHARED_FIELDS)
+    _instrument_replay(replayer, tsan_monitor)
     report = replayer.run()
     assert report.events_emitted == 500

@@ -1,0 +1,144 @@
+"""Connector shutdown paths: receivers that always stop, transports
+that never strand file descriptors."""
+
+from __future__ import annotations
+
+import io
+import os
+import time
+
+import pytest
+
+from repro.core.connectors import (
+    PipeReceiver,
+    PipeTransport,
+    TcpReceiver,
+    TcpTransport,
+)
+from repro.core.events import add_vertex
+from repro.core.replayer import LiveReplayer
+from repro.core.stream import GraphStream
+
+
+class TestTcpReceiverShutdown:
+    def test_close_without_client_does_not_hang(self):
+        receiver = TcpReceiver()
+        receiver.start()
+        started = time.monotonic()
+        receiver.close()
+        elapsed = time.monotonic() - started
+        assert elapsed < 5.0
+        receiver.join(1.0)
+
+    def test_close_is_idempotent(self):
+        receiver = TcpReceiver()
+        receiver.start()
+        receiver.close()
+        receiver.close()
+
+    def test_close_before_start(self):
+        receiver = TcpReceiver()
+        receiver.close()
+
+    def test_context_manager_without_client(self):
+        with TcpReceiver() as receiver:
+            assert receiver.port > 0
+        # Exit closed the server socket: the thread must be done.
+        receiver.join(1.0)
+
+    def test_context_manager_round_trip(self):
+        with TcpReceiver() as receiver:
+            transport = TcpTransport(receiver.host, receiver.port)
+            report = LiveReplayer(
+                GraphStream([add_vertex(i) for i in range(200)]),
+                transport,
+                rate=50_000,
+            ).run()
+            assert report.events_emitted == 200
+        receiver.join(5.0)
+        assert receiver.counter.total == 200
+
+
+class TestPipeReceiverLifecycle:
+    def test_owns_and_closes_raw_fd(self):
+        read_fd, write_fd = os.pipe()
+        receiver = PipeReceiver(read_fd)
+        with receiver:
+            with os.fdopen(write_fd, "w") as writer:
+                writer.write("a,1,\nb,2,\n")
+        # Context exit joined the thread and closed the owned file.
+        assert receiver._file.closed
+        assert receiver.counter.total == 2
+
+    def test_does_not_close_borrowed_file_object(self):
+        source = io.StringIO("x,1,\n")
+        receiver = PipeReceiver(source)
+        with receiver:
+            pass
+        assert not source.closed
+        assert receiver.counter.total == 1
+
+    def test_close_is_idempotent(self):
+        read_fd, write_fd = os.pipe()
+        os.close(write_fd)
+        receiver = PipeReceiver(read_fd)
+        receiver.start()
+        receiver.join(5.0)
+        receiver.close()
+        receiver.close()
+
+    def test_close_with_live_reader_does_not_deadlock(self):
+        """close() under an actively blocked reader returns immediately
+        (closing the buffered file there would deadlock); the writer's
+        EOF is what ends the read loop."""
+        read_fd, write_fd = os.pipe()
+        receiver = PipeReceiver(read_fd)
+        receiver.start()
+        started = time.monotonic()
+        receiver.close()
+        assert time.monotonic() - started < 1.0
+        assert not receiver._file.closed
+        os.close(write_fd)  # EOF: reader exits, close can now finish
+        receiver.join(5.0)
+        receiver.close()
+        assert receiver._file.closed
+
+
+class TestTcpTransportClose:
+    def test_close_closes_file_even_when_flush_fails(self):
+        with TcpReceiver() as receiver:
+            transport = TcpTransport(receiver.host, receiver.port)
+
+            class ExplodingFlush:
+                def __init__(self, inner):
+                    self._inner = inner
+
+                def flush(self):
+                    raise OSError("peer gone")
+
+                def __getattr__(self, name):
+                    return getattr(self._inner, name)
+
+            real_file = transport._file
+            transport._file = ExplodingFlush(real_file)
+            transport.close()
+            assert real_file.closed
+            # The raw socket fd is released too.
+            with pytest.raises(OSError):
+                transport._socket.getsockname()
+
+    def test_double_close_is_safe(self):
+        with TcpReceiver() as receiver:
+            transport = TcpTransport(receiver.host, receiver.port)
+            transport.close()
+            transport.close()
+
+
+class TestPipeTransportClose:
+    def test_close_flush_failure_still_closes_owned_file(self):
+        read_fd, write_fd = os.pipe()
+        transport = PipeTransport(write_fd)
+        transport.send("x,1,")
+        os.close(read_fd)  # flush at close now hits a broken pipe
+        transport.close()
+        assert transport._file.closed

@@ -1,0 +1,88 @@
+"""Smoke/shape tests for the robustness experiment: replay under a
+faulty delivery path must degrade gracefully, never lose events."""
+
+import pytest
+
+from repro.experiments.configs import RobustnessExperimentConfig
+from repro.experiments.robustness import run_robustness
+
+pytestmark = pytest.mark.chaos
+
+
+@pytest.fixture(scope="module")
+def config() -> RobustnessExperimentConfig:
+    return RobustnessExperimentConfig(
+        target_rates=(10_000, 20_000),
+        run_seconds=0.3,
+        stream_rounds=4_000,
+        retry_base_delay=0.0005,
+    )
+
+
+@pytest.fixture(scope="module")
+def rows(config):
+    return run_robustness(config)
+
+
+class TestRobustnessRows:
+    def test_one_row_per_target_rate(self, config, rows):
+        assert [row.target_rate for row in rows] == list(config.target_rates)
+
+    def test_no_event_lost(self, rows):
+        for row in rows:
+            assert row.events_lost == 0
+            assert row.received >= row.events
+
+    def test_surplus_explained_by_redeliveries(self, rows):
+        for row in rows:
+            assert row.received - row.events <= row.redeliveries
+
+    def test_faults_were_injected_and_survived(self, rows):
+        assert sum(row.chaos_faults for row in rows) > 0
+        assert sum(row.retries for row in rows) > 0
+        for row in rows:
+            assert row.duration > 0
+            assert 0 < row.achieved_fraction
+
+    def test_rate_band_is_ordered(self, rows):
+        for row in rows:
+            assert row.p5_rate <= row.median_rate <= row.max_rate
+
+    def test_fault_counters_seed_stable(self, config, rows):
+        again = run_robustness(config)
+        fields = (
+            "events",
+            "received",
+            "chaos_faults",
+            "retries",
+            "redeliveries",
+            "breaker_openings",
+            "resumes",
+        )
+        for row, other in zip(rows, again):
+            for name in fields:
+                assert getattr(row, name) == getattr(other, name), name
+
+
+class TestRobustnessConfig:
+    def test_events_for_rate_caps_and_floors(self):
+        config = RobustnessExperimentConfig(
+            run_seconds=2.0, max_events_per_rate=5_000
+        )
+        assert config.events_for_rate(100) == 1_000  # floor
+        assert config.events_for_rate(2_000) == 4_000  # rate × duration
+        assert config.events_for_rate(100_000) == 5_000  # cap
+
+    def test_scaled_validation(self):
+        config = RobustnessExperimentConfig()
+        with pytest.raises(ValueError, match="factor"):
+            config.scaled(0)
+        with pytest.raises(ValueError, match="factor"):
+            config.scaled(1.5)
+
+    def test_scaled_keeps_fault_model(self):
+        config = RobustnessExperimentConfig()
+        scaled = config.scaled(0.25)
+        assert scaled.send_failure_probability == config.send_failure_probability
+        assert scaled.target_rates == config.target_rates
+        assert scaled.max_events_per_rate < config.max_events_per_rate

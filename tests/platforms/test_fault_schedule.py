@@ -1,0 +1,295 @@
+"""Timed platform crash/recovery: CpuResource fail/restore semantics,
+FaultSchedule wiring, and the end-to-end acceptance scenario — a
+scheduled weaverlike shard crash showing backlog growth and drain
+recovery in the harness result log."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.events import add_vertex
+from repro.core.harness import HarnessConfig, TestHarness
+from repro.core.stream import GraphStream
+from repro.errors import PlatformError
+from repro.platforms.base import FaultSchedule, ProcessFault
+from repro.platforms.chronolike import ChronoLikePlatform
+from repro.platforms.weaverlike import WeaverLikePlatform
+from repro.sim.kernel import Simulation
+from repro.sim.resources import CpuResource
+
+pytestmark = pytest.mark.chaos
+
+
+class TestCpuResourceFailRestore:
+    def test_in_service_item_completes_queued_work_stalls(self):
+        sim = Simulation()
+        cpu = CpuResource(sim, "p")
+        done: list[str] = []
+        cpu.submit(1.0, lambda: done.append("a"))
+        cpu.submit(1.0, lambda: done.append("b"))
+        sim.schedule_at(0.5, cpu.fail)
+        sim.run()
+        # "a" was in service when the crash hit: it commits; "b" stalls.
+        assert done == ["a"]
+        assert cpu.failed
+        assert cpu.queue_length == 1
+
+    def test_restore_drains_backlog(self):
+        sim = Simulation()
+        cpu = CpuResource(sim, "p")
+        done: list[str] = []
+        cpu.fail()
+        for label in ("a", "b", "c"):
+            cpu.submit(0.1, lambda label=label: done.append(label))
+        sim.run()
+        assert done == []
+        assert cpu.queue_length == 3
+        cpu.restore()
+        sim.run()
+        assert done == ["a", "b", "c"]
+        assert cpu.queue_length == 0
+        assert not cpu.failed
+
+    def test_submit_during_outage_accumulates(self):
+        sim = Simulation()
+        cpu = CpuResource(sim, "p")
+        sim.schedule_at(0.0, cpu.fail)
+        sim.schedule_at(1.0, lambda: cpu.submit(0.1))
+        sim.schedule_at(2.0, cpu.restore)
+        sim.run()
+        assert cpu.completed == 1
+        assert sim.now == pytest.approx(2.1)
+
+    def test_fail_is_idempotent_and_counts_crashes(self):
+        sim = Simulation()
+        cpu = CpuResource(sim, "p")
+        cpu.fail()
+        cpu.fail()
+        assert cpu.crash_count == 1
+        cpu.restore()
+        cpu.restore()  # restoring a healthy process is a no-op
+        assert not cpu.failed
+        cpu.fail()
+        assert cpu.crash_count == 2
+
+
+class TestProcessFaultValidation:
+    def test_requires_process_name(self):
+        with pytest.raises(ValueError, match="process"):
+            ProcessFault(process="", at=1.0, duration=1.0)
+
+    def test_requires_nonnegative_at(self):
+        with pytest.raises(ValueError, match="at"):
+            ProcessFault(process="p", at=-1.0, duration=1.0)
+
+    def test_requires_positive_duration(self):
+        with pytest.raises(ValueError, match="duration"):
+            ProcessFault(process="p", at=1.0, duration=0.0)
+
+    def test_json_round_trip(self):
+        schedule = FaultSchedule(
+            faults=(
+                ProcessFault(process="shard", at=1.0, duration=0.5),
+                ProcessFault(process="worker", at=2.0, duration=1.0),
+            )
+        )
+        payload = schedule.to_json_dict()
+        assert FaultSchedule.from_json_dict(payload) == schedule
+
+    def test_accepts_any_iterable_stores_tuple(self):
+        schedule = FaultSchedule(
+            faults=[ProcessFault(process="p", at=0.0, duration=1.0)]
+        )
+        assert isinstance(schedule.faults, tuple)
+        assert not schedule.is_noop
+        assert FaultSchedule().is_noop
+
+
+class TestScheduleFaults:
+    def _attached_weaver(self):
+        sim = Simulation()
+        platform = WeaverLikePlatform()
+        platform.attach(sim)
+        return sim, platform
+
+    def test_substring_match_arms_timeline(self):
+        __, platform = self._attached_weaver()
+        timeline = platform.schedule_faults(
+            FaultSchedule(faults=(ProcessFault("shard", at=1.0, duration=0.5),))
+        )
+        assert timeline == [
+            (1.0, "crash", "weaver-shard"),
+            (1.5, "restore", "weaver-shard"),
+        ]
+
+    def test_unknown_process_raises_with_available_names(self):
+        __, platform = self._attached_weaver()
+        with pytest.raises(PlatformError, match="weaver-timestamper"):
+            platform.schedule_faults(
+                FaultSchedule(faults=(ProcessFault("nonesuch", at=0.0, duration=1.0),))
+            )
+
+    def test_one_fault_can_match_many_processes(self):
+        sim = Simulation()
+        platform = ChronoLikePlatform(worker_count=3)
+        platform.attach(sim)
+        timeline = platform.schedule_faults(
+            FaultSchedule(faults=(ProcessFault("worker", at=2.0, duration=1.0),))
+        )
+        crashed = [name for __, action, name in timeline if action == "crash"]
+        assert crashed == [
+            "chronograph-worker-0",
+            "chronograph-worker-1",
+            "chronograph-worker-2",
+        ]
+        sim.run()
+        assert all(not cpu.failed for cpu in platform.processes())
+        assert platform.processes()[0].crash_count == 1
+
+    def test_timeline_sorted_by_time(self):
+        __, platform = self._attached_weaver()
+        timeline = platform.schedule_faults(
+            FaultSchedule(
+                faults=(
+                    ProcessFault("shard", at=3.0, duration=1.0),
+                    ProcessFault("timestamper", at=1.0, duration=0.5),
+                )
+            )
+        )
+        times = [at for at, __, __ in timeline]
+        assert times == sorted(times)
+
+
+class TestWeaverCrashObservability:
+    def test_pipeline_backlog_grows_and_drains(self):
+        sim = Simulation()
+        platform = WeaverLikePlatform(batch_size=1, max_inflight_transactions=1000)
+        platform.attach(sim)
+        __, shard = platform.processes()
+        shard.fail()
+        for i in range(50):
+            platform.ingest(add_vertex(i))
+        sim.run()
+        # Timestamper finished, shard stalled: transactions pile up.
+        assert platform.pipeline_backlog > 0
+        assert platform.events_processed() < 50
+        assert not platform.is_drained
+        shard.restore()
+        sim.run()
+        assert platform.pipeline_backlog == 0
+        assert platform.events_processed() == 50
+        assert platform.process_crashes == 1
+
+
+class TestChronoCrashObservability:
+    def test_failed_workers_metric_during_outage(self):
+        sim = Simulation()
+        platform = ChronoLikePlatform(worker_count=2)
+        platform.attach(sim)
+        platform.schedule_faults(
+            FaultSchedule(faults=(ProcessFault("worker-1", at=1.0, duration=2.0),))
+        )
+        snapshots: list[tuple[float, list[int]]] = []
+        for t in (0.5, 2.0, 3.5):
+            sim.schedule_at(
+                t,
+                lambda: snapshots.append(
+                    (sim.now, platform.internal_probe("failed_workers"))
+                ),
+            )
+        sim.schedule_at(
+            2.0,
+            lambda: snapshots.append(
+                (sim.now, platform.native_metrics()["failed_workers"])
+            ),
+        )
+        sim.run()
+        observed = dict((t, value) for t, value in snapshots if isinstance(value, list))
+        assert observed[0.5] == []
+        assert observed[2.0] == [1]
+        assert observed[3.5] == []
+        native = [value for __, value in snapshots if isinstance(value, float)]
+        assert native == [1.0]
+
+    def test_crashed_worker_with_queued_work_is_not_idle(self):
+        sim = Simulation()
+        platform = ChronoLikePlatform(worker_count=2)
+        platform.attach(sim)
+        worker = platform.processes()[0]
+        worker.fail()
+        platform.ingest(add_vertex(0))  # vertex 0 is owned by worker 0
+        sim.run()
+        assert not platform.is_idle
+        assert not platform.is_drained
+        worker.restore()
+        sim.run()
+        assert platform.is_idle
+
+
+class TestHarnessCrashRecovery:
+    def test_weaver_shard_crash_shows_backlog_growth_and_drain(self):
+        """Acceptance criterion: a scheduled weaverlike shard crash
+        shows backlog growth during the outage and drain recovery in
+        the harness result log."""
+        stream = GraphStream([add_vertex(i) for i in range(3000)])
+        schedule = FaultSchedule(
+            faults=(ProcessFault(process="shard", at=1.0, duration=1.0),)
+        )
+        config = HarnessConfig(
+            rate=1500, level=0, log_interval=0.1, fault_schedule=schedule
+        )
+        platform = WeaverLikePlatform()
+        result = TestHarness(platform, stream, config).run()
+
+        # Zero loss: the crash delays processing, it does not drop events.
+        assert result.events_processed == 3000
+        assert result.drained
+
+        # The armed timeline is reported and present in the result log.
+        assert result.fault_events == [
+            (1.0, "crash", "weaver-shard"),
+            (2.0, "restore", "weaver-shard"),
+        ]
+        fault_records = result.log.filter(metric="fault")
+        assert [r.tags["action"] for r in fault_records] == ["crash", "restore"]
+
+        # Backlog growth during the outage, visible in the sampled series.
+        backlog = [
+            (r.timestamp, r.value) for r in result.log.filter(metric="backlog")
+        ]
+        assert backlog, "fault schedule must enable backlog sampling"
+        before = max((v for t, v in backlog if t <= 1.0), default=0.0)
+        during = max(v for t, v in backlog if 1.0 < t <= 2.0)
+        assert during > before
+        assert during >= platform.max_inflight_transactions / 2
+
+        # Drain recovery measured per crash/restore pair.
+        assert len(result.recoveries) == 1
+        recovery = result.recoveries[0]
+        assert recovery.process == "weaver-shard"
+        assert recovery.crash_at == 1.0
+        assert recovery.restore_at == 2.0
+        assert recovery.backlog_peak > recovery.backlog_at_crash
+        assert recovery.recovered
+        assert recovery.recovery_seconds >= 0.0
+
+    def test_fault_free_run_reports_no_recoveries(self):
+        stream = GraphStream([add_vertex(i) for i in range(100)])
+        result = TestHarness(
+            WeaverLikePlatform(),
+            stream,
+            HarnessConfig(rate=1000, level=0),
+        ).run()
+        assert result.fault_events == []
+        assert result.recoveries == []
+        assert len(result.log.filter(metric="backlog")) == 0
+
+    def test_noop_schedule_is_fault_free(self):
+        stream = GraphStream([add_vertex(i) for i in range(100)])
+        result = TestHarness(
+            WeaverLikePlatform(),
+            stream,
+            HarnessConfig(rate=1000, level=0, fault_schedule=FaultSchedule()),
+        ).run()
+        assert result.fault_events == []
+        assert result.recoveries == []

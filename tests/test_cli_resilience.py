@@ -1,0 +1,183 @@
+"""CLI wiring of the resilience layer: replay chaos/retry flags, the
+robustness experiment, and the faults --crash / run --fault-schedule
+round trip."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+pytestmark = pytest.mark.chaos
+
+
+@pytest.fixture
+def stream_file(tmp_path):
+    path = tmp_path / "stream.csv"
+    main(["generate", "--rounds", "300", "--seed", "1", "-o", str(path)])
+    return path
+
+
+class TestReplayFlags:
+    def test_defaults_are_fault_free(self):
+        args = build_parser().parse_args(["replay", "s.csv"])
+        assert args.retry_attempts == 1
+        assert args.breaker_threshold == 0
+        assert args.max_resumes == 0
+        assert args.chaos_send_failure == 0.0
+
+    def test_chaos_and_retry_flags_parse(self):
+        args = build_parser().parse_args(
+            [
+                "replay", "s.csv",
+                "--retry-attempts", "5",
+                "--retry-base-delay", "0.001",
+                "--retry-deadline", "2.0",
+                "--breaker-threshold", "4",
+                "--breaker-recovery", "0.5",
+                "--max-resumes", "3",
+                "--chaos-send-failure", "0.01",
+                "--chaos-reset", "0.002",
+                "--chaos-partial", "0.005",
+                "--chaos-latency", "0.1",
+                "--chaos-latency-seconds", "0.002",
+                "--chaos-seed", "7",
+            ]
+        )
+        assert args.retry_attempts == 5
+        assert args.retry_deadline == 2.0
+        assert args.breaker_threshold == 4
+        assert args.max_resumes == 3
+        assert args.chaos_send_failure == 0.01
+        assert args.chaos_seed == 7
+
+    def test_replay_through_chaos_reports_fault_counters(
+        self, stream_file, capsys
+    ):
+        code = main(
+            [
+                "replay", str(stream_file),
+                "--rate", "100000",
+                "--batch-size", "16",
+                "--chaos-send-failure", "0.05",
+                "--chaos-seed", "3",
+                "--retry-attempts", "8",
+                "--retry-base-delay", "0",
+            ]
+        )
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "replayed" in err
+        assert "faults:" in err
+        assert "retries" in err
+
+    def test_fault_free_replay_omits_fault_line(self, stream_file, capsys):
+        code = main(["replay", str(stream_file), "--rate", "100000"])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "replayed" in err
+        assert "faults:" not in err
+
+
+class TestExperimentRobustness:
+    def test_choice_accepted(self):
+        args = build_parser().parse_args(["experiment", "robustness"])
+        assert args.figure == "robustness"
+
+    def test_prints_fault_table(self, capsys):
+        code = main(["experiment", "robustness", "--scale", "0.02"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "achieved" in out
+        assert "retries" in out
+        # One data row per default target rate, all with zero loss.
+        rows = [line for line in out.splitlines() if line.strip()[:1].isdigit()]
+        assert len(rows) == 4
+        assert all(line.rstrip().endswith("0") for line in rows)
+
+
+class TestFaultScheduleRoundTrip:
+    def test_crash_specs_written_as_schedule(self, stream_file, tmp_path, capsys):
+        schedule_path = tmp_path / "schedule.json"
+        code = main(
+            [
+                "faults", str(stream_file),
+                "-o", str(tmp_path / "faulty.csv"),
+                "--crash", "shard:1.0:0.5",
+                "--crash", "timestamper:2.0:1.0",
+                "--schedule-out", str(schedule_path),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(schedule_path.read_text())
+        assert payload["faults"] == [
+            {"process": "shard", "at": 1.0, "duration": 0.5},
+            {"process": "timestamper", "at": 2.0, "duration": 1.0},
+        ]
+        assert "runtime fault" in capsys.readouterr().err
+
+    def test_run_consumes_schedule(self, stream_file, tmp_path, capsys):
+        schedule_path = tmp_path / "schedule.json"
+        main(
+            [
+                "faults", str(stream_file),
+                "-o", str(tmp_path / "faulty.csv"),
+                "--crash", "shard:0.05:0.1",
+                "--schedule-out", str(schedule_path),
+            ]
+        )
+        capsys.readouterr()
+        code = main(
+            [
+                "run", str(stream_file),
+                "--platform", "weaver",
+                "--rate", "2000",
+                "--fault-schedule", str(schedule_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fault timeline:" in out
+        assert "crash" in out
+        assert "restore" in out
+        assert "weaver-shard" in out
+
+    def test_crash_without_schedule_out_is_an_error(
+        self, stream_file, tmp_path, capsys
+    ):
+        code = main(
+            [
+                "faults", str(stream_file),
+                "-o", str(tmp_path / "faulty.csv"),
+                "--crash", "shard:1.0:0.5",
+            ]
+        )
+        assert code == 2
+        assert "--schedule-out" in capsys.readouterr().err
+
+    def test_schedule_out_without_crash_is_an_error(
+        self, stream_file, tmp_path, capsys
+    ):
+        code = main(
+            [
+                "faults", str(stream_file),
+                "-o", str(tmp_path / "faulty.csv"),
+                "--schedule-out", str(tmp_path / "schedule.json"),
+            ]
+        )
+        assert code == 2
+        assert "--crash" in capsys.readouterr().err
+
+    def test_malformed_crash_spec_is_an_error(
+        self, stream_file, tmp_path, capsys
+    ):
+        code = main(
+            [
+                "faults", str(stream_file),
+                "-o", str(tmp_path / "faulty.csv"),
+                "--crash", "shard-only",
+                "--schedule-out", str(tmp_path / "schedule.json"),
+            ]
+        )
+        assert code == 2
+        assert "PROCESS:AT:DURATION" in capsys.readouterr().err
