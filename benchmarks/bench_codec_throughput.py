@@ -49,10 +49,15 @@ from repro.core.events import (  # noqa: E402
     update_vertex,
 )
 from repro.core.replayer import LiveReplayer  # noqa: E402
+from repro.core.tracing import Tracer, TracingTransport  # noqa: E402
 
 #: Target rate far above what a Python emitter can reach: the replayer
 #: runs flat out, so the achieved rate is the saturation rate.
 UNREACHABLE_RATE = 100_000_000
+
+#: Default span sampling stride for the tracing-overhead measurement
+#: (matches the ``graphtides replay --trace-sample`` default).
+TRACE_SAMPLE_EVERY = 1024
 
 
 def build_events(count: int) -> list:
@@ -175,6 +180,53 @@ def bench_replay_saturation(
     }
 
 
+def bench_tracing_overhead(
+    events: list, batch_size: int, sample_every: int = TRACE_SAMPLE_EVERY
+) -> dict:
+    """Saturation cost of tracing: untraced vs. traced replay.
+
+    The traced run uses the default 1-in-N span sampling plus a
+    :class:`TracingTransport` around the pipe — the exact setup of
+    ``graphtides replay --trace-out`` — so the reported overhead is
+    what a user pays for a trace.  Acceptance target: < 10%.
+    """
+
+    def saturation(tracer: Tracer | None) -> float:
+        with open(os.devnull, "w", encoding="utf-8") as sink:
+            transport = PipeTransport(sink)
+            if tracer is not None:
+                transport = TracingTransport(transport, tracer)
+            replayer = LiveReplayer(
+                events,
+                transport,
+                rate=UNREACHABLE_RATE,
+                batch_size=batch_size,
+                tracer=tracer,
+            )
+            return replayer.run().mean_rate
+
+    # Interleaved best-of-3 so CPU frequency drift between invocations
+    # hits both variants equally; fresh tracer per run so span storage
+    # does not accumulate.
+    untraced_eps = 0.0
+    traced_eps = 0.0
+    tracer = Tracer(sample_every=sample_every)
+    for __ in range(3):
+        untraced_eps = max(untraced_eps, saturation(None))
+        tracer = Tracer(sample_every=sample_every)
+        traced_eps = max(traced_eps, saturation(tracer))
+    overhead = 1.0 - traced_eps / untraced_eps if untraced_eps else 0.0
+    return {
+        "events": len(events),
+        "batch_size": batch_size,
+        "sample_every": sample_every,
+        "untraced_eps": untraced_eps,
+        "traced_eps": traced_eps,
+        "overhead_fraction": overhead,
+        "spans_recorded": len(tracer.spans),
+    }
+
+
 def run_suite(
     event_count: int,
     repeats: int,
@@ -198,6 +250,7 @@ def run_suite(
         "format": bench_format(events, repeats),
         "file_roundtrip": bench_file_roundtrip(events, repeats, tmp_dir),
         "replay": bench_replay_saturation(events, batch_sizes),
+        "tracing": bench_tracing_overhead(events, batch_sizes[-1]),
     }
     parse = results["parse"]
     fmt = results["format"]
@@ -241,6 +294,14 @@ def print_summary(results: dict) -> None:
     for batch_size, rate in replay["saturation_eps_by_batch_size"].items():
         print(f"  batch_size {batch_size:>4}: {rate:>12,.0f} events/s")
     print(f"batched replayer speedup:      {replay['batched_speedup']:.2f}x")
+    tracing = results["tracing"]
+    print(
+        f"tracing overhead (1/{tracing['sample_every']} sampling, "
+        f"batch {tracing['batch_size']}): "
+        f"{tracing['overhead_fraction']:+.1%} "
+        f"({tracing['untraced_eps']:,.0f} -> {tracing['traced_eps']:,.0f} "
+        f"events/s, {tracing['spans_recorded']} spans)"
+    )
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -6,6 +6,7 @@ Subcommands::
     graphtides inspect stream.csv
     graphtides replay stream.csv --rate 20000 --transport pipe
     graphtides experiment fig3a|fig3b|fig3c|fig3d [--scale 0.05]
+    graphtides trace result.jsonl -o trace.json [--validate]
 """
 
 from __future__ import annotations
@@ -125,6 +126,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="injected latency duration in seconds",
     )
     chaos.add_argument("--chaos-seed", type=int, default=0)
+    tracing = rep.add_argument_group(
+        "tracing",
+        "end-to-end event tracing on the unified trace clock "
+        "(repro.core.tracing)",
+    )
+    tracing.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="write a Chrome trace_event JSON of the replay to PATH",
+    )
+    tracing.add_argument(
+        "--trace-sample", type=int, default=1024, metavar="N",
+        help="record spans for 1-in-N events (counters stay exact; "
+        "the Dapper-style default keeps overhead low at saturation)",
+    )
 
     exp = sub.add_parser("experiment", help="run one of the paper's experiments")
     exp.add_argument(
@@ -156,6 +171,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--fault-schedule", default=None,
         help="JSON runtime fault schedule (from 'graphtides faults "
         "--crash ... --schedule-out'): timed platform crash/recovery",
+    )
+    run.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="trace the run and write Chrome trace_event JSON to PATH",
+    )
+    run.add_argument(
+        "--trace-sample", type=int, default=1, metavar="N",
+        help="record spans for 1-in-N events (simulated runs default "
+        "to tracing every event)",
     )
 
     cnv = sub.add_parser(
@@ -245,6 +269,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the rule catalogue and exit",
     )
 
+    trc = sub.add_parser(
+        "trace",
+        help="convert a result log (JSONL) to Chrome trace JSON, or "
+        "validate an exported trace",
+    )
+    trc.add_argument(
+        "input",
+        help="result.jsonl with span records (convert mode) or a "
+        "Chrome trace JSON file (--validate)",
+    )
+    trc.add_argument(
+        "-o", "--output", default=None,
+        help="output Chrome trace path (convert mode)",
+    )
+    trc.add_argument(
+        "--validate", action="store_true",
+        help="check that INPUT is well-formed Chrome trace_event JSON "
+        "instead of converting",
+    )
+
     return parser
 
 
@@ -325,10 +369,49 @@ def _build_replay_transport(args: argparse.Namespace):
     return build
 
 
+def _print_trace_summary(tracer, path: str) -> None:
+    accounting = tracer.accounting()
+    print(
+        f"trace: {len(tracer.spans)} spans -> {path} "
+        f"(sampling 1/{tracer.sample_every}; "
+        f"emitted {accounting['emitted']}, "
+        f"ingested {accounting['ingested']}, "
+        f"in flight {accounting['in_flight']}, "
+        f"accounting {'closed' if accounting['closed'] else 'OPEN'})",
+        file=sys.stderr,
+    )
+
+
 def _cmd_replay(args: argparse.Namespace) -> int:
     from repro.core.replayer import LiveReplayer
 
-    build = _build_replay_transport(args)
+    build_base = _build_replay_transport(args)
+    tracer = None
+    if args.trace_out:
+        from repro.core.tracing import (
+            Tracer,
+            TracingTransport,
+            reset_shared_clock,
+        )
+
+        # Fresh shared clock: the trace epoch starts at replay setup,
+        # and every live component stamping through shared_clock()
+        # (probes, receivers) shares it.
+        tracer = Tracer(
+            clock=reset_shared_clock(),
+            sample_every=args.trace_sample,
+            metadata={
+                "mode": "live",
+                "stream": args.stream,
+                "transport": args.transport,
+            },
+        )
+
+        def build():
+            return TracingTransport(build_base(), tracer)
+
+    else:
+        build = build_base
     replayer = LiveReplayer(
         args.stream,
         build(),
@@ -336,6 +419,7 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         batch_size=args.batch_size,
         max_resumes=args.max_resumes,
         transport_factory=build if args.max_resumes > 0 else None,
+        tracer=tracer,
     )
     report = replayer.run()
     print(
@@ -357,6 +441,9 @@ def _cmd_replay(args: argparse.Namespace) -> int:
             f"(from {report.checkpoints} checkpoints)",
             file=sys.stderr,
         )
+    if tracer is not None:
+        tracer.write_chrome_trace(args.trace_out)
+        _print_trace_summary(tracer, args.trace_out)
     return 0
 
 
@@ -464,10 +551,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
         with open(args.fault_schedule, encoding="utf-8") as handle:
             fault_schedule = FaultSchedule.from_json_dict(json.load(handle))
     config = HarnessConfig(
-        rate=args.rate, level=args.level, fault_schedule=fault_schedule
+        rate=args.rate,
+        level=args.level,
+        fault_schedule=fault_schedule,
+        trace=bool(args.trace_out),
+        trace_sample_every=args.trace_sample,
     )
     result = TestHarness(platform, stream, config).run()
     print(run_report(result, title=f"{args.platform} vs {args.stream}"))
+    if args.trace_out and result.tracer is not None:
+        result.tracer.write_chrome_trace(args.trace_out)
+        _print_trace_summary(result.tracer, args.trace_out)
 
     if args.bundle:
         from repro.core.popper import package_run
@@ -636,6 +730,45 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return run_and_report(args.paths, list_rules=args.list_rules)
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.core.resultlog import ResultLog
+    from repro.core.tracing import records_to_chrome_trace, validate_chrome_trace
+
+    if args.validate:
+        with open(args.input, encoding="utf-8") as handle:
+            try:
+                payload = json.load(handle)
+            except json.JSONDecodeError as exc:
+                print(f"{args.input}: not valid JSON: {exc}", file=sys.stderr)
+                return 1
+        problems = validate_chrome_trace(payload)
+        if problems:
+            for problem in problems:
+                print(f"{args.input}: {problem}", file=sys.stderr)
+            print(f"{args.input}: {len(problems)} problem(s)", file=sys.stderr)
+            return 1
+        events = payload.get("traceEvents", [])
+        print(f"{args.input}: well-formed Chrome trace ({len(events)} events)")
+        return 0
+
+    if not args.output:
+        print("convert mode requires -o/--output", file=sys.stderr)
+        return 2
+    log = ResultLog.read(args.input)
+    spans = log.spans()
+    payload = records_to_chrome_trace(log, metadata={"source": args.input})
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, sort_keys=True)
+        handle.write("\n")
+    print(
+        f"wrote {args.output}: {len(payload['traceEvents'])} trace events "
+        f"from {len(spans)} span records"
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point: parse arguments and dispatch to the subcommand."""
     args = build_parser().parse_args(argv)
@@ -651,6 +784,7 @@ def main(argv: list[str] | None = None) -> int:
         "shape": _cmd_shape,
         "faults": _cmd_faults,
         "check": _cmd_check,
+        "trace": _cmd_trace,
     }
     return handlers[args.command](args)
 

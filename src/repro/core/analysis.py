@@ -21,6 +21,7 @@ __all__ = [
     "marker_latency",
     "result_reflection_latency",
     "reflection_latency_profile",
+    "trace_latency_profile",
     "retrospective_rank_errors",
     "cross_correlation",
     "StackedSeries",
@@ -102,6 +103,45 @@ def reflection_latency_profile(
             if timestamp >= marked_at and value >= count:
                 latencies.append(timestamp - marked_at)
                 break
+    return latencies
+
+
+def trace_latency_profile(
+    log: ResultLog,
+    from_phase: str = "emitted",
+    to_phase: str = "ingested",
+) -> list[float]:
+    """Per-event latency between two traced pipeline phases.
+
+    Works on the ``kind="span"`` records a
+    :class:`~repro.core.tracing.Tracer` merges into the run log: spans
+    of the two phases are matched by their ``event_id`` tag, and each
+    latency is the delay from the *start* of the ``from_phase`` span to
+    the *end* (start + duration) of the ``to_phase`` span.  With the
+    default phases this is the emit→ingest latency per sampled event —
+    the trace-level counterpart of
+    :func:`reflection_latency_profile`.
+
+    Spans without an event id, and events missing either side (e.g. in
+    flight at shutdown, or outside the sampling stride of one
+    component), are skipped.  Raises :class:`AnalysisError` when no
+    matchable ``from_phase`` spans exist.
+    """
+    starts: dict[str, float] = {}
+    for record in log.spans(from_phase):
+        event_id = record.tags.get("event_id")
+        if event_id is not None and event_id not in starts:
+            starts[event_id] = record.timestamp
+    if not starts:
+        raise AnalysisError(
+            f"no {from_phase!r} spans with event ids in result log"
+        )
+    latencies: list[float] = []
+    for record in log.spans(to_phase):
+        event_id = record.tags.get("event_id")
+        if event_id is None or event_id not in starts:
+            continue
+        latencies.append(record.timestamp + record.value - starts[event_id])
     return latencies
 
 

@@ -31,7 +31,10 @@ from __future__ import annotations
 import gc
 import re
 from pathlib import Path
-from typing import Callable, Iterable, Iterator
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.tracing import Tracer
 
 from repro.core.events import (
     EdgeId,
@@ -455,26 +458,54 @@ def parse_stream_file(path: str | Path, *, trusted: bool = False) -> list[Event]
 
 
 def iter_parse_chunks(
-    path: str | Path, *, trusted: bool = False, chunk_events: int = 1024
+    path: str | Path,
+    *,
+    trusted: bool = False,
+    chunk_events: int = 1024,
+    tracer: "Tracer | None" = None,
 ) -> Iterator[list[Event]]:
     """Yield chunks (lists) of parsed events from a stream file.
 
     The replayer's reader thread uses this to hand whole chunks across
-    the queue instead of paying one hand-off per event.
+    the queue instead of paying one hand-off per event.  With a
+    :class:`~repro.core.tracing.Tracer`, each decoded file block gets a
+    sampled ``decoded`` span (stamped on the tracer's clock) so the
+    reader side of the pipeline is visible in exported traces.
     """
     if chunk_events <= 0:
         raise ValueError(f"chunk_events must be positive, got {chunk_events}")
     pending: list[Event] = []
     line_number = 1
+    decoded = 0
     for lines in _iter_line_blocks(path):
-        pending.extend(
-            parse_lines(
+        if tracer is None:
+            pending.extend(
+                parse_lines(
+                    lines,
+                    trusted=trusted,
+                    skip_comments=True,
+                    first_line_number=line_number,
+                )
+            )
+        else:
+            decode_start = tracer.clock.now()
+            parsed = parse_lines(
                 lines,
                 trusted=trusted,
                 skip_comments=True,
                 first_line_number=line_number,
             )
-        )
+            if parsed and tracer.sample_batch(decoded, len(parsed)):
+                tracer.record_span(
+                    "decoded",
+                    "reader",
+                    decode_start,
+                    tracer.clock.now() - decode_start,
+                    event_id=decoded,
+                    count=len(parsed),
+                )
+            decoded += len(parsed)
+            pending.extend(parsed)
         line_number += len(lines)
         while len(pending) >= chunk_events:
             yield pending[:chunk_events]

@@ -23,11 +23,13 @@ import io
 import os
 import socket
 import threading
-import time
 from dataclasses import dataclass
-from typing import Callable, Iterable
+from typing import TYPE_CHECKING, Callable, Iterable
 
 from repro.errors import ConnectorError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.tracing import TraceClock, Tracer
 
 __all__ = [
     "Transport",
@@ -234,12 +236,25 @@ class _Window:
 
 
 class WindowCounter:
-    """Counts arriving events per fixed time window (receiver side)."""
+    """Counts arriving events per fixed time window (receiver side).
 
-    def __init__(self, window_seconds: float = 1.0):
+    Window boundaries are stamped on the run's unified
+    :class:`~repro.core.tracing.TraceClock` (the process-wide shared
+    clock by default), so receiver-side series share an epoch with the
+    replayer's and the live probes' series.
+    """
+
+    def __init__(
+        self, window_seconds: float = 1.0, clock: "TraceClock | None" = None
+    ):
         if window_seconds <= 0:
             raise ValueError("window_seconds must be positive")
+        if clock is None:
+            from repro.core.tracing import shared_clock
+
+            clock = shared_clock()
         self.window_seconds = window_seconds
+        self._clock = clock
         self._lock = threading.Lock()
         self._windows: list[tuple[float, int]] = []  # guarded-by: self._lock
         self._current_start: float | None = None  # guarded-by: self._lock
@@ -247,7 +262,7 @@ class WindowCounter:
         self.total = 0  # guarded-by: self._lock
 
     def record(self, count: int = 1) -> None:
-        now = time.perf_counter()
+        now = self._clock.now()
         with self._lock:
             self.total += count
             if self._current_start is None:
@@ -273,35 +288,60 @@ class PipeReceiver:
     Usable as a context manager: ``with PipeReceiver(fd) as receiver:``
     starts the reader thread and guarantees join-and-close on exit,
     even when the body raises.
+
+    With a :class:`~repro.core.tracing.Tracer` the receiver records the
+    *ingest* side of the pipeline: an exact ``ingested`` count per
+    arriving batch plus sampled ``ingested`` spans whose event ids are
+    assigned in arrival order (matching the replayer's emit ids, since
+    pipe delivery is ordered).
     """
 
-    def __init__(self, source, window_seconds: float = 1.0):
+    def __init__(
+        self,
+        source,
+        window_seconds: float = 1.0,
+        clock: "TraceClock | None" = None,
+        tracer: "Tracer | None" = None,
+    ):
         if isinstance(source, int):
             self._file = os.fdopen(source, "r", encoding="utf-8", buffering=1 << 16)
             self._owns = True
         else:
             self._file = source
             self._owns = False
-        self.counter = WindowCounter(window_seconds)
+        self.counter = WindowCounter(window_seconds, clock=clock)
+        self._tracer = tracer
         self._closed = False
         self._thread = threading.Thread(target=self._read_loop, daemon=True)
 
     def start(self) -> None:
         self._thread.start()
 
+    def _record_batch(self, first_id: int, count: int) -> None:
+        self.counter.record(count)
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.count("ingested", count)
+            if tracer.sample_batch(first_id, count):
+                tracer.instant(
+                    "ingested", "receiver", event_id=first_id, count=count
+                )
+
     def _read_loop(self) -> None:
         batch = 0
+        received = 0
         try:
             for __ in self._file:
                 batch += 1
                 if batch >= 256:
-                    self.counter.record(batch)
+                    self._record_batch(received, batch)
+                    received += batch
                     batch = 0
         except ValueError:
             # File closed under the reader by close(): stop counting.
             pass
         if batch:
-            self.counter.record(batch)
+            self._record_batch(received, batch)
 
     def join(self, timeout: float | None = None) -> None:
         self._thread.join(timeout)
@@ -351,7 +391,13 @@ class TcpReceiver:
     #: Poll period of the accept loop; bounds close() latency.
     accept_poll_seconds = 0.2
 
-    def __init__(self, window_seconds: float = 1.0, host: str = "127.0.0.1"):
+    def __init__(
+        self,
+        window_seconds: float = 1.0,
+        host: str = "127.0.0.1",
+        clock: "TraceClock | None" = None,
+        tracer: "Tracer | None" = None,
+    ):
         self._server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._server.bind((host, 0))
@@ -359,7 +405,8 @@ class TcpReceiver:
         self._server.settimeout(self.accept_poll_seconds)
         self.host = host
         self.port = self._server.getsockname()[1]
-        self.counter = WindowCounter(window_seconds)
+        self.counter = WindowCounter(window_seconds, clock=clock)
+        self._tracer = tracer
         self._stop = threading.Event()
         self._thread = threading.Thread(target=self._serve, daemon=True)
 
@@ -391,13 +438,25 @@ class TcpReceiver:
         with connection:
             reader = connection.makefile("r", encoding="utf-8", buffering=1 << 16)
             batch = 0
+            received = 0
             for __ in reader:
                 batch += 1
                 if batch >= 256:
-                    self.counter.record(batch)
+                    self._record_batch(received, batch)
+                    received += batch
                     batch = 0
             if batch:
-                self.counter.record(batch)
+                self._record_batch(received, batch)
+
+    def _record_batch(self, first_id: int, count: int) -> None:
+        self.counter.record(count)
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.count("ingested", count)
+            if tracer.sample_batch(first_id, count):
+                tracer.instant(
+                    "ingested", "receiver", event_id=first_id, count=count
+                )
 
     def join(self, timeout: float | None = None) -> None:
         self._thread.join(timeout)

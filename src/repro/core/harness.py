@@ -18,6 +18,7 @@ from repro.core.loggers import ObjectSeriesLogger, SimPeriodicLogger
 from repro.core.probes import CpuUtilizationProbe, InternalProbe, NativeMetricsProbe
 from repro.core.resultlog import Record, ResultLog
 from repro.core.stream import GraphStream
+from repro.core.tracing import TraceClock, Tracer
 from repro.errors import GraphTidesError
 from repro.platforms.base import FaultSchedule, Platform
 from repro.sim.kernel import Simulation
@@ -74,8 +75,20 @@ class HarnessConfig:
     #: client-observable backlog each ``log_interval`` and reports
     #: per-fault recovery (see :class:`FaultRecovery`).
     fault_schedule: FaultSchedule | None = None
+    #: Enable end-to-end event tracing: the harness creates a
+    #: :class:`~repro.core.tracing.Tracer` on the simulation clock,
+    #: attaches it to the replayer, the platform, and every periodic
+    #: logger, and merges the resulting span records into the run log.
+    trace: bool = False
+    #: Span sampling stride (1 = trace every event).  Phase counters
+    #: stay exact regardless, so accounting closes at any stride.
+    trace_sample_every: int = 1
 
     def __post_init__(self) -> None:
+        if self.trace_sample_every < 1:
+            raise ValueError(
+                f"trace_sample_every must be >= 1, got {self.trace_sample_every}"
+            )
         if self.rate <= 0:
             raise ValueError(f"rate must be positive, got {self.rate}")
         if self.level not in (0, 1, 2):
@@ -129,6 +142,8 @@ class RunResult:
     fault_events: list[tuple[float, str, str]] = field(default_factory=list)
     #: Per-crash recovery measurements (one entry per crash/restore pair).
     recoveries: list[FaultRecovery] = field(default_factory=list)
+    #: The run's tracer when ``HarnessConfig.trace`` was set, else None.
+    tracer: Tracer | None = None
 
     @property
     def mean_throughput(self) -> float:
@@ -187,6 +202,15 @@ class TestHarness:
         config = self.config
         platform.attach(sim)
 
+        tracer: Tracer | None = None
+        if config.trace:
+            tracer = Tracer(
+                clock=TraceClock.for_simulation(sim),
+                sample_every=config.trace_sample_every,
+                metadata={"mode": "simulated", "platform": platform.name},
+            )
+        platform.attach_tracer(tracer)
+
         replayer = SimulatedReplayer(
             sim,
             self.stream,
@@ -194,6 +218,7 @@ class TestHarness:
             rate=config.rate,
             retry_interval=config.retry_interval,
             rate_sample_interval=config.log_interval,
+            tracer=tracer,
         )
 
         loggers: list[SimPeriodicLogger] = []
@@ -218,7 +243,8 @@ class TestHarness:
 
             loggers.append(
                 SimPeriodicLogger(
-                    sim, config.log_interval, backlog_probe, name="backlog-probe"
+                    sim, config.log_interval, backlog_probe,
+                    name="backlog-probe", tracer=tracer,
                 )
             )
 
@@ -228,6 +254,7 @@ class TestHarness:
                 config.log_interval,
                 CpuUtilizationProbe(platform, sim),
                 name="cpu-probe",
+                tracer=tracer,
             )
         )
         if config.level >= 1:
@@ -237,6 +264,7 @@ class TestHarness:
                     config.log_interval,
                     NativeMetricsProbe(platform, sim),
                     name="native-metrics",
+                    tracer=tracer,
                 )
             )
         if config.level >= 2:
@@ -249,6 +277,7 @@ class TestHarness:
                             platform, sim, spec.probe_name, spec.metric, spec.extract
                         ),
                         name=f"internal-{spec.probe_name}",
+                        tracer=tracer,
                     )
                 )
         for metric, fn in self.query_probes.items():
@@ -258,6 +287,7 @@ class TestHarness:
                     config.log_interval,
                     _make_query_probe(sim, platform, metric, fn),
                     name=f"query-{metric}",
+                    tracer=tracer,
                 )
             )
         for name, capture in self.object_probes.items():
@@ -332,6 +362,7 @@ class TestHarness:
             replayer.records,
             *(logger.records for logger in loggers),
             fault_records,
+            tracer.to_records() if tracer is not None else [],
         )
         return RunResult(
             log=log,
@@ -345,6 +376,7 @@ class TestHarness:
             },
             fault_events=fault_events,
             recoveries=_compute_recoveries(fault_events, backlog_samples),
+            tracer=tracer,
         )
 
 

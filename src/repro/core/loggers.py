@@ -12,10 +12,13 @@ dictionaries) for retrospective analyses that need more than a scalar.
 
 from __future__ import annotations
 
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro.core.resultlog import Record
 from repro.sim.kernel import Simulation
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.tracing import Tracer
 
 __all__ = ["SimPeriodicLogger", "ObjectSeriesLogger"]
 
@@ -26,6 +29,11 @@ class SimPeriodicLogger:
     ``probe`` returns a list of records per invocation.  The logger
     keeps sampling until :meth:`stop` is called (the harness stops all
     loggers once the replay has finished and the platform drained).
+
+    With a ``tracer``, each sampling tick also records an instant span
+    (category ``"logger"``) so exported traces show when observation
+    happened relative to the event flow — the reflection-measurement
+    alignment the paper's cross-level analyses depend on.
     """
 
     def __init__(
@@ -34,6 +42,7 @@ class SimPeriodicLogger:
         interval: float,
         probe: Callable[[], list[Record]],
         name: str = "logger",
+        tracer: "Tracer | None" = None,
     ):
         if interval <= 0:
             raise ValueError(f"interval must be positive, got {interval}")
@@ -41,6 +50,7 @@ class SimPeriodicLogger:
         self.interval = interval
         self._probe = probe
         self.name = name
+        self._tracer = tracer
         self.records: list[Record] = []
         self._stopped = False
         self._started = False
@@ -57,7 +67,16 @@ class SimPeriodicLogger:
     def _tick(self) -> None:
         if self._stopped:
             return
-        self.records.extend(self._probe())
+        produced = self._probe()
+        self.records.extend(produced)
+        if self._tracer is not None:
+            self._tracer.instant(
+                "sample",
+                "logger",
+                timestamp=self._sim.now,
+                count=len(produced),
+                logger=self.name,
+            )
         self._sim.schedule(self.interval, self._tick)
 
 

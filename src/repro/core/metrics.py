@@ -177,31 +177,88 @@ class TimeSeries:
             t += step
         return result
 
-    def rate(self) -> "TimeSeries":
+    def rate(self, on_reset: str = "restart") -> "TimeSeries":
         """Differences per second between consecutive samples.
 
         Interprets values as a monotonic counter and returns the
         per-interval rate stamped at the interval end.  Intervals of
         zero duration are skipped.
+
+        A monotonic counter can still go *backwards* when its process
+        restarts (e.g. a platform crash/recovery restores a worker
+        whose native counter starts back at zero); naively differencing
+        across the reset produces a huge negative spike.  ``on_reset``
+        selects how such intervals (``curr < prev``) are handled:
+
+        * ``"restart"`` (default) — treat the current value as counted
+          since the restart: the interval contributes ``curr / dt``;
+        * ``"skip"`` — drop the interval entirely;
+        * ``"raw"`` — keep the negative difference (the legacy
+          behaviour, useful to *detect* resets).
         """
+        if on_reset not in ("restart", "skip", "raw"):
+            raise ValueError(
+                f"on_reset must be 'restart', 'skip' or 'raw', got {on_reset!r}"
+            )
         result = TimeSeries(f"{self.name}_rate")
         for prev, curr in zip(self._samples, self._samples[1:]):
             dt = curr.timestamp - prev.timestamp
             if dt <= 0:
                 continue
-            result.append(curr.timestamp, (curr.value - prev.value) / dt)
+            delta = curr.value - prev.value
+            if delta < 0 and on_reset != "raw":
+                if on_reset == "skip":
+                    continue
+                delta = curr.value
+            result.append(curr.timestamp, delta / dt)
         return result
+
+    def reset_indices(self) -> list[int]:
+        """Sample indices where a counter reset occurred (value dropped).
+
+        Companion of :meth:`rate`: lets analyses flag restart points
+        (each index is the first sample *after* the drop).
+        """
+        return [
+            index + 1
+            for index, (prev, curr) in enumerate(
+                zip(self._samples, self._samples[1:])
+            )
+            if curr.value < prev.value
+        ]
 
     def __repr__(self) -> str:
         return f"TimeSeries({self.name!r}, {len(self._samples)} samples)"
 
 
+def _reject_nan(values: Sequence[float], what: str) -> None:
+    """Raise :class:`AnalysisError` when any value is NaN.
+
+    ``sorted()`` with NaN present yields an undefined order (NaN
+    compares false against everything), so percentiles — and every
+    statistic derived from them — would silently return garbage.
+    Callers that want to tolerate NaN must filter explicitly
+    (``math.isnan``) before aggregating.
+    """
+    for value in values:
+        if math.isnan(value):
+            raise AnalysisError(
+                f"cannot compute {what} of values containing NaN; "
+                "filter NaN out explicitly first"
+            )
+
+
 def percentile(values: Sequence[float], q: float) -> float:
-    """Linear-interpolated percentile ``q`` in [0, 100] of ``values``."""
+    """Linear-interpolated percentile ``q`` in [0, 100] of ``values``.
+
+    Raises :class:`AnalysisError` for empty input or input containing
+    NaN (whose sort order is undefined).
+    """
     if not values:
         raise AnalysisError("cannot take a percentile of no values")
     if not 0 <= q <= 100:
         raise ValueError(f"q must be in [0, 100], got {q}")
+    _reject_nan(values, "a percentile")
     ordered = sorted(values)
     if len(ordered) == 1:
         return ordered[0]
@@ -238,6 +295,7 @@ class Aggregate:
     def of(cls, values: Sequence[float], confidence: float = 0.95) -> "Aggregate":
         if not values:
             raise AnalysisError("cannot aggregate no values")
+        _reject_nan(values, "an aggregate")
         n = len(values)
         mean = sum(values) / n
         if n > 1:
@@ -315,6 +373,7 @@ def confidence_interval(
     n = len(values)
     if n < 2:
         raise AnalysisError("confidence interval needs >= 2 measurements")
+    _reject_nan(values, "a confidence interval")
     mean = sum(values) / n
     variance = sum((v - mean) ** 2 for v in values) / (n - 1)
     half_width = _critical_value(n - 1, confidence) * math.sqrt(variance / n)

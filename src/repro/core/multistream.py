@@ -26,6 +26,7 @@ from repro.core.loggers import SimPeriodicLogger
 from repro.core.probes import CpuUtilizationProbe, NativeMetricsProbe
 from repro.core.resultlog import ResultLog
 from repro.core.stream import GraphStream
+from repro.core.tracing import TraceClock, Tracer
 from repro.platforms.base import Platform
 from repro.sim.kernel import Simulation
 from repro.sim.replay import SimulatedReplayer
@@ -101,6 +102,8 @@ class MultiRunResult:
     events_emitted_per_source: list[int]
     events_processed: int
     drained: bool
+    #: The run's tracer when ``HarnessConfig.trace`` was set, else None.
+    tracer: Tracer | None = None
 
     @property
     def events_emitted(self) -> int:
@@ -144,6 +147,24 @@ class MultiReplayHarness:
         config = self.config
         platform.attach(sim)
 
+        # One tracer is shared by all sources: per-source span ids are
+        # local stream positions (disambiguated by the replayer's source
+        # name as span category), while the emitted/ingested counters
+        # aggregate across sources, so accounting closes for the whole
+        # concurrent replay.
+        tracer: Tracer | None = None
+        if config.trace:
+            tracer = Tracer(
+                clock=TraceClock.for_simulation(sim),
+                sample_every=config.trace_sample_every,
+                metadata={
+                    "mode": "simulated-multistream",
+                    "platform": platform.name,
+                    "sources": len(self.streams),
+                },
+            )
+        platform.attach_tracer(tracer)
+
         replayers = [
             SimulatedReplayer(
                 sim,
@@ -153,6 +174,7 @@ class MultiReplayHarness:
                 retry_interval=config.retry_interval,
                 rate_sample_interval=config.log_interval,
                 source_name=f"replayer-{index}",
+                tracer=tracer,
             )
             for index, stream in enumerate(self.streams)
         ]
@@ -163,6 +185,7 @@ class MultiReplayHarness:
                 config.log_interval,
                 CpuUtilizationProbe(platform, sim),
                 name="cpu-probe",
+                tracer=tracer,
             )
         ]
         if config.level >= 1:
@@ -172,6 +195,7 @@ class MultiReplayHarness:
                     config.log_interval,
                     NativeMetricsProbe(platform, sim),
                     name="native-metrics",
+                    tracer=tracer,
                 )
             )
 
@@ -215,6 +239,7 @@ class MultiReplayHarness:
         log = collect_records(
             *(replayer.records for replayer in replayers),
             *(logger.records for logger in loggers),
+            tracer.to_records() if tracer is not None else [],
         )
         return MultiRunResult(
             log=log,
@@ -222,4 +247,5 @@ class MultiReplayHarness:
             events_emitted_per_source=[r.emitted for r in replayers],
             events_processed=platform.events_processed(),
             drained=state["drained"],
+            tracer=tracer,
         )

@@ -18,11 +18,11 @@ invoke probes periodically.
 from __future__ import annotations
 
 import os
-import time
 from pathlib import Path
 from typing import Any, Callable
 
 from repro.core.resultlog import Record
+from repro.core.tracing import TraceClock, shared_clock
 from repro.platforms.base import Platform
 from repro.sim.kernel import Simulation
 
@@ -140,11 +140,25 @@ class LiveProcessProbe:
     ``/proc/<pid>/status``; each call reports CPU percent since the
     previous call and current memory.  Degrades gracefully (no records)
     on platforms without procfs.
+
+    Records are stamped with the run's unified
+    :class:`~repro.core.tracing.TraceClock` (the process-wide shared
+    clock by default) so live-probe series share an epoch with the
+    replayer's and receivers' series and can be cross-correlated.
+    Historically this probe used ``time.monotonic()`` while the
+    replayer used ``time.perf_counter()`` — two clocks with different
+    epochs, making level-0 series from the same run unalignable.
     """
 
-    def __init__(self, pid: int | None = None, source: str | None = None):
+    def __init__(
+        self,
+        pid: int | None = None,
+        source: str | None = None,
+        clock: TraceClock | None = None,
+    ):
         self._pid = pid if pid is not None else os.getpid()
         self._source = source or f"pid-{self._pid}"
+        self._clock = clock if clock is not None else shared_clock()
         self._last_jiffies: int | None = None
         self._last_time: float | None = None
         self._ticks = os.sysconf("SC_CLK_TCK") if hasattr(os, "sysconf") else 100
@@ -170,7 +184,7 @@ class LiveProcessProbe:
         return None
 
     def __call__(self) -> list[Record]:
-        now = time.monotonic()
+        now = self._clock.now()
         records: list[Record] = []
         jiffies = self._read_jiffies()
         if jiffies is not None:

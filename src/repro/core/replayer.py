@@ -57,6 +57,7 @@ from repro.core.events import (
 from repro.core.metrics import percentile
 from repro.core.resilience import FaultCounters, collect_fault_counters
 from repro.core.stream import GraphStream
+from repro.core.tracing import TraceClock, Tracer, shared_clock
 from repro.errors import ConnectorError, ReplayError
 
 __all__ = ["LiveReplayer", "ReplayReport", "ReplayCheckpoint"]
@@ -108,6 +109,10 @@ class ReplayReport:
     chaos_faults: int = 0
     resumes: int = 0
     checkpoints: int = 0
+    #: Run start on the replay's :class:`~repro.core.tracing.TraceClock`
+    #: — add it to the (run-relative) ``marker_times`` to place markers
+    #: on the same epoch as probe and receiver records.
+    started_at: float = 0.0
 
     @property
     def mean_rate(self) -> float:
@@ -153,10 +158,12 @@ class _ReaderThread:
         read_chunk: int,
         queue_capacity: int,
         trusted_parse: bool,
+        tracer: Tracer | None = None,
     ):
         self._source = source
         self._read_chunk = read_chunk
         self._trusted_parse = trusted_parse
+        self._tracer = tracer
         # The queue holds chunks, so express the event-denominated
         # capacity in chunk units (at least two so reader and emitter
         # can overlap).
@@ -189,6 +196,7 @@ class _ReaderThread:
                     self._source,
                     trusted=self._trusted_parse,
                     chunk_events=self._read_chunk,
+                    tracer=self._tracer,
                 ):
                     if not self._put(chunk):
                         return
@@ -256,6 +264,14 @@ class LiveReplayer:
     (e.g. reconnecting TCP); without it the existing transport is
     reused.  ``resume_delay`` sleeps before each resume so a crashed
     system under test gets time to come back.
+
+    ``clock`` is the unified :class:`~repro.core.tracing.TraceClock`
+    the replay paces and stamps with (the process-wide shared clock by
+    default, so replayer, receivers and live probes share one epoch).
+    ``tracer`` enables per-event tracing: sampled ``encoded`` /
+    ``emitted`` spans per batch, ``marker`` instants, and an exact
+    ``emitted`` count for span accounting.  ``tracer=None`` (default)
+    keeps the hot path untouched.
     """
 
     def __init__(
@@ -272,6 +288,8 @@ class LiveReplayer:
         resume_delay: float = 0.0,
         transport_factory: Callable[[], Transport] | None = None,
         reader_join_timeout: float = 5.0,
+        clock: TraceClock | None = None,
+        tracer: Tracer | None = None,
     ):
         if rate <= 0:
             raise ValueError(f"rate must be positive, got {rate}")
@@ -301,6 +319,10 @@ class LiveReplayer:
         self._resume_delay = resume_delay
         self._transport_factory = transport_factory
         self._reader_join_timeout = reader_join_timeout
+        if tracer is not None and clock is None:
+            clock = tracer.clock
+        self._clock = clock if clock is not None else shared_clock()
+        self._tracer = tracer
         #: True when a reader thread could not be joined (stuck source).
         self.reader_leaked = False
 
@@ -314,6 +336,7 @@ class LiveReplayer:
             self._read_chunk,
             self._queue_capacity,
             self._trusted_parse,
+            tracer=self._tracer,
         )
 
     # -- emission ----------------------------------------------------------
@@ -329,7 +352,10 @@ class LiveReplayer:
         batch_size = self._batch_size
         window_seconds = self._window_seconds
         format_lines = codec.format_lines
-        perf_counter = time.perf_counter
+        # All pacing and stamping goes through the unified trace clock,
+        # so replayer series share an epoch with receivers and probes.
+        perf_counter = self._clock.now
+        tracer = self._tracer
 
         # Totals surviving across resume attempts.
         emitted = 0
@@ -341,6 +367,21 @@ class LiveReplayer:
         checkpoint = ReplayCheckpoint(
             label="", position=0, emitted=0, speed_factor=1.0, marker_count=0
         )
+
+        # Sampling bookkeeping kept as plain ints so an unsampled traced
+        # batch costs one integer comparison over the untraced path.
+        # ``next_sample`` is the smallest multiple of the stride >= the
+        # current position; exact counts are flushed to the tracer at
+        # sampled batches and on every exit path.
+        trace_step = tracer.sample_every if tracer is not None else 0
+        next_sample = 0
+        traced_counted = 0
+
+        def flush_trace_counts() -> None:
+            nonlocal traced_counted
+            if tracer is not None and emitted > traced_counted:
+                tracer.count("emitted", emitted - traced_counted)
+                traced_counted = emitted
 
         start = perf_counter()
         reader_error: Exception | None = None
@@ -363,6 +404,7 @@ class LiveReplayer:
                 then burst the whole pending batch in one ``send_many``."""
                 nonlocal emitted, emitted_since_checkpoint, next_emit
                 nonlocal window_start, window_count
+                nonlocal next_sample, traced_counted
                 if not pending:
                     return
                 now = perf_counter()
@@ -378,8 +420,35 @@ class LiveReplayer:
                     # window, so a slow transport degrades rate rather
                     # than bursting unboundedly afterwards.
                     next_emit = now
-                transport.send_many(format_lines(pending))
                 count = len(pending)
+                if tracer is None or emitted + count <= next_sample:
+                    transport.send_many(format_lines(pending))
+                else:
+                    encode_start = perf_counter()
+                    lines = format_lines(pending)
+                    encode_end = perf_counter()
+                    tracer.record_span(
+                        "encoded",
+                        "replayer",
+                        encode_start,
+                        encode_end - encode_start,
+                        event_id=emitted,
+                        count=count,
+                    )
+                    transport.send_many(lines)
+                    send_end = perf_counter()
+                    tracer.record_span(
+                        "emitted",
+                        "replayer",
+                        encode_start,
+                        send_end - encode_start,
+                        event_id=emitted,
+                        count=count,
+                    )
+                    end_pos = emitted + count
+                    next_sample = -(-end_pos // trace_step) * trace_step
+                    tracer.count("emitted", end_pos - traced_counted)
+                    traced_counted = end_pos
                 pending.clear()
                 emitted += count
                 emitted_since_checkpoint += count
@@ -409,9 +478,16 @@ class LiveReplayer:
                                 flush()
                         elif isinstance(item, MarkerEvent):
                             flush()
-                            marker_times.append(
-                                (item.label, perf_counter() - start)
-                            )
+                            marker_at = perf_counter()
+                            marker_times.append((item.label, marker_at - start))
+                            if tracer is not None:
+                                tracer.instant(
+                                    "marker",
+                                    "replayer",
+                                    timestamp=marker_at,
+                                    event_id=emitted,
+                                    label=item.label,
+                                )
                             checkpoints += 1
                             checkpoint = ReplayCheckpoint(
                                 label=item.label,
@@ -441,6 +517,7 @@ class LiveReplayer:
                 if not reader.stop(self._reader_join_timeout):
                     self.reader_leaked = True  # guarded-by: emitter-only
                 if resumes >= self._max_resumes or not self._resumable():
+                    flush_trace_counts()
                     self._close_transport(failure)
                     raise
                 # Resume from the last checkpoint: events emitted after
@@ -461,9 +538,11 @@ class LiveReplayer:
                 failure = exc
                 if not reader.stop(self._reader_join_timeout):
                     self.reader_leaked = True  # guarded-by: emitter-only
+                flush_trace_counts()
                 self._close_transport(failure)
                 raise
             else:
+                flush_trace_counts()
                 duration = perf_counter() - start
                 if not reader.stop(self._reader_join_timeout):
                     self.reader_leaked = True  # guarded-by: emitter-only
@@ -487,6 +566,7 @@ class LiveReplayer:
             chaos_faults=counters.chaos_faults,
             resumes=resumes,
             checkpoints=checkpoints,
+            started_at=start,
         )
 
     def _close_transport(self, failure: BaseException | None) -> None:

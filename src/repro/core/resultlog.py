@@ -132,6 +132,24 @@ class ResultLog:
         """All marker-kind records in chronological order."""
         return [r for r in self._records if r.kind == "marker"]
 
+    def spans(
+        self, name: str | None = None, category: str | None = None
+    ) -> list[Record]:
+        """All span-kind records, optionally one phase and/or category.
+
+        Span records are produced by :class:`~repro.core.tracing.Tracer`
+        (``metric`` = phase name, ``source`` = recording component,
+        ``value`` = duration in clock seconds, ``tags["event_id"]`` =
+        first covered stream position).
+        """
+        return [
+            r
+            for r in self._records
+            if r.kind == "span"
+            and (name is None or r.metric == name)
+            and (category is None or r.source == category)
+        ]
+
     def marker_time(self, label: str) -> float:
         """Timestamp at which the marker ``label`` was observed.
 

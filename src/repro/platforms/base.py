@@ -23,12 +23,15 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.core.events import GraphEvent
 from repro.errors import EvaluationLevelError, PlatformError
 from repro.sim.kernel import Simulation
 from repro.sim.resources import CpuResource
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.tracing import Tracer
 
 __all__ = ["Platform", "ProcessFault", "FaultSchedule"]
 
@@ -114,6 +117,9 @@ class Platform(abc.ABC):
 
     def __init__(self) -> None:
         self._sim: Simulation | None = None
+        #: Optional run tracer (set by the harness when tracing is on);
+        #: platforms record ``processed``/``result`` spans through it.
+        self.tracer: "Tracer | None" = None
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -121,6 +127,42 @@ class Platform(abc.ABC):
         """Bind the platform to a simulation kernel before a run."""
         self._sim = sim
         self._on_attach(sim)
+
+    def attach_tracer(self, tracer: "Tracer | None") -> None:
+        """Give the platform the run's tracer (or None to disable).
+
+        Called by the harness before the replay starts.  Platform code
+        records spans via :meth:`trace_span`; with no tracer attached
+        that call is a near-free no-op, so instrumentation can stay in
+        place unconditionally.
+        """
+        self.tracer = tracer
+
+    def trace_span(
+        self,
+        name: str,
+        start: float,
+        duration: float = 0.0,
+        event_id: int | None = None,
+        count: int = 1,
+        **args: Any,
+    ) -> None:
+        """Record a platform-side span when a tracer is attached.
+
+        ``start`` is a timestamp on the run's trace clock (simulated
+        platforms pass ``self.sim.now``-derived times).  The span's
+        category is the platform name, so platform phases get their own
+        row in exported traces.
+        """
+        tracer = self.tracer
+        if tracer is None:
+            return
+        if event_id is not None and not tracer.should_sample(event_id):
+            return
+        tracer.record_span(
+            name, self.name, start, duration, event_id=event_id,
+            count=count, **args,
+        )
 
     def _on_attach(self, sim: Simulation) -> None:
         """Hook for subclasses to create resources/processes."""

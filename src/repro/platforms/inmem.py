@@ -91,7 +91,17 @@ class InMemoryPlatform(Platform):
         self.graph.apply(event)
         for computation in self._online.values():
             computation.ingest(event)
+        event_id = self._processed
         self._processed += 1
+        if self.tracer is not None:
+            # The span covers the service interval that just completed.
+            self.tracer.count("processed")
+            self.trace_span(
+                "processed",
+                self.sim.now - self.service_time,
+                self.service_time,
+                event_id=event_id,
+            )
 
     def query(self, name: str, **params: Any) -> Any:
         if name == "vertex_count":

@@ -19,6 +19,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from typing import TYPE_CHECKING
+
 from repro.core.events import (
     Event,
     GraphEvent,
@@ -30,6 +32,9 @@ from repro.core.resultlog import Record
 from repro.core.stream import GraphStream
 from repro.platforms.base import Platform
 from repro.sim.kernel import Simulation
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.tracing import Tracer
 
 __all__ = ["SimulatedReplayer"]
 
@@ -48,6 +53,14 @@ class SimulatedReplayer:
     scale or pause it).  ``retry_interval`` is the back-off before
     re-offering a rejected event.  Marker and rate records are appended
     to ``records`` (a plain list collected by the harness afterwards).
+
+    ``tracer`` (a :class:`~repro.core.tracing.Tracer` on the simulation
+    clock) records the emit/ingest span pair per graph event: an
+    ``emitted`` instant when the event is first offered and an
+    ``ingested`` span when the platform accepts it, whose duration is
+    the back-throttle delay (zero when accepted on first offer).  Both
+    share the event's stream position as ``event_id``, so traces and
+    span analyses can match the two sides exactly.
     """
 
     def __init__(
@@ -59,6 +72,7 @@ class SimulatedReplayer:
         retry_interval: float = 0.001,
         rate_sample_interval: float = 1.0,
         source_name: str = "replayer",
+        tracer: "Tracer | None" = None,
     ):
         if rate <= 0:
             raise ValueError(f"rate must be positive, got {rate}")
@@ -72,6 +86,7 @@ class SimulatedReplayer:
         self._retry_interval = retry_interval
         self._rate_sample_interval = rate_sample_interval
         self._source_name = source_name
+        self._tracer = tracer
         self.records: list[Record] = []
         self._index = 0
         self._emitted = 0
@@ -80,6 +95,9 @@ class SimulatedReplayer:
         self._finished = False
         self._stop_requested = False
         self.finished_at: float | None = None
+        #: Sim time the current event was first offered (back-throttle
+        #: latency measurement); None when no offer is outstanding.
+        self._offered_at: float | None = None
 
     @property
     def emitted(self) -> int:
@@ -151,6 +169,14 @@ class SimulatedReplayer:
                     tags={"label": event.label},
                 )
             )
+            if self._tracer is not None:
+                self._tracer.instant(
+                    "marker",
+                    self._source_name,
+                    timestamp=self._sim.now,
+                    event_id=self._emitted,
+                    label=event.label,
+                )
             self._sim.schedule(0.0, self._step)
             return
         if isinstance(event, SpeedEvent):
@@ -163,7 +189,35 @@ class SimulatedReplayer:
             self._sim.schedule(event.seconds, self._step)
             return
         assert isinstance(event, GraphEvent)
+        tracer = self._tracer
+        now = self._sim.now
+        if tracer is not None and self._offered_at is None:
+            # First offer of this event: the emit side of the span pair.
+            self._offered_at = now
+            event_id = self._emitted
+            tracer.count("emitted")
+            if tracer.should_sample(event_id):
+                tracer.instant(
+                    "emitted", self._source_name, timestamp=now, event_id=event_id
+                )
         if self._platform.ingest(event):
+            if tracer is not None:
+                event_id = self._emitted
+                tracer.count("ingested")
+                if tracer.should_sample(event_id):
+                    offered_at = (
+                        self._offered_at if self._offered_at is not None else now
+                    )
+                    # Duration = back-throttle delay between first offer
+                    # and acceptance (zero on the fast path).
+                    tracer.record_span(
+                        "ingested",
+                        self._platform.name,
+                        offered_at,
+                        now - offered_at,
+                        event_id=event_id,
+                    )
+            self._offered_at = None
             self._index += 1
             self._emitted += 1
             self._sim.schedule(self._interval(), self._step)

@@ -98,6 +98,92 @@ class TestTimeSeries:
         assert len(rate) == 1
 
 
+class TestRateCounterResets:
+    """A monotone counter that restarts (platform crash) must not
+    produce huge negative rate spikes."""
+
+    def _resetting_counter(self) -> TimeSeries:
+        # Counts 0..300, crash, restart from 0.
+        return TimeSeries(
+            "count",
+            [Sample(0, 0), Sample(1, 100), Sample(2, 300),
+             Sample(3, 50), Sample(4, 150)],
+        )
+
+    def test_restart_treats_value_as_counted_since_restart(self):
+        rate = self._resetting_counter().rate()
+        assert rate.values == [100.0, 200.0, 50.0, 100.0]
+        assert all(value >= 0 for value in rate.values)
+
+    def test_skip_drops_the_reset_interval(self):
+        rate = self._resetting_counter().rate(on_reset="skip")
+        assert rate.values == [100.0, 200.0, 100.0]
+        assert rate.timestamps == [1, 2, 4]
+
+    def test_raw_preserves_the_negative_spike(self):
+        rate = self._resetting_counter().rate(on_reset="raw")
+        assert rate.values[2] == -250.0
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            self._resetting_counter().rate(on_reset="clamp")
+
+    def test_reset_indices(self):
+        assert self._resetting_counter().reset_indices() == [3]
+        assert TimeSeries(
+            "count", [Sample(0, 0), Sample(1, 10)]
+        ).reset_indices() == []
+
+    def test_fault_schedule_crash_resets_counter(self):
+        # End-to-end: a platform whose native counter restarts on a
+        # scheduled crash; the derived rate must stay non-negative.
+        from repro.core.harness import HarnessConfig, TestHarness
+        from repro.core.models import UniformRules
+        from repro.core.generator import StreamGenerator
+        from repro.platforms.base import FaultSchedule, ProcessFault
+        from repro.platforms.inmem import InMemoryPlatform
+
+        class RestartingCounterPlatform(InMemoryPlatform):
+            """Reports events processed since the last crash/restart."""
+
+            name = "restarting"
+
+            def __init__(self) -> None:
+                super().__init__(service_time=1e-4)
+                self._seen_crashes = 0
+                self._processed_at_restart = 0
+
+            def _native_metrics(self) -> dict[str, float]:
+                crashes = self._cpu.crash_count if self._cpu else 0
+                if crashes != self._seen_crashes:
+                    self._seen_crashes = crashes
+                    self._processed_at_restart = self._processed
+                metrics = super()._native_metrics()
+                metrics["events_since_restart"] = float(
+                    self._processed - self._processed_at_restart
+                )
+                return metrics
+
+        stream = StreamGenerator(UniformRules(), rounds=3000, seed=3).generate()
+        platform = RestartingCounterPlatform()
+        config = HarnessConfig(
+            rate=500.0,
+            level=1,
+            log_interval=0.5,
+            fault_schedule=FaultSchedule(
+                faults=(ProcessFault(process="worker", at=2.0, duration=1.0),)
+            ),
+        )
+        result = TestHarness(platform, stream, config).run()
+        counter = result.log.series("events_since_restart")
+        assert counter.reset_indices(), "the crash must reset the counter"
+        raw = counter.rate(on_reset="raw")
+        assert min(raw.values) < 0, "raw mode shows the reset spike"
+        clamped = counter.rate()
+        assert all(value >= 0 for value in clamped.values)
+        assert len(clamped) == len(raw)
+
+
 class TestPercentile:
     def test_median_odd(self):
         assert percentile([3, 1, 2], 50) == 2
@@ -124,6 +210,11 @@ class TestPercentile:
     def test_out_of_range_q(self):
         with pytest.raises(ValueError):
             percentile([1], 101)
+
+    def test_nan_rejected_explicitly(self):
+        # NaN used to poison the sort silently (garbage percentiles).
+        with pytest.raises(AnalysisError, match="NaN"):
+            percentile([1.0, math.nan, 3.0], 50)
 
 
 class TestConfidenceInterval:
@@ -177,6 +268,14 @@ class TestAggregate:
     def test_empty_raises(self):
         with pytest.raises(AnalysisError):
             Aggregate.of([])
+
+    def test_nan_rejected_explicitly(self):
+        with pytest.raises(AnalysisError, match="NaN"):
+            Aggregate.of([1.0, float("nan"), 2.0])
+
+    def test_nan_rejected_in_confidence_interval(self):
+        with pytest.raises(AnalysisError, match="NaN"):
+            confidence_interval([1.0, math.nan, 2.0])
 
     def test_overlap_detection(self):
         tight_low = Aggregate.of([1.0, 1.1, 0.9, 1.0])

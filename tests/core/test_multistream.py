@@ -139,3 +139,89 @@ class TestMultiReplayHarness:
             MultiReplayHarness(
                 WeaverLikePlatform(), streams, HarnessConfig(rate=100, level=1)
             )
+
+
+class TestOffsetCollisions:
+    """Why disjoint_streams validates its stride: offsets smaller than
+    the id range of a stream leave the relabelled streams colliding."""
+
+    def _vertex_ids(self, stream) -> set:
+        graph, report = build_graph(stream)
+        assert not report.failed
+        return set(graph.vertices())
+
+    def test_small_offset_collides(self, tiny_stream):
+        shifted = offset_stream(tiny_stream, 1)
+        overlap = self._vertex_ids(tiny_stream) & self._vertex_ids(shifted)
+        assert overlap, "insufficient stride must collide"
+
+    def test_sufficient_offset_is_collision_free(self, tiny_stream):
+        shifted = offset_stream(tiny_stream, 100)
+        assert not self._vertex_ids(tiny_stream) & self._vertex_ids(shifted)
+
+
+class TestRecordMerging:
+    def test_merged_log_is_chronological_across_sources(self):
+        streams = disjoint_streams(UniformRules, sources=2, rounds=200, seed=6)
+        result = MultiReplayHarness(
+            InMemoryPlatform(), streams, HarnessConfig(rate=1000, level=1)
+        ).run()
+        timestamps = [record.timestamp for record in result.log]
+        assert timestamps == sorted(timestamps)
+        sources = set(result.log.sources())
+        # Replayer records and platform-probe records land in one log.
+        assert {"replayer-0", "replayer-1"} <= sources
+        assert any(source.startswith("inmem") for source in sources)
+
+    def test_markers_from_every_source_survive_the_merge(self):
+        streams = disjoint_streams(UniformRules, sources=3, rounds=200, seed=7)
+        result = MultiReplayHarness(
+            InMemoryPlatform(), streams, HarnessConfig(rate=1000, level=0)
+        ).run()
+        marker_sources = {
+            record.source
+            for record in result.log
+            if record.kind == "marker"
+        }
+        assert marker_sources == {"replayer-0", "replayer-1", "replayer-2"}
+
+
+class TestMultiStreamTracing:
+    def _run(self, sources=2, **config):
+        streams = disjoint_streams(
+            UniformRules, sources=sources, rounds=200, seed=8
+        )
+        return MultiReplayHarness(
+            InMemoryPlatform(),
+            streams,
+            HarnessConfig(rate=1000, level=1, trace=True, **config),
+        ).run()
+
+    def test_traced_run_exposes_a_tracer_with_closed_accounting(self):
+        result = self._run()
+        assert result.tracer is not None
+        accounting = result.tracer.accounting()
+        assert accounting["emitted"] == result.events_emitted
+        assert accounting["in_flight"] == 0
+        assert accounting["closed"]
+
+    def test_span_categories_disambiguate_the_sources(self):
+        result = self._run()
+        emit_sources = {r.source for r in result.log.spans("emitted")}
+        assert emit_sources == {"replayer-0", "replayer-1"}
+        per_source = result.events_emitted_per_source
+        for index, emitted in enumerate(per_source):
+            spans = result.log.spans("emitted", category=f"replayer-{index}")
+            assert len(spans) == emitted  # stride 1: one span per event
+
+    def test_counters_aggregate_across_sources_under_sampling(self):
+        result = self._run(sources=3, trace_sample_every=11)
+        assert result.tracer.counts["emitted"] == result.events_emitted
+        assert len(result.log.spans("emitted")) < result.events_emitted
+
+    def test_untraced_run_has_no_tracer(self):
+        streams = disjoint_streams(UniformRules, sources=2, rounds=100, seed=9)
+        result = MultiReplayHarness(
+            InMemoryPlatform(), streams, HarnessConfig(rate=1000, level=0)
+        ).run()
+        assert result.tracer is None

@@ -167,3 +167,103 @@ class TestSuiteCommand:
     def test_unknown_workload(self, capsys):
         code = main(["suite", "--platforms", "inmem", "--workloads", "bogus"])
         assert code == 2
+
+
+class TestTraceCommands:
+    def _load(self, path):
+        import json
+
+        return json.loads(path.read_text(encoding="utf-8"))
+
+    def test_replay_trace_out_writes_a_valid_trace(
+        self, stream_file, tmp_path, capsys
+    ):
+        from repro.core.tracing import validate_chrome_trace
+
+        trace_path = tmp_path / "trace.json"
+        code = main([
+            "replay", str(stream_file), "--rate", "100000",
+            "--batch-size", "32", "--trace-out", str(trace_path),
+        ])
+        assert code == 0
+        payload = self._load(trace_path)
+        assert validate_chrome_trace(payload) == []
+        meta = payload["otherData"]
+        assert meta["mode"] == "live"
+        assert meta["sample_every"] == 1024  # Dapper-style default
+        assert meta["accounting"]["closed"]
+        err = capsys.readouterr().err
+        assert "trace:" in err
+        assert "accounting closed" in err
+
+    def test_replay_trace_sample_override(self, stream_file, tmp_path, capsys):
+        trace_path = tmp_path / "trace.json"
+        code = main([
+            "replay", str(stream_file), "--rate", "100000",
+            "--trace-out", str(trace_path), "--trace-sample", "5",
+        ])
+        assert code == 0
+        assert self._load(trace_path)["otherData"]["sample_every"] == 5
+
+    def test_run_trace_out_writes_a_valid_trace(self, stream_file, tmp_path):
+        from repro.core.tracing import validate_chrome_trace
+
+        trace_path = tmp_path / "trace.json"
+        code = main([
+            "run", str(stream_file), "--platform", "inmem",
+            "--level", "1", "--trace-out", str(trace_path),
+        ])
+        assert code == 0
+        payload = self._load(trace_path)
+        assert validate_chrome_trace(payload) == []
+        meta = payload["otherData"]
+        assert meta["mode"] == "simulated"
+        assert meta["accounting"]["in_flight"] == 0
+        assert meta["accounting"]["closed"]
+
+    def test_trace_validate_accepts_an_exported_trace(
+        self, stream_file, tmp_path, capsys
+    ):
+        trace_path = tmp_path / "trace.json"
+        main([
+            "run", str(stream_file), "--platform", "inmem",
+            "--trace-out", str(trace_path),
+        ])
+        capsys.readouterr()
+        assert main(["trace", "--validate", str(trace_path)]) == 0
+        assert "well-formed" in capsys.readouterr().out
+
+    def test_trace_validate_rejects_invalid_json(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("not json", encoding="utf-8")
+        assert main(["trace", "--validate", str(bad)]) == 1
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_trace_validate_rejects_wrong_schema(self, tmp_path, capsys):
+        wrong = tmp_path / "wrong.json"
+        wrong.write_text('{"foo": 1}', encoding="utf-8")
+        assert main(["trace", "--validate", str(wrong)]) == 1
+        assert "traceEvents" in capsys.readouterr().err
+
+    def test_trace_convert_from_a_result_log(self, tmp_path, capsys):
+        from repro.core.tracing import (
+            TraceClock,
+            Tracer,
+            validate_chrome_trace,
+        )
+
+        tracer = Tracer(clock=TraceClock(origin=0.0))
+        tracer.record_span("emitted", "replayer", 0.1, event_id=0)
+        tracer.record_span("ingested", "inmem", 0.2, 0.05, event_id=0)
+        log_path = tmp_path / "result.jsonl"
+        tracer.result_log().write(log_path)
+        out_path = tmp_path / "converted.json"
+        assert main(["trace", str(log_path), "-o", str(out_path)]) == 0
+        assert "wrote" in capsys.readouterr().out
+        assert validate_chrome_trace(self._load(out_path)) == []
+
+    def test_trace_convert_requires_output(self, tmp_path, capsys):
+        log_path = tmp_path / "result.jsonl"
+        log_path.write_text("", encoding="utf-8")
+        assert main(["trace", str(log_path)]) == 2
+        assert "requires -o" in capsys.readouterr().err
