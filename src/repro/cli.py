@@ -69,6 +69,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="token-bucket burst size: events emitted per wakeup "
         "(1 = per-event pacing; larger values raise the saturation rate)",
     )
+    scale = rep.add_argument_group(
+        "scale-out",
+        "process-parallel sharded replay (repro.core.sharding): the "
+        "stream is partitioned into marker-aligned shards, each worker "
+        "replays its shard at rate/N",
+    )
+    scale.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes (1 = classic single-process replay); "
+        "with --transport stdout all workers share the same pipe, so "
+        "prefer tcp for exact downstream counting",
+    )
+    scale.add_argument(
+        "--shard-by", choices=("round-robin", "hash"), default="round-robin",
+        help="graph-event partitioning: round-robin balances exactly; "
+        "hash keeps each vertex's events on one shard (may skew)",
+    )
+    scale.add_argument(
+        "--emission", choices=("events", "raw"), default="events",
+        help="worker emission path: parsed events (the LiveReplayer) or "
+        "zero-copy raw byte runs via mmap (no checkpoint resume)",
+    )
     retry = rep.add_argument_group(
         "resilient delivery",
         "retry/backoff, circuit breaking and checkpoint resume "
@@ -321,50 +343,54 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     return 0
 
 
-def _build_replay_transport(args: argparse.Namespace):
-    """Compose the replay delivery chain: base -> chaos -> retrying."""
-    from repro.core.connectors import PipeTransport, TcpTransport
-    from repro.core.resilience import (
-        ChaosConfig,
-        ChaosTransport,
-        CircuitBreaker,
-        RetryPolicy,
-        RetryingTransport,
-    )
+def _replay_transport_spec(args: argparse.Namespace):
+    """The picklable base-transport spec the replay flags describe."""
+    from repro.core.connectors import PipeSpec, TcpSpec
 
-    def build():
-        if args.transport == "stdout":
-            transport = PipeTransport(sys.stdout)
-        else:
-            transport = TcpTransport(args.host, args.port)
-        chaos = ChaosConfig(
-            send_failure_probability=args.chaos_send_failure,
-            reset_probability=args.chaos_reset,
-            partial_batch_probability=args.chaos_partial,
-            latency_probability=args.chaos_latency,
-            latency_seconds=args.chaos_latency_seconds,
+    if args.transport == "stdout":
+        return PipeSpec(target="-")
+    return TcpSpec(host=args.host, port=args.port)
+
+
+def _replay_chain_configs(args: argparse.Namespace):
+    """Picklable resilience configs (chaos, retry) from the replay flags."""
+    from repro.core.resilience import ChaosConfig, RetryPolicy
+
+    chaos = ChaosConfig(
+        send_failure_probability=args.chaos_send_failure,
+        reset_probability=args.chaos_reset,
+        partial_batch_probability=args.chaos_partial,
+        latency_probability=args.chaos_latency,
+        latency_seconds=args.chaos_latency_seconds,
+        seed=args.chaos_seed,
+    )
+    chaos_config = None if chaos.is_noop else chaos
+    retry_policy = None
+    if args.retry_attempts > 1 or args.breaker_threshold > 0:
+        retry_policy = RetryPolicy(
+            max_attempts=max(1, args.retry_attempts),
+            base_delay=args.retry_base_delay,
+            deadline=args.retry_deadline,
             seed=args.chaos_seed,
         )
-        if not chaos.is_noop:
-            transport = ChaosTransport(transport, chaos)
-        if args.retry_attempts > 1 or args.breaker_threshold > 0:
-            breaker = None
-            if args.breaker_threshold > 0:
-                breaker = CircuitBreaker(
-                    failure_threshold=args.breaker_threshold,
-                    recovery_time=args.breaker_recovery,
-                )
-            transport = RetryingTransport(
-                transport,
-                RetryPolicy(
-                    max_attempts=max(1, args.retry_attempts),
-                    base_delay=args.retry_base_delay,
-                    deadline=args.retry_deadline,
-                    seed=args.chaos_seed,
-                ),
-                breaker=breaker,
-            )
-        return transport
+    return chaos_config, retry_policy
+
+
+def _build_replay_transport(args: argparse.Namespace):
+    """Compose the replay delivery chain: base -> chaos -> retrying."""
+    from repro.core.resilience import build_transport_chain
+
+    spec = _replay_transport_spec(args)
+    chaos_config, retry_policy = _replay_chain_configs(args)
+
+    def build():
+        return build_transport_chain(
+            spec.build(),
+            chaos_config=chaos_config,
+            retry_policy=retry_policy,
+            breaker_threshold=args.breaker_threshold,
+            breaker_recovery=args.breaker_recovery,
+        )
 
     return build
 
@@ -385,6 +411,8 @@ def _print_trace_summary(tracer, path: str) -> None:
 def _cmd_replay(args: argparse.Namespace) -> int:
     from repro.core.replayer import LiveReplayer
 
+    if args.workers > 1:
+        return _run_sharded_replay(args)
     build_base = _build_replay_transport(args)
     tracer = None
     if args.trace_out:
@@ -422,6 +450,58 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         tracer=tracer,
     )
     report = replayer.run()
+    _print_replay_summary(report)
+    if tracer is not None:
+        tracer.write_chrome_trace(args.trace_out)
+        _print_trace_summary(tracer, args.trace_out)
+    return 0
+
+
+def _run_sharded_replay(args: argparse.Namespace) -> int:
+    """The ``--workers N`` (N > 1) path: process-parallel replay."""
+    from repro.core.sharding import ShardedReplayer
+
+    if args.trace_out:
+        print(
+            "error: --trace-out requires --workers 1 "
+            "(the tracer is in-process)",
+            file=sys.stderr,
+        )
+        return 2
+    chaos_config, retry_policy = _replay_chain_configs(args)
+    replayer = ShardedReplayer(
+        args.stream,
+        _replay_transport_spec(args),
+        rate=args.rate,
+        workers=args.workers,
+        shard_by=args.shard_by,
+        emission=args.emission,
+        batch_size=args.batch_size,
+        chaos_config=chaos_config,
+        retry_policy=retry_policy,
+        breaker_threshold=args.breaker_threshold,
+        breaker_recovery=args.breaker_recovery,
+        max_resumes=args.max_resumes,
+    )
+    report = replayer.run()
+    print(
+        f"shards: {args.workers} workers ({args.shard_by}, {args.emission}): "
+        + ", ".join(
+            f"#{index} {shard.events_emitted} events @ {shard.mean_rate:.0f}/s"
+            for index, shard in enumerate(report.shards)
+        ),
+        file=sys.stderr,
+    )
+    _print_replay_summary(report)
+    return 0
+
+
+def _print_replay_summary(report) -> None:
+    """The replay summary + fault-summary lines (shared by both paths).
+
+    For a sharded report the fault line carries the per-worker
+    breakdown (``#i injected/retries/redeliveries``) after the totals.
+    """
     print(
         f"replayed {report.events_emitted} events in {report.duration:.2f}s "
         f"({report.mean_rate:.0f} events/s, "
@@ -433,18 +513,23 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         report.chaos_faults or report.retries or report.redeliveries
         or report.breaker_openings or report.resumes
     ):
+        shards = getattr(report, "shards", ())
+        per_worker = ""
+        if len(shards) > 1:
+            per_worker = "; per worker " + ", ".join(
+                f"#{index} {shard.chaos_faults}i/{shard.retries}r/"
+                f"{shard.redeliveries}d"
+                for index, shard in enumerate(shards)
+            )
         print(
             f"faults: {report.chaos_faults} injected, {report.retries} retries, "
             f"{report.redeliveries} redeliveries, "
             f"{report.breaker_openings} breaker openings, "
             f"{report.resumes} resumes "
-            f"(from {report.checkpoints} checkpoints)",
+            f"(from {report.checkpoints} checkpoints)"
+            f"{per_worker}",
             file=sys.stderr,
         )
-    if tracer is not None:
-        tracer.write_chrome_trace(args.trace_out)
-        _print_trace_summary(tracer, args.trace_out)
-    return 0
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:

@@ -29,6 +29,7 @@ caller observes identical semantics (including error messages and
 from __future__ import annotations
 
 import gc
+import mmap
 import re
 from pathlib import Path
 from typing import TYPE_CHECKING, Callable, Iterable, Iterator
@@ -52,6 +53,8 @@ __all__ = [
     "parse_lines",
     "parse_stream_file",
     "iter_parse_chunks",
+    "iter_raw_batches",
+    "RawBatch",
     "format_event",
     "format_lines",
     "format_events",
@@ -435,16 +438,167 @@ def _iter_line_blocks(path: str | Path) -> Iterator[list[str]]:
             yield [carry]
 
 
+def _open_stream_mmap(path: str | Path) -> mmap.mmap | None:
+    """Map a stream file read-only; ``None`` for an empty file.
+
+    The fd is closed immediately (the mapping keeps its own reference),
+    so callers only manage the mapping's lifetime.
+    """
+    with open(path, "rb") as handle:
+        try:
+            return mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+        except ValueError:
+            return None
+
+
+def _iter_line_blocks_mmap(path: str | Path) -> Iterator[list[str]]:
+    """Yield lists of newline-free lines from an mmap'd stream file.
+
+    The zero-copy sibling of :func:`_iter_line_blocks`: blocks are
+    decoded straight out of the mapping on ``\\n`` boundaries, skipping
+    the text layer and the carry-string concatenation.  Lines keep a
+    trailing ``\\r`` (``parse_lines`` strips it), so CRLF files parse
+    identically; lone-``\\r`` line endings — which only universal
+    newline mode would split — are not supported, which is why this
+    reader backs the *trusted* (machine-generated) parse path only.
+    """
+    mapped = _open_stream_mmap(path)
+    if mapped is None:
+        return
+    try:
+        size = len(mapped)
+        position = 0
+        while position < size:
+            end = min(position + BLOCK_SIZE, size)
+            if end < size:
+                newline = mapped.rfind(b"\n", position, end)
+                if newline == -1:
+                    # A line longer than the block: extend to its end.
+                    newline = mapped.find(b"\n", end)
+                end = size if newline == -1 else newline + 1
+            lines = mapped[position:end].decode("utf-8").split("\n")
+            if lines and not lines[-1]:
+                lines.pop()
+            if lines:
+                yield lines
+            position = end
+    finally:
+        mapped.close()
+
+
+#: First bytes of the six graph-changing commands (``ADD_*``,
+#: ``REMOVE_*``, ``UPDATE_*``); no marker/control command shares them.
+_RAW_GRAPH_FIRST_BYTES = frozenset(b"ARU")
+
+
+class RawBatch:
+    """A zero-copy run of consecutive graph-event lines.
+
+    ``data`` is a :class:`memoryview` straight into the stream file's
+    mapping — the exact bytes of ``count`` newline-separated lines,
+    never copied through Python strings.  ``ends_with_newline`` is
+    False only for a final line at EOF without one; emitters must then
+    append the terminator themselves.
+
+    Views alias the open mapping: consume (send) each batch before
+    advancing the iterator that produced it.
+    """
+
+    __slots__ = ("data", "count", "ends_with_newline")
+
+    def __init__(self, data: memoryview, count: int, ends_with_newline: bool):
+        self.data = data
+        self.count = count
+        self.ends_with_newline = ends_with_newline
+
+    def __repr__(self) -> str:
+        return f"RawBatch({self.count} lines, {len(self.data)} bytes)"
+
+
+def iter_raw_batches(
+    path: str | Path, *, batch_lines: int = 256
+) -> Iterator[RawBatch | Event]:
+    """Yield zero-copy :class:`RawBatch` runs and parsed control events.
+
+    The sharded replayer's emission fast path: runs of graph-event
+    lines come back as :class:`memoryview` slices of the file's mmap
+    (at most ``batch_lines`` lines per batch) that a transport can put
+    on the wire verbatim, while ``MARKER``/``SPEED``/``PAUSE`` lines —
+    which steer the replay instead of travelling over it — are parsed
+    into their :class:`Event` objects.  Blank lines and ``#`` comments
+    are skipped and break the current run.
+
+    Graph lines are classified by their first byte (``A``/``R``/``U``
+    is shared by exactly the six graph commands) and are *not*
+    revalidated — the same trust contract as ``trusted=True`` parsing,
+    intended for machine-generated files such as partition shards.
+    """
+    if batch_lines <= 0:
+        raise ValueError(f"batch_lines must be positive, got {batch_lines}")
+    mapped = _open_stream_mmap(path)
+    if mapped is None:
+        return
+    view = memoryview(mapped)
+    try:
+        size = len(mapped)
+        position = 0
+        line_number = 0
+        run_start = 0
+        run_end = 0
+        run_count = 0
+        while position < size:
+            line_number += 1
+            newline = mapped.find(b"\n", position)
+            end = size if newline == -1 else newline
+            next_position = size if newline == -1 else newline + 1
+            if end > position and mapped[position] in _RAW_GRAPH_FIRST_BYTES:
+                if not run_count:
+                    run_start = position
+                run_end = next_position
+                run_count += 1
+                if run_count >= batch_lines:
+                    yield RawBatch(
+                        view[run_start:run_end], run_count, newline != -1
+                    )
+                    run_count = 0
+            else:
+                if run_count:
+                    yield RawBatch(view[run_start:run_end], run_count, True)
+                    run_count = 0
+                line = mapped[position:end].decode("utf-8")
+                stripped = line.strip()
+                if stripped and not stripped.startswith("#"):
+                    yield parse_line(line, line_number)
+            position = next_position
+        if run_count:
+            yield RawBatch(
+                view[run_start:run_end],
+                run_count,
+                mapped[run_end - 1] == 0x0A,
+            )
+    finally:
+        view.release()
+        try:
+            mapped.close()
+        except BufferError:
+            # A consumer still holds the last batch's view (e.g. the
+            # loop variable after the final yield); the mapping closes
+            # when that last view is garbage-collected.
+            pass
+
+
 def parse_stream_file(path: str | Path, *, trusted: bool = False) -> list[Event]:
     """Parse a whole stream file with chunked decoding.
 
     Equivalent to the legacy per-line reader (comments/blanks skipped,
     :class:`StreamFormatError` with line numbers) but roughly 3-4x
-    faster.
+    faster.  Trusted parses read through the mmap block iterator, which
+    skips the text layer's carry-string copies.
     """
     events: list[Event] = []
     line_number = 1
-    for lines in _iter_line_blocks(path):
+    blocks = _iter_line_blocks_mmap(path) if trusted else _iter_line_blocks(path)
+    for lines in blocks:
         events.extend(
             parse_lines(
                 lines,
@@ -471,13 +625,16 @@ def iter_parse_chunks(
     :class:`~repro.core.tracing.Tracer`, each decoded file block gets a
     sampled ``decoded`` span (stamped on the tracer's clock) so the
     reader side of the pipeline is visible in exported traces.
+    Trusted parses read blocks through the mmap iterator (no
+    carry-string copies).
     """
     if chunk_events <= 0:
         raise ValueError(f"chunk_events must be positive, got {chunk_events}")
     pending: list[Event] = []
     line_number = 1
     decoded = 0
-    for lines in _iter_line_blocks(path):
+    blocks = _iter_line_blocks_mmap(path) if trusted else _iter_line_blocks(path)
+    for lines in blocks:
         if tracer is None:
             pending.extend(
                 parse_lines(

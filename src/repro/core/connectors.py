@@ -22,8 +22,10 @@ from __future__ import annotations
 import io
 import os
 import socket
+import sys
 import threading
 from dataclasses import dataclass
+from pathlib import Path
 from typing import TYPE_CHECKING, Callable, Iterable
 
 from repro.errors import ConnectorError
@@ -36,6 +38,9 @@ __all__ = [
     "CallbackTransport",
     "PipeTransport",
     "TcpTransport",
+    "TransportSpec",
+    "PipeSpec",
+    "TcpSpec",
     "WindowCounter",
     "PipeReceiver",
     "TcpReceiver",
@@ -57,6 +62,22 @@ class Transport:
         """
         for line in lines:
             self.send(line)
+
+    def send_raw(self, data: "bytes | memoryview", count: int) -> None:
+        """Deliver ``count`` pre-serialized, newline-terminated lines.
+
+        The sharded replayer's zero-copy path: ``data`` holds the exact
+        wire bytes of whole lines (a :class:`~repro.core.codec.RawBatch`
+        slice).  The default decodes and delegates to :meth:`send_many`
+        so wrappers (chaos, retry, tracing) and in-process transports
+        keep their per-line semantics; byte-stream transports override
+        this with a verbatim write.
+        """
+        text = bytes(data).decode("utf-8")
+        lines = text.split("\n")
+        if lines and not lines[-1]:
+            lines.pop()
+        self.send_many(lines)
 
     def close(self) -> None:
         """Release resources; further sends raise :class:`ConnectorError`."""
@@ -93,15 +114,15 @@ class PipeTransport(Transport):
     must not become the bottleneck being measured).
     """
 
-    def __init__(self, target, flush_every: int = 512):
+    def __init__(self, target, flush_every: int = 512, owns: bool | None = None):
         if flush_every <= 0:
             raise ValueError(f"flush_every must be positive, got {flush_every}")
         if isinstance(target, int):
             self._file = os.fdopen(target, "w", encoding="utf-8", buffering=1 << 16)
-            self._owns = True
+            self._owns = True if owns is None else owns
         else:
             self._file = target
-            self._owns = False
+            self._owns = False if owns is None else owns
         self._flush_every = flush_every
         self._since_flush = 0
         self._closed = False
@@ -134,6 +155,33 @@ class PipeTransport(Transport):
         self._since_flush += len(lines)
         if self._since_flush >= self._flush_every:
             self._file.flush()
+            self._since_flush = 0
+
+    def send_raw(self, data: "bytes | memoryview", count: int) -> None:
+        """Write pre-serialized line bytes verbatim (zero-copy path).
+
+        Bytes go to the text file's underlying binary buffer; targets
+        without one (e.g. ``StringIO``) fall back to the decoding
+        default.  A missing final newline is appended so the stream
+        stays line-delimited.
+        """
+        if self._closed:
+            raise ConnectorError("transport is closed")
+        buffer = getattr(self._file, "buffer", None)
+        if buffer is None:
+            super().send_raw(data, count)
+            return
+        try:
+            # Order any buffered text writes before the raw bytes.
+            self._file.flush()
+            buffer.write(data)
+            if len(data) and data[-1] != 0x0A:
+                buffer.write(b"\n")
+        except (OSError, ValueError) as exc:
+            raise ConnectorError(f"pipe write failed: {exc}") from exc
+        self._since_flush += count
+        if self._since_flush >= self._flush_every:
+            buffer.flush()
             self._since_flush = 0
 
     def close(self) -> None:
@@ -205,6 +253,24 @@ class TcpTransport(Transport):
             self._file.flush()
             self._since_flush = 0
 
+    def send_raw(self, data: "bytes | memoryview", count: int) -> None:
+        """Send pre-serialized line bytes straight through the socket.
+
+        The zero-copy path: after flushing any buffered text writes the
+        batch goes to ``sendall`` verbatim (one syscall for the whole
+        run).  A missing final newline is appended so the stream stays
+        line-delimited.
+        """
+        if self._closed:
+            raise ConnectorError("transport is closed")
+        try:
+            self._file.flush()
+            self._socket.sendall(data)
+            if len(data) and data[-1] != 0x0A:
+                self._socket.sendall(b"\n")
+        except OSError as exc:
+            raise ConnectorError(f"tcp write failed: {exc}") from exc
+
     def close(self) -> None:
         if self._closed:
             return
@@ -223,6 +289,60 @@ class TcpTransport(Transport):
             self._socket.close()
         except OSError:
             pass
+
+
+class TransportSpec:
+    """Picklable description of a transport, built inside a worker.
+
+    Live transports hold sockets and file objects that cannot cross a
+    process boundary; the sharded replayer instead ships a *spec* to
+    each worker, which calls :meth:`build` after the fork/spawn to open
+    its own connection.  Specs are frozen dataclasses so they pickle
+    under both start methods.
+    """
+
+    def build(self) -> Transport:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+@dataclass(frozen=True, slots=True)
+class PipeSpec(TransportSpec):
+    """Spec for a :class:`PipeTransport`.
+
+    ``target`` may be a path (opened for write in the worker, so give
+    each shard its own file), ``"-"`` for the worker's stdout, or an
+    inherited file descriptor (valid only under the ``fork`` start
+    method).
+    """
+
+    target: str | int = "-"
+    append: bool = False
+    flush_every: int = 512
+
+    def build(self) -> PipeTransport:
+        if isinstance(self.target, int):
+            return PipeTransport(self.target, flush_every=self.flush_every)
+        if self.target == "-":
+            return PipeTransport(sys.stdout, flush_every=self.flush_every)
+        handle = open(
+            Path(self.target),
+            "a" if self.append else "w",
+            encoding="utf-8",
+            buffering=1 << 16,
+        )
+        return PipeTransport(handle, flush_every=self.flush_every, owns=True)
+
+
+@dataclass(frozen=True, slots=True)
+class TcpSpec(TransportSpec):
+    """Spec for a :class:`TcpTransport` connection to ``host:port``."""
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    flush_every: int = 512
+
+    def build(self) -> TcpTransport:
+        return TcpTransport(self.host, self.port, flush_every=self.flush_every)
 
 
 @dataclass(frozen=True, slots=True)
@@ -379,13 +499,19 @@ class PipeReceiver:
 
 
 class TcpReceiver:
-    """Accepts one TCP connection and counts received lines.
+    """Accepts TCP connections and counts received lines.
 
     Binds an ephemeral local port (``port`` attribute) so benchmarks
     need no fixed port assignments.  The accept loop polls with a
     timeout and honours :meth:`close`, so a receiver whose client never
     connects can always be shut down instead of blocking forever.
     Usable as a context manager like :class:`PipeReceiver`.
+
+    With ``max_connections > 1`` (the sharded replayer's fan-in) the
+    receiver keeps accepting until that many clients have connected or
+    :meth:`close` is called; each connection is read on its own thread
+    and all connections count into the one shared
+    :class:`WindowCounter`.
     """
 
     #: Poll period of the accept loop; bounds close() latency.
@@ -397,16 +523,24 @@ class TcpReceiver:
         host: str = "127.0.0.1",
         clock: "TraceClock | None" = None,
         tracer: "Tracer | None" = None,
+        max_connections: int = 1,
     ):
+        if max_connections <= 0:
+            raise ValueError(
+                f"max_connections must be positive, got {max_connections}"
+            )
         self._server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._server.bind((host, 0))
-        self._server.listen(1)
+        self._server.listen(max_connections)
         self._server.settimeout(self.accept_poll_seconds)
         self.host = host
         self.port = self._server.getsockname()[1]
         self.counter = WindowCounter(window_seconds, clock=clock)
         self._tracer = tracer
+        self._max_connections = max_connections
+        self._id_lock = threading.Lock()
+        self._next_id = 0  # guarded-by: self._id_lock
         self._stop = threading.Event()
         self._thread = threading.Thread(target=self._serve, daemon=True)
 
@@ -425,30 +559,55 @@ class TcpReceiver:
             except OSError:
                 # Server socket closed under us by close().
                 return None
-        return None
+        # Stopped: drain a connection already completed in the listen
+        # backlog — its client connected (and may have sent everything
+        # and closed) before we got to accept it; dropping it here
+        # would silently lose counted events.
+        try:
+            self._server.settimeout(0)
+            connection, __ = self._server.accept()
+            return connection
+        except OSError:  # includes BlockingIOError: backlog empty
+            return None
 
     def _serve(self) -> None:
-        connection = self._accept()
+        readers: list[threading.Thread] = []
+        accepted = 0
+        while accepted < self._max_connections:
+            connection = self._accept()
+            if connection is None:
+                break
+            accepted += 1
+            thread = threading.Thread(
+                target=self._read_connection, args=(connection,), daemon=True
+            )
+            thread.start()
+            readers.append(thread)
         try:
             self._server.close()
         except OSError:
             pass
-        if connection is None:
-            return
+        for thread in readers:
+            thread.join()
+
+    def _read_connection(self, connection: socket.socket) -> None:
         with connection:
             reader = connection.makefile("r", encoding="utf-8", buffering=1 << 16)
             batch = 0
-            received = 0
             for __ in reader:
                 batch += 1
                 if batch >= 256:
-                    self._record_batch(received, batch)
-                    received += batch
+                    self._record_batch(batch)
                     batch = 0
             if batch:
-                self._record_batch(received, batch)
+                self._record_batch(batch)
 
-    def _record_batch(self, first_id: int, count: int) -> None:
+    def _record_batch(self, count: int) -> None:
+        # Arrival-order ids are assigned from one shared counter so
+        # multi-connection ingest traces stay globally unique.
+        with self._id_lock:
+            first_id = self._next_id
+            self._next_id += count
         self.counter.record(count)
         tracer = self._tracer
         if tracer is not None:
@@ -464,19 +623,20 @@ class TcpReceiver:
             raise ConnectorError("tcp receiver did not finish in time")
 
     def close(self) -> None:
-        """Stop accepting, close the server socket, join the thread.
+        """Stop accepting, join the serve thread, close the server socket.
 
         Safe whether or not a client ever connected, and safe to call
-        repeatedly.  An active client connection is still read to EOF
-        by the serving thread before it exits.
+        repeatedly.  Connections already completed in the listen
+        backlog are drained and read to EOF before the thread exits,
+        so no counted events are lost to shutdown timing.
         """
         self._stop.set()
+        if self._thread.is_alive():
+            self._thread.join(timeout=max(10.0, 2 * self.accept_poll_seconds))
         try:
             self._server.close()
         except OSError:
             pass
-        if self._thread.is_alive():
-            self._thread.join(timeout=max(10.0, 2 * self.accept_poll_seconds))
 
     def __enter__(self) -> "TcpReceiver":
         self.start()

@@ -83,6 +83,14 @@ class HarnessConfig:
     #: Span sampling stride (1 = trace every event).  Phase counters
     #: stay exact regardless, so accounting closes at any stride.
     trace_sample_every: int = 1
+    #: Replay the stream through this many parallel (simulated)
+    #: replayers, each driving a marker-aligned shard at
+    #: ``rate / replay_workers`` — the simulation-side mirror of the
+    #: live :class:`~repro.core.sharding.ShardedReplayer`.
+    replay_workers: int = 1
+    #: Graph-event partitioning strategy for ``replay_workers > 1``
+    #: (see :func:`repro.core.sharding.partition_stream`).
+    shard_by: str = "round-robin"
 
     def __post_init__(self) -> None:
         if self.trace_sample_every < 1:
@@ -101,6 +109,17 @@ class HarnessConfig:
             raise ValueError("drain_poll_interval must be positive")
         if self.max_duration is not None and self.max_duration <= 0:
             raise ValueError("max_duration must be positive or None")
+        if self.replay_workers <= 0:
+            raise ValueError(
+                f"replay_workers must be positive, got {self.replay_workers}"
+            )
+        from repro.core.sharding import SHARD_STRATEGIES
+
+        if self.shard_by not in SHARD_STRATEGIES:
+            raise ValueError(
+                f"unknown shard_by {self.shard_by!r}; "
+                f"expected one of {SHARD_STRATEGIES}"
+            )
 
 
 @dataclass(frozen=True, slots=True)
@@ -211,15 +230,31 @@ class TestHarness:
             )
         platform.attach_tracer(tracer)
 
-        replayer = SimulatedReplayer(
-            sim,
-            self.stream,
-            platform,
-            rate=config.rate,
-            retry_interval=config.retry_interval,
-            rate_sample_interval=config.log_interval,
-            tracer=tracer,
-        )
+        if config.replay_workers == 1:
+            shards = [self.stream]
+        else:
+            from repro.core.sharding import partition_stream
+
+            shards = partition_stream(
+                self.stream, config.replay_workers, config.shard_by
+            )
+        replayers = [
+            SimulatedReplayer(
+                sim,
+                shard,
+                platform,
+                rate=config.rate / config.replay_workers,
+                retry_interval=config.retry_interval,
+                rate_sample_interval=config.log_interval,
+                source_name=(
+                    "replayer"
+                    if config.replay_workers == 1
+                    else f"replayer-{index}"
+                ),
+                tracer=tracer,
+            )
+            for index, shard in enumerate(shards)
+        ]
 
         loggers: list[SimPeriodicLogger] = []
         object_loggers: list[ObjectSeriesLogger] = []
@@ -304,7 +339,8 @@ class TestHarness:
             logger.start()
         for logger in object_loggers:
             logger.start()
-        replayer.start()
+        for replayer in replayers:
+            replayer.start()
 
         # Supervisor: end-of-stream flush, drain detection, logger stop.
         state = {"stream_ended": False, "drained": False, "deadline": None}
@@ -317,13 +353,11 @@ class TestHarness:
             platform.shutdown()
 
         def supervise() -> None:
-            if (
-                config.max_duration is not None
-                and sim.now >= config.max_duration
-                and not replayer.finished
-            ):
-                replayer.stop()
-            if replayer.finished and not state["stream_ended"]:
+            if config.max_duration is not None and sim.now >= config.max_duration:
+                for replayer in replayers:
+                    if not replayer.finished:
+                        replayer.stop()
+            if all(r.finished for r in replayers) and not state["stream_ended"]:
                 state["stream_ended"] = True
                 platform.on_stream_end()
                 state["deadline"] = sim.now + config.drain_grace
@@ -359,7 +393,7 @@ class TestHarness:
             if at <= sim.now
         ]
         log = collect_records(
-            replayer.records,
+            *(replayer.records for replayer in replayers),
             *(logger.records for logger in loggers),
             fault_records,
             tracer.to_records() if tracer is not None else [],
@@ -367,9 +401,9 @@ class TestHarness:
         return RunResult(
             log=log,
             duration=sim.now,
-            events_emitted=replayer.emitted,
+            events_emitted=sum(r.emitted for r in replayers),
             events_processed=platform.events_processed(),
-            rejected_attempts=replayer.rejected_attempts,
+            rejected_attempts=sum(r.rejected_attempts for r in replayers),
             drained=state["drained"],
             object_series={
                 logger.name: logger.samples for logger in object_loggers

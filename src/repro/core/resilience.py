@@ -50,6 +50,7 @@ __all__ = [
     "CircuitBreaker",
     "FaultCounters",
     "collect_fault_counters",
+    "build_transport_chain",
 ]
 
 
@@ -471,3 +472,40 @@ def collect_fault_counters(transport: Transport | None) -> FaultCounters:
             )
         current = getattr(current, "_inner", None)
     return counters
+
+
+# -- chain composition -------------------------------------------------------
+
+
+def build_transport_chain(
+    base: Transport,
+    chaos_config: ChaosConfig | None = None,
+    retry_policy: RetryPolicy | None = None,
+    breaker_threshold: int = 0,
+    breaker_recovery: float = 1.0,
+) -> Transport:
+    """Compose the standard delivery chain: base -> chaos -> retrying.
+
+    The single place the wrapper order is defined, shared by the CLI
+    and the sharded replayer's worker processes (which rebuild the
+    chain from picklable configs after the fork/spawn).  No-op configs
+    add no wrapper: a ``chaos_config`` whose probabilities are all zero
+    and a missing ``retry_policy`` with ``breaker_threshold == 0``
+    return ``base`` unchanged.
+    """
+    transport = base
+    if chaos_config is not None and not chaos_config.is_noop:
+        transport = ChaosTransport(transport, chaos_config)
+    if retry_policy is not None or breaker_threshold > 0:
+        breaker = None
+        if breaker_threshold > 0:
+            breaker = CircuitBreaker(
+                failure_threshold=breaker_threshold,
+                recovery_time=breaker_recovery,
+            )
+        transport = RetryingTransport(
+            transport,
+            retry_policy if retry_policy is not None else RetryPolicy(),
+            breaker=breaker,
+        )
+    return transport

@@ -1,0 +1,730 @@
+"""Process-parallel sharded replay: scale-out of the Fig 3a replayer.
+
+A single :class:`~repro.core.replayer.LiveReplayer` is GIL-bound — one
+core drives parsing, pacing and I/O, so the achieved-vs-target curve of
+the replayer benchmark (paper Figure 3a) saturates at whatever one core
+can push.  This module scales the load generator *out* instead of up,
+the same move SProBench makes for HPC stream benchmarks: partition the
+stream into N marker-aligned shards, replay each shard in its own
+worker process at ``rate / N``, and merge the per-worker reports into
+one aggregate view, so the system under test — not the harness —
+becomes the bottleneck.
+
+Partitioning (:func:`partition_stream`) splits only the graph events;
+``MARKER`` / ``SPEED`` / ``PAUSE`` control events are *replicated* to
+every shard.  Markers never travel over the transport (the replayer
+handles them locally), so replication changes no delivered bytes, but
+it keeps every worker's checkpointing, speed changes and pauses aligned
+to the same stream positions — shard replays stay mutually
+phase-consistent, and the union of shard emissions is exactly the
+original stream's graph-event multiset.
+
+Emission inside a worker runs in one of two modes:
+
+* ``"events"`` — the existing :class:`LiveReplayer` (parse → pace →
+  format → send), byte-for-byte the single-process behaviour;
+* ``"raw"`` — a zero-copy loop over
+  :func:`repro.core.codec.iter_raw_batches`: graph-line runs are sent
+  as :class:`memoryview` slices of the shard file's mmap via
+  ``Transport.send_raw``, skipping the parse/format round-trip
+  entirely.  Control events still steer the replay.  Raw mode does not
+  support checkpoint resume.
+
+Workers synchronise on a start barrier so their pacing windows share an
+epoch, and return their :class:`ReplayReport` over a queue; the merged
+report sums counts and per-window rates and keeps the per-shard
+breakdown (:class:`ShardedReplayReport`).  All cross-process
+configuration travels as picklable specs (:class:`WorkerConfig`,
+:class:`~repro.core.connectors.TransportSpec`,
+:class:`~repro.core.resilience.RetryPolicy`, ...), so workers can be
+started with either the ``fork`` or ``spawn`` method.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue
+import shutil
+import tempfile
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.core import codec
+from repro.core.connectors import Transport, TransportSpec
+from repro.core.events import (
+    EdgeId,
+    Event,
+    GraphEvent,
+    MarkerEvent,
+    PauseEvent,
+    SpeedEvent,
+)
+from repro.core.replayer import LiveReplayer, ReplayReport
+from repro.core.resilience import (
+    ChaosConfig,
+    RetryPolicy,
+    build_transport_chain,
+    collect_fault_counters,
+)
+from repro.core.stream import GraphStream
+from repro.core.tracing import shared_clock
+from repro.errors import ReplayError
+
+__all__ = [
+    "SHARD_STRATEGIES",
+    "ShardPlan",
+    "WorkerConfig",
+    "ShardedReplayReport",
+    "ShardedReplayer",
+    "partition_stream",
+    "write_shards",
+    "merge_replay_reports",
+]
+
+#: Supported graph-event partitioning strategies.
+SHARD_STRATEGIES = ("round-robin", "hash")
+
+#: Sleep-vs-spin threshold of the raw emission loop (mirrors the
+#: LiveReplayer's pacing).
+_SPIN_THRESHOLD = 0.0015
+
+
+# -- partitioning ------------------------------------------------------------
+
+
+def _entity_shard(entity: int | EdgeId, workers: int) -> int:
+    """Deterministic shard index for a graph entity.
+
+    Vertex events shard by vertex id, edge events by source vertex id
+    (co-locating a vertex's out-edges with it).  Plain modulo on the
+    integer ids — never ``hash()`` on strings, whose per-process
+    randomisation would break cross-run and cross-worker determinism.
+    """
+    if isinstance(entity, EdgeId):
+        return entity.source % workers
+    return entity % workers
+
+
+def partition_stream(
+    events: Iterable[Event], workers: int, shard_by: str = "round-robin"
+) -> list[GraphStream]:
+    """Split a stream into ``workers`` marker-aligned shards.
+
+    Graph events are distributed round-robin (exact balance) or by
+    entity hash (``shard_by="hash"``: a vertex's events always land on
+    the same shard, at the cost of skew).  Control events (markers,
+    speed, pause) are replicated to every shard — each shard receives
+    each control event exactly once, at the same relative position —
+    so shard replays stay phase-aligned and checkpoints agree.
+
+    The union of the shards' graph events is exactly the input's
+    graph-event multiset; with one worker the single shard is the
+    input stream itself.
+    """
+    if workers <= 0:
+        raise ValueError(f"workers must be positive, got {workers}")
+    if shard_by not in SHARD_STRATEGIES:
+        raise ValueError(
+            f"unknown shard_by {shard_by!r}; expected one of {SHARD_STRATEGIES}"
+        )
+    shards: list[list[Event]] = [[] for __ in range(workers)]
+    round_robin = 0
+    for event in events:
+        if isinstance(event, GraphEvent):
+            if shard_by == "round-robin":
+                index = round_robin
+                round_robin += 1
+                if round_robin == workers:
+                    round_robin = 0
+            else:
+                index = _entity_shard(event.entity, workers)
+            shards[index].append(event)
+        else:
+            for shard in shards:
+                shard.append(event)
+    return [GraphStream(shard) for shard in shards]
+
+
+@dataclass(frozen=True, slots=True)
+class ShardPlan:
+    """Where a partitioned stream's shards live (picklable).
+
+    ``graph_events`` is the per-shard graph-event count (the balance /
+    skew view); ``control_events`` is the number of control events
+    replicated into every shard.
+    """
+
+    workers: int
+    shard_by: str
+    paths: tuple[str, ...]
+    graph_events: tuple[int, ...]
+    control_events: int
+
+    @property
+    def total_graph_events(self) -> int:
+        return sum(self.graph_events)
+
+
+def write_shards(
+    source: GraphStream | str | Path | Iterable[Event],
+    workers: int,
+    directory: str | Path,
+    shard_by: str = "round-robin",
+    trusted_parse: bool = True,
+) -> ShardPlan:
+    """Partition ``source`` and write one stream file per shard.
+
+    ``source`` may be a stream file path (parsed with the chunked
+    codec), a :class:`GraphStream`, or any iterable of events.  Shard
+    files are written as ``shard-<i>.csv`` under ``directory`` (which
+    must exist).  Empty shards — a stream shorter than the worker
+    count — produce empty files, which replay to empty reports.
+    """
+    if isinstance(source, (str, Path)):
+        events: Iterable[Event] = codec.parse_stream_file(
+            source, trusted=trusted_parse
+        )
+    else:
+        events = source
+    shards = partition_stream(events, workers, shard_by)
+    directory = Path(directory)
+    paths = []
+    graph_counts = []
+    control_events = 0
+    for index, shard in enumerate(shards):
+        path = directory / f"shard-{index}.csv"
+        shard.write(path)
+        paths.append(str(path))
+        statistics = shard.statistics()
+        graph_counts.append(statistics.graph_events)
+        if index == 0:
+            control_events = (
+                statistics.marker_events + statistics.control_events
+            )
+    return ShardPlan(
+        workers=workers,
+        shard_by=shard_by,
+        paths=tuple(paths),
+        graph_events=tuple(graph_counts),
+        control_events=control_events,
+    )
+
+
+# -- worker-side replay ------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class WorkerConfig:
+    """Everything one worker process needs, in picklable form.
+
+    The live transport is rebuilt inside the worker from
+    ``transport_spec`` (plus the optional resilience configs, composed
+    by :func:`~repro.core.resilience.build_transport_chain`), because
+    sockets and file objects cannot cross a process boundary.
+    """
+
+    index: int
+    path: str
+    rate: float
+    emission: str = "events"
+    window_seconds: float = 1.0
+    batch_size: int = 64
+    read_chunk: int = 1024
+    batch_lines: int = 256
+    transport_spec: TransportSpec | None = None
+    chaos_config: ChaosConfig | None = None
+    retry_policy: RetryPolicy | None = None
+    breaker_threshold: int = 0
+    breaker_recovery: float = 1.0
+    max_resumes: int = 0
+    resume_delay: float = 0.0
+
+    def build_transport(self) -> Transport:
+        if self.transport_spec is None:
+            raise ReplayError(
+                f"worker {self.index} has no transport spec to build"
+            )
+        return build_transport_chain(
+            self.transport_spec.build(),
+            chaos_config=self.chaos_config,
+            retry_policy=self.retry_policy,
+            breaker_threshold=self.breaker_threshold,
+            breaker_recovery=self.breaker_recovery,
+        )
+
+
+def _replay_raw(config: WorkerConfig, transport: Transport) -> ReplayReport:
+    """Zero-copy shard replay: mmap byte runs straight to the wire.
+
+    Paces with the same token-bucket discipline as the
+    :class:`LiveReplayer` (sleep to ~1ms before the deadline, spin the
+    rest, never accumulate more than one window of debt) but at
+    :class:`~repro.core.codec.RawBatch` granularity, and handles
+    control events locally — markers are recorded, ``SPEED`` rescales
+    the interval, ``PAUSE`` sleeps.  No checkpoint resume: a transport
+    failure propagates.
+    """
+    clock = shared_clock()
+    perf_counter = clock.now
+    rate = config.rate
+    window_seconds = config.window_seconds
+    interval = 1.0 / rate
+    emitted = 0
+    checkpoints = 0
+    window_rates: list[float] = []
+    marker_times: list[tuple[str, float]] = []
+
+    start = perf_counter()
+    next_emit = start
+    window_start = start
+    window_count = 0
+    failure: BaseException | None = None
+    try:
+        for item in codec.iter_raw_batches(
+            config.path, batch_lines=config.batch_lines
+        ):
+            if isinstance(item, codec.RawBatch):
+                now = perf_counter()
+                wait = next_emit - now
+                if wait > 0:
+                    if wait > _SPIN_THRESHOLD:
+                        time.sleep(wait - 0.001)
+                    while perf_counter() < next_emit:
+                        pass
+                    now = next_emit
+                elif -wait > window_seconds:
+                    # Behind schedule: cap the debt at one window so a
+                    # slow transport degrades rate instead of bursting.
+                    next_emit = now
+                transport.send_raw(item.data, item.count)
+                emitted += item.count
+                window_count += item.count
+                next_emit += item.count * interval
+                if now - window_start >= window_seconds:
+                    window_rates.append(window_count / (now - window_start))
+                    window_start = now
+                    window_count = 0
+            elif isinstance(item, MarkerEvent):
+                marker_times.append((item.label, perf_counter() - start))
+                checkpoints += 1
+            elif isinstance(item, SpeedEvent):
+                interval = 1.0 / (rate * item.factor)
+            elif isinstance(item, PauseEvent):
+                time.sleep(item.seconds)
+                next_emit = perf_counter()
+            else:
+                raise ReplayError(f"cannot replay {type(item).__name__}")
+        duration = perf_counter() - start
+    except BaseException as exc:
+        failure = exc
+        raise
+    finally:
+        try:
+            transport.close()
+        except Exception:
+            if failure is None:
+                raise
+    counters = collect_fault_counters(transport)
+    return ReplayReport(
+        events_emitted=emitted,
+        duration=duration,
+        window_rates=tuple(window_rates),
+        marker_times=tuple(marker_times),
+        retries=counters.retries,
+        redeliveries=counters.redeliveries,
+        breaker_openings=counters.breaker_openings,
+        chaos_faults=counters.chaos_faults,
+        checkpoints=checkpoints,
+        started_at=start,
+    )
+
+
+def replay_shard(config: WorkerConfig, transport: Transport) -> ReplayReport:
+    """Run one shard's replay on an already-built transport."""
+    if config.emission == "raw":
+        return _replay_raw(config, transport)
+    replayer = LiveReplayer(
+        config.path,
+        transport,
+        rate=config.rate,
+        window_seconds=config.window_seconds,
+        batch_size=config.batch_size,
+        read_chunk=config.read_chunk,
+        max_resumes=config.max_resumes,
+        resume_delay=config.resume_delay,
+        transport_factory=(
+            config.build_transport
+            if config.max_resumes and config.transport_spec is not None
+            else None
+        ),
+    )
+    return replayer.run()
+
+
+def _worker_main(config: WorkerConfig, barrier, results) -> None:
+    """Worker process entry point: build, sync, replay, report.
+
+    The transport is built *before* the barrier so no worker starts
+    pacing until every worker is connected; a failure anywhere aborts
+    the barrier, releasing the siblings and the parent immediately.
+    """
+    transport: Transport | None = None
+    try:
+        transport = config.build_transport()
+        barrier.wait(timeout=_START_TIMEOUT)
+        report = replay_shard(config, transport)
+        results.put((config.index, report, None))
+    except BaseException as exc:
+        barrier.abort()
+        if transport is not None:
+            try:
+                transport.close()
+            except Exception:
+                pass
+        results.put((config.index, None, f"{type(exc).__name__}: {exc}"))
+
+
+#: How long workers / the parent wait on the start barrier.
+_START_TIMEOUT = 30.0
+
+
+# -- report merging ----------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class ShardedReplayReport(ReplayReport):
+    """A merged :class:`ReplayReport` plus the per-shard breakdown.
+
+    The aggregate fields follow :func:`merge_replay_reports`; the
+    ``shards`` tuple keeps each worker's own report so per-shard
+    variance (hash skew, straggler workers) stays inspectable.
+    """
+
+    shards: tuple[ReplayReport, ...] = ()
+
+    @property
+    def workers(self) -> int:
+        return len(self.shards)
+
+    @property
+    def per_shard_rates(self) -> tuple[float, ...]:
+        """Each shard's mean achieved rate (events/second)."""
+        return tuple(shard.mean_rate for shard in self.shards)
+
+
+def merge_replay_reports(reports: Sequence[ReplayReport]) -> ReplayReport:
+    """Merge per-worker reports into one aggregate report.
+
+    Counts (events, retries, redeliveries, breaker openings, chaos
+    faults, resumes) are summed.  Per-window rates are summed
+    *position-wise* — workers share a barrier-aligned start, so window
+    ``i`` covers the same wall-clock slice in every report; a worker
+    that finished early contributes zero to later windows.  Marker
+    times take the per-marker maximum across shards (a marker has been
+    passed once the *slowest* shard passes it); checkpoints count the
+    shared marker boundaries, not their replicas, so the merged value
+    is the per-shard maximum.  ``duration`` is the longest worker
+    duration and ``started_at`` the earliest worker start.
+    """
+    if not reports:
+        raise ValueError("cannot merge zero replay reports")
+    window_count = max(len(report.window_rates) for report in reports)
+    window_rates = [0.0] * window_count
+    for report in reports:
+        for index, rate in enumerate(report.window_rates):
+            window_rates[index] += rate
+
+    # Markers are replicated, so reports agree on labels/order; merge
+    # defensively by position and keep the longest sequence.
+    reference = max(reports, key=lambda report: len(report.marker_times))
+    marker_times = []
+    for index, (label, at) in enumerate(reference.marker_times):
+        slowest = at
+        for report in reports:
+            if index < len(report.marker_times):
+                other_label, other_at = report.marker_times[index]
+                if other_label == label:
+                    slowest = max(slowest, other_at)
+        marker_times.append((label, slowest))
+
+    return ReplayReport(
+        events_emitted=sum(r.events_emitted for r in reports),
+        duration=max(r.duration for r in reports),
+        window_rates=tuple(window_rates),
+        marker_times=tuple(marker_times),
+        retries=sum(r.retries for r in reports),
+        redeliveries=sum(r.redeliveries for r in reports),
+        breaker_openings=sum(r.breaker_openings for r in reports),
+        chaos_faults=sum(r.chaos_faults for r in reports),
+        resumes=sum(r.resumes for r in reports),
+        checkpoints=max(r.checkpoints for r in reports),
+        started_at=min(r.started_at for r in reports),
+    )
+
+
+def _as_sharded(
+    merged: ReplayReport, shards: Sequence[ReplayReport]
+) -> ShardedReplayReport:
+    return ShardedReplayReport(
+        events_emitted=merged.events_emitted,
+        duration=merged.duration,
+        window_rates=merged.window_rates,
+        marker_times=merged.marker_times,
+        retries=merged.retries,
+        redeliveries=merged.redeliveries,
+        breaker_openings=merged.breaker_openings,
+        chaos_faults=merged.chaos_faults,
+        resumes=merged.resumes,
+        checkpoints=merged.checkpoints,
+        started_at=merged.started_at,
+        shards=tuple(shards),
+    )
+
+
+# -- the sharded replayer ----------------------------------------------------
+
+
+class ShardedReplayer:
+    """Replays a stream through N synchronised worker processes.
+
+    ``transport_spec`` is either one
+    :class:`~repro.core.connectors.TransportSpec` every worker builds
+    its own connection from (e.g. a :class:`TcpSpec` pointing at a
+    receiver with ``max_connections >= workers``) or a sequence of one
+    spec per worker (e.g. per-shard output files).  Each worker replays
+    its shard at ``rate / workers``, so the aggregate target rate
+    matches a single-process replay of the whole stream.
+
+    ``workers=1`` is the degenerate single-process baseline: the shard
+    is the whole stream and the replay runs in-process (no fork), so a
+    1-worker run is the existing Fig 3a measurement.
+
+    ``start_method`` selects the :mod:`multiprocessing` context
+    (``None`` = platform default, ``"spawn"``/``"fork"``/... where
+    supported); every cross-process value is picklable, so spawn works
+    on platforms without fork.  Shard files are written under
+    ``shard_dir`` when given (kept afterwards, inspectable) or a
+    temporary directory (removed after the run).
+    """
+
+    def __init__(
+        self,
+        source: GraphStream | str | Path | Iterable[Event],
+        transport_spec: TransportSpec | Sequence[TransportSpec],
+        rate: float,
+        workers: int = 1,
+        shard_by: str = "round-robin",
+        emission: str = "events",
+        window_seconds: float = 1.0,
+        batch_size: int = 64,
+        read_chunk: int = 1024,
+        batch_lines: int = 256,
+        trusted_parse: bool = True,
+        chaos_config: ChaosConfig | None = None,
+        retry_policy: RetryPolicy | None = None,
+        breaker_threshold: int = 0,
+        breaker_recovery: float = 1.0,
+        max_resumes: int = 0,
+        resume_delay: float = 0.0,
+        shard_dir: str | Path | None = None,
+        start_method: str | None = None,
+        worker_timeout: float = 300.0,
+    ):
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        if workers <= 0:
+            raise ValueError(f"workers must be positive, got {workers}")
+        if shard_by not in SHARD_STRATEGIES:
+            raise ValueError(
+                f"unknown shard_by {shard_by!r}; "
+                f"expected one of {SHARD_STRATEGIES}"
+            )
+        if emission not in ("events", "raw"):
+            raise ValueError(
+                f"unknown emission mode {emission!r}; "
+                "expected 'events' or 'raw'"
+            )
+        if emission == "raw" and max_resumes:
+            raise ValueError("raw emission does not support checkpoint resume")
+        specs: tuple[TransportSpec, ...]
+        if isinstance(transport_spec, TransportSpec):
+            specs = (transport_spec,) * workers
+        else:
+            specs = tuple(transport_spec)
+            if len(specs) != workers:
+                raise ValueError(
+                    f"need one transport spec per worker: got {len(specs)} "
+                    f"spec(s) for {workers} worker(s)"
+                )
+        self._source = source
+        self._specs = specs
+        self._rate = rate
+        self._workers = workers
+        self._shard_by = shard_by
+        self._emission = emission
+        self._window_seconds = window_seconds
+        self._batch_size = batch_size
+        self._read_chunk = read_chunk
+        self._batch_lines = batch_lines
+        self._trusted_parse = trusted_parse
+        self._chaos_config = chaos_config
+        self._retry_policy = retry_policy
+        self._breaker_threshold = breaker_threshold
+        self._breaker_recovery = breaker_recovery
+        self._max_resumes = max_resumes
+        self._resume_delay = resume_delay
+        self._shard_dir = shard_dir
+        self._start_method = start_method
+        self._worker_timeout = worker_timeout
+        #: The shard layout of the last run (set by :meth:`run`).
+        self.plan: ShardPlan | None = None
+
+    def _worker_config(self, index: int, path: str) -> WorkerConfig:
+        return WorkerConfig(
+            index=index,
+            path=path,
+            rate=self._rate / self._workers,
+            emission=self._emission,
+            window_seconds=self._window_seconds,
+            batch_size=self._batch_size,
+            read_chunk=self._read_chunk,
+            batch_lines=self._batch_lines,
+            transport_spec=self._specs[index],
+            chaos_config=self._chaos_config,
+            retry_policy=self._retry_policy,
+            breaker_threshold=self._breaker_threshold,
+            breaker_recovery=self._breaker_recovery,
+            max_resumes=self._max_resumes,
+            resume_delay=self._resume_delay,
+        )
+
+    def run(self) -> ShardedReplayReport:
+        """Partition, replay all shards, and merge the reports.
+
+        Blocks until every worker finished.  Raises
+        :class:`~repro.errors.ReplayError` when any worker failed
+        (collecting each failed worker's error) or when workers do not
+        report back within ``worker_timeout``.
+        """
+        if self._workers == 1:
+            return self._run_single()
+        if self._shard_dir is not None:
+            directory = Path(self._shard_dir)
+            directory.mkdir(parents=True, exist_ok=True)
+            cleanup = False
+        else:
+            directory = Path(tempfile.mkdtemp(prefix="graphtides-shards-"))
+            cleanup = True
+        try:
+            self.plan = write_shards(
+                self._source,
+                self._workers,
+                directory,
+                shard_by=self._shard_by,
+                trusted_parse=self._trusted_parse,
+            )
+            shards = self._run_workers(self.plan)
+        finally:
+            if cleanup:
+                shutil.rmtree(directory, ignore_errors=True)
+        return _as_sharded(merge_replay_reports(shards), shards)
+
+    def _run_single(self) -> ShardedReplayReport:
+        """The 1-worker degenerate case: in-process, no partitioning."""
+        if isinstance(self._source, (str, Path)):
+            path = str(self._source)
+            cleanup_dir = None
+        else:
+            # The worker-side replay paths read files; materialise
+            # in-memory sources once.
+            cleanup_dir = Path(tempfile.mkdtemp(prefix="graphtides-shards-"))
+            path = str(cleanup_dir / "shard-0.csv")
+            stream = (
+                self._source
+                if isinstance(self._source, GraphStream)
+                else GraphStream(self._source)
+            )
+            stream.write(path)
+        try:
+            config = self._worker_config(0, path)
+            report = replay_shard(config, config.build_transport())
+        finally:
+            if cleanup_dir is not None:
+                shutil.rmtree(cleanup_dir, ignore_errors=True)
+        return _as_sharded(report, (report,))
+
+    def _run_workers(self, plan: ShardPlan) -> list[ReplayReport]:
+        context = multiprocessing.get_context(self._start_method)
+        barrier = context.Barrier(self._workers + 1)
+        results = context.Queue()
+        processes = []
+        for index, path in enumerate(plan.paths):
+            process = context.Process(
+                target=_worker_main,
+                args=(self._worker_config(index, path), barrier, results),
+                name=f"graphtides-shard-{index}",
+                daemon=True,
+            )
+            process.start()
+            processes.append(process)
+        try:
+            try:
+                # The parent is the (N+1)-th barrier party: workers all
+                # have their transports connected before any emits.
+                barrier.wait(timeout=_START_TIMEOUT)
+            except threading.BrokenBarrierError:
+                pass  # a worker failed during setup; its error is queued
+            reports: dict[int, ReplayReport] = {}
+            errors: list[str] = []
+            received = 0
+            deadline = time.monotonic() + self._worker_timeout
+            dead_since: float | None = None
+            while received < self._workers:
+                try:
+                    index, report, error = results.get(timeout=0.5)
+                except queue.Empty:
+                    now = time.monotonic()
+                    if now > deadline:
+                        alive = sum(1 for p in processes if p.is_alive())
+                        raise ReplayError(
+                            f"sharded replay timed out: {received} of "
+                            f"{self._workers} worker(s) reported "
+                            f"({alive} still alive)"
+                        ) from None
+                    if any(process.is_alive() for process in processes):
+                        dead_since = None
+                    elif dead_since is None:
+                        dead_since = now
+                    elif now - dead_since > 2.0:
+                        # All workers exited and a grace period passed
+                        # with nothing left in the queue: they died
+                        # without reporting (e.g. killed, unpicklable
+                        # environment under spawn).
+                        codes = [process.exitcode for process in processes]
+                        raise ReplayError(
+                            f"sharded replay failed: "
+                            f"{self._workers - received} worker(s) exited "
+                            f"without reporting (exit codes {codes})"
+                        ) from None
+                    continue
+                received += 1
+                if error is not None:
+                    errors.append(f"worker {index}: {error}")
+                else:
+                    reports[index] = report
+            for process in processes:
+                process.join(timeout=10.0)
+            if errors:
+                raise ReplayError(
+                    "sharded replay failed: " + "; ".join(sorted(errors))
+                )
+            return [reports[index] for index in range(self._workers)]
+        finally:
+            for process in processes:
+                if process.is_alive():
+                    process.terminate()
+                    process.join(timeout=5.0)
+            results.close()

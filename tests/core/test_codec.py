@@ -401,3 +401,79 @@ class TestReplayerCleanup:
         with pytest.raises(ReplayError, match="stream source failed"):
             replayer.run()
         assert transport.closed
+
+
+class TestIterRawBatches:
+    """Zero-copy raw runs must carry the exact file bytes and split at
+    every control line."""
+
+    def write(self, tmp_path, text):
+        path = tmp_path / "raw.csv"
+        path.write_text(text)
+        return path
+
+    def collect(self, path, **kwargs):
+        batches, events = [], []
+        for item in codec.iter_raw_batches(path, **kwargs):
+            if isinstance(item, codec.RawBatch):
+                # Copy out: the view aliases the mmap being iterated.
+                batches.append((bytes(item.data), item.count))
+            else:
+                events.append(item)
+        return batches, events
+
+    def test_round_trips_graph_bytes_and_parses_controls(self, tmp_path):
+        stream = GraphStream(ALL_NINE)
+        path = tmp_path / "raw.csv"
+        stream.write(path)
+        batches, events = self.collect(path)
+        raw = b"".join(data for data, __ in batches)
+        graph_lines = "".join(
+            codec.format_event(e) + "\n"
+            for e in ALL_NINE
+            if e.type.is_graph_event
+        ).encode()
+        assert raw == graph_lines
+        assert sum(count for __, count in batches) == 6
+        assert events == [marker("phase-1"), speed(2.5), pause(0.25)]
+
+    def test_control_lines_split_runs(self, tmp_path):
+        path = self.write(
+            tmp_path, "ADD_VERTEX,1,\nMARKER,m,\nADD_VERTEX,2,\n"
+        )
+        batches, events = self.collect(path)
+        assert [count for __, count in batches] == [1, 1]
+        assert [e.label for e in events] == ["m"]
+
+    def test_batch_lines_caps_run_length(self, tmp_path):
+        path = self.write(
+            tmp_path, "".join(f"ADD_VERTEX,{i},\n" for i in range(10))
+        )
+        batches, __ = self.collect(path, batch_lines=4)
+        assert [count for __, count in batches] == [4, 4, 2]
+
+    def test_missing_final_newline_flagged(self, tmp_path):
+        path = self.write(tmp_path, "ADD_VERTEX,1,\nADD_VERTEX,2,")
+        last = None
+        for item in codec.iter_raw_batches(path):
+            last = item
+        assert isinstance(last, codec.RawBatch)
+        assert last.ends_with_newline is False
+        assert bytes(last.data).endswith(b"ADD_VERTEX,2,")
+
+    def test_blank_lines_and_comments_skipped(self, tmp_path):
+        path = self.write(
+            tmp_path, "# header\n\nADD_VERTEX,1,\n\n# mid\nADD_VERTEX,2,\n"
+        )
+        batches, events = self.collect(path)
+        assert sum(count for __, count in batches) == 2
+        assert events == []
+
+    def test_empty_file(self, tmp_path):
+        path = self.write(tmp_path, "")
+        assert self.collect(path) == ([], [])
+
+    def test_rejects_nonpositive_batch_lines(self, tmp_path):
+        path = self.write(tmp_path, "ADD_VERTEX,1,\n")
+        with pytest.raises(ValueError):
+            list(codec.iter_raw_batches(path, batch_lines=0))

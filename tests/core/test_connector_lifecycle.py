@@ -11,6 +11,7 @@ import pytest
 
 from repro.core.connectors import (
     PipeReceiver,
+    PipeSpec,
     PipeTransport,
     TcpReceiver,
     TcpTransport,
@@ -142,3 +143,87 @@ class TestPipeTransportClose:
         os.close(read_fd)  # flush at close now hits a broken pipe
         transport.close()
         assert transport._file.closed
+
+
+class TestSendRaw:
+    def test_pipe_transport_writes_bytes_verbatim(self, tmp_path):
+        out = tmp_path / "out.csv"
+        transport = PipeSpec(target=str(out)).build()
+        transport.send_raw(b"A,V,1\nA,V,2\n", 2)
+        transport.send_raw(b"A,V,3", 1)  # missing trailing newline
+        transport.close()
+        assert out.read_text() == "A,V,1\nA,V,2\nA,V,3\n"
+
+    def test_pipe_transport_interleaves_with_text_sends(self, tmp_path):
+        out = tmp_path / "out.csv"
+        transport = PipeSpec(target=str(out)).build()
+        transport.send("A,V,1,")
+        transport.send_raw(b"A,V,2,\n", 1)
+        transport.send("A,V,3,")
+        transport.close()
+        assert out.read_text() == "A,V,1,\nA,V,2,\nA,V,3,\n"
+
+    def test_tcp_transport_raw_round_trip(self):
+        with TcpReceiver() as receiver:
+            transport = TcpTransport(receiver.host, receiver.port)
+            transport.send_raw(b"A,V,1,\nA,V,2,\n", 2)
+            transport.send("A,V,3,")
+            transport.close()
+        receiver.join(5.0)
+        assert receiver.counter.total == 3
+
+    def test_default_send_raw_decodes_to_send_many(self):
+        sent: list[str] = []
+
+        class Recording:
+            def send_many(self, lines):
+                sent.extend(lines)
+
+        from repro.core.connectors import Transport
+
+        class Minimal(Transport):
+            send_many = staticmethod(Recording().send_many)
+
+            def send(self, line):  # pragma: no cover - unused
+                sent.append(line)
+
+            def close(self):
+                pass
+
+        Minimal().send_raw(b"A,V,1,\nA,V,2,\n", 2)
+        assert sent == ["A,V,1,", "A,V,2,"]
+
+
+class TestTcpReceiverMultiConnection:
+    def test_accepts_concurrent_clients(self):
+        with TcpReceiver(max_connections=3) as receiver:
+            transports = [
+                TcpTransport(receiver.host, receiver.port) for _ in range(3)
+            ]
+            for offset, transport in enumerate(transports):
+                transport.send_many(
+                    f"A,V,{offset * 100 + i}," for i in range(150)
+                )
+            for transport in transports:
+                transport.close()
+        receiver.join(5.0)
+        assert receiver.counter.total == 450
+
+    def test_backlogged_connection_not_lost_on_close(self):
+        """Clients whose connect handshake landed in the listen backlog
+        (never accepted before stop) must still be drained."""
+        for _ in range(3):  # race-prone: repeat a few times
+            with TcpReceiver(max_connections=2) as receiver:
+                transports = [
+                    TcpTransport(receiver.host, receiver.port)
+                    for _ in range(2)
+                ]
+                for transport in transports:
+                    transport.send("A,V,1,")
+                    transport.close()
+            receiver.join(5.0)
+            assert receiver.counter.total == 2
+
+    def test_max_connections_validated(self):
+        with pytest.raises(ValueError):
+            TcpReceiver(max_connections=0)

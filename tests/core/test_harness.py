@@ -176,3 +176,69 @@ class TestMarkerCorrelation:
             result.log, "half", "vertex_count", lambda v: v >= 50
         )
         assert 0 <= latency < 1.0
+
+
+class TestShardedHarnessRuns:
+    """replay_workers > 1 runs N parallel simulated replayers over
+    marker-aligned shards; totals must match the single-replayer run."""
+
+    def test_processes_whole_stream_with_workers(self, stream):
+        result = TestHarness(
+            InMemoryPlatform(),
+            stream,
+            HarnessConfig(rate=2000, level=0, replay_workers=3),
+        ).run()
+        graph_events = len(list(stream.graph_events()))
+        assert result.events_emitted == graph_events
+        assert result.events_processed == graph_events
+        assert result.drained
+
+    def test_final_graph_matches_single_worker(self):
+        # Hash sharding keeps no cross-shard ordering, so dependent
+        # events must be separated by a replicated control event: the
+        # bootstrap pause holds every shard until all vertices exist.
+        from repro.core.events import add_edge, pause
+
+        events = [add_vertex(i) for i in range(20)]
+        events += [marker("bootstrap-end"), pause(0.5)]
+        events += [add_edge(i, (i + 7) % 20) for i in range(20)]
+        stream = GraphStream(events)
+
+        single_platform = InMemoryPlatform()
+        TestHarness(
+            single_platform, stream, HarnessConfig(rate=2000, level=0)
+        ).run()
+        sharded_platform = InMemoryPlatform()
+        TestHarness(
+            sharded_platform,
+            stream,
+            HarnessConfig(
+                rate=2000, level=0, replay_workers=4, shard_by="hash"
+            ),
+        ).run()
+        assert (
+            sharded_platform.graph.vertex_count
+            == single_platform.graph.vertex_count
+            == 20
+        )
+        assert (
+            sharded_platform.graph.edge_count
+            == single_platform.graph.edge_count
+            == 20
+        )
+
+    def test_log_records_per_worker_sources(self, stream):
+        result = TestHarness(
+            InMemoryPlatform(),
+            stream,
+            HarnessConfig(rate=2000, level=0, replay_workers=2),
+        ).run()
+        sources = {record.source for record in result.log.records}
+        assert {"replayer-0", "replayer-1"} <= sources
+        assert "replayer" not in sources
+
+    def test_workers_validated(self):
+        with pytest.raises(ValueError, match="replay_workers"):
+            HarnessConfig(rate=100, replay_workers=0)
+        with pytest.raises(ValueError, match="shard_by"):
+            HarnessConfig(rate=100, replay_workers=2, shard_by="nope")

@@ -267,3 +267,70 @@ class TestTraceCommands:
         log_path.write_text("", encoding="utf-8")
         assert main(["trace", str(log_path)]) == 2
         assert "requires -o" in capsys.readouterr().err
+
+
+class TestReplayScaleOut:
+    """The replay command's --workers path (process-parallel replay)."""
+
+    @pytest.fixture
+    def small_stream(self, tmp_path):
+        path = tmp_path / "small.csv"
+        main(["generate", "--rounds", "40", "--seed", "3", "-o", str(path)])
+        return path
+
+    def test_sharded_tcp_replay_counts_all_events(
+        self, small_stream, capsys
+    ):
+        from repro.core.connectors import TcpReceiver
+        from repro.core.stream import GraphStream
+
+        expected = len(list(GraphStream.read(small_stream).graph_events()))
+        with TcpReceiver(max_connections=2) as receiver:
+            code = main([
+                "replay", str(small_stream),
+                "--rate", "100000", "--workers", "2",
+                "--transport", "tcp", "--port", str(receiver.port),
+            ])
+        assert code == 0
+        assert receiver.counter.total == expected
+        err = capsys.readouterr().err
+        assert "shards: 2 workers (round-robin, events)" in err
+        assert f"replayed {expected} events" in err
+
+    def test_raw_emission_over_tcp(self, small_stream, capsys):
+        from repro.core.connectors import TcpReceiver
+        from repro.core.stream import GraphStream
+
+        expected = len(list(GraphStream.read(small_stream).graph_events()))
+        with TcpReceiver(max_connections=2) as receiver:
+            code = main([
+                "replay", str(small_stream),
+                "--rate", "100000", "--workers", "2", "--emission", "raw",
+                "--transport", "tcp", "--port", str(receiver.port),
+            ])
+        assert code == 0
+        assert receiver.counter.total == expected
+        assert "(round-robin, raw)" in capsys.readouterr().err
+
+    def test_trace_out_rejected_with_workers(self, small_stream, tmp_path):
+        code = main([
+            "replay", str(small_stream), "--workers", "2",
+            "--trace-out", str(tmp_path / "trace.json"),
+        ])
+        assert code == 2
+
+    def test_per_worker_fault_breakdown_printed(self, small_stream, capsys):
+        from repro.core.connectors import TcpReceiver
+
+        with TcpReceiver(max_connections=2) as receiver:
+            code = main([
+                "replay", str(small_stream),
+                "--rate", "100000", "--workers", "2",
+                "--transport", "tcp", "--port", str(receiver.port),
+                "--chaos-send-failure", "0.05", "--chaos-seed", "5",
+                "--retry-attempts", "4",
+            ])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "faults:" in err
+        assert "per worker #0" in err
