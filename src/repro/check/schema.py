@@ -16,11 +16,16 @@ their contents):
 * ``SCHEMA003`` — a sample event of every ``EventType`` member
   round-trips through ``format_event`` → ``parse_line`` unchanged (in
   both careful and trusted modes).
+* ``SCHEMA004`` — the binary codec's hand-maintained wire-tag table
+  (``binfmt._TAG_BY_TYPE``) covers every ``EventType`` member with a
+  unique tag and a registered decoder, and a sample of every member
+  decodes identically through the binary and CSV paths.
 
 The rules anchor their findings at the dispatch-table assignments in
-``core/codec.py`` when that file is part of the scanned tree.  For
-testing, alternative ``codec``/``events`` module objects may be
-injected via the constructor.
+``core/codec.py`` (or ``core/binfmt.py`` for the binary rule) when
+that file is part of the scanned tree.  For testing, alternative
+``codec``/``events``/``binfmt`` module objects may be injected via the
+constructor.
 """
 
 from __future__ import annotations
@@ -31,6 +36,7 @@ from typing import Iterator, Sequence
 from repro.check.framework import CheckedModule, ProjectRule, Violation
 
 __all__ = [
+    "BinaryTagCoverageRule",
     "DispatchCoverageRule",
     "FormatterCoverageRule",
     "RoundTripRule",
@@ -38,6 +44,7 @@ __all__ = [
 ]
 
 _CODEC_SCOPE_PATH = "core/codec.py"
+_BINFMT_SCOPE_PATH = "core/binfmt.py"
 
 
 class _SchemaRule(ProjectRule):
@@ -68,21 +75,29 @@ class _SchemaRule(ProjectRule):
             module.scope_path == _CODEC_SCOPE_PATH for module in modules
         )
 
+    _scope_path = _CODEC_SCOPE_PATH
+
     def _anchor(
         self, modules: Sequence[CheckedModule], symbol: str
     ) -> tuple[str, int]:
-        """(path, line) of ``symbol``'s assignment in the scanned codec."""
+        """(path, line) of ``symbol``'s assignment in the scanned module."""
         for module in modules:
-            if module.scope_path != _CODEC_SCOPE_PATH:
+            if module.scope_path != self._scope_path:
                 continue
             for node in ast.walk(module.tree):
-                if isinstance(node, ast.Assign) and any(
+                if isinstance(node, ast.Assign):
+                    targets = node.targets
+                elif isinstance(node, ast.AnnAssign):
+                    targets = [node.target]
+                else:
+                    continue
+                if any(
                     isinstance(target, ast.Name) and target.id == symbol
-                    for target in node.targets
+                    for target in targets
                 ):
                     return str(module.path), node.lineno
             return str(module.path), 1
-        return "repro/core/codec.py", 1
+        return f"repro/{self._scope_path}", 1
 
     def _make_violation(
         self,
@@ -249,8 +264,131 @@ class RoundTripRule(_SchemaRule):
                     )
 
 
+class BinaryTagCoverageRule(_SchemaRule):
+    """``SCHEMA004``: the binary wire-tag table moves in lockstep with
+    ``EventType`` and the CSV codec.
+
+    ``binfmt._TAG_BY_TYPE`` is a hand-maintained literal (the tags are
+    wire format, so they must never shift when the enum is reordered);
+    this rule is what makes forgetting an entry a check failure rather
+    than a replay-time crash.  Beyond coverage it verifies tag
+    uniqueness, decoder registration, and that a sample of every
+    member decodes to the same event through ``encode_event`` →
+    ``decode_event`` as through ``format_event`` → ``parse_line``.
+    """
+
+    rule_id = "SCHEMA004"
+    title = "every EventType member has a unique binary wire tag"
+    _scope_path = _BINFMT_SCOPE_PATH
+
+    def __init__(self, codec=None, events=None, binfmt=None):
+        super().__init__(codec=codec, events=events)
+        self._binfmt = binfmt
+
+    def _resolve_binfmt(self):
+        if self._binfmt is not None:
+            return self._binfmt
+        from repro.core import binfmt
+
+        return binfmt
+
+    def _should_run(self, modules: Sequence[CheckedModule]) -> bool:
+        if self._binfmt is not None:
+            return True
+        return any(
+            module.scope_path in (_BINFMT_SCOPE_PATH, _CODEC_SCOPE_PATH)
+            for module in modules
+        )
+
+    def check_project(
+        self, modules: Sequence[CheckedModule]
+    ) -> Iterator[Violation]:
+        if not self._should_run(modules):
+            return
+        codec, events = self._resolve_modules()
+        binfmt = self._resolve_binfmt()
+        tags = getattr(binfmt, "_TAG_BY_TYPE", None)
+        if tags is None:
+            yield self._make_violation(
+                modules,
+                "_TAG_BY_TYPE",
+                "binfmt has no _TAG_BY_TYPE wire-tag table",
+            )
+            return
+        for missing in sorted(
+            member.name for member in events.EventType if member not in tags
+        ):
+            yield self._make_violation(
+                modules,
+                "_TAG_BY_TYPE",
+                f"EventType.{missing} has no wire tag in "
+                "binfmt._TAG_BY_TYPE; binary streams cannot carry this "
+                "event type",
+            )
+        for stale in sorted(
+            getattr(member, "name", repr(member))
+            for member in tags
+            if member not in set(events.EventType)
+        ):
+            yield self._make_violation(
+                modules,
+                "_TAG_BY_TYPE",
+                f"binfmt._TAG_BY_TYPE entry {stale} does not correspond "
+                "to any EventType member",
+            )
+        if len(set(tags.values())) != len(tags):
+            seen: dict[int, str] = {}
+            for member, tag in tags.items():
+                if tag in seen:
+                    yield self._make_violation(
+                        modules,
+                        "_TAG_BY_TYPE",
+                        f"wire tag {tag} is assigned to both "
+                        f"{seen[tag]} and {member.name}; tags must be "
+                        "unique (decode would be ambiguous)",
+                    )
+                else:
+                    seen[tag] = member.name
+        decoders = getattr(binfmt, "_DECODERS", {})
+        for member, tag in sorted(tags.items(), key=lambda item: item[1]):
+            if member not in set(events.EventType):
+                continue
+            if tag not in decoders:
+                yield self._make_violation(
+                    modules,
+                    "_DECODERS",
+                    f"wire tag {tag} (EventType.{member.name}) has no "
+                    "decoder in binfmt._DECODERS",
+                )
+                continue
+            sample = _sample_event(events, member)
+            if sample is None:
+                # SCHEMA003 already reports the missing sample.
+                continue
+            try:
+                via_binary = binfmt.decode_event(binfmt.encode_event(sample))
+            except Exception as exc:
+                yield self._make_violation(
+                    modules,
+                    "_TAG_BY_TYPE",
+                    f"EventType.{member.name} does not round-trip "
+                    f"through the binary codec: {exc}",
+                )
+                continue
+            via_csv = codec.parse_line(codec.format_event(sample))
+            if via_binary != via_csv:
+                yield self._make_violation(
+                    modules,
+                    "_TAG_BY_TYPE",
+                    f"EventType.{member.name} decodes differently "
+                    f"through binary and CSV: {via_binary!r} != "
+                    f"{via_csv!r}",
+                )
+
+
 SCHEMA_RULES: tuple[type[ProjectRule], ...] = (
     DispatchCoverageRule,
     FormatterCoverageRule,
     RoundTripRule,
+    BinaryTagCoverageRule,
 )

@@ -48,6 +48,11 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--model", choices=sorted(_MODELS), default="uniform")
     gen.add_argument("--rounds", type=int, default=10_000)
     gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument(
+        "--format", choices=("csv", "binary"), default="csv",
+        help="output stream format: CSV lines or the length-prefixed "
+        "GTB1 binary frame format",
+    )
     gen.add_argument("-o", "--output", required=True)
 
     ins = sub.add_parser("inspect", help="print stream statistics")
@@ -87,9 +92,16 @@ def build_parser() -> argparse.ArgumentParser:
         "hash keeps each vertex's events on one shard (may skew)",
     )
     scale.add_argument(
-        "--emission", choices=("events", "raw"), default="events",
-        help="worker emission path: parsed events (the LiveReplayer) or "
-        "zero-copy raw byte runs via mmap (no checkpoint resume)",
+        "--emission", choices=("events", "decode", "raw"), default="events",
+        help="worker emission path: parsed events (the LiveReplayer), "
+        "decode-in-worker (each worker decodes its shard locally and "
+        "emits the stored bytes verbatim), or zero-copy raw byte runs "
+        "via mmap (decode/raw have no checkpoint resume)",
+    )
+    scale.add_argument(
+        "--format", choices=("auto", "csv", "binary"), default="auto",
+        help="shard wire format: auto keeps the source format; csv or "
+        "binary transcodes the shards during partitioning",
     )
     retry = rep.add_argument_group(
         "resilient delivery",
@@ -205,13 +217,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     cnv = sub.add_parser(
-        "convert", help="convert an edge-list file into a graph stream"
+        "convert",
+        help="convert an edge-list file into a graph stream, or "
+        "transcode a stream file between CSV and binary (--to)",
     )
-    cnv.add_argument("edgelist", help="edge-list file (src dst [weight] per line)")
+    cnv.add_argument(
+        "edgelist",
+        metavar="input",
+        help="edge-list file (src dst [weight] per line); with --to, a "
+        "stream file in either format (autodetected)",
+    )
     cnv.add_argument("-o", "--output", required=True)
     cnv.add_argument(
         "--shuffle-seed", type=int, default=None,
-        help="randomise edge arrival order with this seed",
+        help="randomise edge arrival order with this seed "
+        "(edge-list mode only)",
+    )
+    cnv.add_argument(
+        "--to", choices=("csv", "binary"), default=None,
+        help="stream transcode mode: treat INPUT as a stream file and "
+        "rewrite it in this format (streaming, constant memory)",
     )
 
     shp = sub.add_parser(
@@ -318,7 +343,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     rules = _MODELS[args.model]()
     generator = StreamGenerator(rules, rounds=args.rounds, seed=args.seed)
     stream = generator.generate()
-    stream.write(args.output)
+    stream.write(args.output, format=args.format)
     stats = stream.statistics()
     print(
         f"wrote {stats.total_events} events to {args.output} "
@@ -444,6 +469,7 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         args.stream,
         build(),
         rate=args.rate,
+        wire_format="binary" if args.format == "binary" else "csv",
         batch_size=args.batch_size,
         max_resumes=args.max_resumes,
         transport_factory=build if args.max_resumes > 0 else None,
@@ -476,6 +502,7 @@ def _run_sharded_replay(args: argparse.Namespace) -> int:
         workers=args.workers,
         shard_by=args.shard_by,
         emission=args.emission,
+        stream_format=args.format,
         batch_size=args.batch_size,
         chaos_config=chaos_config,
         retry_policy=retry_policy,
@@ -666,6 +693,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_convert(args: argparse.Namespace) -> int:
+    if args.to is not None:
+        from repro.core import binfmt
+
+        events = binfmt.convert_stream(args.edgelist, args.output, args.to)
+        print(
+            f"converted {args.edgelist} -> {args.output}: "
+            f"{events} events ({args.to})"
+        )
+        return 0
+
     from repro.gen.importer import edge_list_to_stream
 
     stream = edge_list_to_stream(args.edgelist, shuffle_seed=args.shuffle_seed)

@@ -59,10 +59,23 @@ __all__ = [
     "format_lines",
     "format_events",
     "write_stream_file",
+    "detect_stream_format",
 ]
 
 #: File block size for chunked decoding (satisfies one syscall ≈ many lines).
 BLOCK_SIZE = 1 << 16
+
+
+def detect_stream_format(path: str | Path) -> str:
+    """``"binary"`` or ``"csv"``, decided by the file's magic bytes.
+
+    Every file-reading entry point in this module autodetects via this
+    helper, so callers can hand either format to ``parse_stream_file``,
+    ``iter_parse_chunks`` or ``iter_raw_batches`` unchanged.
+    """
+    from repro.core import binfmt
+
+    return binfmt.detect_format(path)
 
 # ---------------------------------------------------------------------------
 # Escaping
@@ -535,6 +548,11 @@ def iter_raw_batches(
     """
     if batch_lines <= 0:
         raise ValueError(f"batch_lines must be positive, got {batch_lines}")
+    if detect_stream_format(path) == "binary":
+        from repro.core import binfmt
+
+        yield from binfmt.iter_binary_batches(path)
+        return
     mapped = _open_stream_mmap(path)
     if mapped is None:
         return
@@ -594,7 +612,15 @@ def parse_stream_file(path: str | Path, *, trusted: bool = False) -> list[Event]
     :class:`StreamFormatError` with line numbers) but roughly 3-4x
     faster.  Trusted parses read through the mmap block iterator, which
     skips the text layer's carry-string copies.
+
+    Binary stream files (magic-byte autodetected) decode through
+    :mod:`repro.core.binfmt`; ``trusted`` is a no-op there — the binary
+    decoder never revalidates.
     """
+    if detect_stream_format(path) == "binary":
+        from repro.core import binfmt
+
+        return binfmt.parse_binary_stream(path)
     events: list[Event] = []
     line_number = 1
     blocks = _iter_line_blocks_mmap(path) if trusted else _iter_line_blocks(path)
@@ -630,6 +656,13 @@ def iter_parse_chunks(
     """
     if chunk_events <= 0:
         raise ValueError(f"chunk_events must be positive, got {chunk_events}")
+    if detect_stream_format(path) == "binary":
+        from repro.core import binfmt
+
+        yield from binfmt.iter_parse_binary_chunks(
+            path, chunk_events=chunk_events, tracer=tracer
+        )
+        return
     pending: list[Event] = []
     line_number = 1
     decoded = 0
@@ -763,16 +796,28 @@ def format_events(events: Iterable[Event]) -> str:
 
 
 def write_stream_file(
-    path: str | Path, events: Iterable[Event], *, chunk_events: int = 4096
+    path: str | Path,
+    events: Iterable[Event],
+    *,
+    chunk_events: int = 4096,
+    format: str = "csv",
 ) -> int:
-    """Write events to a CSV stream file with chunked bulk writes.
+    """Write events to a stream file with chunked bulk writes.
 
-    Returns the number of events written.  Works with lazy iterables,
-    so callers can stream arbitrarily long generators to disk without
-    materialising them.
+    ``format`` selects the representation: ``"csv"`` (the default, one
+    line per event) or ``"binary"`` (the length-prefixed frame format
+    of :mod:`repro.core.binfmt`).  Returns the number of events
+    written.  Works with lazy iterables, so callers can stream
+    arbitrarily long generators to disk without materialising them.
     """
     if chunk_events <= 0:
         raise ValueError(f"chunk_events must be positive, got {chunk_events}")
+    if format == "binary":
+        from repro.core import binfmt
+
+        return binfmt.write_binary_stream(path, events)
+    if format != "csv":
+        raise ValueError(f"unknown stream format {format!r}")
     written = 0
     buffer: list[Event] = []
     with open(path, "w", encoding="utf-8", newline="\n") as handle:

@@ -79,6 +79,22 @@ class Transport:
             lines.pop()
         self.send_many(lines)
 
+    def send_frame(self, frame: "bytes | memoryview", count: int) -> None:
+        """Deliver one binary frame of ``count`` records (header included).
+
+        The binary-wire sibling of :meth:`send_raw`: ``frame`` holds the
+        exact bytes of one :mod:`repro.core.binfmt` frame.  Byte-stream
+        transports put it on the wire verbatim (prefixing the stream
+        magic on the first frame of a connection, so the peer can
+        autodetect the format); the default decodes the frame and
+        delegates to :meth:`send_many` as CSV lines, which keeps
+        in-process transports and line-oriented targets working
+        unchanged when a binary source feeds them.
+        """
+        from repro.core import binfmt, codec
+
+        self.send_many(codec.format_lines(binfmt.decode_frame_events(frame)))
+
     def close(self) -> None:
         """Release resources; further sends raise :class:`ConnectorError`."""
 
@@ -126,6 +142,7 @@ class PipeTransport(Transport):
         self._flush_every = flush_every
         self._since_flush = 0
         self._closed = False
+        self._magic_sent = False
 
     def send(self, line: str) -> None:
         if self._closed:
@@ -184,6 +201,36 @@ class PipeTransport(Transport):
             buffer.flush()
             self._since_flush = 0
 
+    def send_frame(self, frame: "bytes | memoryview", count: int) -> None:
+        """Write one binary frame verbatim (no newline framing).
+
+        The first frame of the connection is preceded by the binary
+        stream magic so the peer (receiver or file reader) autodetects
+        the format.  Targets without a binary buffer (e.g. ``StringIO``)
+        fall back to the decoding default.
+        """
+        if self._closed:
+            raise ConnectorError("transport is closed")
+        buffer = getattr(self._file, "buffer", None)
+        if buffer is None:
+            super().send_frame(frame, count)
+            return
+        try:
+            # Order any buffered text writes before the raw bytes.
+            self._file.flush()
+            if not self._magic_sent:
+                from repro.core.binfmt import MAGIC
+
+                buffer.write(MAGIC)
+                self._magic_sent = True
+            buffer.write(frame)
+        except (OSError, ValueError) as exc:
+            raise ConnectorError(f"pipe write failed: {exc}") from exc
+        self._since_flush += count
+        if self._since_flush >= self._flush_every:
+            buffer.flush()
+            self._since_flush = 0
+
     def close(self) -> None:
         if self._closed:
             return
@@ -221,6 +268,7 @@ class TcpTransport(Transport):
         self._flush_every = flush_every
         self._since_flush = 0
         self._closed = False
+        self._magic_sent = False
 
     def send(self, line: str) -> None:
         if self._closed:
@@ -268,6 +316,26 @@ class TcpTransport(Transport):
             self._socket.sendall(data)
             if len(data) and data[-1] != 0x0A:
                 self._socket.sendall(b"\n")
+        except OSError as exc:
+            raise ConnectorError(f"tcp write failed: {exc}") from exc
+
+    def send_frame(self, frame: "bytes | memoryview", count: int) -> None:
+        """Send one binary frame verbatim through the socket.
+
+        The first frame of the connection is preceded by the binary
+        stream magic so a frame-aware receiver autodetects the format
+        and counts records from frame headers instead of newlines.
+        """
+        if self._closed:
+            raise ConnectorError("transport is closed")
+        try:
+            self._file.flush()
+            if not self._magic_sent:
+                from repro.core.binfmt import MAGIC
+
+                self._socket.sendall(MAGIC)
+                self._magic_sent = True
+            self._socket.sendall(frame)
         except OSError as exc:
             raise ConnectorError(f"tcp write failed: {exc}") from exc
 
@@ -401,6 +469,46 @@ class WindowCounter:
             ]
 
 
+def _count_stream(file, record: Callable[[int], None]) -> None:
+    """Count events arriving on a stream, autodetecting the format.
+
+    A stream leading with the :mod:`repro.core.binfmt` magic is a
+    binary frame wire: record counts come straight from the frame
+    headers.  Anything else is the newline-delimited CSV wire: events
+    are counted by newlines in fixed-size chunks (a final line without
+    a trailing newline still counts).  ``record(count)`` is invoked in
+    batches of at most ~256 lines / one frame, matching the previous
+    per-256-lines recording granularity.
+
+    Works with binary and text file objects alike; text reads in
+    universal-newline mode normalise ``\\r\\n`` before counting, so the
+    totals match the old line-iteration loop exactly.
+    """
+    from repro.core import binfmt
+
+    first = file.read(len(binfmt.MAGIC))
+    if isinstance(first, bytes) and first == binfmt.MAGIC:
+        for count in binfmt.iter_wire_frame_counts(file):
+            record(count)
+        return
+    newline = "\n" if isinstance(first, str) else b"\n"
+    batch = first.count(newline)
+    last = first
+    while True:
+        chunk = file.read(1 << 16)
+        if not chunk:
+            break
+        batch += chunk.count(newline)
+        last = chunk
+        if batch >= 256:
+            record(batch)
+            batch = 0
+    if last and not last.endswith(newline):
+        batch += 1
+    if batch:
+        record(batch)
+
+
 class PipeReceiver:
     """Reads lines from a readable file object / fd on a thread.
 
@@ -424,7 +532,9 @@ class PipeReceiver:
         tracer: "Tracer | None" = None,
     ):
         if isinstance(source, int):
-            self._file = os.fdopen(source, "r", encoding="utf-8", buffering=1 << 16)
+            # Binary mode: the wire may carry binary frames, and CSV
+            # line counting needs no decoding.
+            self._file = os.fdopen(source, "rb", buffering=1 << 16)
             self._owns = True
         else:
             self._file = source
@@ -448,20 +558,18 @@ class PipeReceiver:
                 )
 
     def _read_loop(self) -> None:
-        batch = 0
         received = 0
+
+        def record(count: int) -> None:
+            nonlocal received
+            self._record_batch(received, count)
+            received += count
+
         try:
-            for __ in self._file:
-                batch += 1
-                if batch >= 256:
-                    self._record_batch(received, batch)
-                    received += batch
-                    batch = 0
+            _count_stream(self._file, record)
         except ValueError:
             # File closed under the reader by close(): stop counting.
             pass
-        if batch:
-            self._record_batch(received, batch)
 
     def join(self, timeout: float | None = None) -> None:
         self._thread.join(timeout)
@@ -592,15 +700,8 @@ class TcpReceiver:
 
     def _read_connection(self, connection: socket.socket) -> None:
         with connection:
-            reader = connection.makefile("r", encoding="utf-8", buffering=1 << 16)
-            batch = 0
-            for __ in reader:
-                batch += 1
-                if batch >= 256:
-                    self._record_batch(batch)
-                    batch = 0
-            if batch:
-                self._record_batch(batch)
+            reader = connection.makefile("rb", buffering=1 << 16)
+            _count_stream(reader, self._record_batch)
 
     def _record_batch(self, count: int) -> None:
         # Arrival-order ids are assigned from one shared counter so

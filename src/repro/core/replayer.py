@@ -283,6 +283,7 @@ class LiveReplayer:
         queue_capacity: int = 65536,
         batch_size: int = 1,
         read_chunk: int = 1024,
+        wire_format: str = "csv",
         trusted_parse: bool = True,
         max_resumes: int = 0,
         resume_delay: float = 0.0,
@@ -301,6 +302,11 @@ class LiveReplayer:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
         if read_chunk <= 0:
             raise ValueError(f"read_chunk must be positive, got {read_chunk}")
+        if wire_format not in ("csv", "binary"):
+            raise ValueError(
+                f"unknown wire_format {wire_format!r}; "
+                "expected 'csv' or 'binary'"
+            )
         if max_resumes < 0:
             raise ValueError(f"max_resumes must be >= 0, got {max_resumes}")
         if resume_delay < 0:
@@ -313,6 +319,7 @@ class LiveReplayer:
         self._window_seconds = window_seconds
         self._batch_size = batch_size
         self._read_chunk = read_chunk
+        self._wire_format = wire_format
         self._queue_capacity = queue_capacity
         self._trusted_parse = trusted_parse
         self._max_resumes = max_resumes
@@ -352,6 +359,9 @@ class LiveReplayer:
         batch_size = self._batch_size
         window_seconds = self._window_seconds
         format_lines = codec.format_lines
+        binary_wire = self._wire_format == "binary"
+        if binary_wire:
+            from repro.core.binfmt import encode_graph_frame
         # All pacing and stamping goes through the unified trace clock,
         # so replayer series share an epoch with receivers and probes.
         perf_counter = self._clock.now
@@ -422,10 +432,19 @@ class LiveReplayer:
                     next_emit = now
                 count = len(pending)
                 if tracer is None or emitted + count <= next_sample:
-                    transport.send_many(format_lines(pending))
+                    # Pending only ever holds graph events (control
+                    # events flush before being handled), so a binary
+                    # wire batch is exactly one graph frame.
+                    if binary_wire:
+                        transport.send_frame(encode_graph_frame(pending), count)
+                    else:
+                        transport.send_many(format_lines(pending))
                 else:
                     encode_start = perf_counter()
-                    lines = format_lines(pending)
+                    if binary_wire:
+                        payload = encode_graph_frame(pending)
+                    else:
+                        payload = format_lines(pending)
                     encode_end = perf_counter()
                     tracer.record_span(
                         "encoded",
@@ -435,7 +454,10 @@ class LiveReplayer:
                         event_id=emitted,
                         count=count,
                     )
-                    transport.send_many(lines)
+                    if binary_wire:
+                        transport.send_frame(payload, count)
+                    else:
+                        transport.send_many(payload)
                     send_end = perf_counter()
                     tracer.record_span(
                         "emitted",

@@ -212,6 +212,33 @@ class ChaosTransport(Transport):
             self._sleep(self.config.latency_seconds)
         self._inner.send_many(lines)
 
+    def send_frame(self, frame: "bytes | memoryview", count: int) -> None:
+        """Inject faults at frame granularity.
+
+        A frame is atomic on the binary wire, so a "partial" fault
+        delivers nothing (``delivered=0``) and the retrier resends the
+        whole frame — the at-least-once contract, just with a coarser
+        delivery unit than the CSV line path.
+        """
+        kind, __ = self._next_fault(count)
+        if kind == "reset":
+            self._inner.send_frame(frame, count)
+            raise TransientTransportError(
+                "injected connection reset (frame unacknowledged)",
+                unacknowledged=count,
+            )
+        if kind == "send_failure":
+            raise TransientTransportError("injected send failure")
+        if kind == "partial":
+            raise TransientTransportError(
+                f"injected partial batch failure (0/{count} delivered; "
+                "frames are atomic)",
+                delivered=0,
+            )
+        if kind == "latency":
+            self._sleep(self.config.latency_seconds)
+        self._inner.send_frame(frame, count)
+
     def close(self) -> None:
         self._inner.close()
 
@@ -392,6 +419,54 @@ class RetryingTransport(Transport):
                 self._inner.send_many(lines[offset:])
             except TransientTransportError as exc:
                 offset += exc.delivered
+                stats.redelivered_lines += exc.unacknowledged
+                if breaker is not None:
+                    breaker.record_failure()
+                out_of_attempts = attempt >= policy.max_attempts
+                out_of_time = (
+                    policy.deadline is not None
+                    and self._clock() - started >= policy.deadline
+                )
+                if out_of_attempts or out_of_time:
+                    stats.exhausted += 1
+                    reason = "attempts" if out_of_attempts else "deadline"
+                    raise DeliveryExhaustedError(
+                        f"gave up after {attempt} attempt(s) ({reason} "
+                        f"exhausted): {exc}",
+                        attempts=attempt,
+                    ) from exc
+                stats.retries += 1
+                self._sleep(policy.delay(attempt, self._rng))
+            else:
+                if breaker is not None:
+                    breaker.record_success()
+                return
+
+    def send_frame(self, frame: "bytes | memoryview", count: int) -> None:
+        """Retry a binary frame as one atomic unit.
+
+        Frames have no delivered-prefix resume (the wire unit is the
+        whole frame), so every retry resends it and unacknowledged
+        records count as redeliveries, same as the line path.
+        """
+        policy = self.policy
+        breaker = self.breaker
+        stats = self.stats
+        stats.operations += 1
+        started = self._clock()
+        attempt = 0
+        while True:
+            if breaker is not None and not breaker.allow():
+                stats.breaker_rejections += 1
+                raise CircuitOpenError(
+                    f"circuit open after {breaker.openings} opening(s); "
+                    f"{count} record(s) undelivered"
+                )
+            attempt += 1
+            stats.attempts += 1
+            try:
+                self._inner.send_frame(frame, count)
+            except TransientTransportError as exc:
                 stats.redelivered_lines += exc.unacknowledged
                 if breaker is not None:
                     breaker.record_failure()

@@ -19,16 +19,29 @@ to the same stream positions — shard replays stay mutually
 phase-consistent, and the union of shard emissions is exactly the
 original stream's graph-event multiset.
 
-Emission inside a worker runs in one of two modes:
+Partitioning is *streamed at the byte level* for file sources: the
+parent classifies each line (CSV) or record (binary) by its leading
+byte/tag and scatters the raw bytes into per-shard files without ever
+constructing, or re-encoding, an :class:`Event` — the parent does I/O,
+not parsing.  In-memory sources still partition event-by-event via
+:func:`partition_stream`.
+
+Emission inside a worker runs in one of three modes:
 
 * ``"events"`` — the existing :class:`LiveReplayer` (parse → pace →
   format → send), byte-for-byte the single-process behaviour;
+* ``"decode"`` — decode-in-worker: each worker decodes its shard's
+  batches into :class:`Event` objects locally (the per-event work the
+  parent used to do for every shard) and emits the stored batch bytes
+  verbatim — zero re-encode.  With binary shards the decode is a cheap
+  struct walk; with CSV shards it is the trusted bulk parse.  Control
+  events steer the replay as usual.  No checkpoint resume.
 * ``"raw"`` — a zero-copy loop over
   :func:`repro.core.codec.iter_raw_batches`: graph-line runs are sent
   as :class:`memoryview` slices of the shard file's mmap via
-  ``Transport.send_raw``, skipping the parse/format round-trip
-  entirely.  Control events still steer the replay.  Raw mode does not
-  support checkpoint resume.
+  ``Transport.send_raw`` (binary frames via ``Transport.send_frame``),
+  skipping the parse/format round-trip entirely.  Control events still
+  steer the replay.  Raw mode does not support checkpoint resume.
 
 Workers synchronise on a start barrier so their pacing windows share an
 epoch, and return their :class:`ReplayReport` over a queue; the merged
@@ -52,7 +65,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Sequence
 
-from repro.core import codec
+from repro.core import binfmt, codec
 from repro.core.connectors import Transport, TransportSpec
 from repro.core.events import (
     EdgeId,
@@ -71,7 +84,7 @@ from repro.core.resilience import (
 )
 from repro.core.stream import GraphStream
 from repro.core.tracing import shared_clock
-from repro.errors import ReplayError
+from repro.errors import ReplayError, StreamFormatError
 
 __all__ = [
     "SHARD_STRATEGIES",
@@ -168,35 +181,159 @@ class ShardPlan:
         return sum(self.graph_events)
 
 
-def write_shards(
-    source: GraphStream | str | Path | Iterable[Event],
-    workers: int,
-    directory: str | Path,
-    shard_by: str = "round-robin",
-    trusted_parse: bool = True,
-) -> ShardPlan:
-    """Partition ``source`` and write one stream file per shard.
+def _csv_entity_shard(mapped, start: int, end: int, workers: int) -> int:
+    """Shard index of the CSV graph line at ``mapped[start:end]``.
 
-    ``source`` may be a stream file path (parsed with the chunked
-    codec), a :class:`GraphStream`, or any iterable of events.  Shard
-    files are written as ``shard-<i>.csv`` under ``directory`` (which
-    must exist).  Empty shards — a stream shorter than the worker
-    count — produce empty files, which replay to empty reports.
+    Decodes *only* the entity field (second column) — no event object,
+    no payload work.  The dash search starts one byte into the field so
+    a negative vertex id's sign is never mistaken for the edge
+    separator, matching :func:`_entity_shard`.
     """
-    if isinstance(source, (str, Path)):
-        events: Iterable[Event] = codec.parse_stream_file(
-            source, trusted=trusted_parse
-        )
-    else:
-        events = source
+    first = mapped.find(b",", start, end)
+    if first == -1:
+        raise StreamFormatError("graph line has no entity field")
+    second = mapped.find(b",", first + 1, end)
+    entity = mapped[first + 1 : end if second == -1 else second]
+    sep = entity.find(b"-", 1)
+    try:
+        if sep == -1:
+            return int(entity) % workers
+        return int(entity[:sep]) % workers
+    except ValueError:
+        raise StreamFormatError(
+            f"cannot shard entity field {bytes(entity)!r}"
+        ) from None
+
+
+def _write_shards_csv_bytes(
+    source: str | Path, workers: int, directory: Path, shard_by: str
+) -> ShardPlan:
+    """Streamed byte-level CSV partitioner: scatter raw lines to shard
+    files without parsing.
+
+    Graph lines (classified by first byte, the ``iter_raw_batches``
+    trust contract) are copied verbatim to exactly one shard; control
+    lines are parsed (they steer replays — worth validating once here)
+    and their bytes replicated to every shard; blanks and comments are
+    dropped, matching the parse-based path.
+    """
+    paths = [directory / f"shard-{index}.csv" for index in range(workers)]
+    files = [open(path, "wb", buffering=1 << 16) for path in paths]
+    graph_counts = [0] * workers
+    control_events = 0
+    round_robin = 0
+    hash_mode = shard_by == "hash"
+    graph_first_bytes = codec._RAW_GRAPH_FIRST_BYTES
+    mapped = codec._open_stream_mmap(source)
+    try:
+        if mapped is not None:
+            size = len(mapped)
+            position = 0
+            line_number = 0
+            while position < size:
+                line_number += 1
+                newline = mapped.find(b"\n", position)
+                end = size if newline == -1 else newline
+                next_position = size if newline == -1 else newline + 1
+                if end > position and mapped[position] in graph_first_bytes:
+                    if hash_mode:
+                        index = _csv_entity_shard(mapped, position, end, workers)
+                    else:
+                        index = round_robin
+                        round_robin += 1
+                        if round_robin == workers:
+                            round_robin = 0
+                    files[index].write(mapped[position:end])
+                    files[index].write(b"\n")
+                    graph_counts[index] += 1
+                else:
+                    line = mapped[position:end].decode("utf-8")
+                    stripped = line.strip()
+                    if stripped and not stripped.startswith("#"):
+                        codec.parse_line(line, line_number)
+                        control_events += 1
+                        data = mapped[position:end]
+                        for handle in files:
+                            handle.write(data)
+                            handle.write(b"\n")
+                position = next_position
+    finally:
+        if mapped is not None:
+            mapped.close()
+        for handle in files:
+            handle.close()
+    return ShardPlan(
+        workers=workers,
+        shard_by=shard_by,
+        paths=tuple(str(path) for path in paths),
+        graph_events=tuple(graph_counts),
+        control_events=control_events,
+    )
+
+
+def _write_shards_binary_records(
+    source: str | Path, workers: int, directory: Path, shard_by: str
+) -> ShardPlan:
+    """Streamed binary partitioner: scatter raw records to shard files.
+
+    Graph frames are walked record header to record header; each
+    record's bytes move verbatim into one shard's
+    :class:`~repro.core.binfmt.BinaryStreamWriter` (which reframes and
+    indexes them).  Control events are replicated to every shard.
+    """
+    paths = [directory / f"shard-{index}.gtb" for index in range(workers)]
+    writers = [binfmt.BinaryStreamWriter(path) for path in paths]
+    graph_counts = [0] * workers
+    control_events = 0
+    round_robin = 0
+    hash_mode = shard_by == "hash"
+    try:
+        for item in binfmt.iter_binary_batches(source):
+            if isinstance(item, Event):
+                control_events += 1
+                for writer in writers:
+                    writer.add(item)
+                continue
+            frame = item.data
+            for start, end in binfmt.iter_frame_record_spans(frame):
+                if hash_mode:
+                    index = binfmt.record_entity_id(frame, start) % workers
+                else:
+                    index = round_robin
+                    round_robin += 1
+                    if round_robin == workers:
+                        round_robin = 0
+                writers[index].add_record(bytes(frame[start:end]))
+                graph_counts[index] += 1
+    finally:
+        for writer in writers:
+            writer.close()
+    return ShardPlan(
+        workers=workers,
+        shard_by=shard_by,
+        paths=tuple(str(path) for path in paths),
+        graph_events=tuple(graph_counts),
+        control_events=control_events,
+    )
+
+
+def _write_shards_events(
+    events: Iterable[Event],
+    workers: int,
+    directory: Path,
+    shard_by: str,
+    stream_format: str,
+) -> ShardPlan:
+    """Event-level partitioner for in-memory sources (and format
+    conversions), via :func:`partition_stream`."""
     shards = partition_stream(events, workers, shard_by)
-    directory = Path(directory)
+    extension = "gtb" if stream_format == "binary" else "csv"
     paths = []
     graph_counts = []
     control_events = 0
     for index, shard in enumerate(shards):
-        path = directory / f"shard-{index}.csv"
-        shard.write(path)
+        path = directory / f"shard-{index}.{extension}"
+        codec.write_stream_file(path, shard, format=stream_format)
         paths.append(str(path))
         statistics = shard.statistics()
         graph_counts.append(statistics.graph_events)
@@ -210,6 +347,70 @@ def write_shards(
         paths=tuple(paths),
         graph_events=tuple(graph_counts),
         control_events=control_events,
+    )
+
+
+def write_shards(
+    source: GraphStream | str | Path | Iterable[Event],
+    workers: int,
+    directory: str | Path,
+    shard_by: str = "round-robin",
+    trusted_parse: bool = True,
+    stream_format: str = "auto",
+) -> ShardPlan:
+    """Partition ``source`` and write one stream file per shard.
+
+    ``source`` may be a stream file path (CSV or binary, autodetected),
+    a :class:`GraphStream`, or any iterable of events.  Shard files are
+    written as ``shard-<i>.csv`` / ``shard-<i>.gtb`` under
+    ``directory`` (created if missing).  ``stream_format`` selects the
+    shard file format: ``"auto"`` keeps a file source's own format
+    (CSV for in-memory sources), ``"csv"`` / ``"binary"`` force one.
+
+    Trusted file sources in their own format take the streamed
+    byte-level path: raw lines/records are scattered to shard files
+    without the parent ever parsing or re-encoding an event.
+    ``trusted_parse=False`` (or a cross-format request) falls back to
+    the validating event-level partitioner.  Empty shards — a stream
+    shorter than the worker count — produce empty (or frame-less)
+    files, which replay to empty reports.
+    """
+    if workers <= 0:
+        raise ValueError(f"workers must be positive, got {workers}")
+    if shard_by not in SHARD_STRATEGIES:
+        raise ValueError(
+            f"unknown shard_by {shard_by!r}; expected one of {SHARD_STRATEGIES}"
+        )
+    if stream_format not in ("auto", "csv", "binary"):
+        raise ValueError(
+            f"unknown stream_format {stream_format!r}; "
+            "expected 'auto', 'csv' or 'binary'"
+        )
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    if isinstance(source, (str, Path)):
+        source_format = codec.detect_stream_format(source)
+        target_format = (
+            source_format if stream_format == "auto" else stream_format
+        )
+        if target_format == source_format:
+            if source_format == "binary":
+                return _write_shards_binary_records(
+                    source, workers, directory, shard_by
+                )
+            if trusted_parse:
+                return _write_shards_csv_bytes(
+                    source, workers, directory, shard_by
+                )
+        events: Iterable[Event] = codec.parse_stream_file(
+            source, trusted=trusted_parse
+        )
+        return _write_shards_events(
+            events, workers, directory, shard_by, target_format
+        )
+    target_format = "csv" if stream_format == "auto" else stream_format
+    return _write_shards_events(
+        source, workers, directory, shard_by, target_format
     )
 
 
@@ -230,6 +431,11 @@ class WorkerConfig:
     path: str
     rate: float
     emission: str = "events"
+    #: Wire format the worker emits: ``"auto"`` follows the shard
+    #: file's own format (magic-byte detected), ``"csv"`` / ``"binary"``
+    #: force one.  Raw/decode emission moves shard bytes verbatim, so
+    #: there the wire format *is* the shard format.
+    wire_format: str = "auto"
     window_seconds: float = 1.0
     batch_size: int = 64
     read_chunk: int = 1024
@@ -256,8 +462,10 @@ class WorkerConfig:
         )
 
 
-def _replay_raw(config: WorkerConfig, transport: Transport) -> ReplayReport:
-    """Zero-copy shard replay: mmap byte runs straight to the wire.
+def _replay_stream(
+    config: WorkerConfig, transport: Transport, decode: bool
+) -> ReplayReport:
+    """Shard replay over stored batch bytes: the raw and decode modes.
 
     Paces with the same token-bucket discipline as the
     :class:`LiveReplayer` (sleep to ~1ms before the deadline, spin the
@@ -266,7 +474,35 @@ def _replay_raw(config: WorkerConfig, transport: Transport) -> ReplayReport:
     control events locally — markers are recorded, ``SPEED`` rescales
     the interval, ``PAUSE`` sleeps.  No checkpoint resume: a transport
     failure propagates.
+
+    Batches of a binary shard are whole frames and go out through
+    ``send_frame``; CSV line runs go through ``send_raw`` — either way
+    the stored bytes hit the wire verbatim.  With ``decode`` the worker
+    decodes each batch locally before emitting it: the per-event work
+    the parent-side partitioner no longer does, now paid inside the
+    worker where it scales with ``--workers``.  For binary shards that
+    is a :func:`~repro.core.binfmt.scan_frame` record walk — every
+    record header and tag validated, counts proven against the frame
+    header, payload materialisation deferred to consumers — while CSV
+    shards need the full trusted bulk parse just to delimit and count
+    their records.  That asymmetry is the point of the length-prefixed
+    format.
     """
+    binary = codec.detect_stream_format(config.path) == "binary"
+    emit = transport.send_frame if binary else transport.send_raw
+    if not decode:
+        count_batch = None
+    elif binary:
+        count_batch = binfmt.scan_frame
+    else:
+        parse_lines = codec.parse_lines
+
+        def count_batch(data) -> int:
+            lines = str(data, "utf-8").split("\n")
+            if lines and not lines[-1]:
+                lines.pop()
+            return len(parse_lines(lines, trusted=True, skip_comments=True))
+
     clock = shared_clock()
     perf_counter = clock.now
     rate = config.rate
@@ -287,6 +523,13 @@ def _replay_raw(config: WorkerConfig, transport: Transport) -> ReplayReport:
             config.path, batch_lines=config.batch_lines
         ):
             if isinstance(item, codec.RawBatch):
+                if count_batch is None:
+                    count = item.count
+                else:
+                    # Decode-in-worker: validate and count the batch's
+                    # records locally before the verbatim byte emission
+                    # (raw mode trusts the partitioner's counts).
+                    count = count_batch(item.data)
                 now = perf_counter()
                 wait = next_emit - now
                 if wait > 0:
@@ -299,10 +542,10 @@ def _replay_raw(config: WorkerConfig, transport: Transport) -> ReplayReport:
                     # Behind schedule: cap the debt at one window so a
                     # slow transport degrades rate instead of bursting.
                     next_emit = now
-                transport.send_raw(item.data, item.count)
-                emitted += item.count
-                window_count += item.count
-                next_emit += item.count * interval
+                emit(item.data, count)
+                emitted += count
+                window_count += count
+                next_emit += count * interval
                 if now - window_start >= window_seconds:
                     window_rates.append(window_count / (now - window_start))
                     window_start = now
@@ -345,7 +588,12 @@ def _replay_raw(config: WorkerConfig, transport: Transport) -> ReplayReport:
 def replay_shard(config: WorkerConfig, transport: Transport) -> ReplayReport:
     """Run one shard's replay on an already-built transport."""
     if config.emission == "raw":
-        return _replay_raw(config, transport)
+        return _replay_stream(config, transport, decode=False)
+    if config.emission == "decode":
+        return _replay_stream(config, transport, decode=True)
+    wire_format = config.wire_format
+    if wire_format == "auto":
+        wire_format = codec.detect_stream_format(config.path)
     replayer = LiveReplayer(
         config.path,
         transport,
@@ -353,6 +601,7 @@ def replay_shard(config: WorkerConfig, transport: Transport) -> ReplayReport:
         window_seconds=config.window_seconds,
         batch_size=config.batch_size,
         read_chunk=config.read_chunk,
+        wire_format=wire_format,
         max_resumes=config.max_resumes,
         resume_delay=config.resume_delay,
         transport_factory=(
@@ -518,6 +767,7 @@ class ShardedReplayer:
         workers: int = 1,
         shard_by: str = "round-robin",
         emission: str = "events",
+        stream_format: str = "auto",
         window_seconds: float = 1.0,
         batch_size: int = 64,
         read_chunk: int = 1024,
@@ -542,13 +792,20 @@ class ShardedReplayer:
                 f"unknown shard_by {shard_by!r}; "
                 f"expected one of {SHARD_STRATEGIES}"
             )
-        if emission not in ("events", "raw"):
+        if emission not in ("events", "decode", "raw"):
             raise ValueError(
                 f"unknown emission mode {emission!r}; "
-                "expected 'events' or 'raw'"
+                "expected 'events', 'decode' or 'raw'"
             )
-        if emission == "raw" and max_resumes:
-            raise ValueError("raw emission does not support checkpoint resume")
+        if emission in ("decode", "raw") and max_resumes:
+            raise ValueError(
+                f"{emission} emission does not support checkpoint resume"
+            )
+        if stream_format not in ("auto", "csv", "binary"):
+            raise ValueError(
+                f"unknown stream_format {stream_format!r}; "
+                "expected 'auto', 'csv' or 'binary'"
+            )
         specs: tuple[TransportSpec, ...]
         if isinstance(transport_spec, TransportSpec):
             specs = (transport_spec,) * workers
@@ -565,6 +822,7 @@ class ShardedReplayer:
         self._workers = workers
         self._shard_by = shard_by
         self._emission = emission
+        self._stream_format = stream_format
         self._window_seconds = window_seconds
         self._batch_size = batch_size
         self._read_chunk = read_chunk
@@ -588,6 +846,9 @@ class ShardedReplayer:
             path=path,
             rate=self._rate / self._workers,
             emission=self._emission,
+            wire_format=(
+                "auto" if self._stream_format == "auto" else self._stream_format
+            ),
             window_seconds=self._window_seconds,
             batch_size=self._batch_size,
             read_chunk=self._read_chunk,
@@ -625,6 +886,7 @@ class ShardedReplayer:
                 directory,
                 shard_by=self._shard_by,
                 trusted_parse=self._trusted_parse,
+                stream_format=self._stream_format,
             )
             shards = self._run_workers(self.plan)
         finally:
@@ -633,21 +895,30 @@ class ShardedReplayer:
         return _as_sharded(merge_replay_reports(shards), shards)
 
     def _run_single(self) -> ShardedReplayReport:
-        """The 1-worker degenerate case: in-process, no partitioning."""
-        if isinstance(self._source, (str, Path)):
+        """The 1-worker degenerate case: in-process, no partitioning.
+
+        A file source in the requested format is replayed in place; a
+        format conversion or in-memory source is materialised once.
+        """
+        cleanup_dir = None
+        if isinstance(self._source, (str, Path)) and (
+            self._stream_format == "auto"
+            or codec.detect_stream_format(self._source) == self._stream_format
+        ):
             path = str(self._source)
-            cleanup_dir = None
         else:
             # The worker-side replay paths read files; materialise
-            # in-memory sources once.
-            cleanup_dir = Path(tempfile.mkdtemp(prefix="graphtides-shards-"))
-            path = str(cleanup_dir / "shard-0.csv")
-            stream = (
-                self._source
-                if isinstance(self._source, GraphStream)
-                else GraphStream(self._source)
+            # in-memory (or format-converted) sources once.
+            target_format = (
+                "csv" if self._stream_format == "auto" else self._stream_format
             )
-            stream.write(path)
+            extension = "gtb" if target_format == "binary" else "csv"
+            cleanup_dir = Path(tempfile.mkdtemp(prefix="graphtides-shards-"))
+            path = str(cleanup_dir / f"shard-0.{extension}")
+            if isinstance(self._source, (str, Path)):
+                binfmt.convert_stream(self._source, path, target_format)
+            else:
+                codec.write_stream_file(path, self._source, format=target_format)
         try:
             config = self._worker_config(0, path)
             report = replay_shard(config, config.build_transport())

@@ -250,13 +250,15 @@ class GraphStream:
 
     # -- file I/O ----------------------------------------------------------
 
-    def write(self, path: str | Path) -> None:
-        """Write the stream to a CSV stream file (one event per line).
+    def write(self, path: str | Path, *, format: str = "csv") -> None:
+        """Write the stream to a stream file (CSV or binary).
 
-        Uses the codec's bulk formatter: events are serialized in
-        chunks and written with one buffered write per chunk.
+        ``format="csv"`` writes one event per line via the codec's bulk
+        formatter (one buffered write per chunk); ``format="binary"``
+        writes the length-prefixed GTB1 frame format with a trailing
+        batch index.
         """
-        codec.write_stream_file(path, self._events)
+        codec.write_stream_file(path, self._events, format=format)
 
     @classmethod
     def read(cls, path: str | Path, *, trusted: bool = False) -> "GraphStream":

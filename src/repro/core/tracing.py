@@ -410,6 +410,17 @@ class TracingTransport(Transport):
             self._inner.send_many(lines)
         self._sent = first_id + count
 
+    def send_frame(self, frame: "bytes | memoryview", count: int) -> None:
+        first_id = self._sent
+        if first_id + count > self._next_sample:
+            now = self._tracer.clock.now
+            start = now()
+            self._inner.send_frame(frame, count)
+            self._record(start, now(), first_id, count)
+        else:
+            self._inner.send_frame(frame, count)
+        self._sent = first_id + count
+
     def flush_counts(self) -> None:
         """Flush the deferred exact ``transported`` count to the tracer."""
         if self._sent > self._counted:

@@ -7,11 +7,12 @@ from types import SimpleNamespace
 
 from repro.check.framework import run_check
 from repro.check.schema import (
+    BinaryTagCoverageRule,
     DispatchCoverageRule,
     FormatterCoverageRule,
     RoundTripRule,
 )
-from repro.core import codec, events
+from repro.core import binfmt, codec, events
 
 SRC = Path(__file__).resolve().parents[2] / "src"
 
@@ -110,6 +111,81 @@ class TestRoundTrip:
         assert all("round-trip" in v.message for v in violations)
 
 
+def _fake_binfmt(**overrides) -> SimpleNamespace:
+    base = {
+        "_TAG_BY_TYPE": dict(binfmt._TAG_BY_TYPE),
+        "_DECODERS": dict(binfmt._DECODERS),
+        "encode_event": binfmt.encode_event,
+        "decode_event": binfmt.decode_event,
+    }
+    base.update(overrides)
+    return SimpleNamespace(**base)
+
+
+class TestBinaryTagCoverage:
+    def test_shipped_binfmt_is_clean(self):
+        rule = BinaryTagCoverageRule(
+            codec=codec, events=events, binfmt=binfmt
+        )
+        assert list(rule.check_project([])) == []
+
+    def test_missing_tag_fires(self):
+        tags = dict(binfmt._TAG_BY_TYPE)
+        del tags[events.EventType.PAUSE]
+        rule = BinaryTagCoverageRule(
+            codec=codec, events=events, binfmt=_fake_binfmt(_TAG_BY_TYPE=tags)
+        )
+        violations = list(rule.check_project([]))
+        assert [v.rule_id for v in violations] == ["SCHEMA004"]
+        assert "PAUSE" in violations[0].message
+        assert "_TAG_BY_TYPE" in violations[0].message
+
+    def test_duplicate_tag_fires(self):
+        tags = dict(binfmt._TAG_BY_TYPE)
+        tags[events.EventType.PAUSE] = tags[events.EventType.MARKER]
+        rule = BinaryTagCoverageRule(
+            codec=codec, events=events, binfmt=_fake_binfmt(_TAG_BY_TYPE=tags)
+        )
+        violations = list(rule.check_project([]))
+        assert any("unique" in v.message for v in violations)
+
+    def test_missing_decoder_fires(self):
+        decoders = dict(binfmt._DECODERS)
+        del decoders[binfmt._TAG_BY_TYPE[events.EventType.SPEED]]
+        rule = BinaryTagCoverageRule(
+            codec=codec,
+            events=events,
+            binfmt=_fake_binfmt(_DECODERS=decoders),
+        )
+        violations = list(rule.check_project([]))
+        assert any("_DECODERS" in v.message for v in violations)
+        assert any("SPEED" in v.message for v in violations)
+
+    def test_binary_csv_divergence_fires(self):
+        def skewed_decode(record, offset=0):
+            event = binfmt.decode_event(record, offset)
+            if isinstance(event, events.MarkerEvent):
+                return events.marker(event.label + "-skewed")
+            return event
+
+        rule = BinaryTagCoverageRule(
+            codec=codec,
+            events=events,
+            binfmt=_fake_binfmt(decode_event=skewed_decode),
+        )
+        violations = list(rule.check_project([]))
+        assert any(
+            "decodes differently" in v.message and "MARKER" in v.message
+            for v in violations
+        )
+
+    def test_runs_when_binfmt_or_codec_in_scan(self):
+        rule = BinaryTagCoverageRule()
+        assert not rule._should_run([])
+        fake_module = SimpleNamespace(scope_path="core/binfmt.py")
+        assert rule._should_run([fake_module])
+
+
 class TestAgainstRealTree:
     """End-to-end: the shipped tree passes; a deleted entry fails."""
 
@@ -128,6 +204,19 @@ class TestAgainstRealTree:
         # the real codec module.
         violation = result.violations[0]
         assert violation.path.endswith("codec.py")
+        assert violation.line > 1
+
+    def test_deleting_wire_tag_fails_repro_check(self, monkeypatch):
+        monkeypatch.delitem(binfmt._TAG_BY_TYPE, events.EventType.MARKER)
+        result = run_check([SRC], rules=[BinaryTagCoverageRule()])
+        assert any(
+            violation.rule_id == "SCHEMA004"
+            and "MARKER" in violation.message
+            for violation in result.violations
+        )
+        # Anchored at the wire-tag table in the real binfmt module.
+        violation = result.violations[0]
+        assert violation.path.endswith("binfmt.py")
         assert violation.line > 1
 
     def test_new_event_type_without_codec_support_fails(self):

@@ -6,7 +6,7 @@ from pathlib import Path
 
 from repro import cli
 from repro.check.framework import run_check
-from repro.core import codec, events
+from repro.core import binfmt, codec, events
 
 SRC = Path(__file__).resolve().parents[2] / "src"
 
@@ -17,7 +17,7 @@ def test_shipped_tree_is_clean():
         violation.render() for violation in result.violations
     )
     assert result.files_checked > 50
-    assert result.rules_run == 10
+    assert result.rules_run == 11
 
 
 def test_cli_check_exits_zero(capsys):
@@ -50,6 +50,16 @@ def test_deleting_dispatch_entry_breaks_the_build(monkeypatch, capsys):
     out = capsys.readouterr().out
     assert "SCHEMA001" in out
     assert "MARKER" in out
+
+
+def test_deleting_wire_tag_breaks_the_build(monkeypatch, capsys):
+    """Acceptance gate: dropping a binary wire tag fails ``repro
+    check`` over the real tree."""
+    monkeypatch.delitem(binfmt._TAG_BY_TYPE, events.EventType.SPEED)
+    assert cli.main(["check", str(SRC)]) == 1
+    out = capsys.readouterr().out
+    assert "SCHEMA004" in out
+    assert "SPEED" in out
 
 
 def test_cli_check_rejects_missing_path(capsys):

@@ -461,6 +461,34 @@ class TestIterRawBatches:
         assert last.ends_with_newline is False
         assert bytes(last.data).endswith(b"ADD_VERTEX,2,")
 
+    def test_missing_final_newline_counted_exactly_once(self, tmp_path):
+        """Regression: the final partial line must be neither dropped
+        nor double-counted — batch counts drive receiver-side event
+        accounting, so an off-by-one here silently corrupts every
+        downstream count."""
+        path = self.write(tmp_path, "ADD_VERTEX,1,\nADD_VERTEX,2,")
+        batches, __ = self.collect(path)
+        assert sum(count for __, count in batches) == 2
+        raw = b"".join(data for data, __ in batches)
+        assert raw == b"ADD_VERTEX,1,\nADD_VERTEX,2,"
+
+    def test_missing_final_newline_with_batch_cap(self, tmp_path):
+        # The partial line must also count exactly once when it lands
+        # alone in the last capped batch.
+        path = self.write(
+            tmp_path,
+            "ADD_VERTEX,1,\nADD_VERTEX,2,\nADD_VERTEX,3,\nADD_VERTEX,4,",
+        )
+        batches, __ = self.collect(path, batch_lines=3)
+        assert [count for __, count in batches] == [3, 1]
+        assert batches[-1][0] == b"ADD_VERTEX,4,"
+
+    def test_control_line_without_final_newline_parsed(self, tmp_path):
+        path = self.write(tmp_path, "ADD_VERTEX,1,\nMARKER,end,")
+        batches, events = self.collect(path)
+        assert [count for __, count in batches] == [1]
+        assert [e.label for e in events] == ["end"]
+
     def test_blank_lines_and_comments_skipped(self, tmp_path):
         path = self.write(
             tmp_path, "# header\n\nADD_VERTEX,1,\n\n# mid\nADD_VERTEX,2,\n"

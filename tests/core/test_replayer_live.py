@@ -96,6 +96,41 @@ class TestCallbackReplay:
         with pytest.raises(ValueError):
             LiveReplayer(GraphStream(), CallbackTransport(lambda l: None), rate=0)
 
+    def test_binary_source_file(self, tmp_path):
+        # Format autodetection: a binary stream replays through the
+        # same constructor with no flags.
+        path = tmp_path / "s.gtb"
+        GraphStream(_events(50)).write(path, format="binary")
+        received = []
+        LiveReplayer(path, CallbackTransport(received.append), rate=50_000).run()
+        assert len(received) == 50
+        assert received[0] == "ADD_VERTEX,0,"
+
+    def test_binary_wire_format_through_default_transport(self):
+        # A transport without a native send_frame (CallbackTransport)
+        # gets the base-class fallback: frames decode back to CSV
+        # lines, so downstream consumers are unaffected.
+        received = []
+        report = LiveReplayer(
+            GraphStream(_events(100) + [marker("m")] + _events(100)),
+            CallbackTransport(received.append),
+            rate=1_000_000,
+            wire_format="binary",
+        ).run()
+        assert report.events_emitted == 200
+        assert len(received) == 200
+        assert received[0] == "ADD_VERTEX,0,"
+        assert [label for label, __ in report.marker_times] == ["m"]
+
+    def test_invalid_wire_format(self):
+        with pytest.raises(ValueError):
+            LiveReplayer(
+                GraphStream(),
+                CallbackTransport(lambda l: None),
+                rate=1,
+                wire_format="morse",
+            )
+
 
 class TestPipeTransport:
     def test_round_trip(self):

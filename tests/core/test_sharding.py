@@ -13,7 +13,7 @@ import pickle
 
 import pytest
 
-from repro.core import codec
+from repro.core import binfmt, codec
 from repro.core.connectors import (
     PipeSpec,
     TcpReceiver,
@@ -413,6 +413,183 @@ class TestShardedReplayer:
             mixed_stream(), PipeSpec(target=str(out)), rate=FAST, workers=1
         ).run()
         assert report.events_emitted == 40
+
+
+def decode_wire_capture(data: bytes):
+    """Decode a binary wire capture (magic + frames, no index)."""
+    assert data.startswith(binfmt.MAGIC)
+    events, position = [], len(binfmt.MAGIC)
+    while position < len(data):
+        __, __, body_len = binfmt._FRAME_HEADER.unpack_from(data, position)
+        frame_end = position + binfmt.FRAME_HEADER_SIZE + body_len
+        events.extend(binfmt.decode_frame_events(data[position:frame_end]))
+        position = frame_end
+    return events
+
+
+class TestFormatAwareSharding:
+    """The binary format and decode-in-worker emission must preserve
+    replay semantics across every source-format/wire-format pairing."""
+
+    @pytest.mark.parametrize("stream_format", ["auto", "csv"])
+    def test_decode_emission_matches_events_output(
+        self, tmp_path, stream_format
+    ):
+        source = tmp_path / "stream.csv"
+        mixed_stream().write(source)
+        events_outs = [tmp_path / f"ev-{i}.csv" for i in range(3)]
+        decode_outs = [tmp_path / f"de-{i}.csv" for i in range(3)]
+        ShardedReplayer(
+            str(source),
+            [PipeSpec(target=str(o)) for o in events_outs],
+            rate=FAST,
+            workers=3,
+            emission="events",
+        ).run()
+        report = ShardedReplayer(
+            str(source),
+            [PipeSpec(target=str(o)) for o in decode_outs],
+            rate=FAST,
+            workers=3,
+            emission="decode",
+            stream_format=stream_format,
+        ).run()
+        events_lines = collections.Counter(
+            line
+            for out in events_outs
+            for line in out.read_text().splitlines()
+            if line
+        )
+        decode_lines = collections.Counter(
+            line
+            for out in decode_outs
+            for line in out.read_text().splitlines()
+            if line
+        )
+        assert decode_lines == events_lines
+        assert report.events_emitted == 40
+
+    def test_binary_source_decode_emission_emits_frames(self, tmp_path):
+        source = tmp_path / "stream.gtb"
+        mixed_stream().write(source, format="binary")
+        outs = [tmp_path / f"o{i}.gtb" for i in range(2)]
+        report = ShardedReplayer(
+            str(source),
+            [PipeSpec(target=str(o)) for o in outs],
+            rate=FAST,
+            workers=2,
+            emission="decode",
+        ).run()
+        assert report.events_emitted == 40
+        received = [
+            event
+            for out in outs
+            for event in decode_wire_capture(out.read_bytes())
+        ]
+        assert graph_multiset(received) == graph_multiset(
+            mixed_stream().events
+        )
+
+    def test_binary_source_over_loopback_tcp(self, tmp_path):
+        source = tmp_path / "stream.gtb"
+        mixed_stream().write(source, format="binary")
+        receiver = TcpReceiver(max_connections=2)
+        receiver.start()
+        try:
+            report = ShardedReplayer(
+                str(source),
+                TcpSpec(port=receiver.port),
+                rate=FAST,
+                workers=2,
+                emission="decode",
+            ).run()
+        finally:
+            receiver.close()
+        assert report.events_emitted == 40
+        assert receiver.counter.total == 40
+
+    def test_csv_source_transcoded_to_binary_wire(self, tmp_path):
+        """``stream_format="binary"`` on a CSV source: shards are
+        written (and delivered) in the binary format."""
+        source = tmp_path / "stream.csv"
+        mixed_stream().write(source)
+        receiver = TcpReceiver(max_connections=2)
+        receiver.start()
+        try:
+            replayer = ShardedReplayer(
+                str(source),
+                TcpSpec(port=receiver.port),
+                rate=FAST,
+                workers=2,
+                emission="decode",
+                stream_format="binary",
+            )
+            report = replayer.run()
+        finally:
+            receiver.close()
+        assert report.events_emitted == 40
+        assert receiver.counter.total == 40
+        assert all(
+            path.endswith(".gtb") for path in replayer.plan.paths
+        )
+
+    @pytest.mark.parametrize("shard_by", ["round-robin", "hash"])
+    def test_write_shards_binary_preserves_multiset(self, tmp_path, shard_by):
+        source = tmp_path / "stream.gtb"
+        mixed_stream().write(source, format="binary")
+        plan = write_shards(
+            str(source), 3, tmp_path / "shards", shard_by=shard_by
+        )
+        shards = [codec.parse_stream_file(path) for path in plan.paths]
+        merged = [event for shard in shards for event in shard]
+        assert graph_multiset(merged) == graph_multiset(
+            mixed_stream().events
+        )
+        # Control events replicate to every shard, in stream order.
+        for shard in shards:
+            controls = [
+                e for e in shard if not isinstance(e, GraphEvent)
+            ]
+            assert [type(e) for e in controls] == [
+                MarkerEvent, SpeedEvent, MarkerEvent, MarkerEvent,
+            ]
+
+    def test_write_shards_cross_format(self, tmp_path):
+        """CSV source, binary shards (and the reverse) via
+        ``stream_format``."""
+        csv_source = tmp_path / "stream.csv"
+        mixed_stream().write(csv_source)
+        plan = write_shards(
+            str(csv_source), 2, tmp_path / "to-bin", stream_format="binary"
+        )
+        assert all(path.endswith(".gtb") for path in plan.paths)
+        bin_source = tmp_path / "stream.gtb"
+        mixed_stream().write(bin_source, format="binary")
+        plan = write_shards(
+            str(bin_source), 2, tmp_path / "to-csv", stream_format="csv"
+        )
+        assert all(path.endswith(".csv") for path in plan.paths)
+        merged = [
+            event
+            for path in plan.paths
+            for event in codec.parse_stream_file(path)
+        ]
+        assert graph_multiset(merged) == graph_multiset(
+            mixed_stream().events
+        )
+
+    def test_rejects_bad_format_arguments(self, tmp_path):
+        spec = PipeSpec(target="-")
+        with pytest.raises(ValueError):
+            ShardedReplayer("s.csv", spec, rate=1, stream_format="xml")
+        with pytest.raises(ValueError):
+            ShardedReplayer(
+                "s.csv", spec, rate=1, emission="decode", max_resumes=1
+            )
+        with pytest.raises(ValueError):
+            write_shards(
+                mixed_stream().events, 2, tmp_path, stream_format="xml"
+            )
 
 
 class TestSpawnWorkers:

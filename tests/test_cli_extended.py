@@ -37,6 +37,35 @@ class TestConvert:
         main(["convert", str(edge_list), "--shuffle-seed", "7", "-o", str(shuffled)])
         assert plain.read_text() != shuffled.read_text()
 
+    def test_stream_transcode_round_trip(self, stream_file, tmp_path, capsys):
+        """``--to`` switches convert into stream-transcode mode; the
+        CSV → binary → CSV loop is byte-identical (the CI gate)."""
+        binary = tmp_path / "stream.gtb"
+        back = tmp_path / "back.csv"
+        assert main(["convert", str(stream_file), "--to", "binary",
+                     "-o", str(binary)]) == 0
+        assert binary.read_bytes()[:4] == b"GTB1"
+        assert main(["convert", str(binary), "--to", "csv",
+                     "-o", str(back)]) == 0
+        assert stream_file.read_bytes().rstrip(b"\n") == (
+            back.read_bytes().rstrip(b"\n")
+        )
+        out = capsys.readouterr().out
+        assert "(binary)" in out and "(csv)" in out
+
+
+class TestGenerateFormat:
+    def test_binary_output_matches_csv(self, tmp_path):
+        csv_path = tmp_path / "s.csv"
+        bin_path = tmp_path / "s.gtb"
+        args = ["generate", "--rounds", "100", "--seed", "5"]
+        assert main(args + ["-o", str(csv_path)]) == 0
+        assert main(args + ["--format", "binary", "-o", str(bin_path)]) == 0
+        assert bin_path.read_bytes()[:4] == b"GTB1"
+        assert list(GraphStream.read(bin_path)) == list(
+            GraphStream.read(csv_path)
+        )
+
 
 class TestShape:
     def test_burst(self, stream_file, tmp_path):
@@ -311,6 +340,24 @@ class TestReplayScaleOut:
         assert code == 0
         assert receiver.counter.total == expected
         assert "(round-robin, raw)" in capsys.readouterr().err
+
+    def test_decode_emission_binary_format_over_tcp(
+        self, small_stream, capsys
+    ):
+        from repro.core.connectors import TcpReceiver
+        from repro.core.stream import GraphStream
+
+        expected = len(list(GraphStream.read(small_stream).graph_events()))
+        with TcpReceiver(max_connections=2) as receiver:
+            code = main([
+                "replay", str(small_stream),
+                "--rate", "100000", "--workers", "2",
+                "--emission", "decode", "--format", "binary",
+                "--transport", "tcp", "--port", str(receiver.port),
+            ])
+        assert code == 0
+        assert receiver.counter.total == expected
+        assert "(round-robin, decode)" in capsys.readouterr().err
 
     def test_trace_out_rejected_with_workers(self, small_stream, tmp_path):
         code = main([
