@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Ratcheted mypy error budget for the ``typecheck`` CI job.
+
+Runs mypy (configured in pyproject.toml) and compares the error count
+against the budget recorded in ``typecheck_budget.txt``:
+
+* count > budget          -> FAIL: regression, add annotations (or
+                             justify a budget bump in the PR).
+* count < budget - SLACK  -> FAIL: the code got better but the budget
+                             was not lowered.  Ratchet it down so the
+                             improvement cannot silently erode.
+* otherwise               -> PASS.
+
+The two-sided check is the ratchet: a budget may only drift downward,
+and it must track reality within ``SLACK`` errors.  When mypy is not
+installed (local dev environments without the typecheck toolchain) the
+script reports that and exits 0 — the budget is enforced where mypy
+exists, i.e. in CI.
+
+Usage::
+
+    python scripts/typecheck_ratchet.py [--budget-file typecheck_budget.txt]
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+#: How far below budget the error count may fall before the budget
+#: itself must be lowered.
+SLACK = 5
+
+_ERROR_LINE = re.compile(r": error:")
+
+
+def read_budget(path: Path) -> int:
+    """Parse the first non-comment, non-blank line as the budget."""
+    for line in path.read_text(encoding="utf-8").splitlines():
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        try:
+            return int(stripped)
+        except ValueError:
+            raise SystemExit(
+                f"{path}: budget line is not an integer: {stripped!r}"
+            )
+    raise SystemExit(f"{path}: no budget value found")
+
+
+def count_mypy_errors() -> int | None:
+    """Run mypy and return its error-line count, or None if absent."""
+    if shutil.which("mypy") is None:
+        try:
+            import mypy  # noqa: F401
+        except ImportError:
+            return None
+    completed = subprocess.run(
+        [sys.executable, "-m", "mypy"],
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+    output = completed.stdout + completed.stderr
+    sys.stdout.write(output)
+    return sum(1 for line in output.splitlines() if _ERROR_LINE.search(line))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--budget-file",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent
+        / "typecheck_budget.txt",
+    )
+    args = parser.parse_args(argv)
+
+    budget = read_budget(args.budget_file)
+    errors = count_mypy_errors()
+    if errors is None:
+        print(
+            "typecheck ratchet: mypy is not installed here; skipping "
+            f"(budget on record: {budget})"
+        )
+        return 0
+
+    print(f"typecheck ratchet: {errors} error(s), budget {budget}")
+    if errors > budget:
+        print(
+            f"FAIL: error count {errors} exceeds the budget of {budget}. "
+            "Add annotations, or raise the budget with a justification "
+            "in the PR."
+        )
+        return 1
+    if errors < budget - SLACK:
+        print(
+            f"FAIL: error count {errors} is more than {SLACK} below the "
+            f"budget of {budget}. Lower {args.budget_file.name} to "
+            f"{errors} so the improvement is locked in."
+        )
+        return 1
+    print("OK: within the ratchet window")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

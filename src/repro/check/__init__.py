@@ -16,11 +16,20 @@ convention into mechanical checks:
 * **schema consistency** (``SCHEMA0xx``) — every
   :class:`~repro.core.events.EventType` member must have parse entries
   in both codec dispatch tables and a working formatter, so an event
-  type can never drift out of sync with its codec.
+  type can never drift out of sync with its codec;
+* **resource lifecycle** (``RES0xx``/``EXC001``/``HOT001``) —
+  flow-sensitive rules on the :mod:`repro.check.cfg` +
+  :mod:`repro.check.dataflow` engine: resources acquired without
+  ``with`` must be released on every path including exception edges,
+  spawned threads/processes need a join or hand-off, broad ``except``
+  blocks must not silently swallow while resources are held, and
+  ``# hot-path`` functions must not make unbounded blocking calls.
 
 Run it as ``graphtides check src/`` or ``python -m repro.check src/``.
 Violations can be suppressed per line with
-``# repro-check: disable=<ID>[,<ID>...]``.
+``# repro-check: disable=<ID>[,<ID>...]`` (the comment may sit on any
+physical line of a multi-line statement) or per file with
+``# repro-check: disable-file=<ID>[,<ID>...]``.
 
 The sibling :mod:`repro.check.tsan` module is the *runtime* half: a
 lightweight thread-sanitizer harness that instruments shared state
@@ -40,6 +49,7 @@ from repro.check.framework import (
     load_module,
     run_check,
 )
+from repro.check.lifecycle import LIFECYCLE_RULES
 from repro.check.schema import SCHEMA_RULES
 
 __all__ = [
@@ -61,4 +71,5 @@ def all_rules() -> list[Rule]:
         *(rule() for rule in DETERMINISM_RULES),
         *(rule() for rule in CONCURRENCY_RULES),
         *(rule() for rule in SCHEMA_RULES),
+        *(rule() for rule in LIFECYCLE_RULES),
     ]

@@ -1,0 +1,534 @@
+"""Per-function control-flow graphs for the ``repro check`` dataflow rules.
+
+:func:`build_cfg` lowers one ``ast`` function body into a
+:class:`CFG`: one node per simple statement or compound-statement
+header, plus synthetic ``entry`` / ``exit`` / ``raise-exit`` nodes.
+Edges model
+
+* sequential flow (``next``) and branch outcomes (``true`` / ``false``
+  out of ``if`` / ``while`` / ``for`` headers, so analyses can refine
+  state per branch);
+* loop back-edges (``back``) and ``break`` / ``continue`` jumps;
+* early ``return`` (routed to the exit node *through* every enclosing
+  ``finally`` body);
+* exception flow (``exception``): every statement that may raise gets
+  an edge to the innermost ``except`` dispatch, or through the
+  enclosing ``finally`` chain to the synthetic ``raise-exit`` node
+  that represents an exception escaping the function.
+
+``try``/``except``/``finally`` is modelled with a per-``try`` dispatch
+node (fanning out to the handlers, and onward when no catch-all
+handler exists) and a single shared ``finally`` subgraph whose exit
+connects to every continuation that actually entered it (normal
+fall-through, the loop being broken, the function exit, the outer
+exception target).  Sharing the ``finally`` body merges exit kinds —
+a sound over-approximation: the graph may contain a few paths the
+program cannot take, never fewer.
+
+The lowering is deliberately syntactic: no name resolution, no
+interprocedural edges.  :mod:`repro.check.dataflow` runs lattice
+analyses over these graphs; :mod:`repro.check.lifecycle` builds the
+RES/EXC/HOT rule pack on top.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+__all__ = [
+    "CFG",
+    "CFGEdge",
+    "CFGNode",
+    "build_cfg",
+    "iter_function_defs",
+    "may_raise",
+]
+
+FunctionNode = ast.FunctionDef | ast.AsyncFunctionDef
+
+_TRY_TYPES: tuple[type, ...] = (ast.Try,) + (
+    (ast.TryStar,) if hasattr(ast, "TryStar") else ()
+)
+
+
+@dataclass(frozen=True, slots=True)
+class CFGEdge:
+    """A directed edge; ``kind`` says why control flows along it."""
+
+    src: int
+    dst: int
+    kind: str = "next"
+
+
+class CFGNode:
+    """One CFG node: a statement (or header), or a synthetic marker.
+
+    ``stmt`` is the originating AST node (``None`` for the synthetic
+    entry/exit nodes); ``kind`` distinguishes statement nodes
+    (``stmt``), branch headers (``test``), ``with`` headers, exception
+    dispatch (``except-dispatch``), handler entries (``handler``),
+    ``finally`` entries and the three synthetic boundary nodes.
+    """
+
+    __slots__ = ("index", "stmt", "kind", "line")
+
+    def __init__(self, index: int, stmt: ast.AST | None, kind: str):
+        self.index = index
+        self.stmt = stmt
+        self.kind = kind
+        self.line = getattr(stmt, "lineno", 0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        what = type(self.stmt).__name__ if self.stmt is not None else "-"
+        return f"<CFGNode {self.index} {self.kind} {what} line={self.line}>"
+
+
+@dataclass
+class CFG:
+    """A per-function control-flow graph.
+
+    ``exit`` is reached by falling off the end of the body or by
+    ``return``; ``raise_exit`` by an exception escaping the function.
+    ``node_of`` maps AST statement/handler identity to its node index
+    so rules can look up dataflow states at syntax they walked
+    themselves.
+    """
+
+    name: str
+    func: ast.AST | None
+    nodes: list[CFGNode] = field(default_factory=list)
+    edges: list[CFGEdge] = field(default_factory=list)
+    entry: int = 0
+    exit: int = 1
+    raise_exit: int = 2
+    node_of: dict[int, int] = field(default_factory=dict)
+
+    def successors(self, index: int) -> list[CFGEdge]:
+        return self._succ[index]
+
+    def predecessors(self, index: int) -> list[CFGEdge]:
+        return self._pred[index]
+
+    def finalize(self) -> "CFG":
+        """Deduplicate edges and build adjacency; called by the builder."""
+        unique = list(dict.fromkeys(self.edges))
+        self.edges = unique
+        self._succ: list[list[CFGEdge]] = [[] for _ in self.nodes]
+        self._pred: list[list[CFGEdge]] = [[] for _ in self.nodes]
+        for edge in unique:
+            self._succ[edge.src].append(edge)
+            self._pred[edge.dst].append(edge)
+        return self
+
+    def node_for(self, node: ast.AST) -> CFGNode | None:
+        index = self.node_of.get(id(node))
+        return self.nodes[index] if index is not None else None
+
+
+def may_raise(node: ast.AST) -> bool:
+    """May evaluating this statement/expression raise an exception?
+
+    Syntactic approximation: calls, ``await``, ``raise`` and ``assert``
+    may raise; pure data movement may not.  Lambda bodies do not
+    execute at the statement, so they are skipped; comprehension bodies
+    do execute and are walked.
+    """
+    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        # A ``def`` statement runs its decorators and default values,
+        # not its body.  Applying any decorator is a call.
+        if node.decorator_list:
+            return True
+        defaults = list(node.args.defaults) + [
+            default for default in node.args.kw_defaults if default is not None
+        ]
+        return any(may_raise(default) for default in defaults)
+    for sub in _walk_executed(node):
+        if isinstance(sub, (ast.Call, ast.Await, ast.Raise, ast.Assert)):
+            return True
+    return False
+
+
+def _walk_executed(node: ast.AST) -> Iterator[ast.AST]:
+    """``ast.walk`` that does not descend into deferred bodies."""
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        yield current
+        for child in ast.iter_child_nodes(current):
+            if isinstance(
+                child,
+                (ast.Lambda, ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+            ):
+                continue
+            stack.append(child)
+
+
+def iter_function_defs(
+    tree: ast.AST,
+) -> Iterator[tuple[str, FunctionNode, str | None]]:
+    """Yield ``(qualname, def_node, enclosing_class_or_None)`` for every
+    function in ``tree``, including methods and nested functions."""
+
+    def visit(
+        node: ast.AST, prefix: str, class_name: str | None
+    ) -> Iterator[tuple[str, FunctionNode, str | None]]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = f"{prefix}{child.name}"
+                yield qualname, child, class_name
+                yield from visit(child, f"{qualname}.", class_name)
+            elif isinstance(child, ast.ClassDef):
+                yield from visit(child, f"{prefix}{child.name}.", child.name)
+            else:
+                yield from visit(child, prefix, class_name)
+
+    yield from visit(tree, "", None)
+
+
+# ---------------------------------------------------------------------------
+# Builder
+# ---------------------------------------------------------------------------
+
+#: Predecessor hand-off during construction: (node index, edge kind).
+_Preds = list[tuple[int, str]]
+
+
+class _FinallyFrame:
+    """One ``finally`` body shared by all the ways control enters it."""
+
+    __slots__ = ("entry", "continuations")
+
+    def __init__(self, entry: int):
+        self.entry = entry
+        # Where control goes after the finally body: node indices, or
+        # mutable collector lists (a loop's pending break edges).
+        self.continuations: list[tuple[object, str]] = []
+
+    def add_continuation(self, target: object, kind: str) -> None:
+        if (target, kind) not in self.continuations:
+            self.continuations.append((target, kind))
+
+
+class _LoopFrame:
+    __slots__ = ("head", "break_preds", "finally_depth")
+
+    def __init__(self, head: int, finally_depth: int):
+        self.head = head
+        self.break_preds: _Preds = []
+        self.finally_depth = finally_depth
+
+
+def _is_catch_all(handler: ast.ExceptHandler) -> bool:
+    """Does this handler catch every exception a statement can raise?"""
+    if handler.type is None:
+        return True
+    names = []
+    if isinstance(handler.type, ast.Tuple):
+        names = [_last_name(element) for element in handler.type.elts]
+    else:
+        names = [_last_name(handler.type)]
+    return any(name in ("Exception", "BaseException") for name in names)
+
+
+def _last_name(node: ast.expr) -> str | None:
+    """``Exception`` for both ``Exception`` and ``mod.Exception``."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+class _Builder:
+    def __init__(self, func: FunctionNode | ast.Module, name: str):
+        self.cfg = CFG(name=name, func=func)
+        self._new(None, "entry")
+        self._new(None, "exit")
+        self._new(None, "raise-exit")
+        # Innermost-last frames exceptions unwind through: ``("dispatch",
+        # node)`` for a try with handlers, ``("finally", frame)`` for a
+        # finalbody.
+        self._exc_stack: list[tuple[str, object]] = []
+        self._loops: list[_LoopFrame] = []
+        self._finally_frames: list[_FinallyFrame] = []
+
+    # -- low-level graph assembly -----------------------------------------
+
+    def _new(self, stmt: ast.AST | None, kind: str) -> int:
+        index = len(self.cfg.nodes)
+        self.cfg.nodes.append(CFGNode(index, stmt, kind))
+        if stmt is not None and id(stmt) not in self.cfg.node_of:
+            self.cfg.node_of[id(stmt)] = index
+        return index
+
+    def _edge(self, src: int, dst: int, kind: str) -> None:
+        self.cfg.edges.append(CFGEdge(src, dst, kind))
+
+    def _connect(self, preds: _Preds, dst: int) -> None:
+        for src, kind in preds:
+            self._edge(src, dst, kind)
+
+    # -- exception routing -------------------------------------------------
+
+    def _resolve_exc(self, depth: int) -> int:
+        """Where an exception at unwind depth ``depth`` lands.
+
+        Walking outward: the first ``except`` dispatch wins; a
+        ``finally`` on the way is entered, with its continuation
+        registered as the resolution of the rest of the stack.
+        """
+        while depth >= 0:
+            tag, obj = self._exc_stack[depth]
+            if tag == "dispatch":
+                return obj  # type: ignore[return-value]
+            frame: _FinallyFrame = obj  # type: ignore[assignment]
+            below = self._resolve_exc(depth - 1)
+            frame.add_continuation(below, "exception")
+            return frame.entry
+        return self.cfg.raise_exit
+
+    def _raise_edge(self, src: int) -> None:
+        self._edge(src, self._resolve_exc(len(self._exc_stack) - 1), "exception")
+
+    # -- jump routing (return / break / continue) --------------------------
+
+    def _crossed_finallys(self, outer_depth: int) -> list[_FinallyFrame]:
+        """Finally frames between here and a jump target that sits at
+        ``outer_depth`` frames from the bottom, innermost first."""
+        return list(reversed(self._finally_frames[outer_depth:]))
+
+    def _jump(
+        self, src: int, target: object, kind: str, outer_depth: int = 0
+    ) -> None:
+        """Route a jump through the finallys it crosses to ``target``
+        (a node index, or a pending-preds collector list)."""
+        frames = self._crossed_finallys(outer_depth)
+        if not frames:
+            if isinstance(target, list):
+                target.append((src, kind))
+            else:
+                self._edge(src, target, kind)
+            return
+        self._edge(src, frames[0].entry, kind)
+        for inner, outer in zip(frames, frames[1:]):
+            inner.add_continuation(outer.entry, kind)
+        frames[-1].add_continuation(target, kind)
+
+    # -- statement lowering ------------------------------------------------
+
+    def build(self, body: Sequence[ast.stmt]) -> CFG:
+        preds = self._stmts(body, [(self.cfg.entry, "next")])
+        self._connect(preds, self.cfg.exit)
+        return self.cfg.finalize()
+
+    def _stmts(self, body: Sequence[ast.stmt], preds: _Preds) -> _Preds:
+        for stmt in body:
+            preds = self._stmt(stmt, preds)
+        return preds
+
+    def _stmt(self, stmt: ast.stmt, preds: _Preds) -> _Preds:
+        if isinstance(stmt, ast.If):
+            return self._if(stmt, preds)
+        if isinstance(stmt, (ast.While,)):
+            return self._while(stmt, preds)
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            return self._for(stmt, preds)
+        if isinstance(stmt, _TRY_TYPES):
+            return self._try(stmt, preds)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._with(stmt, preds)
+        if isinstance(stmt, ast.Return):
+            return self._return(stmt, preds)
+        if isinstance(stmt, ast.Raise):
+            return self._raise(stmt, preds)
+        if isinstance(stmt, ast.Break):
+            return self._break(stmt, preds)
+        if isinstance(stmt, ast.Continue):
+            return self._continue(stmt, preds)
+        if isinstance(stmt, ast.Match):
+            return self._match(stmt, preds)
+        return self._simple(stmt, preds)
+
+    def _simple(self, stmt: ast.stmt, preds: _Preds) -> _Preds:
+        node = self._new(stmt, "stmt")
+        self._connect(preds, node)
+        if isinstance(
+            stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            # A nested def/class is one binding statement; its body is a
+            # separate CFG and its decorators rarely raise.
+            return [(node, "next")]
+        if may_raise(stmt):
+            self._raise_edge(node)
+        return [(node, "next")]
+
+    def _if(self, stmt: ast.If, preds: _Preds) -> _Preds:
+        node = self._new(stmt, "test")
+        self._connect(preds, node)
+        if may_raise(stmt.test):
+            self._raise_edge(node)
+        out = self._stmts(stmt.body, [(node, "true")])
+        if stmt.orelse:
+            out += self._stmts(stmt.orelse, [(node, "false")])
+        else:
+            out.append((node, "false"))
+        return out
+
+    @staticmethod
+    def _constant_true(test: ast.expr) -> bool:
+        return isinstance(test, ast.Constant) and bool(test.value) is True
+
+    def _while(self, stmt: ast.While, preds: _Preds) -> _Preds:
+        head = self._new(stmt, "test")
+        self._connect(preds, head)
+        if may_raise(stmt.test):
+            self._raise_edge(head)
+        frame = _LoopFrame(head, len(self._finally_frames))
+        self._loops.append(frame)
+        body_end = self._stmts(stmt.body, [(head, "true")])
+        self._loops.pop()
+        for src, __ in body_end:
+            self._edge(src, head, "back")
+        out: _Preds = list(frame.break_preds)
+        if not self._constant_true(stmt.test):
+            exit_preds: _Preds = [(head, "false")]
+            if stmt.orelse:
+                exit_preds = self._stmts(stmt.orelse, exit_preds)
+            out += exit_preds
+        return out
+
+    def _for(self, stmt: ast.For | ast.AsyncFor, preds: _Preds) -> _Preds:
+        head = self._new(stmt, "test")
+        self._connect(preds, head)
+        if may_raise(stmt.iter):
+            self._raise_edge(head)
+        frame = _LoopFrame(head, len(self._finally_frames))
+        self._loops.append(frame)
+        body_end = self._stmts(stmt.body, [(head, "true")])
+        self._loops.pop()
+        for src, __ in body_end:
+            self._edge(src, head, "back")
+        exit_preds: _Preds = [(head, "false")]
+        if stmt.orelse:
+            exit_preds = self._stmts(stmt.orelse, exit_preds)
+        return list(frame.break_preds) + exit_preds
+
+    def _with(self, stmt: ast.With | ast.AsyncWith, preds: _Preds) -> _Preds:
+        node = self._new(stmt, "with")
+        self._connect(preds, node)
+        if any(may_raise(item.context_expr) for item in stmt.items):
+            self._raise_edge(node)
+        return self._stmts(stmt.body, [(node, "next")])
+
+    def _return(self, stmt: ast.Return, preds: _Preds) -> _Preds:
+        node = self._new(stmt, "stmt")
+        self._connect(preds, node)
+        if stmt.value is not None and may_raise(stmt.value):
+            self._raise_edge(node)
+        self._jump(node, self.cfg.exit, "return")
+        return []
+
+    def _raise(self, stmt: ast.Raise, preds: _Preds) -> _Preds:
+        node = self._new(stmt, "stmt")
+        self._connect(preds, node)
+        self._raise_edge(node)
+        return []
+
+    def _break(self, stmt: ast.Break, preds: _Preds) -> _Preds:
+        node = self._new(stmt, "stmt")
+        self._connect(preds, node)
+        if self._loops:
+            frame = self._loops[-1]
+            self._jump(node, frame.break_preds, "break", frame.finally_depth)
+        return []
+
+    def _continue(self, stmt: ast.Continue, preds: _Preds) -> _Preds:
+        node = self._new(stmt, "stmt")
+        self._connect(preds, node)
+        if self._loops:
+            frame = self._loops[-1]
+            self._jump(node, frame.head, "continue", frame.finally_depth)
+        return []
+
+    def _match(self, stmt: ast.Match, preds: _Preds) -> _Preds:
+        node = self._new(stmt, "test")
+        self._connect(preds, node)
+        if may_raise(stmt.subject):
+            self._raise_edge(node)
+        out: _Preds = []
+        wildcard = False
+        for case in stmt.cases:
+            out += self._stmts(case.body, [(node, "true")])
+            if (
+                isinstance(case.pattern, ast.MatchAs)
+                and case.pattern.pattern is None
+                and case.guard is None
+            ):
+                wildcard = True
+        if not wildcard:
+            out.append((node, "false"))
+        return out
+
+    def _try(self, stmt: ast.Try, preds: _Preds) -> _Preds:
+        marker = self._new(stmt, "try")
+        self._connect(preds, marker)
+
+        fin: _FinallyFrame | None = None
+        if stmt.finalbody:
+            fin_entry = self._new(stmt.finalbody[0], "finally")
+            fin = _FinallyFrame(fin_entry)
+            self._exc_stack.append(("finally", fin))
+            self._finally_frames.append(fin)
+
+        dispatch: int | None = None
+        if stmt.handlers:
+            dispatch = self._new(stmt, "except-dispatch")
+            self._exc_stack.append(("dispatch", dispatch))
+
+        body_preds = self._stmts(stmt.body, [(marker, "next")])
+
+        if dispatch is not None:
+            self._exc_stack.pop()
+
+        # ``else`` runs after a non-raising body; its own exceptions are
+        # *not* caught by this try's handlers (dispatch already popped).
+        if stmt.orelse:
+            body_preds = self._stmts(stmt.orelse, body_preds)
+
+        handler_preds: _Preds = []
+        if dispatch is not None:
+            for handler in stmt.handlers:
+                h_node = self._new(handler, "handler")
+                self._edge(dispatch, h_node, "exception")
+                handler_preds += self._stmts(handler.body, [(h_node, "next")])
+            if not any(_is_catch_all(handler) for handler in stmt.handlers):
+                # No catch-all: the exception may continue outward.
+                self._edge(
+                    dispatch,
+                    self._resolve_exc(len(self._exc_stack) - 1),
+                    "exception",
+                )
+
+        normal_preds = body_preds + handler_preds
+        if fin is None:
+            return normal_preds
+
+        self._exc_stack.pop()
+        self._finally_frames.pop()
+        self._connect(normal_preds, fin.entry)
+        fin_exit = self._stmts(stmt.finalbody, [(fin.entry, "next")])
+        for target, kind in fin.continuations:
+            for src, __ in fin_exit:
+                if isinstance(target, list):
+                    target.append((src, kind))
+                else:
+                    self._edge(src, target, kind)
+        # Fall-through continuation: the next statement after the try.
+        return fin_exit
+
+
+def build_cfg(func: FunctionNode, name: str | None = None) -> CFG:
+    """Build the CFG of one function definition."""
+    return _Builder(func, name or func.name).build(func.body)

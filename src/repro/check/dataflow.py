@@ -1,0 +1,149 @@
+"""Generic worklist dataflow solver over :mod:`repro.check.cfg` graphs.
+
+An :class:`Analysis` names a direction, a lattice (``bottom`` /
+``join``), a boundary state, and a transfer function.  States must be
+immutable and comparable (``frozenset`` is the usual choice).
+:func:`solve` iterates to a fixpoint and returns the state *entering*
+each node (forward) or *leaving* it (backward).
+
+The per-edge hook :meth:`Analysis.flow` is where flow-sensitive
+precision lives: an analysis can propagate a different state along an
+``exception`` edge than along the normal one (a resource acquired by a
+statement that raised was never acquired), or refine state on the
+``true`` / ``false`` edges of a branch whose test it understands
+(``if f is not None:`` proves ``f`` holds nothing on the false edge).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Generic, TypeVar
+
+from repro.check.cfg import CFG, CFGEdge, CFGNode
+
+__all__ = ["Analysis", "DataflowResult", "solve"]
+
+S = TypeVar("S")
+
+
+class Analysis(Generic[S]):
+    """Base class for lattice dataflow analyses.
+
+    Subclasses set ``direction`` (``"forward"`` or ``"backward"``) and
+    implement the lattice and transfer methods.  The default ``flow``
+    ignores the edge and applies the node transfer — override it for
+    edge-sensitive analyses.
+    """
+
+    direction: str = "forward"
+
+    def bottom(self) -> S:
+        """The identity of ``join`` (no paths reach here yet)."""
+        raise NotImplementedError
+
+    def boundary(self, cfg: CFG) -> S:
+        """State at the entry node (forward) / the exit nodes (backward)."""
+        return self.bottom()
+
+    def join(self, a: S, b: S) -> S:
+        raise NotImplementedError
+
+    def transfer(self, node: CFGNode, state: S) -> S:
+        return state
+
+    def flow(self, cfg: CFG, edge: CFGEdge, node: CFGNode, state: S) -> S:
+        """State propagated along ``edge`` out of ``node`` (its source
+        in a forward analysis, its destination in a backward one),
+        given the state entering that node."""
+        return self.transfer(node, state)
+
+
+class DataflowResult(Generic[S]):
+    """Fixpoint states per node index.
+
+    For a forward analysis ``states[n]`` is the state *entering* node
+    ``n``; for a backward analysis, the state *leaving* it.  ``after``
+    applies the node's transfer to give the other side.
+    """
+
+    def __init__(self, cfg: CFG, analysis: Analysis[S], states: dict[int, S]):
+        self.cfg = cfg
+        self.analysis = analysis
+        self.states = states
+
+    def __getitem__(self, index: int) -> S:
+        return self.states[index]
+
+    def after(self, index: int) -> S:
+        return self.analysis.transfer(self.cfg.nodes[index], self.states[index])
+
+    def at(self, node: Any) -> S | None:
+        """State at the CFG node of an AST statement/handler, if any."""
+        cfg_node = self.cfg.node_for(node)
+        return self.states[cfg_node.index] if cfg_node is not None else None
+
+
+def solve(cfg: CFG, analysis: Analysis[S]) -> DataflowResult[S]:
+    """Run ``analysis`` over ``cfg`` to fixpoint (round-robin worklist).
+
+    Joins are over *incoming* edges (forward) or *outgoing* edges
+    (backward); unreachable nodes keep ``bottom``.  Raises
+    ``RuntimeError`` if the analysis fails to converge — a sign of a
+    non-monotone transfer, since the solver itself visits each node at
+    most once per state change.
+    """
+    forward = analysis.direction == "forward"
+    if not forward and analysis.direction != "backward":
+        raise ValueError(f"unknown direction {analysis.direction!r}")
+
+    boundary_nodes = (
+        {cfg.entry} if forward else {cfg.exit, cfg.raise_exit}
+    )
+    states: dict[int, S] = {
+        node.index: analysis.bottom() for node in cfg.nodes
+    }
+    boundary = analysis.boundary(cfg)
+    for index in boundary_nodes:
+        states[index] = boundary
+
+    def in_edges(index: int) -> list[CFGEdge]:
+        return cfg.predecessors(index) if forward else cfg.successors(index)
+
+    def edge_source(edge: CFGEdge) -> int:
+        return edge.src if forward else edge.dst
+
+    def out_targets(index: int) -> list[int]:
+        edges = cfg.successors(index) if forward else cfg.predecessors(index)
+        return [edge.dst if forward else edge.src for edge in edges]
+
+    pending = deque(node.index for node in cfg.nodes)
+    queued = set(pending)
+    # Each node re-enters the worklist only when an input changed; the
+    # cap is a backstop against a non-monotone transfer oscillating.
+    budget = 64 * len(cfg.nodes) * (len(cfg.nodes) + 2)
+    while pending:
+        budget -= 1
+        if budget < 0:
+            raise RuntimeError(
+                f"dataflow did not converge on {cfg.name!r}; "
+                "is the transfer function monotone?"
+            )
+        index = pending.popleft()
+        queued.discard(index)
+        if index in boundary_nodes:
+            continue  # fixed state; successors are in the initial queue
+        state = analysis.bottom()
+        for edge in in_edges(index):
+            source = edge_source(edge)
+            state = analysis.join(
+                state,
+                analysis.flow(cfg, edge, cfg.nodes[source], states[source]),
+            )
+        if state == states[index]:
+            continue
+        states[index] = state
+        for target in out_targets(index):
+            if target not in queued:
+                queued.add(target)
+                pending.append(target)
+    return DataflowResult(cfg, analysis, states)

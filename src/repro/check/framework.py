@@ -35,6 +35,12 @@ __all__ = [
 #: Line-scoped suppression comment: ``# repro-check: disable=DET001,CONC002``.
 _SUPPRESS_RE = re.compile(r"#\s*repro-check:\s*disable=([A-Za-z0-9_,\s]+)")
 
+#: File-scoped suppression comment (anywhere in the file, conventionally
+#: at the top): ``# repro-check: disable-file=SCHEMA002``.
+_SUPPRESS_FILE_RE = re.compile(
+    r"#\s*repro-check:\s*disable-file=([A-Za-z0-9_,\s]+)"
+)
+
 #: Rule id reserved for files the framework itself cannot parse.
 PARSE_ERROR_ID = "PARSE001"
 
@@ -48,6 +54,7 @@ class Violation:
     path: str
     line: int
     column: int = 0
+    severity: str = "error"
 
     def render(self) -> str:
         return f"{self.path}:{self.line}:{self.column + 1}: {self.rule_id} {self.message}"
@@ -73,7 +80,8 @@ class CheckedModule:
         self.lines: list[str] = source.splitlines()
         self.tree: ast.Module = ast.parse(source, filename=str(path))
         self.scope_path = self._compute_scope_path(path, root)
-        self._suppressed = self._parse_suppressions(self.lines)
+        self._suppressed = self._parse_suppressions(self.lines, self.tree)
+        self._file_suppressed = self._parse_file_suppressions(self.lines)
 
     @staticmethod
     def _compute_scope_path(path: Path, root: Path | None) -> str:
@@ -90,21 +98,88 @@ class CheckedModule:
                 pass
         return path.name
 
-    @staticmethod
-    def _parse_suppressions(lines: Sequence[str]) -> dict[int, frozenset[str]]:
-        suppressed: dict[int, frozenset[str]] = {}
+    @classmethod
+    def _parse_suppressions(
+        cls, lines: Sequence[str], tree: ast.Module
+    ) -> dict[int, frozenset[str]]:
+        suppressed: dict[int, set[str]] = {}
         for number, line in enumerate(lines, start=1):
             match = _SUPPRESS_RE.search(line)
             if match is None:
                 continue
-            ids = frozenset(
+            ids = {
+                part.strip() for part in match.group(1).split(",") if part.strip()
+            }
+            if ids:
+                suppressed.setdefault(number, set()).update(ids)
+        # A statement continued over several physical lines is one
+        # suppression scope: a ``disable=`` comment on any of its lines
+        # covers every line of the statement, so the comment can sit on
+        # the closing-paren line while the rule reports the opener (and
+        # vice versa).  Compound statements scope only their header.
+        for start, end in cls._statement_spans(tree):
+            span_ids: set[str] = set()
+            for number in range(start, end + 1):
+                span_ids.update(suppressed.get(number, ()))
+            if not span_ids:
+                continue
+            for number in range(start, end + 1):
+                suppressed.setdefault(number, set()).update(span_ids)
+        return {
+            number: frozenset(ids) for number, ids in suppressed.items()
+        }
+
+    @staticmethod
+    def _statement_spans(tree: ast.Module) -> Iterator[tuple[int, int]]:
+        """``(first_line, last_line)`` of multi-line statement scopes.
+
+        Simple statements span all their physical lines; compound
+        statements span their header only (up to the line before the
+        first body statement), so a suppression on a ``def``/``if``
+        header never leaks into the body it introduces.
+        """
+        compound = (
+            ast.If,
+            ast.For,
+            ast.AsyncFor,
+            ast.While,
+            ast.With,
+            ast.AsyncWith,
+            ast.Try,
+            ast.FunctionDef,
+            ast.AsyncFunctionDef,
+            ast.ClassDef,
+        )
+        if hasattr(ast, "TryStar"):  # 3.11+
+            compound = compound + (ast.TryStar,)
+        if hasattr(ast, "Match"):
+            compound = compound + (ast.Match,)
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.stmt) or node.end_lineno is None:
+                continue
+            if isinstance(node, compound):
+                body = getattr(node, "body", None) or [node]
+                end = body[0].lineno - 1
+            else:
+                end = node.end_lineno
+            if end > node.lineno:
+                yield node.lineno, end
+
+    @staticmethod
+    def _parse_file_suppressions(lines: Sequence[str]) -> frozenset[str]:
+        ids: set[str] = set()
+        for line in lines:
+            match = _SUPPRESS_FILE_RE.search(line)
+            if match is None:
+                continue
+            ids.update(
                 part.strip() for part in match.group(1).split(",") if part.strip()
             )
-            if ids:
-                suppressed[number] = ids
-        return suppressed
+        return frozenset(ids)
 
     def is_suppressed(self, rule_id: str, line: int) -> bool:
+        if rule_id in self._file_suppressed or "all" in self._file_suppressed:
+            return True
         ids = self._suppressed.get(line)
         return ids is not None and (rule_id in ids or "all" in ids)
 
@@ -127,6 +202,10 @@ class Rule:
     rule_id: str = ""
     title: str = ""
     scope: tuple[str, ...] = ()
+    #: ``"error"`` or ``"warning"`` — carried on every violation the
+    #: rule emits; the text/json/github reporters surface it and any
+    #: violation still fails the run regardless of severity.
+    severity: str = "error"
 
     def applies_to(self, module: CheckedModule) -> bool:
         if not self.scope:
@@ -149,6 +228,7 @@ class Rule:
             path=str(module.path),
             line=getattr(node, "lineno", 1),
             column=getattr(node, "col_offset", 0),
+            severity=self.severity,
         )
 
 

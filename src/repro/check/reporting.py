@@ -8,6 +8,7 @@ and exit codes (0 clean, 1 violations, 2 usage error).
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import Sequence
@@ -16,11 +17,16 @@ from repro.check.framework import CheckResult, Rule, run_check
 
 __all__ = [
     "render_report",
+    "render_json",
+    "render_github",
     "render_rule_catalogue",
     "run_and_report",
     "build_check_parser",
     "check_main",
 ]
+
+#: Supported ``--format`` values, in help order.
+FORMATS = ("text", "json", "github")
 
 
 def render_report(result: CheckResult) -> str:
@@ -37,6 +43,64 @@ def render_report(result: CheckResult) -> str:
             f"{result.rules_run} rule(s))"
         )
     return "\n".join(lines)
+
+
+def render_json(result: CheckResult) -> str:
+    """Machine-readable report: stable keys, one object per violation."""
+    payload = {
+        "ok": result.ok,
+        "files_checked": result.files_checked,
+        "rules_run": result.rules_run,
+        "violations": [
+            {
+                "rule_id": violation.rule_id,
+                "severity": violation.severity,
+                "path": violation.path,
+                "line": violation.line,
+                "column": violation.column + 1,
+                "message": violation.message,
+            }
+            for violation in result.violations
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_github(result: CheckResult) -> str:
+    """GitHub Actions workflow commands: clickable PR annotations.
+
+    One ``::error`` / ``::warning`` line per violation (severity maps
+    to the annotation level) plus a trailing plain summary line.
+    """
+    lines = []
+    for violation in result.violations:
+        level = "warning" if violation.severity == "warning" else "error"
+        message = violation.message.replace("%", "%25").replace(
+            "\n", "%0A"
+        )
+        lines.append(
+            f"::{level} file={violation.path},line={violation.line},"
+            f"col={violation.column + 1},title={violation.rule_id}::"
+            f"{violation.rule_id} {message}"
+        )
+    if result.violations:
+        lines.append(
+            f"repro check: {len(result.violations)} violation(s) in "
+            f"{result.files_checked} file(s)"
+        )
+    else:
+        lines.append(
+            f"repro check: OK ({result.files_checked} file(s), "
+            f"{result.rules_run} rule(s))"
+        )
+    return "\n".join(lines)
+
+
+_RENDERERS = {
+    "text": render_report,
+    "json": render_json,
+    "github": render_github,
+}
 
 
 def render_rule_catalogue(rules: Sequence[Rule]) -> str:
@@ -68,23 +132,42 @@ def build_check_parser(prog: str = "repro-check") -> argparse.ArgumentParser:
         action="store_true",
         help="print the rule catalogue and exit",
     )
+    parser.add_argument(
+        "--format",
+        choices=FORMATS,
+        default="text",
+        dest="format",
+        help=(
+            "report format: text (default), json, or github "
+            "(::error/::warning workflow-command annotations)"
+        ),
+    )
     return parser
 
 
-def run_and_report(paths: Sequence[str], *, list_rules: bool = False) -> int:
+def run_and_report(
+    paths: Sequence[str],
+    *,
+    list_rules: bool = False,
+    format: str = "text",
+) -> int:
     """Run the full rule catalogue and print the report; returns exit code."""
     from repro.check import all_rules
 
     if list_rules:
         print(render_rule_catalogue(all_rules()))
         return 0
+    renderer = _RENDERERS.get(format)
+    if renderer is None:
+        print(f"repro check: unknown format: {format}", file=sys.stderr)
+        return 2
     missing = [path for path in paths if not Path(path).exists()]
     if missing:
         for path in missing:
             print(f"repro check: no such path: {path}", file=sys.stderr)
         return 2
     result = run_check(paths)
-    print(render_report(result))
+    print(renderer(result))
     return 0 if result.ok else 1
 
 
@@ -92,4 +175,6 @@ def check_main(argv: Sequence[str] | None = None) -> int:
     """Entry point shared by ``python -m repro.check`` and the console
     script."""
     args = build_check_parser().parse_args(argv)
-    return run_and_report(args.paths, list_rules=args.list_rules)
+    return run_and_report(
+        args.paths, list_rules=args.list_rules, format=args.format
+    )

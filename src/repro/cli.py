@@ -315,6 +315,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules", action="store_true",
         help="print the rule catalogue and exit",
     )
+    chk.add_argument(
+        "--format", choices=("text", "json", "github"), default="text",
+        help="report format: text (default), json, or github "
+        "(::error/::warning annotations for CI)",
+    )
 
     trc = sub.add_parser(
         "trace",
@@ -849,7 +854,9 @@ def _cmd_suite(args: argparse.Namespace) -> int:
 def _cmd_check(args: argparse.Namespace) -> int:
     from repro.check.reporting import run_and_report
 
-    return run_and_report(args.paths, list_rules=args.list_rules)
+    return run_and_report(
+        args.paths, list_rules=args.list_rules, format=args.format
+    )
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:

@@ -388,6 +388,7 @@ def iter_frame_record_spans(
         )
 
 
+# hot-path
 def decode_frame_events(frame: bytes | memoryview) -> list[Event]:
     """Decode every record of one frame (header included) into events.
 
@@ -614,12 +615,14 @@ def _open_binary_view(path: str | Path):
             )
         except ValueError:
             raise StreamFormatError(f"{path}: empty binary stream file") from None
-    if mapped[: len(MAGIC)] != MAGIC:
-        size = len(mapped)
+    try:
+        if mapped[: len(MAGIC)] != MAGIC:
+            raise StreamFormatError(
+                f"{path}: missing binary stream magic ({len(mapped)} byte(s))"
+            )
+    except BaseException:
         mapped.close()
-        raise StreamFormatError(
-            f"{path}: missing binary stream magic ({size} byte(s))"
-        )
+        raise
     return mapped
 
 
@@ -674,6 +677,7 @@ def _frames_end(mapped) -> int:
     return size
 
 
+# hot-path
 def iter_binary_batches(path: str | Path) -> Iterator["RawBatch | Event"]:
     """Yield zero-copy graph-frame :class:`RawBatch` runs and parsed
     control events — the binary analogue of

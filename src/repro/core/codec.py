@@ -528,6 +528,7 @@ class RawBatch:
         return f"RawBatch({self.count} lines, {len(self.data)} bytes)"
 
 
+# hot-path
 def iter_raw_batches(
     path: str | Path, *, batch_lines: int = 256
 ) -> Iterator[RawBatch | Event]:
@@ -637,6 +638,7 @@ def parse_stream_file(path: str | Path, *, trusted: bool = False) -> list[Event]
     return events
 
 
+# hot-path
 def iter_parse_chunks(
     path: str | Path,
     *,

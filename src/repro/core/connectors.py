@@ -259,12 +259,19 @@ class TcpTransport(Transport):
         if flush_every <= 0:
             raise ValueError(f"flush_every must be positive, got {flush_every}")
         try:
-            self._socket = socket.create_connection((host, port), timeout=10.0)
-            self._socket.settimeout(None)
-            self._socket.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            sock = socket.create_connection((host, port), timeout=10.0)
         except OSError as exc:
             raise ConnectorError(f"cannot connect to {host}:{port}: {exc}") from exc
-        self._file = self._socket.makefile("w", encoding="utf-8", buffering=1 << 16)
+        try:
+            sock.settimeout(None)
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            self._file = sock.makefile("w", encoding="utf-8", buffering=1 << 16)
+        except OSError as exc:
+            # The connection succeeded but configuring it did not: the
+            # fd is ours until handed to self, so release it here.
+            sock.close()
+            raise ConnectorError(f"cannot connect to {host}:{port}: {exc}") from exc
+        self._socket = sock
         self._flush_every = flush_every
         self._since_flush = 0
         self._closed = False
@@ -398,7 +405,13 @@ class PipeSpec(TransportSpec):
             encoding="utf-8",
             buffering=1 << 16,
         )
-        return PipeTransport(handle, flush_every=self.flush_every, owns=True)
+        try:
+            return PipeTransport(handle, flush_every=self.flush_every, owns=True)
+        except BaseException:
+            # e.g. flush_every validation: the transport never took
+            # ownership, so the fd is still ours to release.
+            handle.close()
+            raise
 
 
 @dataclass(frozen=True, slots=True)
@@ -469,6 +482,7 @@ class WindowCounter:
             ]
 
 
+# hot-path
 def _count_stream(file, record: Callable[[int], None]) -> None:
     """Count events arriving on a stream, autodetecting the format.
 
@@ -637,13 +651,20 @@ class TcpReceiver:
             raise ValueError(
                 f"max_connections must be positive, got {max_connections}"
             )
-        self._server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-        self._server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-        self._server.bind((host, 0))
-        self._server.listen(max_connections)
-        self._server.settimeout(self.accept_poll_seconds)
+        server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            server.bind((host, 0))
+            server.listen(max_connections)
+            server.settimeout(self.accept_poll_seconds)
+            self.port = server.getsockname()[1]
+        except BaseException:
+            # bind/listen can fail (port exhaustion, bad host); nothing
+            # owns the socket yet, so close it before re-raising.
+            server.close()
+            raise
+        self._server = server
         self.host = host
-        self.port = self._server.getsockname()[1]
         self.counter = WindowCounter(window_seconds, clock=clock)
         self._tracer = tracer
         self._max_connections = max_connections
@@ -700,8 +721,8 @@ class TcpReceiver:
 
     def _read_connection(self, connection: socket.socket) -> None:
         with connection:
-            reader = connection.makefile("rb", buffering=1 << 16)
-            _count_stream(reader, self._record_batch)
+            with connection.makefile("rb", buffering=1 << 16) as reader:
+                _count_stream(reader, self._record_batch)
 
     def _record_batch(self, count: int) -> None:
         # Arrival-order ids are assigned from one shared counter so

@@ -189,6 +189,7 @@ class _ReaderThread:
                 continue
         return False
 
+    # hot-path
     def _read_source(self) -> None:
         try:
             if isinstance(self._source, (str, Path)):
@@ -348,6 +349,7 @@ class LiveReplayer:
 
     # -- emission ----------------------------------------------------------
 
+    # hot-path
     def run(self) -> ReplayReport:
         """Replay the whole stream; blocks until finished.
 
@@ -421,7 +423,8 @@ class LiveReplayer:
                 wait = next_emit - now
                 if wait > 0:
                     if wait > _SPIN_THRESHOLD:
-                        time.sleep(wait - 0.001)
+                        # pacing sleep, bounded by the next emit slot
+                        time.sleep(wait - 0.001)  # repro-check: disable=HOT001
                     while perf_counter() < next_emit:
                         pass
                     now = next_emit
@@ -484,7 +487,9 @@ class LiveReplayer:
             failure: BaseException | None = None
             try:
                 while True:
-                    chunk = reader.queue.get()
+                    # bounded by reader progress: the reader thread
+                    # always enqueues the sentinel (in its finally)
+                    chunk = reader.queue.get()  # repro-check: disable=HOT001
                     if chunk is _SENTINEL:
                         break
                     for item in chunk:
@@ -526,7 +531,8 @@ class LiveReplayer:
                             interval = 1.0 / (self._base_rate * item.factor)
                         elif isinstance(item, PauseEvent):
                             flush()
-                            time.sleep(item.seconds)
+                            # PAUSE events block by design
+                            time.sleep(item.seconds)  # repro-check: disable=HOT001
                             next_emit = perf_counter()
                         else:
                             raise ReplayError(
@@ -554,7 +560,8 @@ class LiveReplayer:
                         pass
                     self._transport = self._transport_factory()
                 if self._resume_delay:
-                    time.sleep(self._resume_delay)
+                    # configured reconnect backoff, off the steady path
+                    time.sleep(self._resume_delay)  # repro-check: disable=HOT001
                 continue
             except BaseException as exc:
                 failure = exc

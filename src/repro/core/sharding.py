@@ -63,7 +63,7 @@ import threading
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, Sequence
+from typing import BinaryIO, Iterable, Sequence
 
 from repro.core import binfmt, codec
 from repro.core.connectors import Transport, TransportSpec
@@ -218,14 +218,20 @@ def _write_shards_csv_bytes(
     dropped, matching the parse-based path.
     """
     paths = [directory / f"shard-{index}.csv" for index in range(workers)]
-    files = [open(path, "wb", buffering=1 << 16) for path in paths]
     graph_counts = [0] * workers
     control_events = 0
     round_robin = 0
     hash_mode = shard_by == "hash"
     graph_first_bytes = codec._RAW_GRAPH_FIRST_BYTES
-    mapped = codec._open_stream_mmap(source)
+    # Acquire the shard files and the source view inside the same try
+    # so a failure opening any of them (or mapping the source) cannot
+    # leak the handles opened before it.
+    files: list[BinaryIO] = []
+    mapped = None
     try:
+        for path in paths:
+            files.append(open(path, "wb", buffering=1 << 16))
+        mapped = codec._open_stream_mmap(source)
         if mapped is not None:
             size = len(mapped)
             position = 0
@@ -282,12 +288,16 @@ def _write_shards_binary_records(
     indexes them).  Control events are replicated to every shard.
     """
     paths = [directory / f"shard-{index}.gtb" for index in range(workers)]
-    writers = [binfmt.BinaryStreamWriter(path) for path in paths]
     graph_counts = [0] * workers
     control_events = 0
     round_robin = 0
     hash_mode = shard_by == "hash"
+    # Construct the writers inside the try: each one opens a file, so a
+    # failure on the k-th must still close the k-1 already open.
+    writers: list[binfmt.BinaryStreamWriter] = []
     try:
+        for path in paths:
+            writers.append(binfmt.BinaryStreamWriter(path))
         for item in binfmt.iter_binary_batches(source):
             if isinstance(item, Event):
                 control_events += 1
@@ -534,7 +544,8 @@ def _replay_stream(
                 wait = next_emit - now
                 if wait > 0:
                     if wait > _SPIN_THRESHOLD:
-                        time.sleep(wait - 0.001)
+                        # pacing sleep, bounded by the next emit slot
+                        time.sleep(wait - 0.001)  # repro-check: disable=HOT001
                     while perf_counter() < next_emit:
                         pass
                     now = next_emit
@@ -556,7 +567,8 @@ def _replay_stream(
             elif isinstance(item, SpeedEvent):
                 interval = 1.0 / (rate * item.factor)
             elif isinstance(item, PauseEvent):
-                time.sleep(item.seconds)
+                # PAUSE events block by design
+                time.sleep(item.seconds)  # repro-check: disable=HOT001
                 next_emit = perf_counter()
             else:
                 raise ReplayError(f"cannot replay {type(item).__name__}")
@@ -585,6 +597,7 @@ def _replay_stream(
     )
 
 
+# hot-path
 def replay_shard(config: WorkerConfig, transport: Transport) -> ReplayReport:
     """Run one shard's replay on an already-built transport."""
     if config.emission == "raw":

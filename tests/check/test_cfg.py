@@ -1,0 +1,283 @@
+"""Structural tests for the per-function CFG builder."""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+from repro.check.cfg import build_cfg, iter_function_defs, may_raise
+
+
+def cfg_of(source: str):
+    tree = ast.parse(textwrap.dedent(source))
+    functions = list(iter_function_defs(tree))
+    assert functions, "fixture defines no function"
+    qualname, func, __ = functions[0]
+    return build_cfg(func, qualname)
+
+
+def reachable(cfg, start: int) -> set[int]:
+    seen = {start}
+    stack = [start]
+    while stack:
+        for edge in cfg.successors(stack.pop()):
+            if edge.dst not in seen:
+                seen.add(edge.dst)
+                stack.append(edge.dst)
+    return seen
+
+
+def all_edge_kinds(cfg) -> set[str]:
+    return {edge.kind for edge in cfg.edges}
+
+
+def test_linear_function_reaches_exit():
+    cfg = cfg_of(
+        """
+        def f(x):
+            y = x + 1
+            return y
+        """
+    )
+    assert cfg.exit in reachable(cfg, cfg.entry)
+
+
+def test_if_has_true_and_false_edges():
+    cfg = cfg_of(
+        """
+        def f(x):
+            if x:
+                a = 1
+            else:
+                a = 2
+            return a
+        """
+    )
+    kinds = all_edge_kinds(cfg)
+    assert "true" in kinds and "false" in kinds
+    assert cfg.exit in reachable(cfg, cfg.entry)
+
+
+def test_while_loop_has_back_edge():
+    cfg = cfg_of(
+        """
+        def f(n):
+            while n:
+                n -= 1
+            return n
+        """
+    )
+    assert "back" in all_edge_kinds(cfg)
+    assert cfg.exit in reachable(cfg, cfg.entry)
+
+
+def test_while_true_without_break_never_falls_through():
+    cfg = cfg_of(
+        """
+        def f():
+            while True:
+                spin()
+        """
+    )
+    # The only way out is the exception edge of ``spin()``.
+    normal_only = {
+        edge.dst
+        for index in reachable(cfg, cfg.entry)
+        for edge in cfg.successors(index)
+        if edge.kind != "exception"
+    }
+    assert cfg.exit not in normal_only
+
+
+def test_break_exits_loop():
+    cfg = cfg_of(
+        """
+        def f(n):
+            while True:
+                if n:
+                    break
+            return n
+        """
+    )
+    assert cfg.exit in reachable(cfg, cfg.entry)
+
+
+def test_call_statement_has_exception_edge_to_raise_exit():
+    cfg = cfg_of(
+        """
+        def f():
+            work()
+        """
+    )
+    assert any(
+        edge.kind == "exception" for edge in cfg.predecessors(cfg.raise_exit)
+    ) or cfg.raise_exit in reachable(cfg, cfg.entry)
+    assert cfg.raise_exit in reachable(cfg, cfg.entry)
+
+
+def test_pure_assign_has_no_exception_edge():
+    cfg = cfg_of(
+        """
+        def f(x):
+            y = x
+            return y
+        """
+    )
+    assert cfg.raise_exit not in reachable(cfg, cfg.entry)
+
+
+def test_try_finally_exception_path_goes_through_finally():
+    cfg = cfg_of(
+        """
+        def f():
+            try:
+                work()
+            finally:
+                cleanup()
+        """
+    )
+    tree = cfg.func
+    cleanup_stmt = None
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Expr)
+            and isinstance(node.value, ast.Call)
+            and isinstance(node.value.func, ast.Name)
+            and node.value.func.id == "cleanup"
+        ):
+            cleanup_stmt = node
+    cleanup_node = cfg.node_for(cleanup_stmt)
+    assert cleanup_node is not None
+    # Every path to raise_exit from work() passes the finally body.
+    assert cfg.raise_exit in reachable(cfg, cleanup_node.index)
+    assert cleanup_node.index in reachable(cfg, cfg.entry)
+
+
+def test_return_inside_try_routes_through_finally():
+    cfg = cfg_of(
+        """
+        def f():
+            try:
+                return 1
+            finally:
+                cleanup()
+        """
+    )
+    for node in ast.walk(cfg.func):
+        if isinstance(node, ast.Return):
+            return_node = cfg.node_for(node)
+    assert return_node is not None
+    passed = reachable(cfg, return_node.index)
+    cleanup_indices = {
+        cfg_node.index
+        for cfg_node in cfg.nodes
+        if cfg_node.stmt is not None
+        and isinstance(cfg_node.stmt, ast.Expr)
+    }
+    assert passed & cleanup_indices, "return must pass the finally body"
+    assert cfg.exit in passed
+
+
+def test_except_handler_is_reachable_from_raising_body():
+    cfg = cfg_of(
+        """
+        def f():
+            try:
+                work()
+            except ValueError:
+                fallback()
+            return 1
+        """
+    )
+    handler_nodes = [
+        node
+        for node in cfg.nodes
+        if isinstance(node.stmt, ast.ExceptHandler)
+    ]
+    assert handler_nodes
+    assert handler_nodes[0].index in reachable(cfg, cfg.entry)
+    # Non-catch-all handler: the exception may also escape.
+    assert cfg.raise_exit in reachable(cfg, cfg.entry)
+
+
+def test_catch_all_handler_swallows_exception_edge():
+    cfg = cfg_of(
+        """
+        def f(x):
+            try:
+                y = x + 1
+            except Exception:
+                y = 0
+            return y
+        """
+    )
+    # BinOp never raises per may_raise, and the handler would catch the
+    # rest: nothing reaches raise_exit.
+    assert cfg.raise_exit not in reachable(cfg, cfg.entry)
+
+
+def test_may_raise_classification():
+    def stmt_of(src: str) -> ast.stmt:
+        return ast.parse(textwrap.dedent(src)).body[0]
+
+    assert may_raise(stmt_of("work()"))
+    assert may_raise(stmt_of("raise ValueError"))
+    assert may_raise(stmt_of("assert x"))
+    assert not may_raise(stmt_of("y = x"))
+    # Calls inside a nested def body don't make the def raise.
+    assert not may_raise(stmt_of("def g():\n    work()"))
+
+
+def test_iter_function_defs_qualnames():
+    tree = ast.parse(
+        textwrap.dedent(
+            """
+            def top():
+                def inner():
+                    pass
+
+            class Box:
+                def method(self):
+                    pass
+
+            async def later():
+                pass
+            """
+        )
+    )
+    names = {qualname for qualname, __, __ in iter_function_defs(tree)}
+    assert names == {"top", "top.inner", "Box.method", "later"}
+    class_names = {
+        qualname: class_name
+        for qualname, __, class_name in iter_function_defs(tree)
+    }
+    assert class_names["Box.method"] == "Box"
+    assert class_names["top"] is None
+
+
+def test_with_statement_flows_through_body():
+    cfg = cfg_of(
+        """
+        def f(p):
+            with open(p) as handle:
+                handle.read()
+            return 1
+        """
+    )
+    assert cfg.exit in reachable(cfg, cfg.entry)
+    assert cfg.raise_exit in reachable(cfg, cfg.entry)
+
+
+def test_match_statement_edges():
+    cfg = cfg_of(
+        """
+        def f(x):
+            match x:
+                case 1:
+                    a = 1
+                case _:
+                    a = 2
+            return a
+        """
+    )
+    assert cfg.exit in reachable(cfg, cfg.entry)

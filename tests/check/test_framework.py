@@ -46,6 +46,69 @@ def test_suppression_accepts_multiple_ids(check_source):
     assert check_source(source, HardcodedSeedRule()) == []
 
 
+def test_file_level_suppression_silences_whole_file(check_source):
+    source = "    # repro-check: disable-file=DET003\n" + BAD_SEED
+    assert check_source(source, HardcodedSeedRule()) == []
+
+
+def test_file_level_suppression_is_id_specific(check_source):
+    source = "    # repro-check: disable-file=CONC001\n" + BAD_SEED
+    violations = check_source(source, HardcodedSeedRule())
+    assert [v.rule_id for v in violations] == ["DET003"]
+
+
+def test_file_level_suppression_accepts_multiple_ids(check_source):
+    source = "    # repro-check: disable-file=CONC001, DET003\n" + BAD_SEED
+    assert check_source(source, HardcodedSeedRule()) == []
+
+
+def test_suppression_on_continuation_line(check_source):
+    """A disable comment on any physical line of a multi-line statement
+    covers the whole statement, including the reported opener line."""
+    source = """\
+        import random
+
+        def gen(rng=None):
+            if rng is None:
+                rng = random.Random(
+                    0,
+                )  # repro-check: disable=DET003
+            return rng
+    """
+    assert check_source(source, HardcodedSeedRule()) == []
+
+
+def test_suppression_on_opening_line_covers_continuations(check_source):
+    source = """\
+        import random
+
+        def gen(rng=None):
+            if rng is None:
+                rng = random.Random(  # repro-check: disable=DET003
+                    0,
+                )
+            return rng
+    """
+    assert check_source(source, HardcodedSeedRule()) == []
+
+
+def test_compound_header_suppression_does_not_leak_into_body(check_source):
+    """A suppression on an ``if`` header scopes the header only — the
+    body keeps its own violations."""
+    source = """\
+        import random
+
+        def gen(
+            flag,  # repro-check: disable=DET003
+        ):
+            if flag:
+                return random.Random(0)
+            return None
+    """
+    violations = check_source(source, HardcodedSeedRule())
+    assert [v.rule_id for v in violations] == ["DET003"]
+
+
 def test_scoped_rule_skips_files_outside_scope(check_source):
     assert (
         check_source(BAD_SEED, HardcodedSeedRule(), rel="core/replayer.py")

@@ -1,0 +1,125 @@
+"""``--format json`` / ``--format github`` reporter output."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+from repro import cli
+from repro.check.framework import CheckResult, Violation
+from repro.check.reporting import render_github, render_json
+
+
+def result_with(*violations: Violation) -> CheckResult:
+    return CheckResult(
+        violations=list(violations), files_checked=3, rules_run=15
+    )
+
+
+ERROR = Violation("RES001", "file 'h' may leak", "src/a.py", 10, 4)
+WARNING = Violation(
+    "HOT001", "blocking call", "src/b.py", 7, 0, severity="warning"
+)
+
+
+def test_json_payload_shape():
+    payload = json.loads(render_json(result_with(ERROR, WARNING)))
+    assert payload["ok"] is False
+    assert payload["files_checked"] == 3
+    assert payload["rules_run"] == 15
+    assert payload["violations"] == [
+        {
+            "rule_id": "RES001",
+            "severity": "error",
+            "path": "src/a.py",
+            "line": 10,
+            "column": 5,  # 1-based, matching the text report
+            "message": "file 'h' may leak",
+        },
+        {
+            "rule_id": "HOT001",
+            "severity": "warning",
+            "path": "src/b.py",
+            "line": 7,
+            "column": 1,
+            "message": "blocking call",
+        },
+    ]
+
+
+def test_json_clean_run():
+    payload = json.loads(render_json(result_with()))
+    assert payload["ok"] is True
+    assert payload["violations"] == []
+
+
+def test_github_annotations_levels():
+    out = render_github(result_with(ERROR, WARNING))
+    lines = out.splitlines()
+    assert lines[0] == (
+        "::error file=src/a.py,line=10,col=5,title=RES001::"
+        "RES001 file 'h' may leak"
+    )
+    assert lines[1].startswith("::warning file=src/b.py,line=7,")
+    assert "2 violation(s)" in lines[-1]
+
+
+def test_github_escapes_newlines_and_percent():
+    tricky = Violation("DET001", "bad%\nworse", "src/c.py", 1)
+    out = render_github(result_with(tricky))
+    assert "bad%25%0Aworse" in out.splitlines()[0]
+    assert "\nworse" not in out.splitlines()[0]
+
+
+def test_github_clean_run():
+    out = render_github(result_with())
+    assert out == "repro check: OK (3 file(s), 15 rule(s))"
+
+
+def write_bad_tree(tmp_path):
+    bad = tmp_path / "sim" / "clock.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text(
+        textwrap.dedent(
+            """\
+            import time
+
+            NOW = time.time()
+            """
+        ),
+        encoding="utf-8",
+    )
+    return tmp_path
+
+
+def test_cli_check_format_json(tmp_path, capsys):
+    root = write_bad_tree(tmp_path)
+    assert cli.main(["check", str(root), "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["ok"] is False
+    assert payload["violations"][0]["rule_id"] == "DET001"
+
+
+def test_cli_check_format_github(tmp_path, capsys):
+    root = write_bad_tree(tmp_path)
+    assert cli.main(["check", str(root), "--format", "github"]) == 1
+    out = capsys.readouterr().out
+    assert "::error file=" in out
+    assert "DET001" in out
+
+
+def test_cli_check_format_text_is_default(tmp_path, capsys):
+    root = write_bad_tree(tmp_path)
+    assert cli.main(["check", str(root)]) == 1
+    out = capsys.readouterr().out
+    assert "::error" not in out
+    assert "DET001" in out
+
+
+def test_module_entrypoint_accepts_format(tmp_path, capsys):
+    from repro.check.reporting import check_main
+
+    root = write_bad_tree(tmp_path)
+    assert check_main([str(root), "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["violations"]

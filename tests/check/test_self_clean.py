@@ -17,7 +17,7 @@ def test_shipped_tree_is_clean():
         violation.render() for violation in result.violations
     )
     assert result.files_checked > 50
-    assert result.rules_run == 11
+    assert result.rules_run == 15
 
 
 def test_cli_check_exits_zero(capsys):

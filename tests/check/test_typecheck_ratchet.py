@@ -1,0 +1,81 @@
+"""The typecheck budget ratchet: two-sided enforcement, safe skip."""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+_SCRIPT = (
+    Path(__file__).resolve().parents[2] / "scripts" / "typecheck_ratchet.py"
+)
+_spec = importlib.util.spec_from_file_location("typecheck_ratchet", _SCRIPT)
+ratchet = importlib.util.module_from_spec(_spec)
+sys.modules["typecheck_ratchet"] = ratchet
+_spec.loader.exec_module(ratchet)
+
+
+@pytest.fixture
+def budget_file(tmp_path):
+    def write(value: int) -> Path:
+        path = tmp_path / "typecheck_budget.txt"
+        path.write_text(f"# comment line\n\n{value}\n", encoding="utf-8")
+        return path
+
+    return write
+
+
+def run_with(monkeypatch, budget_path: Path, errors: int | None) -> int:
+    monkeypatch.setattr(ratchet, "count_mypy_errors", lambda: errors)
+    return ratchet.main(["--budget-file", str(budget_path)])
+
+
+def test_within_window_passes(monkeypatch, budget_file, capsys):
+    assert run_with(monkeypatch, budget_file(36), 34) == 0
+    assert "OK" in capsys.readouterr().out
+
+
+def test_count_at_budget_passes(monkeypatch, budget_file):
+    assert run_with(monkeypatch, budget_file(36), 36) == 0
+
+
+def test_regression_fails(monkeypatch, budget_file, capsys):
+    assert run_with(monkeypatch, budget_file(36), 37) == 1
+    assert "exceeds the budget" in capsys.readouterr().out
+
+
+def test_unbanked_improvement_fails(monkeypatch, budget_file, capsys):
+    assert run_with(monkeypatch, budget_file(36), 30) == 1
+    out = capsys.readouterr().out
+    assert "Lower" in out
+    assert "30" in out
+
+
+def test_exactly_slack_below_passes(monkeypatch, budget_file):
+    assert run_with(monkeypatch, budget_file(36), 31) == 0
+
+
+def test_missing_mypy_skips_cleanly(monkeypatch, budget_file, capsys):
+    assert run_with(monkeypatch, budget_file(36), None) == 0
+    assert "not installed" in capsys.readouterr().out
+
+
+def test_budget_parse_rejects_garbage(tmp_path):
+    path = tmp_path / "typecheck_budget.txt"
+    path.write_text("# only comments\nforty\n", encoding="utf-8")
+    with pytest.raises(SystemExit):
+        ratchet.read_budget(path)
+
+
+def test_budget_parse_requires_value(tmp_path):
+    path = tmp_path / "typecheck_budget.txt"
+    path.write_text("# only comments\n", encoding="utf-8")
+    with pytest.raises(SystemExit):
+        ratchet.read_budget(path)
+
+
+def test_repo_budget_file_parses():
+    repo_budget = _SCRIPT.parent.parent / "typecheck_budget.txt"
+    assert ratchet.read_budget(repo_budget) == 36

@@ -3,8 +3,10 @@ that never strand file descriptors."""
 
 from __future__ import annotations
 
+import builtins
 import io
 import os
+import socket
 import time
 
 import pytest
@@ -19,6 +21,7 @@ from repro.core.connectors import (
 from repro.core.events import add_vertex
 from repro.core.replayer import LiveReplayer
 from repro.core.stream import GraphStream
+from repro.errors import ConnectorError
 
 
 class TestTcpReceiverShutdown:
@@ -227,3 +230,84 @@ class TestTcpReceiverMultiConnection:
     def test_max_connections_validated(self):
         with pytest.raises(ValueError):
             TcpReceiver(max_connections=0)
+
+
+class _FakeSock:
+    """Connected-socket stand-in that records whether close() ran."""
+
+    def __init__(self, fail_on: str):
+        self.fail_on = fail_on
+        self.closed = False
+
+    def settimeout(self, value):
+        if self.fail_on == "settimeout":
+            raise OSError("settimeout exploded")
+
+    def setsockopt(self, *args):
+        if self.fail_on == "setsockopt":
+            raise OSError("setsockopt exploded")
+
+    def makefile(self, *args, **kwargs):
+        if self.fail_on == "makefile":
+            raise OSError("makefile exploded")
+        return io.StringIO()
+
+    def close(self):
+        self.closed = True
+
+
+class TestConstructorFailurePaths:
+    """Acquisition error paths must not strand fds or threads — the
+    regression suite for the RES001/RES002 findings on the connectors."""
+
+    @pytest.mark.parametrize("fail_on", ["settimeout", "makefile"])
+    def test_tcp_transport_closes_socket_when_configure_fails(
+        self, monkeypatch, fail_on
+    ):
+        fake = _FakeSock(fail_on)
+        monkeypatch.setattr(
+            socket, "create_connection", lambda *a, **k: fake
+        )
+        with pytest.raises(ConnectorError):
+            TcpTransport("localhost", 1)
+        assert fake.closed
+
+    def test_tcp_transport_connect_failure_raises_connector_error(self):
+        # Port 1 on localhost is (nearly) always closed: connect refuses.
+        with pytest.raises(ConnectorError):
+            TcpTransport("127.0.0.1", 1)
+
+    def test_pipe_spec_closes_handle_when_transport_rejects(
+        self, tmp_path, monkeypatch
+    ):
+        opened = []
+        real_open = builtins.open
+
+        def spying_open(*args, **kwargs):
+            handle = real_open(*args, **kwargs)
+            opened.append(handle)
+            return handle
+
+        monkeypatch.setattr(builtins, "open", spying_open)
+        spec = PipeSpec(target=str(tmp_path / "out.csv"), flush_every=0)
+        with pytest.raises(ValueError):
+            spec.build()
+        assert opened, "build() should have opened the target file"
+        assert all(handle.closed for handle in opened)
+
+    def test_tcp_receiver_closes_server_socket_when_bind_fails(
+        self, monkeypatch
+    ):
+        created = []
+        real_socket = socket.socket
+
+        def spying_socket(*args, **kwargs):
+            sock = real_socket(*args, **kwargs)
+            created.append(sock)
+            return sock
+
+        monkeypatch.setattr(socket, "socket", spying_socket)
+        with pytest.raises(OSError):
+            TcpReceiver(host="definitely.invalid.host.example.")
+        assert created, "constructor should have created a server socket"
+        assert all(sock.fileno() == -1 for sock in created)

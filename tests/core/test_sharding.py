@@ -167,6 +167,32 @@ class TestWriteShards:
         for path in plan.paths[1:]:
             assert codec.parse_stream_file(path) == []
 
+    def test_partial_open_failure_closes_earlier_shards(
+        self, tmp_path, monkeypatch
+    ):
+        """If opening shard k fails, shards 0..k-1 must not leak."""
+        import builtins
+
+        from repro.core.sharding import _write_shards_csv_bytes
+
+        source = tmp_path / "stream.csv"
+        mixed_stream().write(source)
+        opened = []
+        real_open = builtins.open
+
+        def failing_open(path, *args, **kwargs):
+            if str(path).endswith("shard-1.csv"):
+                raise OSError("disk full")
+            handle = real_open(path, *args, **kwargs)
+            opened.append(handle)
+            return handle
+
+        monkeypatch.setattr(builtins, "open", failing_open)
+        with pytest.raises(OSError):
+            _write_shards_csv_bytes(source, 3, tmp_path, "round-robin")
+        assert opened, "shard-0 should have been opened before the failure"
+        assert all(handle.closed for handle in opened)
+
 
 class TestMergeReplayReports:
     def make(self, **overrides) -> ReplayReport:
