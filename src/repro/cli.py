@@ -7,6 +7,9 @@ Subcommands::
     graphtides replay stream.csv --rate 20000 --transport pipe
     graphtides experiment fig3a|fig3b|fig3c|fig3d [--scale 0.05]
     graphtides trace result.jsonl -o trace.json [--validate]
+    graphtides fuzz run --seed 42 --budget 50 [--corpus corpus]
+    graphtides fuzz minimize repro.csv -o minimal.csv
+    graphtides fuzz replay --corpus corpus
 """
 
 from __future__ import annotations
@@ -183,6 +186,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--scale", type=float, default=0.05,
         help="fraction of the paper-scale configuration (1.0 = full)",
     )
+    exp.add_argument(
+        "--corpus", default=None, metavar="DIR",
+        help="robustness only: after the rate sweep, replay the fuzz "
+        "regression corpus under DIR and fail on any verdict mismatch",
+    )
 
     run = sub.add_parser(
         "run", help="evaluate a built-in platform against a stream file"
@@ -319,6 +327,59 @@ def build_parser() -> argparse.ArgumentParser:
         "--format", choices=("text", "json", "github"), default="text",
         help="report format: text (default), json, or github "
         "(::error/::warning annotations for CI)",
+    )
+
+    fuz = sub.add_parser(
+        "fuzz",
+        help="adversarial workload fuzzing: seeded mutation, pipeline "
+        "oracles, ddmin minimization, regression corpus (repro.fuzz)",
+    )
+    fuzsub = fuz.add_subparsers(dest="fuzz_command", required=True)
+    fzr = fuzsub.add_parser(
+        "run",
+        help="run the seeded fuzz loop (deterministic per --seed)",
+    )
+    fzr.add_argument("--seed", type=int, default=42)
+    fzr.add_argument(
+        "--budget", type=int, default=50,
+        help="number of mutated candidates to evaluate",
+    )
+    fzr.add_argument(
+        "--deadline", type=float, default=20.0,
+        help="per-candidate watchdog deadline in seconds",
+    )
+    fzr.add_argument(
+        "--corpus", default=None, metavar="DIR",
+        help="archive each minimized finding as a corpus entry under DIR",
+    )
+    fzr.add_argument(
+        "--no-minimize", action="store_true",
+        help="keep findings at full size (skip ddmin)",
+    )
+    fzr.add_argument(
+        "--minimizer-tests", type=int, default=120,
+        help="ddmin evaluation budget per finding",
+    )
+    fzm = fuzsub.add_parser(
+        "minimize", help="ddmin-shrink a reproducer stream file"
+    )
+    fzm.add_argument("workload", help="stream file (format autodetected)")
+    fzm.add_argument("-o", "--output", required=True)
+    fzm.add_argument(
+        "--max-tests", type=int, default=400,
+        help="ddmin evaluation budget",
+    )
+    fzm.add_argument("--deadline", type=float, default=20.0)
+    fzm.add_argument("--seed", type=int, default=42)
+    fzp = fuzsub.add_parser(
+        "replay",
+        help="re-evaluate every corpus entry under its recorded config "
+        "and compare verdicts (nonzero exit on mismatch)",
+    )
+    fzp.add_argument("--corpus", default="corpus", metavar="DIR")
+    fzp.add_argument(
+        "--name", default=None,
+        help="only replay entries whose name contains this substring",
     )
 
     trc = sub.add_parser(
@@ -595,7 +656,13 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
                 f"{row.redeliveries:>7} {row.breaker_openings:>7} "
                 f"{row.resumes:>7} {row.events_lost:>4}"
             )
+        if args.corpus:
+            return _print_corpus_replay(args.corpus, name_filter=None)
         return 0
+    if args.corpus:
+        print("--corpus only applies to the robustness experiment",
+              file=sys.stderr)
+        return 2
     if args.figure == "fig3a":
         config = ReplayerExperimentConfig().scaled(scale)
         rows = run_replayer_throughput(config)
@@ -859,6 +926,91 @@ def _cmd_check(args: argparse.Namespace) -> int:
     )
 
 
+def _print_corpus_replay(corpus_dir: str, name_filter: str | None) -> int:
+    """Replay the fuzz regression corpus; nonzero exit on mismatch."""
+    from repro.experiments.robustness import replay_corpus
+
+    rows = replay_corpus(corpus_dir)
+    if name_filter is not None:
+        rows = [row for row in rows if name_filter in row.name]
+    if not rows:
+        print(f"no corpus entries under {corpus_dir}", file=sys.stderr)
+        return 1
+    mismatches = 0
+    for row in rows:
+        status = "ok" if row.matches else "MISMATCH"
+        line = f"{row.found_as}/{row.name}: {row.expected_signature}"
+        if not row.matches:
+            line += f" -> {row.actual_signature}"
+            mismatches += 1
+        print(f"{line} [{status}]")
+    print(f"corpus: {len(rows)} entries, {mismatches} mismatch(es)")
+    return 1 if mismatches else 0
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    handlers = {
+        "run": _cmd_fuzz_run,
+        "minimize": _cmd_fuzz_minimize,
+        "replay": _cmd_fuzz_replay,
+    }
+    return handlers[args.fuzz_command](args)
+
+
+def _cmd_fuzz_run(args: argparse.Namespace) -> int:
+    from repro.fuzz import EvaluatorConfig, FuzzConfig, run_fuzz
+
+    config = FuzzConfig(
+        seed=args.seed,
+        budget=args.budget,
+        evaluator=EvaluatorConfig(seed=args.seed, deadline=args.deadline),
+        minimize=not args.no_minimize,
+        minimizer_tests=args.minimizer_tests,
+        corpus_dir=args.corpus,
+    )
+    report = run_fuzz(config)
+    for line in report.summary_lines():
+        print(line)
+    if args.corpus and report.findings:
+        print(
+            f"archived {len(report.findings)} finding(s) under {args.corpus}/"
+        )
+    return 0
+
+
+def _cmd_fuzz_minimize(args: argparse.Namespace) -> int:
+    from repro.fuzz import (
+        EvaluatorConfig,
+        evaluate,
+        minimize_workload,
+    )
+    from repro.fuzz.workload import Workload
+
+    workload = Workload.from_file(args.workload)
+    config = EvaluatorConfig(seed=args.seed, deadline=args.deadline)
+    verdict = evaluate(workload, config)
+    if not verdict.is_finding:
+        print(
+            f"{args.workload}: verdict {verdict.signature} is not a "
+            f"finding; nothing to minimize",
+            file=sys.stderr,
+        )
+        return 1
+    minimized = minimize_workload(
+        workload, verdict, config, max_tests=args.max_tests
+    )
+    minimized.write(args.output)
+    print(
+        f"minimized {len(workload.data)} -> {len(minimized.data)} bytes "
+        f"({verdict.signature}) -> {args.output}"
+    )
+    return 0
+
+
+def _cmd_fuzz_replay(args: argparse.Namespace) -> int:
+    return _print_corpus_replay(args.corpus, name_filter=args.name)
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     import json
 
@@ -914,6 +1066,7 @@ def main(argv: list[str] | None = None) -> int:
         "faults": _cmd_faults,
         "check": _cmd_check,
         "trace": _cmd_trace,
+        "fuzz": _cmd_fuzz,
     }
     return handlers[args.command](args)
 

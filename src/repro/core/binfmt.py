@@ -287,23 +287,25 @@ def decode_event(record: bytes | memoryview, offset: int = 0) -> Event:
         tag, body_len = _RECORD_HEADER.unpack_from(record, offset)
     except struct.error:
         raise StreamFormatError(
-            f"truncated binary record header at offset {offset}"
+            "truncated binary record header", byte_offset=offset
         ) from None
     decoder = _DECODERS.get(tag)
     if decoder is None:
-        raise StreamFormatError(f"unknown binary record tag {tag}")
+        raise StreamFormatError(
+            f"unknown binary record tag {tag}", byte_offset=offset
+        )
     start = offset + RECORD_HEADER_SIZE
     end = start + body_len
     if end > len(record):
         raise StreamFormatError(
-            f"binary record at offset {offset} overruns its buffer "
-            f"({end} > {len(record)})"
+            f"binary record overruns its buffer ({end} > {len(record)})",
+            byte_offset=offset,
         )
     try:
         return decoder(record, start, end)
     except (struct.error, UnicodeDecodeError, ValueError) as exc:
         raise StreamFormatError(
-            f"malformed binary record at offset {offset}: {exc}"
+            f"malformed binary record: {exc}", byte_offset=offset
         ) from None
 
 
@@ -311,11 +313,23 @@ def record_entity_id(record: bytes | memoryview, offset: int = 0) -> int:
     """The shard key of a graph record (vertex id / edge source id)
     without decoding the rest of the record — the streamed partitioner's
     ``shard_by="hash"`` peek."""
-    tag = record[offset]
+    try:
+        tag = record[offset]
+    except IndexError:
+        raise StreamFormatError(
+            "truncated binary record header", byte_offset=offset
+        ) from None
     event_type = _TYPE_BY_TAG.get(tag)
     if event_type is None or not event_type.is_graph_event:
-        raise StreamFormatError(f"record tag {tag} is not a graph event")
-    return _I64.unpack_from(record, offset + RECORD_HEADER_SIZE)[0]
+        raise StreamFormatError(
+            f"record tag {tag} is not a graph event", byte_offset=offset
+        )
+    try:
+        return _I64.unpack_from(record, offset + RECORD_HEADER_SIZE)[0]
+    except struct.error:
+        raise StreamFormatError(
+            "truncated binary record body", byte_offset=offset
+        ) from None
 
 
 # ---------------------------------------------------------------------------
@@ -346,7 +360,12 @@ def frame_records(records: list[bytes], kind: int = FRAME_GRAPH) -> bytes:
 
 def frame_info(frame: bytes | memoryview) -> tuple[int, int]:
     """(kind, record count) of a frame byte run (header included)."""
-    kind, count, __ = _FRAME_HEADER.unpack_from(frame, 0)
+    try:
+        kind, count, __ = _FRAME_HEADER.unpack_from(frame, 0)
+    except struct.error:
+        raise StreamFormatError(
+            "truncated binary frame header", byte_offset=0
+        ) from None
     return kind, count
 
 
@@ -372,11 +391,17 @@ def iter_frame_record_spans(
     position = FRAME_HEADER_SIZE
     seen = 0
     while position < end_of_body:
-        __, body = unpack_record(frame, position)
+        try:
+            __, body = unpack_record(frame, position)
+        except struct.error:
+            raise StreamFormatError(
+                "truncated binary record header", byte_offset=position
+            ) from None
         end = position + RECORD_HEADER_SIZE + body
         if end > end_of_body:
             raise StreamFormatError(
-                f"binary record overruns its frame ({end} > {end_of_body})"
+                f"binary record overruns its frame ({end} > {end_of_body})",
+                byte_offset=position,
             )
         yield position, end
         position = end
@@ -412,17 +437,32 @@ def decode_frame_events(frame: bytes | memoryview) -> list[Event]:
     header_size = RECORD_HEADER_SIZE
     position = FRAME_HEADER_SIZE
     while position < end_of_body:
-        tag, body = unpack_record(frame, position)
+        try:
+            tag, body = unpack_record(frame, position)
+        except struct.error:
+            raise StreamFormatError(
+                "truncated binary record header", byte_offset=position
+            ) from None
         start = position + header_size
         position = start + body
         decoder = decoders.get(tag)
         if decoder is None:
-            raise StreamFormatError(f"unknown binary record tag {tag}")
+            raise StreamFormatError(
+                f"unknown binary record tag {tag}",
+                byte_offset=start - header_size,
+            )
         if position > end_of_body:
             raise StreamFormatError(
-                f"binary record overruns its frame ({position} > {end_of_body})"
+                f"binary record overruns its frame ({position} > {end_of_body})",
+                byte_offset=start - header_size,
             )
-        append(decoder(frame, start, position))
+        try:
+            append(decoder(frame, start, position))
+        except (struct.error, UnicodeDecodeError, ValueError) as exc:
+            raise StreamFormatError(
+                f"malformed binary record: {exc}",
+                byte_offset=start - header_size,
+            ) from None
     if len(events) != count:
         raise StreamFormatError(
             f"binary frame header promises {count} record(s), body holds "
@@ -461,16 +501,19 @@ def scan_frame(frame: bytes | memoryview) -> int:
         while position < end_of_body:
             tag, body = unpack_record(frame, position)
             if tag not in known_tags:
-                raise StreamFormatError(f"unknown binary record tag {tag}")
+                raise StreamFormatError(
+                    f"unknown binary record tag {tag}", byte_offset=position
+                )
             position += header_size + body
             seen += 1
     except struct.error:
         raise StreamFormatError(
-            f"truncated binary record header at offset {position}"
+            "truncated binary record header", byte_offset=position
         ) from None
     if position > end_of_body:
         raise StreamFormatError(
-            f"binary record overruns its frame ({position} > {end_of_body})"
+            f"binary record overruns its frame ({position} > {end_of_body})",
+            byte_offset=position,
         )
     if seen != count:
         raise StreamFormatError(
@@ -708,13 +751,15 @@ def iter_binary_batches(path: str | Path) -> Iterator["RawBatch | Event"]:
                 )
             except struct.error:
                 raise StreamFormatError(
-                    f"truncated binary frame header at offset {position}"
+                    "truncated binary frame header",
+                    byte_offset=position,
                 ) from None
             frame_end = position + FRAME_HEADER_SIZE + body_len
             if frame_end > end:
                 raise StreamFormatError(
-                    f"binary frame at offset {position} overruns the file "
-                    f"({frame_end} > {end})"
+                    f"binary frame overruns the file "
+                    f"({frame_end} > {end})",
+                    byte_offset=position,
                 )
             if kind == FRAME_GRAPH:
                 yield RawBatch(view[position:frame_end], count, True)
@@ -722,7 +767,8 @@ def iter_binary_batches(path: str | Path) -> Iterator["RawBatch | Event"]:
                 yield decode_event(view, position + FRAME_HEADER_SIZE)
             else:
                 raise StreamFormatError(
-                    f"unknown binary frame kind {kind} at offset {position}"
+                    f"unknown binary frame kind {kind}",
+                    byte_offset=position,
                 )
             position = frame_end
     finally:

@@ -431,16 +431,53 @@ def parse_lines(
     return events
 
 
+def _utf8_error_offset(path: str | Path) -> int | None:
+    """Absolute byte offset of the first invalid UTF-8 byte in ``path``.
+
+    Error-path helper only: re-scans the file with an incremental
+    decoder to localise a failure already observed elsewhere.  Returns
+    ``None`` if the file decodes cleanly (e.g. a racing rewrite).
+    """
+    import codecs
+
+    decoder = codecs.getincrementaldecoder("utf-8")()
+    consumed = 0
+    with open(path, "rb") as handle:
+        while True:
+            block = handle.read(BLOCK_SIZE)
+            final = not block
+            try:
+                decoder.decode(block, final)
+            except UnicodeDecodeError as exc:
+                return consumed + exc.start
+            if final:
+                return None
+            consumed += len(block)
+
+
+def _raise_not_utf8(path: str | Path, exc: UnicodeDecodeError) -> None:
+    offset = _utf8_error_offset(path)
+    raise StreamFormatError(
+        f"stream file is not valid UTF-8 ({exc.reason})",
+        byte_offset=offset,
+    ) from None
+
+
 def _iter_line_blocks(path: str | Path) -> Iterator[list[str]]:
     """Yield lists of newline-free lines, reading ~64 KiB per block.
 
     Uses universal-newline text mode, so line boundaries match the
-    legacy line-by-line reader exactly.
+    legacy line-by-line reader exactly.  Non-UTF-8 bytes raise
+    :class:`StreamFormatError` with the absolute byte offset instead of
+    leaking :class:`UnicodeDecodeError`.
     """
     with open(path, "r", encoding="utf-8") as handle:
         carry = ""
         while True:
-            block = handle.read(BLOCK_SIZE)
+            try:
+                block = handle.read(BLOCK_SIZE)
+            except UnicodeDecodeError as exc:
+                _raise_not_utf8(path, exc)
             if not block:
                 break
             lines = (carry + block).split("\n")
@@ -489,7 +526,14 @@ def _iter_line_blocks_mmap(path: str | Path) -> Iterator[list[str]]:
                     # A line longer than the block: extend to its end.
                     newline = mapped.find(b"\n", end)
                 end = size if newline == -1 else newline + 1
-            lines = mapped[position:end].decode("utf-8").split("\n")
+            try:
+                block_text = mapped[position:end].decode("utf-8")
+            except UnicodeDecodeError as exc:
+                raise StreamFormatError(
+                    f"stream file is not valid UTF-8 ({exc.reason})",
+                    byte_offset=position + exc.start,
+                ) from None
+            lines = block_text.split("\n")
             if lines and not lines[-1]:
                 lines.pop()
             if lines:
@@ -584,7 +628,13 @@ def iter_raw_batches(
                 if run_count:
                     yield RawBatch(view[run_start:run_end], run_count, True)
                     run_count = 0
-                line = mapped[position:end].decode("utf-8")
+                try:
+                    line = mapped[position:end].decode("utf-8")
+                except UnicodeDecodeError as exc:
+                    raise StreamFormatError(
+                        f"control line is not valid UTF-8 ({exc.reason})",
+                        byte_offset=position + exc.start,
+                    ) from None
                 stripped = line.strip()
                 if stripped and not stripped.startswith("#"):
                     yield parse_line(line, line_number)
@@ -726,12 +776,24 @@ def _format_marker(event: MarkerEvent) -> str:
     return f"MARKER,{_escape(event.label)},"
 
 
+def _format_float(value: float) -> str:
+    """Shortest decimal text that parses back to exactly ``value``.
+
+    ``%g`` keeps the historical compact spelling (``1``, ``2.5``,
+    ``1e+06``) for the values it can represent exactly; anything it
+    would truncate falls back to ``repr``, whose shortest-round-trip
+    guarantee makes CSV↔binary conversion lossless for every float.
+    """
+    text = f"{value:g}"
+    return text if float(text) == value else repr(value)
+
+
 def _format_speed(event: SpeedEvent) -> str:
-    return f"SPEED,{event.factor:g},"
+    return f"SPEED,{_format_float(event.factor)},"
 
 
 def _format_pause(event: PauseEvent) -> str:
-    return f"PAUSE,{event.seconds:g},"
+    return f"PAUSE,{_format_float(event.seconds)},"
 
 
 _FORMATTERS: dict[type, Callable[[Event], str]] = {

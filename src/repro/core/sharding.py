@@ -963,6 +963,7 @@ class ShardedReplayer:
                 pass  # a worker failed during setup; its error is queued
             reports: dict[int, ReplayReport] = {}
             errors: list[str] = []
+            reported: set[int] = set()
             received = 0
             deadline = time.monotonic() + self._worker_timeout
             dead_since: float | None = None
@@ -972,11 +973,30 @@ class ShardedReplayer:
                 except queue.Empty:
                     now = time.monotonic()
                     if now > deadline:
-                        alive = sum(1 for p in processes if p.is_alive())
+                        # Per-worker watchdog verdicts: name every worker
+                        # that never reported, distinguishing wedged
+                        # (still alive, terminated by the finally block)
+                        # from silently dead ones.
+                        entries = []
+                        for idx, process in enumerate(processes):
+                            if idx in reported:
+                                continue
+                            if process.is_alive():
+                                entries.append(
+                                    f"worker {idx}: no report within "
+                                    f"{self._worker_timeout:g}s "
+                                    f"(still alive; terminated)"
+                                )
+                            else:
+                                entries.append(
+                                    f"worker {idx}: exited without "
+                                    f"reporting (exit code "
+                                    f"{process.exitcode})"
+                                )
                         raise ReplayError(
-                            f"sharded replay timed out: {received} of "
-                            f"{self._workers} worker(s) reported "
-                            f"({alive} still alive)"
+                            f"sharded replay timed out after "
+                            f"{self._worker_timeout:g}s: "
+                            + "; ".join(entries)
                         ) from None
                     if any(process.is_alive() for process in processes):
                         dead_since = None
@@ -995,6 +1015,7 @@ class ShardedReplayer:
                         ) from None
                     continue
                 received += 1
+                reported.add(index)
                 if error is not None:
                     errors.append(f"worker {index}: {error}")
                 else:

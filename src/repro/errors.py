@@ -13,16 +13,27 @@ class GraphTidesError(Exception):
 
 
 class StreamFormatError(GraphTidesError):
-    """A stream file line or event payload violates the CSV stream format.
+    """A stream file line or event payload violates the stream format.
 
-    Carries the offending line number (1-based) when parsed from a file.
+    Carries the offending line number (1-based) when parsed from a CSV
+    file, or the offending byte offset (0-based) when parsed from a
+    binary stream or raw byte buffer.
     """
 
-    def __init__(self, message: str, line_number: int | None = None):
+    def __init__(
+        self,
+        message: str,
+        line_number: int | None = None,
+        *,
+        byte_offset: int | None = None,
+    ):
         if line_number is not None:
             message = f"line {line_number}: {message}"
+        elif byte_offset is not None:
+            message = f"byte offset {byte_offset}: {message}"
         super().__init__(message)
         self.line_number = line_number
+        self.byte_offset = byte_offset
 
 
 class GraphOperationError(GraphTidesError):

@@ -16,7 +16,12 @@ from repro.experiments.fig3a import ReplayerThroughputRow, run_replayer_throughp
 from repro.experiments.fig3b import WeaverThroughputResult, run_weaver_throughput
 from repro.experiments.fig3c import WeaverCpuResult, run_weaver_cpu
 from repro.experiments.fig3d import ChronographResult, run_chronograph
-from repro.experiments.robustness import RobustnessRow, run_robustness
+from repro.experiments.robustness import (
+    CorpusReplayRow,
+    RobustnessRow,
+    replay_corpus,
+    run_robustness,
+)
 
 __all__ = [
     "ReplayerExperimentConfig",
@@ -33,4 +38,6 @@ __all__ = [
     "ChronographResult",
     "run_robustness",
     "RobustnessRow",
+    "replay_corpus",
+    "CorpusReplayRow",
 ]

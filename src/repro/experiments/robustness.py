@@ -30,7 +30,12 @@ from repro.core.resilience import (
 from repro.experiments.configs import RobustnessExperimentConfig
 from repro.experiments.fig3a import _events_for_rate, build_social_stream
 
-__all__ = ["RobustnessRow", "run_robustness"]
+__all__ = [
+    "CorpusReplayRow",
+    "RobustnessRow",
+    "replay_corpus",
+    "run_robustness",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -128,6 +133,47 @@ def run_robustness(
     for target_rate in config.target_rates:
         events = _events_for_rate(stream, config.events_for_rate(target_rate))
         rows.append(_measure(config, target_rate, events))
+    return rows
+
+
+@dataclass(frozen=True, slots=True)
+class CorpusReplayRow:
+    """One fuzz-corpus entry re-evaluated under its recorded config."""
+
+    name: str
+    found_as: str
+    expected_signature: str
+    actual_signature: str
+
+    @property
+    def matches(self) -> bool:
+        """True when the fresh verdict reproduces the recorded one."""
+        return self.expected_signature == self.actual_signature
+
+
+def replay_corpus(corpus_dir) -> list[CorpusReplayRow]:
+    """Replay every fuzz regression-corpus entry under ``corpus_dir``.
+
+    Each entry's workload runs through the full evaluator pipeline with
+    the evaluator knobs and baseline recorded in its ``meta.json``; the
+    row compares the recorded verdict signature against the fresh one.
+    This is the robustness experiment's regression gate: a mismatch
+    means a previously-characterized adversarial workload now behaves
+    differently.
+    """
+    from repro.fuzz import load_corpus, replay_entry
+
+    rows: list[CorpusReplayRow] = []
+    for entry in load_corpus(corpus_dir):
+        verdict, __ = replay_entry(entry)
+        rows.append(
+            CorpusReplayRow(
+                name=entry.name,
+                found_as=entry.found_as,
+                expected_signature=entry.verdict_signature,
+                actual_signature=verdict.signature,
+            )
+        )
     return rows
 
 

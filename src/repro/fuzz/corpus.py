@@ -1,0 +1,150 @@
+"""The versioned regression corpus: findings on disk, replayable by seed.
+
+Layout (one directory per entry)::
+
+    corpus/
+      <class>/                  # found_as: crash | hang | divergence | ...
+        <name>/
+          workload.csv|.gtb     # the (minimized) reproducer bytes
+          meta.json             # schema, seed, verdict, evaluator knobs
+
+``meta.json`` records the verdict the *current* code produces — after a
+finding's underlying bug is fixed, the entry stays checked in with its
+original class in ``found_as`` and the post-fix verdict (typically
+``rejected`` or ``ok``) as the recorded expectation.  ``replay_entry``
+re-evaluates the stored bytes under the stored evaluator config and
+compares signatures, which is exactly what the CI corpus gate and
+``tests/fuzz`` assert.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.fuzz.evaluator import (
+    Baseline,
+    EvaluatorConfig,
+    Verdict,
+    evaluate,
+)
+from repro.fuzz.workload import Workload
+
+__all__ = [
+    "CORPUS_SCHEMA",
+    "CorpusEntry",
+    "save_entry",
+    "load_corpus",
+    "load_entry",
+    "replay_entry",
+]
+
+CORPUS_SCHEMA = 1
+
+
+@dataclass(frozen=True, slots=True)
+class CorpusEntry:
+    """One archived finding: reproducer bytes plus recorded expectations."""
+
+    name: str
+    path: Path
+    workload: Workload
+    found_as: str
+    seed: int
+    verdict_signature: str
+    verdict: dict
+    evaluator: EvaluatorConfig
+    baseline: Baseline
+    notes: str = ""
+
+
+def _workload_filename(workload: Workload) -> str:
+    return f"workload{workload.suffix}"
+
+
+def save_entry(
+    root: str | Path,
+    name: str,
+    workload: Workload,
+    verdict: Verdict,
+    *,
+    found_as: str,
+    seed: int,
+    evaluator: EvaluatorConfig,
+    baseline: Baseline | None = None,
+    notes: str = "",
+) -> Path:
+    """Write one corpus entry directory; returns its path."""
+    if baseline is None:
+        baseline = Baseline()
+    entry_dir = Path(root) / found_as / name
+    entry_dir.mkdir(parents=True, exist_ok=True)
+    workload.write(entry_dir / _workload_filename(workload))
+    meta = {
+        "schema": CORPUS_SCHEMA,
+        "name": name,
+        "found_as": found_as,
+        "seed": seed,
+        "format": workload.fmt,
+        "workload_file": _workload_filename(workload),
+        "verdict": verdict.as_dict(),
+        "evaluator": evaluator.as_dict(),
+        "baseline": {"peak_backlog": baseline.peak_backlog},
+        "notes": notes,
+    }
+    with open(entry_dir / "meta.json", "w", encoding="utf-8") as handle:
+        json.dump(meta, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return entry_dir
+
+
+def load_entry(entry_dir: str | Path) -> CorpusEntry:
+    """Load one entry directory (raises on schema mismatch)."""
+    entry_dir = Path(entry_dir)
+    with open(entry_dir / "meta.json", "r", encoding="utf-8") as handle:
+        meta = json.load(handle)
+    schema = meta.get("schema")
+    if schema != CORPUS_SCHEMA:
+        raise ValueError(
+            f"{entry_dir}: unsupported corpus schema {schema!r} "
+            f"(expected {CORPUS_SCHEMA})"
+        )
+    workload_path = entry_dir / meta["workload_file"]
+    workload = Workload(meta["format"], workload_path.read_bytes())
+    return CorpusEntry(
+        name=meta["name"],
+        path=entry_dir,
+        workload=workload,
+        found_as=meta["found_as"],
+        seed=meta["seed"],
+        verdict_signature=meta["verdict"]["signature"],
+        verdict=meta["verdict"],
+        evaluator=EvaluatorConfig.from_dict(meta["evaluator"]),
+        baseline=Baseline(
+            peak_backlog=meta.get("baseline", {}).get("peak_backlog", 0.0)
+        ),
+        notes=meta.get("notes", ""),
+    )
+
+
+def load_corpus(root: str | Path) -> list[CorpusEntry]:
+    """Load every entry under ``root``, sorted by (class, name)."""
+    root = Path(root)
+    if not root.is_dir():
+        return []
+    entries = []
+    for meta_path in sorted(root.glob("*/*/meta.json")):
+        entries.append(load_entry(meta_path.parent))
+    return entries
+
+
+def replay_entry(entry: CorpusEntry) -> tuple[Verdict, bool]:
+    """Re-evaluate an entry under its recorded config.
+
+    Returns ``(verdict, matches)`` where ``matches`` is True when the
+    fresh verdict's signature equals the recorded one — the corpus
+    gate's pass condition.
+    """
+    verdict = evaluate(entry.workload, entry.evaluator, entry.baseline)
+    return verdict, verdict.signature == entry.verdict_signature

@@ -1,0 +1,109 @@
+"""ddmin-style workload minimization.
+
+Classic delta debugging (Zeller & Hildebrandt) over a finding's
+*atoms*: CSV candidates shrink line-by-line, binary candidates shrink
+over fixed-size byte chunks (structure-blind on purpose — the predicate
+decides what still reproduces, so even a reduced file that no longer
+parses is a valid, smaller reproducer of a parse-stage finding).
+
+The predicate is "re-evaluation yields the same verdict signature"; the
+evaluation budget is capped so a pathological candidate cannot stall
+the fuzz loop.  Minimization is fully deterministic: no randomness,
+atoms are tried in a fixed order.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.fuzz.evaluator import Baseline, EvaluatorConfig, Verdict, evaluate
+from repro.fuzz.workload import Workload
+
+__all__ = ["ddmin", "minimize_workload"]
+
+#: Chunk size for binary (structure-blind) atomization.
+BINARY_ATOM_BYTES = 16
+
+
+def ddmin(
+    atoms: Sequence,
+    test: Callable[[list], bool],
+    *,
+    max_tests: int = 200,
+) -> list:
+    """Minimize ``atoms`` to a smaller list still satisfying ``test``.
+
+    ``test`` receives a candidate atom list and returns True when the
+    behaviour of interest persists.  The input itself must satisfy
+    ``test``.  Stops early when ``max_tests`` candidate evaluations
+    have been spent.
+    """
+    atoms = list(atoms)
+    tests_spent = 0
+    granularity = 2
+    while len(atoms) >= 2:
+        chunk = max(1, len(atoms) // granularity)
+        reduced = False
+        position = 0
+        while position < len(atoms):
+            complement = atoms[:position] + atoms[position + chunk :]
+            if not complement:
+                position += chunk
+                continue
+            if tests_spent >= max_tests:
+                return atoms
+            tests_spent += 1
+            if test(complement):
+                atoms = complement
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                break
+            position += chunk
+        if not reduced:
+            if granularity >= len(atoms):
+                break
+            granularity = min(len(atoms), granularity * 2)
+    return atoms
+
+
+def _atomize(workload: Workload) -> tuple[list[bytes], bytes]:
+    """(atoms, joiner) for a workload's bytes."""
+    if workload.fmt == "csv":
+        return workload.data.split(b"\n"), b"\n"
+    data = workload.data
+    atoms = [
+        data[i : i + BINARY_ATOM_BYTES]
+        for i in range(0, len(data), BINARY_ATOM_BYTES)
+    ]
+    return atoms, b""
+
+
+def minimize_workload(
+    workload: Workload,
+    verdict: Verdict,
+    config: EvaluatorConfig | None = None,
+    baseline: Baseline | None = None,
+    *,
+    max_tests: int = 200,
+) -> Workload:
+    """Shrink ``workload`` while its verdict signature reproduces.
+
+    Hang findings re-evaluate with a tightened deadline (each failing
+    probe costs a full deadline wait); the returned workload's verdict
+    is re-checked by the caller before archiving.
+    """
+    if config is None:
+        config = EvaluatorConfig()
+    if verdict.status == "hang" and config.deadline > 3.0:
+        import dataclasses
+
+        config = dataclasses.replace(config, deadline=3.0)
+    target = verdict.signature
+    atoms, joiner = _atomize(workload)
+
+    def test(candidate_atoms: list) -> bool:
+        candidate = Workload(workload.fmt, joiner.join(candidate_atoms))
+        return evaluate(candidate, config, baseline).signature == target
+
+    reduced = ddmin(atoms, test, max_tests=max_tests)
+    return Workload(workload.fmt, joiner.join(reduced))

@@ -1,0 +1,121 @@
+"""Corpus persistence round trip + the checked-in regression gate.
+
+``test_checked_in_corpus_replays`` is the blocking CI gate: every
+archived reproducer, re-evaluated under its recorded evaluator config,
+must produce its recorded verdict signature.  A mismatch means a
+previously-characterized adversarial workload changed behaviour.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz import (
+    Baseline,
+    EvaluatorConfig,
+    Workload,
+    evaluate,
+    load_corpus,
+    replay_entry,
+    save_entry,
+)
+from repro.fuzz.corpus import CORPUS_SCHEMA, load_entry
+
+REPO_CORPUS = Path(__file__).resolve().parents[2] / "corpus"
+
+
+def test_save_load_round_trip(tmp_path):
+    workload = Workload("csv", b"ADD_VERTEX,1,\nPAUSE,3600,\n")
+    config = EvaluatorConfig(deadline=5.0)
+    verdict = evaluate(workload, config)
+    entry_dir = save_entry(
+        tmp_path,
+        "pause-bomb",
+        workload,
+        verdict,
+        found_as="hang",
+        seed=7,
+        evaluator=config,
+        baseline=Baseline(peak_backlog=3.0),
+        notes="round-trip test",
+    )
+    entry = load_entry(entry_dir)
+    assert entry.name == "pause-bomb"
+    assert entry.found_as == "hang"
+    assert entry.seed == 7
+    assert entry.workload == workload
+    assert entry.verdict_signature == verdict.signature
+    assert entry.evaluator == config
+    assert entry.baseline.peak_backlog == 3.0
+    assert entry.notes == "round-trip test"
+
+
+def test_replay_entry_matches_when_behaviour_is_stable(tmp_path):
+    workload = Workload("csv", b"ADD_VERTEX,1,\nPAUSE,3600,\n")
+    config = EvaluatorConfig(deadline=5.0)
+    entry_dir = save_entry(
+        tmp_path,
+        "pause-bomb",
+        workload,
+        evaluate(workload, config),
+        found_as="hang",
+        seed=7,
+        evaluator=config,
+    )
+    verdict, matches = replay_entry(load_entry(entry_dir))
+    assert matches
+    assert verdict.signature == "hang:replay"
+
+
+def test_load_entry_rejects_unknown_schema(tmp_path):
+    workload = Workload("csv", b"ADD_VERTEX,1,\n")
+    config = EvaluatorConfig(deadline=5.0)
+    entry_dir = save_entry(
+        tmp_path, "x", workload, evaluate(workload, config),
+        found_as="crash", seed=1, evaluator=config,
+    )
+    meta = entry_dir / "meta.json"
+    meta.write_text(
+        meta.read_text().replace(
+            f'"schema": {CORPUS_SCHEMA}', '"schema": 999'
+        )
+    )
+    with pytest.raises(ValueError, match="unsupported corpus schema"):
+        load_entry(entry_dir)
+
+
+def test_load_corpus_of_missing_dir_is_empty(tmp_path):
+    assert load_corpus(tmp_path / "nope") == []
+
+
+# ---------------------------------------------------------------------------
+# The checked-in corpus
+# ---------------------------------------------------------------------------
+
+
+def _repo_entries():
+    entries = load_corpus(REPO_CORPUS)
+    assert entries, f"checked-in corpus missing under {REPO_CORPUS}"
+    return entries
+
+
+def test_checked_in_corpus_covers_three_oracle_classes():
+    classes = {entry.found_as for entry in _repo_entries()}
+    assert {"crash", "divergence", "cliff"}.issubset(classes)
+
+
+def test_checked_in_corpus_entries_are_minimized():
+    for entry in _repo_entries():
+        assert len(entry.workload.data) <= 10_240, entry.name
+
+
+@pytest.mark.parametrize(
+    "entry", _repo_entries(), ids=lambda e: f"{e.found_as}/{e.name}"
+)
+def test_checked_in_corpus_replays(entry):
+    verdict, matches = replay_entry(entry)
+    assert matches, (
+        f"{entry.found_as}/{entry.name}: recorded "
+        f"{entry.verdict_signature}, got {verdict.signature} "
+        f"({verdict.detail})"
+    )

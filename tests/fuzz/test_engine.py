@@ -1,0 +1,92 @@
+"""The fuzz loop's acceptance property: identical runs for one seed."""
+
+import pytest
+
+from repro.fuzz import EvaluatorConfig, FuzzConfig, run_fuzz
+
+# The full fuzz loop drives fault-adjacent paths (watchdogs, injected
+# chaos, hang prediction), so it also runs in the chaos CI job.
+pytestmark = pytest.mark.chaos
+
+
+def _fingerprint(report):
+    return [
+        (
+            finding.name,
+            finding.candidate_index,
+            finding.signature,
+            finding.mutators,
+            finding.workload.data,
+            finding.minimized.data,
+        )
+        for finding in report.findings
+    ]
+
+
+@pytest.fixture(scope="module")
+def config():
+    return FuzzConfig(
+        seed=42,
+        budget=16,
+        evaluator=EvaluatorConfig(deadline=6.0),
+        minimizer_tests=60,
+    )
+
+
+@pytest.fixture(scope="module")
+def report(config):
+    return run_fuzz(config)
+
+
+def test_same_seed_reproduces_findings_exactly(config, report):
+    again = run_fuzz(config)
+    assert _fingerprint(again) == _fingerprint(report)
+    assert again.status_counts == report.status_counts
+    assert again.baseline == report.baseline
+
+
+def test_every_candidate_gets_a_verdict(report):
+    assert report.candidates == report.budget == 16
+    assert sum(report.status_counts.values()) == report.candidates
+
+
+def test_findings_are_deduplicated_by_signature(report):
+    signatures = [finding.signature for finding in report.findings]
+    assert len(signatures) == len(set(signatures))
+
+
+def test_minimized_never_larger_than_original(report):
+    for finding in report.findings:
+        assert len(finding.minimized.data) <= len(finding.workload.data)
+
+
+def test_different_seed_changes_the_candidate_stream():
+    from repro.fuzz.engine import _build_candidate, _candidate_rng
+    from repro.fuzz.workload import BaseConfig
+
+    def candidates(seed):
+        root, cache = BaseConfig(seed=seed % (1 << 16)), {}
+        return [
+            _build_candidate(_candidate_rng(seed, i), root, cache)[0].data
+            for i in range(6)
+        ]
+
+    assert candidates(42) != candidates(43)
+
+
+def test_corpus_entries_written_for_findings(tmp_path, config):
+    corpus_report = run_fuzz(
+        FuzzConfig(
+            seed=config.seed,
+            budget=16,
+            evaluator=config.evaluator,
+            minimizer_tests=60,
+            corpus_dir=str(tmp_path / "corpus"),
+        )
+    )
+    from repro.fuzz import load_corpus
+
+    entries = load_corpus(tmp_path / "corpus")
+    assert len(entries) == len(corpus_report.findings)
+    names = {entry.name for entry in entries}
+    assert names == {finding.name for finding in corpus_report.findings}

@@ -1,0 +1,70 @@
+"""ddmin behaviour: 1-minimal results, budget caps, determinism."""
+
+from repro.fuzz import ddmin
+from repro.fuzz.evaluator import EvaluatorConfig, Verdict, evaluate
+from repro.fuzz.minimizer import minimize_workload
+from repro.fuzz.workload import Workload
+
+
+def test_ddmin_finds_single_culprit():
+    atoms = list(range(100))
+
+    def test(candidate):
+        return 42 in candidate
+
+    assert ddmin(atoms, test) == [42]
+
+
+def test_ddmin_finds_scattered_pair():
+    atoms = list(range(64))
+
+    def test(candidate):
+        return 3 in candidate and 57 in candidate
+
+    assert ddmin(atoms, test) == [3, 57]
+
+
+def test_ddmin_is_deterministic():
+    atoms = list(range(80))
+
+    def test(candidate):
+        return {7, 31, 66}.issubset(candidate)
+
+    assert ddmin(atoms, test) == ddmin(atoms, test)
+
+
+def test_ddmin_respects_budget():
+    atoms = list(range(200))
+    calls = [0]
+
+    def test(candidate):
+        calls[0] += 1
+        return 13 in candidate
+
+    result = ddmin(atoms, test, max_tests=5)
+    assert calls[0] <= 5
+    assert 13 in result  # never returns a non-reproducing candidate
+
+
+def test_minimize_workload_shrinks_pause_bomb():
+    lines = [f"ADD_VERTEX,{i}," for i in range(40)]
+    lines.insert(20, "PAUSE,3600,")
+    workload = Workload("csv", ("\n".join(lines) + "\n").encode())
+    config = EvaluatorConfig(deadline=5.0)
+    verdict = evaluate(workload, config)
+    assert verdict.signature == "hang:replay"
+    minimized = minimize_workload(workload, verdict, config, max_tests=200)
+    assert len(minimized.data) < len(workload.data)
+    assert b"PAUSE,3600," in minimized.data
+    assert evaluate(minimized, config).signature == "hang:replay"
+
+
+def test_minimize_preserves_signature_for_binary_crash():
+    # A structurally broken binary file: the minimizer must never hand
+    # back bytes that stop reproducing the recorded signature.
+    workload = Workload("binary", b"GTB1" + b"\x00" * 40)
+    config = EvaluatorConfig(deadline=5.0)
+    verdict = evaluate(workload, config)
+    minimized = minimize_workload(workload, verdict, config, max_tests=60)
+    assert evaluate(minimized, config).signature == verdict.signature
+    assert len(minimized.data) <= len(workload.data)

@@ -1,0 +1,117 @@
+"""Mutator determinism and well-formedness.
+
+Every mutator is a pure function of ``(input, rng)``: the same seed
+must reproduce the same output bytes/events, and event-level mutators
+must keep the stream serializable (they attack semantics, not syntax —
+byte mutators own the syntax attacks).
+"""
+
+import random
+
+import pytest
+
+from repro.core import codec
+from repro.core.events import GraphEvent, PauseEvent, SpeedEvent
+from repro.fuzz import (
+    BYTE_MUTATORS,
+    EVENT_MUTATORS,
+    BaseConfig,
+    apply_byte_mutator,
+    apply_event_mutators,
+    build_base,
+    bytes_to_events,
+    events_to_bytes,
+)
+
+
+@pytest.fixture(scope="module")
+def base_events():
+    return bytes_to_events(build_base(BaseConfig()))
+
+
+@pytest.mark.parametrize("name", sorted(EVENT_MUTATORS))
+def test_event_mutator_is_deterministic(name, base_events):
+    first = EVENT_MUTATORS[name](list(base_events), random.Random(f"d:{name}"))
+    second = EVENT_MUTATORS[name](list(base_events), random.Random(f"d:{name}"))
+    assert first == second
+
+
+@pytest.mark.parametrize("name", sorted(EVENT_MUTATORS))
+def test_event_mutator_output_serializes_both_formats(name, base_events):
+    mutated = EVENT_MUTATORS[name](list(base_events), random.Random(f"s:{name}"))
+    for fmt in ("csv", "binary"):
+        data = events_to_bytes(mutated, fmt)
+        assert data
+
+
+@pytest.mark.parametrize("name", sorted(BYTE_MUTATORS))
+def test_byte_mutator_is_deterministic(name, base_events):
+    data = events_to_bytes(base_events, "binary")
+    first = apply_byte_mutator(data, name, random.Random(f"d:{name}"))
+    second = apply_byte_mutator(data, name, random.Random(f"d:{name}"))
+    assert first == second
+
+
+def test_apply_event_mutators_chains_in_order(base_events):
+    names = ["skew_hub", "burst_train", "marker_storm"]
+    chained = apply_event_mutators(
+        list(base_events), names, random.Random("chain")
+    )
+    manual = list(base_events)
+    rng = random.Random("chain")
+    for name in names:
+        manual = EVENT_MUTATORS[name](manual, rng)
+    assert chained == manual
+
+
+def test_unknown_mutator_name_raises(base_events):
+    with pytest.raises(KeyError):
+        apply_event_mutators(list(base_events), ["no-such-mutator"], random.Random(0))
+    with pytest.raises(KeyError):
+        apply_byte_mutator(b"x", "no-such-mutator", random.Random(0))
+
+
+def test_skew_hub_concentrates_graph_events(base_events):
+    mutated = EVENT_MUTATORS["skew_hub"](list(base_events), random.Random("hub"))
+    assert len(mutated) == len(base_events)
+    # The hub must now key a majority-sized cluster of graph events.
+    keys = {}
+    for event in mutated:
+        if isinstance(event, GraphEvent):
+            key = getattr(event.entity, "source", event.entity)
+            keys[key] = keys.get(key, 0) + 1
+    assert max(keys.values()) >= len(keys)
+
+
+def test_burst_train_inserts_matched_speed_pairs(base_events):
+    mutated = EVENT_MUTATORS["burst_train"](
+        list(base_events), random.Random("burst")
+    )
+    inserted = len(mutated) - len(base_events)
+    assert inserted > 0 and inserted % 2 == 0
+    factors = [e.factor for e in mutated if isinstance(e, SpeedEvent)]
+    assert any(f >= 10.0 for f in factors)
+    assert any(f == 1.0 for f in factors)
+
+
+def test_pause_bomb_inserts_long_pause(base_events):
+    mutated = EVENT_MUTATORS["pause_bomb"](
+        list(base_events), random.Random("bomb")
+    )
+    pauses = [e.seconds for e in mutated if isinstance(e, PauseEvent)]
+    assert max(pauses) >= 60.0
+
+
+def test_escape_payloads_survive_csv_round_trip(base_events, tmp_path):
+    mutated = EVENT_MUTATORS["escape_payloads"](
+        list(base_events), random.Random("esc")
+    )
+    path = tmp_path / "esc.csv"
+    codec.write_stream_file(path, mutated, format="csv")
+    assert codec.parse_stream_file(path) == mutated
+
+
+def test_truncate_shortens(base_events):
+    data = events_to_bytes(base_events, "binary")
+    out = apply_byte_mutator(data, "truncate", random.Random("t"))
+    assert 0 < len(out) < len(data)

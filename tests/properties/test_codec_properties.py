@@ -9,6 +9,7 @@ legacy serializer can produce.
 
 import math
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -131,3 +132,71 @@ class TestLegacyEquivalence:
         lines = [_legacy_format_event(e) for e in events]
         expected = [_legacy_parse_line(line) for line in lines]
         assert codec.parse_lines(lines, skip_comments=False) == expected
+
+
+# ---------------------------------------------------------------------------
+# Escape-heavy byte identity across formats (fuzzer dictionary)
+# ---------------------------------------------------------------------------
+
+from repro.fuzz.mutators import ADVERSARIAL_FLOATS, ESCAPE_DICTIONARY
+from repro.fuzz.workload import Workload, bytes_to_events, events_to_bytes
+
+# Texts biased towards the fuzzer's escape dictionary: separators,
+# ambiguous backslash runs, fake event prefixes, multi-byte UTF-8.
+escape_text = st.one_of(st.sampled_from(ESCAPE_DICTIONARY), nasty_text)
+
+
+def _round_trip_csv_binary_csv(events):
+    """CSV -> parse -> GTB1 -> parse -> CSV, asserting byte identity."""
+    csv_first = events_to_bytes(events, "csv")
+    parsed = bytes_to_events(Workload(fmt="csv", data=csv_first))
+    assert parsed == events
+    binary = events_to_bytes(parsed, "binary")
+    reparsed = bytes_to_events(Workload(fmt="binary", data=binary))
+    assert reparsed == events
+    assert events_to_bytes(reparsed, "csv") == csv_first
+
+
+class TestEscapeDictionaryByteIdentity:
+    """The CSV<->GTB1 round trip is exact — byte-identical, not merely
+    value-approximate — for every string in the fuzzer's escape
+    dictionary used as a marker label or payload."""
+
+    @pytest.mark.parametrize("label", ESCAPE_DICTIONARY)
+    def test_marker_label_survives_csv_binary_csv(self, label):
+        _round_trip_csv_binary_csv(
+            [add_vertex(1), marker(label), marker(label * 3), add_vertex(2)]
+        )
+
+    @pytest.mark.parametrize("text", ESCAPE_DICTIONARY)
+    def test_payload_survives_csv_binary_csv(self, text):
+        _round_trip_csv_binary_csv(
+            [add_vertex(1, text), add_edge(1, 2, text), update_vertex(1, text)]
+        )
+
+    @pytest.mark.parametrize("value", ADVERSARIAL_FLOATS)
+    def test_control_floats_survive_csv_binary_csv(self, value):
+        _round_trip_csv_binary_csv(
+            [speed(max(value, 1e-12)), pause(min(abs(value), 1e9))]
+        )
+
+    @given(
+        st.lists(
+            st.one_of(
+                escape_text.map(marker),
+                st.tuples(vertex_ids, escape_text).map(
+                    lambda t: add_vertex(*t)
+                ),
+                st.tuples(vertex_ids, vertex_ids, escape_text).map(
+                    lambda t: add_edge(*t)
+                ),
+                st.sampled_from(ADVERSARIAL_FLOATS).map(
+                    lambda v: pause(abs(v))
+                ),
+            ),
+            max_size=25,
+        )
+    )
+    @settings(max_examples=60)
+    def test_mixed_escape_streams_are_byte_identical(self, events):
+        _round_trip_csv_binary_csv(events)
