@@ -28,7 +28,6 @@ from __future__ import annotations
 import argparse
 import json
 import os
-import platform
 import sys
 import time
 from pathlib import Path
@@ -50,6 +49,8 @@ from repro.core.events import (  # noqa: E402
 )
 from repro.core.replayer import LiveReplayer  # noqa: E402
 from repro.core.tracing import Tracer, TracingTransport  # noqa: E402
+from repro.perfdb.provenance import machine_info, snapshot_provenance  # noqa: E402
+from repro.perfdb.schema import SCHEMA_VERSION  # noqa: E402
 
 #: Target rate far above what a Python emitter can reach: the replayer
 #: runs flat out, so the achieved rate is the saturation rate.
@@ -91,14 +92,19 @@ def build_events(count: int) -> list:
     return events
 
 
-def _best_of(repeats: int, func, *args) -> float:
-    """Best (minimum) wall-clock seconds of ``repeats`` runs."""
-    best = float("inf")
+def _timed_runs(repeats: int, func, *args) -> list[float]:
+    """Wall-clock seconds of each of ``repeats`` runs."""
+    durations = []
     for __ in range(repeats):
         begin = time.perf_counter()
         func(*args)
-        best = min(best, time.perf_counter() - begin)
-    return best
+        durations.append(time.perf_counter() - begin)
+    return durations
+
+
+def _best_of(repeats: int, func, *args) -> float:
+    """Best (minimum) wall-clock seconds of ``repeats`` runs."""
+    return min(_timed_runs(repeats, func, *args))
 
 
 def bench_format(events: list, repeats: int) -> dict:
@@ -106,14 +112,22 @@ def bench_format(events: list, repeats: int) -> dict:
         for event in events:
             _legacy_format_event(event)
 
-    legacy_s = _best_of(repeats, legacy)
-    fast_s = _best_of(repeats, codec.format_events, events)
     count = len(events)
+    legacy_runs = _timed_runs(repeats, legacy)
+    fast_runs = _timed_runs(repeats, codec.format_events, events)
+    legacy_s = min(legacy_runs)
+    fast_s = min(fast_runs)
     return {
         "events": count,
         "legacy_eps": count / legacy_s,
         "fast_eps": count / fast_s,
         "speedup": legacy_s / fast_s,
+        # Per-repeat rates: the perfdb threshold check runs a CI-overlap
+        # test on these instead of comparing two single best-of points.
+        "samples": {
+            "legacy_eps": [count / s for s in legacy_runs],
+            "fast_eps": [count / s for s in fast_runs],
+        },
     }
 
 
@@ -124,10 +138,17 @@ def bench_parse(events: list, repeats: int) -> dict:
         for line in lines:
             _legacy_parse_line(line)
 
-    legacy_s = _best_of(repeats, legacy)
-    fast_s = _best_of(repeats, lambda: codec.parse_lines(lines, trusted=False))
-    trusted_s = _best_of(repeats, lambda: codec.parse_lines(lines, trusted=True))
     count = len(lines)
+    legacy_runs = _timed_runs(repeats, legacy)
+    fast_runs = _timed_runs(
+        repeats, lambda: codec.parse_lines(lines, trusted=False)
+    )
+    trusted_runs = _timed_runs(
+        repeats, lambda: codec.parse_lines(lines, trusted=True)
+    )
+    legacy_s = min(legacy_runs)
+    fast_s = min(fast_runs)
+    trusted_s = min(trusted_runs)
     return {
         "events": count,
         "legacy_eps": count / legacy_s,
@@ -135,6 +156,11 @@ def bench_parse(events: list, repeats: int) -> dict:
         "fast_trusted_eps": count / trusted_s,
         "speedup": legacy_s / fast_s,
         "speedup_trusted": legacy_s / trusted_s,
+        "samples": {
+            "legacy_eps": [count / s for s in legacy_runs],
+            "fast_eps": [count / s for s in fast_runs],
+            "fast_trusted_eps": [count / s for s in trusted_runs],
+        },
     }
 
 
@@ -156,26 +182,37 @@ def bench_file_roundtrip(events: list, repeats: int, tmp_dir: Path) -> dict:
 
 
 def bench_replay_saturation(
-    events: list, batch_sizes: tuple[int, ...]
+    events: list, batch_sizes: tuple[int, ...], repeats: int = 1
 ) -> dict:
-    """Saturation events/s of the live replayer per batch size."""
+    """Saturation events/s of the live replayer per batch size.
+
+    Each batch size is replayed ``repeats`` times; the reported rate is
+    the best run, and the per-repeat samples are kept so the perfdb can
+    interval-test the saturation point across commits.
+    """
     rates = {}
+    samples: dict[str, list[float]] = {}
     for batch_size in batch_sizes:
-        with open(os.devnull, "w", encoding="utf-8") as sink:
-            replayer = LiveReplayer(
-                events,
-                PipeTransport(sink),
-                rate=UNREACHABLE_RATE,
-                batch_size=batch_size,
-            )
-            report = replayer.run()
-        rates[str(batch_size)] = report.mean_rate
+        runs = []
+        for __ in range(repeats):
+            with open(os.devnull, "w", encoding="utf-8") as sink:
+                replayer = LiveReplayer(
+                    events,
+                    PipeTransport(sink),
+                    rate=UNREACHABLE_RATE,
+                    batch_size=batch_size,
+                )
+                report = replayer.run()
+            runs.append(report.mean_rate)
+        rates[str(batch_size)] = max(runs)
+        samples[str(batch_size)] = runs
     baseline = rates[str(batch_sizes[0])]
     best_batched = max(rate for key, rate in rates.items() if key != "1")
     return {
         "events": len(events),
         "target_rate": UNREACHABLE_RATE,
         "saturation_eps_by_batch_size": rates,
+        "saturation_samples_by_batch_size": samples,
         "batched_speedup": best_batched / baseline if baseline else 0.0,
     }
 
@@ -236,20 +273,19 @@ def run_suite(
     events = build_events(event_count)
     results = {
         "benchmark": "pipeline",
+        "schema_version": SCHEMA_VERSION,
         "config": {
             "event_count": event_count,
             "repeats": repeats,
             "batch_sizes": list(batch_sizes),
         },
-        "machine": {
-            "python": platform.python_version(),
-            "implementation": platform.python_implementation(),
-            "platform": platform.platform(),
-        },
+        "machine": machine_info(),
         "parse": bench_parse(events, repeats),
         "format": bench_format(events, repeats),
         "file_roundtrip": bench_file_roundtrip(events, repeats, tmp_dir),
-        "replay": bench_replay_saturation(events, batch_sizes),
+        "replay": bench_replay_saturation(
+            events, batch_sizes, repeats=min(repeats, 3)
+        ),
         "tracing": bench_tracing_overhead(events, batch_sizes[-1]),
     }
     parse = results["parse"]
@@ -304,6 +340,29 @@ def print_summary(results: dict) -> None:
     )
 
 
+def write_snapshot(
+    results: dict, output: str | None, smoke: bool, default_path: str
+) -> Path | None:
+    """Stamp provenance and write the snapshot JSON (shared by benches).
+
+    Provenance — git commit, dirty-tree flag, UTC timestamp — is
+    stamped *at write time* so the record describes the tree the
+    numbers came from.  Smoke runs only write when a path was given
+    explicitly (never clobbering the committed full-run snapshot), and
+    their ``smoke: true`` flag makes perfdb refuse them as baselines.
+    """
+    if output == "-" or (output is None and smoke):
+        return None
+    path = Path(output if output is not None else default_path)
+    # Provenance of the *measured code*: the repo this benchmark lives
+    # in, regardless of where the snapshot is written.
+    repo_root = Path(__file__).resolve().parent.parent
+    results["provenance"] = snapshot_provenance(str(repo_root))
+    path.write_text(json.dumps(results, indent=2) + "\n", encoding="utf-8")
+    print(f"\nwrote {path}")
+    return path
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
     parser.add_argument("--events", type=int, default=200_000)
@@ -313,8 +372,9 @@ def main(argv: list[str] | None = None) -> int:
         help="comma-separated replayer batch sizes (first is the baseline)",
     )
     parser.add_argument(
-        "-o", "--output", default="BENCH_pipeline.json",
-        help="result JSON path ('-' to skip writing)",
+        "-o", "--output", default=None,
+        help="result JSON path ('-' to skip writing; full runs default "
+        "to BENCH_pipeline.json, smoke runs only write when -o is given)",
     )
     parser.add_argument(
         "--smoke", action="store_true",
@@ -334,10 +394,7 @@ def main(argv: list[str] | None = None) -> int:
     results["smoke"] = args.smoke
     print_summary(results)
 
-    if args.output != "-" and not args.smoke:
-        output = Path(args.output)
-        output.write_text(json.dumps(results, indent=2) + "\n", encoding="utf-8")
-        print(f"\nwrote {output}")
+    write_snapshot(results, args.output, args.smoke, "BENCH_pipeline.json")
     return 0
 
 

@@ -51,20 +51,24 @@ finishes in a few seconds (the CI guard); the full run takes ~2 min.
 from __future__ import annotations
 
 import argparse
-import json
 import os
-import platform
 import sys
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 
-from bench_codec_throughput import UNREACHABLE_RATE, build_events  # noqa: E402
+from bench_codec_throughput import (  # noqa: E402
+    UNREACHABLE_RATE,
+    build_events,
+    write_snapshot,
+)
 
 from repro.core import binfmt, codec  # noqa: E402
 from repro.core.connectors import PipeSpec  # noqa: E402
 from repro.core.sharding import ShardedReplayer  # noqa: E402
+from repro.perfdb.provenance import machine_info  # noqa: E402
+from repro.perfdb.schema import SCHEMA_VERSION  # noqa: E402
 
 FORMATS = ("csv", "binary")
 EMISSIONS = ("events", "decode", "raw")
@@ -102,16 +106,20 @@ def bench_saturation(
             for workers in worker_counts:
                 best = 0.0
                 shards: list[float] = []
+                samples: list[float] = []
                 for __ in range(repeats):
                     aggregate, per_shard = _saturation(
                         paths[fmt], workers, emission
                     )
+                    samples.append(aggregate)
                     if aggregate > best:
                         best = aggregate
                         shards = per_shard
                 by_workers[str(workers)] = {
                     "aggregate_eps": best,
                     "per_shard_eps": shards,
+                    # Per-repeat aggregates for the perfdb interval test.
+                    "samples_eps": samples,
                 }
             baseline = by_workers[str(worker_counts[0])]["aggregate_eps"]
             by_mode[emission] = {
@@ -191,6 +199,7 @@ def run_suite(
     ]
     return {
         "benchmark": "replayer_scaleout",
+        "schema_version": SCHEMA_VERSION,
         "config": {
             "event_count": event_count,
             "formats": list(FORMATS),
@@ -200,12 +209,7 @@ def run_suite(
             "repeats": repeats,
             "batch_size": 256,
         },
-        "machine": {
-            "python": platform.python_version(),
-            "implementation": platform.python_implementation(),
-            "platform": platform.platform(),
-            "cpu_count": os.cpu_count(),
-        },
+        "machine": machine_info(),
         "saturation": saturation,
         "sweep": sweep,
         # Baseline: the classic single-process CSV events replay —
@@ -290,8 +294,10 @@ def main(argv: list[str] | None = None) -> int:
         help="comma-separated worker counts (first is the baseline)",
     )
     parser.add_argument(
-        "-o", "--output", default="BENCH_replayer_scaleout.json",
-        help="result JSON path ('-' to skip writing)",
+        "-o", "--output", default=None,
+        help="result JSON path ('-' to skip writing; full runs default "
+        "to BENCH_replayer_scaleout.json, smoke runs only write when "
+        "-o is given)",
     )
     parser.add_argument(
         "--smoke", action="store_true",
@@ -318,10 +324,9 @@ def main(argv: list[str] | None = None) -> int:
     results["smoke"] = args.smoke
     print_summary(results)
 
-    if args.output != "-" and not args.smoke:
-        output = Path(args.output)
-        output.write_text(json.dumps(results, indent=2) + "\n", encoding="utf-8")
-        print(f"\nwrote {output}")
+    write_snapshot(
+        results, args.output, args.smoke, "BENCH_replayer_scaleout.json"
+    )
     return 0
 
 

@@ -10,6 +10,9 @@ Subcommands::
     graphtides fuzz run --seed 42 --budget 50 [--corpus corpus]
     graphtides fuzz minimize repro.csv -o minimal.csv
     graphtides fuzz replay --corpus corpus
+    graphtides perf record BENCH_pipeline.json
+    graphtides perf diff [--db perf/perfdb.jsonl]
+    graphtides perf log
 """
 
 from __future__ import annotations
@@ -382,6 +385,64 @@ def build_parser() -> argparse.ArgumentParser:
         help="only replay entries whose name contains this substring",
     )
 
+    prf = sub.add_parser(
+        "perf",
+        help="per-commit perf database: record benchmark snapshots, "
+        "diff against the baseline with statistical degradation "
+        "checks, list the history (repro.perfdb)",
+    )
+    prfsub = prf.add_subparsers(dest="perf_command", required=True)
+    prr = prfsub.add_parser(
+        "record",
+        help="ingest a BENCH_*.json snapshot into the perf database",
+    )
+    prr.add_argument(
+        "snapshot", nargs="+",
+        help="schema-v2 benchmark snapshot file(s) (BENCH_*.json)",
+    )
+    prr.add_argument(
+        "--db", default=None, metavar="PATH",
+        help="perf database JSONL file (default: perf/perfdb.jsonl)",
+    )
+    prr.add_argument(
+        "--allow-smoke", action="store_true",
+        help="permit 'smoke: true' snapshots; the stored record stays "
+        "smoke-tagged and is never used as a baseline",
+    )
+    prd = prfsub.add_parser(
+        "diff",
+        help="compare the newest record per benchmark against its "
+        "baseline; exit 1 on a confirmed regression",
+    )
+    prd.add_argument("--db", default=None, metavar="PATH")
+    prd.add_argument(
+        "--benchmark", default=None,
+        help="only diff this benchmark (default: every benchmark in "
+        "the database)",
+    )
+    prd.add_argument(
+        "--threshold", type=float, default=0.15,
+        help="relative mean change that confirms a scalar degradation",
+    )
+    prd.add_argument(
+        "--integral-threshold", type=float, default=0.10,
+        help="relative area change that confirms a curve degradation",
+    )
+    prd.add_argument(
+        "--trend-window", type=int, default=7,
+        help="number of trailing records the trend check fits",
+    )
+    prd.add_argument(
+        "--include-smoke", action="store_true",
+        help="let smoke records act as diff endpoints (same-machine "
+        "A/B smoke comparisons, e.g. in CI)",
+    )
+    prl = prfsub.add_parser(
+        "log", help="list the recorded perf history, newest last"
+    )
+    prl.add_argument("--db", default=None, metavar="PATH")
+    prl.add_argument("--benchmark", default=None)
+
     trc = sub.add_parser(
         "trace",
         help="convert a result log (JSONL) to Chrome trace JSON, or "
@@ -549,10 +610,41 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+def _warn_csv_events_scaleout(args: argparse.Namespace) -> None:
+    """Warn about the CSV events-mode scale-out footgun.
+
+    Sharded ``--emission events`` over CSV re-parses and re-encodes
+    every line in each worker; on one core the extra work makes
+    aggregate throughput *drop* as workers are added (309k -> 225k
+    events/s at 4 workers in BENCH_replayer_scaleout.json).  Decode-in-
+    worker or the binary format keep events-mode semantics and scale.
+    """
+    from repro.core.codec import detect_stream_format
+
+    if args.emission != "events":
+        return
+    stream_format = args.format
+    if stream_format == "auto":
+        try:
+            stream_format = detect_stream_format(args.stream)
+        except OSError:
+            return  # unreadable stream: the replayer will report it
+    if stream_format != "csv":
+        return
+    print(
+        f"warning: --workers {args.workers} --emission events over a CSV "
+        "stream usually *lowers* aggregate throughput (each worker "
+        "re-parses and re-encodes its shard); prefer --emission decode "
+        "or convert the stream to binary (graphtides convert --to binary)",
+        file=sys.stderr,
+    )
+
+
 def _run_sharded_replay(args: argparse.Namespace) -> int:
     """The ``--workers N`` (N > 1) path: process-parallel replay."""
     from repro.core.sharding import ShardedReplayer
 
+    _warn_csv_events_scaleout(args)
     if args.trace_out:
         print(
             "error: --trace-out requires --workers 1 "
@@ -1011,6 +1103,95 @@ def _cmd_fuzz_replay(args: argparse.Namespace) -> int:
     return _print_corpus_replay(args.corpus, name_filter=args.name)
 
 
+def _perf_db(args: argparse.Namespace):
+    from repro.perfdb import DEFAULT_DB_PATH, PerfDatabase
+
+    return PerfDatabase(args.db if args.db else DEFAULT_DB_PATH)
+
+
+def _cmd_perf(args: argparse.Namespace) -> int:
+    from repro.errors import PerfDbError
+
+    handlers = {
+        "record": _cmd_perf_record,
+        "diff": _cmd_perf_diff,
+        "log": _cmd_perf_log,
+    }
+    try:
+        return handlers[args.perf_command](args)
+    except PerfDbError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _cmd_perf_record(args: argparse.Namespace) -> int:
+    from repro.perfdb import load_snapshot, record_from_snapshot
+
+    db = _perf_db(args)
+    for path in args.snapshot:
+        snapshot = load_snapshot(path)
+        record = record_from_snapshot(
+            snapshot, source=path, allow_smoke=args.allow_smoke
+        )
+        db.append(record)
+        dirty = "+dirty" if record.git_dirty else ""
+        smoke = " [smoke]" if record.smoke else ""
+        print(
+            f"recorded {record.benchmark} @ {record.short_commit}{dirty} "
+            f"({len(record.metrics)} metrics) -> {db.path}{smoke}"
+        )
+    return 0
+
+
+def _cmd_perf_diff(args: argparse.Namespace) -> int:
+    from repro.perfdb import DiffOptions, diff_all, diff_benchmark
+
+    db = _perf_db(args)
+    options = DiffOptions(
+        threshold=args.threshold,
+        integral_threshold=args.integral_threshold,
+        trend_window=args.trend_window,
+        include_smoke=args.include_smoke,
+    )
+    if args.benchmark is not None:
+        reports = [diff_benchmark(db, args.benchmark, options)]
+    else:
+        reports = diff_all(db, options)
+    regressed = False
+    for report in reports:
+        for line in report.render_lines():
+            print(line)
+        regressed = regressed or report.has_confirmed_regression
+    return 1 if regressed else 0
+
+
+def _cmd_perf_log(args: argparse.Namespace) -> int:
+    db = _perf_db(args)
+    records = db.records(benchmark=args.benchmark)
+    if not records:
+        where = f" for benchmark {args.benchmark!r}" if args.benchmark else ""
+        print(f"no perf records in {db.path}{where}", file=sys.stderr)
+        return 1
+    for record in records:
+        dirty = "+dirty" if record.git_dirty else ""
+        smoke = " [smoke]" if record.smoke else ""
+        headline = ""
+        for name in (
+            "replay_saturation_best_eps",
+            "decode_scaleout_eps",
+        ):
+            series = record.metrics.get(name)
+            if series is not None:
+                headline = f"  {name}={series.mean:,.0f}"
+                break
+        print(
+            f"{record.recorded_at_utc}  {record.benchmark:<18} "
+            f"{record.short_commit}{dirty}{smoke}"
+            f"  machine={record.machine_id[:8]}{headline}"
+        )
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     import json
 
@@ -1067,6 +1248,7 @@ def main(argv: list[str] | None = None) -> int:
         "check": _cmd_check,
         "trace": _cmd_trace,
         "fuzz": _cmd_fuzz,
+        "perf": _cmd_perf,
     }
     return handlers[args.command](args)
 

@@ -166,10 +166,21 @@ def compare(
     higher_is_better: bool = True,
     confidence: float = 0.95,
 ) -> ComparisonResult:
-    """CI-overlap comparison of two measurement sets (section 4.5)."""
+    """CI-overlap comparison of two measurement sets (section 4.5).
+
+    Single-measurement sides have no confidence interval, so no
+    significant difference can be claimed: the verdict degrades to
+    ``indistinguishable`` (with ``intervals_overlap=True``) instead of
+    raising, since callers like the perf-regression threshold check
+    legitimately feed single-repeat runs.  Mismatched sample counts and
+    zero-variance sides (zero-width intervals) compare normally.
+    """
     a = Aggregate.of(a_values, confidence=confidence)
     b = Aggregate.of(b_values, confidence=confidence)
-    overlap = a.overlaps(b)
+    if len(a_values) < 2 or len(b_values) < 2:
+        overlap = True
+    else:
+        overlap = a.overlaps(b)
     if overlap:
         verdict = ComparisonVerdict.INDISTINGUISHABLE
     else:

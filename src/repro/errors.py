@@ -133,3 +133,7 @@ class MethodologyError(GraphTidesError):
 
 class AnalysisError(GraphTidesError):
     """A result-log analysis could not be performed on the given data."""
+
+
+class PerfDbError(GraphTidesError):
+    """A perf-database record, snapshot, or comparison request is invalid."""

@@ -1,0 +1,60 @@
+"""Per-commit performance database with statistical regression gates.
+
+GraphTides' methodology (paper section 4.5) only makes platform
+comparisons meaningful when the harness side is measured and
+reproducible; this package extends that discipline *across commits*:
+every benchmark run is appended to a per-commit record store
+(:mod:`repro.perfdb.store`), normalized from the BENCH_*.json snapshot
+layout (:mod:`repro.perfdb.ingest`) with shared machine and git
+provenance (:mod:`repro.perfdb.provenance`), and compared against its
+baseline by three independent degradation checks
+(:mod:`repro.perfdb.checks`) folded into a verdict
+(:mod:`repro.perfdb.diff`).
+
+Surfaced as ``graphtides perf record|diff|log`` and as the CI ``perf``
+job: a confirmed degradation blocks the merge, turning every headline
+speedup in the repo into a non-regressable claim.
+"""
+
+from repro.perfdb.checks import (
+    CheckResult,
+    DegradationState,
+    average_amount_threshold,
+    integral_comparison,
+    trend,
+)
+from repro.perfdb.diff import DiffOptions, DiffReport, diff_all, diff_benchmark
+from repro.perfdb.ingest import load_snapshot, record_from_snapshot
+from repro.perfdb.provenance import (
+    config_fingerprint,
+    git_provenance,
+    machine_fingerprint,
+    machine_info,
+    snapshot_provenance,
+)
+from repro.perfdb.schema import SCHEMA_VERSION, MetricSeries, PerfRecord
+from repro.perfdb.store import DEFAULT_DB_PATH, PerfDatabase
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "DEFAULT_DB_PATH",
+    "MetricSeries",
+    "PerfRecord",
+    "PerfDatabase",
+    "CheckResult",
+    "DegradationState",
+    "average_amount_threshold",
+    "integral_comparison",
+    "trend",
+    "DiffOptions",
+    "DiffReport",
+    "diff_all",
+    "diff_benchmark",
+    "load_snapshot",
+    "record_from_snapshot",
+    "machine_info",
+    "machine_fingerprint",
+    "git_provenance",
+    "snapshot_provenance",
+    "config_fingerprint",
+]

@@ -1,0 +1,233 @@
+"""Record-vs-baseline comparison: run every applicable check, verdict.
+
+:func:`diff_benchmark` picks the target (newest record) and baseline
+(newest older non-smoke record) for one benchmark, runs the threshold
+check on every shared scalar metric, the integral check on every shared
+curve, and the trend check over the metric's last-K-commit history,
+then folds the results into a :class:`DiffReport` whose
+``has_confirmed_regression`` drives the CLI exit code and the CI gate.
+
+Comparability guard: when baseline and target were measured on
+different machines or different workload configs (fingerprints from
+:mod:`repro.perfdb.provenance` differ), absolute rates are not
+commensurable — every confirmed verdict is downgraded to *maybe* and
+the report says why, instead of blocking a merge on an apples-to-
+oranges comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import PerfDbError
+from repro.perfdb.checks import (
+    CheckResult,
+    DegradationState,
+    average_amount_threshold,
+    integral_comparison,
+    trend,
+)
+from repro.perfdb.schema import PerfRecord
+from repro.perfdb.store import PerfDatabase
+
+__all__ = ["DiffOptions", "DiffReport", "diff_benchmark", "diff_all"]
+
+
+@dataclass(frozen=True, slots=True)
+class DiffOptions:
+    """Tunables of one diff run (thresholds and the trend window)."""
+
+    threshold: float = 0.15
+    integral_threshold: float = 0.10
+    trend_window: int = 7
+    trend_threshold: float = 0.15
+    confidence: float = 0.95
+    include_smoke: bool = False
+
+
+@dataclass(slots=True)
+class DiffReport:
+    """All check results for one benchmark's target-vs-baseline diff."""
+
+    benchmark: str
+    baseline: PerfRecord | None
+    target: PerfRecord | None
+    results: list[CheckResult] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def confirmed(self) -> list[CheckResult]:
+        return [r for r in self.results if r.is_confirmed_degradation]
+
+    @property
+    def suspected(self) -> list[CheckResult]:
+        return [r for r in self.results if r.is_suspected_degradation]
+
+    @property
+    def has_confirmed_regression(self) -> bool:
+        return bool(self.confirmed)
+
+    def render_lines(self) -> list[str]:
+        """Human-readable report lines (one per check result)."""
+        lines = [f"benchmark {self.benchmark}:"]
+        if self.target is None:
+            lines.append("  no records; nothing to diff")
+            return lines
+        if self.baseline is None:
+            lines.append(
+                f"  target {self.target.short_commit} has no baseline; "
+                "record a non-smoke run first"
+            )
+            return lines
+        lines[0] = (
+            f"benchmark {self.benchmark}: "
+            f"{self.baseline.short_commit} -> {self.target.short_commit}"
+        )
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        for result in sorted(
+            self.results, key=lambda r: (r.metric, r.check)
+        ):
+            change = (
+                f"{result.relative_change:+.1%}"
+                if result.relative_change is not None
+                else "   n/a"
+            )
+            lines.append(
+                f"  {result.metric:<34} {result.check:<9} {change:>8}  "
+                f"{result.state.value} ({result.detail})"
+            )
+        verdict = (
+            "REGRESSION"
+            if self.has_confirmed_regression
+            else "ok"
+        )
+        lines.append(
+            f"  verdict: {verdict} "
+            f"({len(self.confirmed)} confirmed, "
+            f"{len(self.suspected)} suspected degradation(s))"
+        )
+        return lines
+
+
+def _comparability_notes(
+    baseline: PerfRecord, target: PerfRecord
+) -> list[str]:
+    notes = []
+    if baseline.machine_id != target.machine_id:
+        notes.append(
+            "baseline and target ran on different machines; confirmed "
+            "verdicts downgraded to 'maybe'"
+        )
+    if baseline.config_id != target.config_id:
+        notes.append(
+            "baseline and target measured different workload configs; "
+            "confirmed verdicts downgraded to 'maybe'"
+        )
+    if baseline.smoke != target.smoke:
+        notes.append(
+            "comparing a smoke run against a full run; confirmed "
+            "verdicts downgraded to 'maybe'"
+        )
+    return notes
+
+
+def diff_records(
+    baseline: PerfRecord,
+    target: PerfRecord,
+    history_by_metric: dict[str, list[float]] | None = None,
+    options: DiffOptions = DiffOptions(),
+) -> DiffReport:
+    """Diff two explicit records (plus optional per-metric history)."""
+    report = DiffReport(
+        benchmark=target.benchmark, baseline=baseline, target=target
+    )
+    report.notes = _comparability_notes(baseline, target)
+    downgrade = bool(report.notes)
+    shared = sorted(set(baseline.metrics) & set(target.metrics))
+    missing = sorted(set(baseline.metrics) - set(target.metrics))
+    if missing:
+        report.notes.append(
+            f"target is missing baseline metric(s): {', '.join(missing)}"
+        )
+    for name in shared:
+        base_series = baseline.metrics[name]
+        target_series = target.metrics[name]
+        results: list[CheckResult] = []
+        if base_series.samples and target_series.samples:
+            results.append(
+                average_amount_threshold(
+                    base_series,
+                    target_series,
+                    threshold=options.threshold,
+                    confidence=options.confidence,
+                )
+            )
+        if base_series.has_curve and target_series.has_curve:
+            results.append(
+                integral_comparison(
+                    base_series,
+                    target_series,
+                    threshold=options.integral_threshold,
+                )
+            )
+        history = (history_by_metric or {}).get(name, ())
+        if len(history) >= 3:
+            results.append(
+                trend(
+                    name,
+                    history,
+                    higher_is_better=base_series.higher_is_better,
+                    threshold=options.trend_threshold,
+                )
+            )
+        if downgrade:
+            results = [
+                result.downgraded("records are not strictly comparable")
+                for result in results
+            ]
+        report.results.extend(results)
+    return report
+
+
+def diff_benchmark(
+    db: PerfDatabase,
+    benchmark: str,
+    options: DiffOptions = DiffOptions(),
+) -> DiffReport:
+    """Diff the newest record for ``benchmark`` against its baseline.
+
+    The trend window feeds each metric the last
+    ``options.trend_window`` record means ending at the target, so a
+    creeping regression is caught even when the single-step change
+    stays under the threshold.
+    """
+    target = db.latest(benchmark, include_smoke=options.include_smoke)
+    if target is None:
+        return DiffReport(benchmark=benchmark, baseline=None, target=None)
+    baseline = db.baseline(
+        benchmark, before=target, include_smoke=options.include_smoke
+    )
+    if baseline is None:
+        return DiffReport(benchmark=benchmark, baseline=baseline, target=target)
+    history_by_metric: dict[str, list[float]] = {}
+    for name in set(baseline.metrics) & set(target.metrics):
+        rows = db.history(
+            benchmark,
+            name,
+            include_smoke=options.include_smoke,
+        )
+        means = [mean for record, mean in rows]
+        # The window ends at the target record (newest entries).
+        history_by_metric[name] = means[-options.trend_window:]
+    return diff_records(baseline, target, history_by_metric, options)
+
+
+def diff_all(
+    db: PerfDatabase, options: DiffOptions = DiffOptions()
+) -> list[DiffReport]:
+    """One report per benchmark present in the database."""
+    names = db.benchmarks()
+    if not names:
+        raise PerfDbError(f"{db.path} holds no records")
+    return [diff_benchmark(db, name, options) for name in names]

@@ -1,0 +1,216 @@
+"""Normalize BENCH_*.json snapshots into perf-database records.
+
+Each benchmark writes its own snapshot layout; this module flattens
+both into the shared :class:`~repro.perfdb.schema.PerfRecord` metric
+namespace so the degradation checks never look inside benchmark-
+specific nesting.  Scalar headline numbers become single-sample
+metrics (or multi-sample, where the benchmark records per-repeat
+samples), and saturation sweeps become curves for the integral check.
+
+Only schema-version-2 snapshots — the ones stamped with a shared
+``machine`` block and a ``provenance`` block — are accepted: a record
+without commit provenance cannot be placed in the history.  Snapshots
+from ``--smoke`` runs are refused unless ``allow_smoke=True``, and even
+then the stored record keeps ``smoke: true`` so it is never silently
+promoted to a baseline.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.errors import PerfDbError
+from repro.perfdb.provenance import config_fingerprint, machine_fingerprint
+from repro.perfdb.schema import SCHEMA_VERSION, MetricSeries, PerfRecord
+
+__all__ = ["record_from_snapshot", "load_snapshot", "SUPPORTED_BENCHMARKS"]
+
+EPS = "events/s"
+
+
+def load_snapshot(path: str | Path) -> dict[str, Any]:
+    """Read one BENCH_*.json snapshot file."""
+    path = Path(path)
+    try:
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except OSError as exc:
+        raise PerfDbError(f"cannot read snapshot {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise PerfDbError(f"{path} is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise PerfDbError(f"{path} does not contain a JSON object")
+    return payload
+
+
+def _scalar(
+    name: str,
+    value: Any,
+    unit: str = EPS,
+    higher_is_better: bool = True,
+    samples: Any = None,
+) -> MetricSeries:
+    values = samples if samples else [value]
+    return MetricSeries(
+        name=name,
+        unit=unit,
+        higher_is_better=higher_is_better,
+        samples=tuple(float(v) for v in values),
+    )
+
+
+def _pipeline_metrics(snapshot: Mapping[str, Any]) -> dict[str, MetricSeries]:
+    parse = snapshot["parse"]
+    fmt = snapshot["format"]
+    roundtrip = snapshot["file_roundtrip"]
+    replay = snapshot["replay"]
+    parse_samples = parse.get("samples", {})
+    fmt_samples = fmt.get("samples", {})
+
+    metrics = {
+        "parse_fast_eps": _scalar(
+            "parse_fast_eps", parse["fast_eps"],
+            samples=parse_samples.get("fast_eps"),
+        ),
+        "parse_fast_trusted_eps": _scalar(
+            "parse_fast_trusted_eps", parse["fast_trusted_eps"],
+            samples=parse_samples.get("fast_trusted_eps"),
+        ),
+        "format_fast_eps": _scalar(
+            "format_fast_eps", fmt["fast_eps"],
+            samples=fmt_samples.get("fast_eps"),
+        ),
+        "file_write_eps": _scalar("file_write_eps", roundtrip["write_eps"]),
+        "file_read_eps": _scalar("file_read_eps", roundtrip["read_eps"]),
+        "combined_parse_format_speedup": _scalar(
+            "combined_parse_format_speedup",
+            snapshot["combined_parse_format_speedup"],
+            unit="x",
+        ),
+    }
+
+    saturation = replay["saturation_eps_by_batch_size"]
+    saturation_samples = replay.get("saturation_samples_by_batch_size", {})
+    batch_sizes = sorted(saturation, key=float)
+    best_batch = max(batch_sizes, key=lambda b: saturation[b])
+    metrics["replay_saturation_best_eps"] = _scalar(
+        "replay_saturation_best_eps",
+        saturation[best_batch],
+        samples=saturation_samples.get(best_batch),
+    )
+    metrics["replay_saturation_curve"] = MetricSeries(
+        name="replay_saturation_curve",
+        unit=EPS,
+        higher_is_better=True,
+        curve_x=tuple(float(b) for b in batch_sizes),
+        curve_y=tuple(float(saturation[b]) for b in batch_sizes),
+    )
+    return metrics
+
+
+def _scaleout_metrics(snapshot: Mapping[str, Any]) -> dict[str, MetricSeries]:
+    config = snapshot["config"]
+    widest = str(config["worker_counts"][-1])
+    metrics = {
+        "baseline_1w_events_eps": _scalar(
+            "baseline_1w_events_eps", snapshot["baseline_1w_events_eps"]
+        ),
+        "decode_scaleout_eps": _scalar(
+            "decode_scaleout_eps", snapshot["decode_4w_eps"]
+        ),
+        "decode_scaling": _scalar(
+            "decode_scaling", snapshot["decode_scaling_4w"], unit="x"
+        ),
+        "decode_vs_raw": _scalar(
+            "decode_vs_raw", snapshot["decode_vs_raw_4w"], unit="x"
+        ),
+        "binary_raw_ceiling_eps": _scalar(
+            "binary_raw_ceiling_eps", snapshot["binary_raw_ceiling_eps"]
+        ),
+        "raw_scaleout_speedup": _scalar(
+            "raw_scaleout_speedup", snapshot["speedup_4w"], unit="x"
+        ),
+    }
+    saturation = snapshot["saturation"]
+    for fmt, by_mode in saturation.items():
+        for emission, mode in by_mode.items():
+            cell = mode["by_workers"].get(widest)
+            if cell is None:
+                continue
+            name = f"saturation_{fmt}_{emission}_{widest}w_eps"
+            metrics[name] = _scalar(
+                name, cell["aggregate_eps"], samples=cell.get("samples_eps")
+            )
+    sweep = snapshot["sweep"]
+    series = sweep["by_workers"].get(widest)
+    if series is not None:
+        metrics["sweep_achieved_curve"] = MetricSeries(
+            name="sweep_achieved_curve",
+            unit=EPS,
+            higher_is_better=True,
+            curve_x=tuple(float(t) for t in sweep["target_rates"]),
+            curve_y=tuple(float(a) for a in series["achieved_eps"]),
+        )
+    return metrics
+
+
+SUPPORTED_BENCHMARKS = {
+    "pipeline": _pipeline_metrics,
+    "replayer_scaleout": _scaleout_metrics,
+}
+
+
+def record_from_snapshot(
+    snapshot: Mapping[str, Any],
+    source: str = "",
+    allow_smoke: bool = False,
+) -> PerfRecord:
+    """Build a :class:`PerfRecord` from one parsed BENCH snapshot.
+
+    Raises :class:`~repro.errors.PerfDbError` for pre-v2 snapshots
+    (no provenance — re-record the benchmark), for unknown benchmark
+    names, and for ``smoke: true`` snapshots unless ``allow_smoke``:
+    smoke workloads are shrunk and unrepeated, so storing one as a
+    baseline would poison every later comparison.
+    """
+    version = snapshot.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise PerfDbError(
+            f"snapshot {source or '<dict>'} has schema_version {version!r}; "
+            f"perfdb ingests version {SCHEMA_VERSION} snapshots — re-record "
+            "the benchmark to stamp machine and commit provenance"
+        )
+    benchmark = snapshot.get("benchmark")
+    extractor = SUPPORTED_BENCHMARKS.get(benchmark)
+    if extractor is None:
+        raise PerfDbError(
+            f"unknown benchmark {benchmark!r}; supported: "
+            f"{sorted(SUPPORTED_BENCHMARKS)}"
+        )
+    smoke = bool(snapshot.get("smoke", False))
+    if smoke and not allow_smoke:
+        raise PerfDbError(
+            f"snapshot {source or '<dict>'} is a --smoke run; refusing to "
+            "store it as a baseline (pass --allow-smoke to record it as an "
+            "explicitly smoke-tagged, non-baseline record)"
+        )
+    provenance = snapshot.get("provenance") or {}
+    machine = snapshot.get("machine") or {}
+    if "recorded_at_utc" not in provenance:
+        raise PerfDbError(
+            f"snapshot {source or '<dict>'} has no provenance.recorded_at_utc"
+        )
+    return PerfRecord(
+        benchmark=benchmark,
+        git_commit=provenance.get("git_commit"),
+        git_dirty=provenance.get("git_dirty"),
+        recorded_at_utc=provenance["recorded_at_utc"],
+        machine=dict(machine),
+        machine_id=machine_fingerprint(machine),
+        config_id=config_fingerprint(snapshot.get("config", {})),
+        smoke=smoke,
+        source=str(source),
+        metrics=extractor(snapshot),
+    )

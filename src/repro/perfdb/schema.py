@@ -1,0 +1,152 @@
+"""Perf-database record schema.
+
+One :class:`PerfRecord` describes one benchmark run: which benchmark,
+on which commit and machine, under which config fingerprint, and the
+measured metrics.  A metric is either a set of scalar samples
+(:class:`MetricSeries` with ``samples``) or a full curve such as a
+saturation sweep (``curve_x``/``curve_y``), which the integral check
+compares by area.
+
+Records are plain JSON dicts on disk (one per line in the store) and
+versioned by ``SCHEMA_VERSION`` so future migrations stay explicit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.errors import PerfDbError
+
+__all__ = ["SCHEMA_VERSION", "MetricSeries", "PerfRecord"]
+
+#: Version of both the BENCH_*.json snapshot layout (machine block with
+#: ``cpu_count`` + ``provenance`` block) and the perfdb record layout.
+SCHEMA_VERSION = 2
+
+
+@dataclass(frozen=True, slots=True)
+class MetricSeries:
+    """One named metric of a run: scalar samples and/or a curve."""
+
+    name: str
+    unit: str
+    higher_is_better: bool
+    samples: tuple[float, ...] = ()
+    curve_x: tuple[float, ...] = ()
+    curve_y: tuple[float, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.samples and not self.curve_y:
+            raise PerfDbError(
+                f"metric {self.name!r} has neither samples nor a curve"
+            )
+        if len(self.curve_x) != len(self.curve_y):
+            raise PerfDbError(
+                f"metric {self.name!r}: curve_x has {len(self.curve_x)} "
+                f"points but curve_y has {len(self.curve_y)}"
+            )
+
+    @property
+    def mean(self) -> float:
+        """Mean of the scalar samples (curve-only metrics use the curve)."""
+        values = self.samples or self.curve_y
+        return sum(values) / len(values)
+
+    @property
+    def has_curve(self) -> bool:
+        return bool(self.curve_y)
+
+    def to_json_dict(self) -> dict[str, Any]:
+        payload: dict[str, Any] = {
+            "unit": self.unit,
+            "higher_is_better": self.higher_is_better,
+            "samples": list(self.samples),
+        }
+        if self.has_curve:
+            payload["curve"] = {
+                "x": list(self.curve_x),
+                "y": list(self.curve_y),
+            }
+        return payload
+
+    @classmethod
+    def from_json_dict(cls, name: str, payload: Mapping[str, Any]) -> "MetricSeries":
+        curve = payload.get("curve") or {}
+        return cls(
+            name=name,
+            unit=str(payload.get("unit", "")),
+            higher_is_better=bool(payload.get("higher_is_better", True)),
+            samples=tuple(float(v) for v in payload.get("samples", ())),
+            curve_x=tuple(float(v) for v in curve.get("x", ())),
+            curve_y=tuple(float(v) for v in curve.get("y", ())),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class PerfRecord:
+    """One benchmark run keyed by commit, machine, and config."""
+
+    benchmark: str
+    git_commit: str | None
+    git_dirty: bool | None
+    recorded_at_utc: str
+    machine: dict[str, Any]
+    machine_id: str
+    config_id: str
+    smoke: bool
+    source: str
+    metrics: dict[str, MetricSeries] = field(default_factory=dict)
+
+    @property
+    def short_commit(self) -> str:
+        """Abbreviated commit hash for log lines (``unknown`` if absent)."""
+        return (self.git_commit or "unknown")[:12]
+
+    def to_json_dict(self) -> dict[str, Any]:
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "benchmark": self.benchmark,
+            "git_commit": self.git_commit,
+            "git_dirty": self.git_dirty,
+            "recorded_at_utc": self.recorded_at_utc,
+            "machine": dict(self.machine),
+            "machine_id": self.machine_id,
+            "config_id": self.config_id,
+            "smoke": self.smoke,
+            "source": self.source,
+            "metrics": {
+                name: series.to_json_dict()
+                for name, series in sorted(self.metrics.items())
+            },
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload: Mapping[str, Any]) -> "PerfRecord":
+        version = payload.get("schema_version")
+        if version != SCHEMA_VERSION:
+            raise PerfDbError(
+                f"unsupported perfdb record schema_version {version!r} "
+                f"(this build reads {SCHEMA_VERSION})"
+            )
+        for key in ("benchmark", "recorded_at_utc", "machine", "metrics"):
+            if key not in payload:
+                raise PerfDbError(f"perfdb record is missing {key!r}")
+        metrics = {
+            name: MetricSeries.from_json_dict(name, series)
+            for name, series in payload["metrics"].items()
+        }
+        if not metrics:
+            raise PerfDbError("perfdb record has no metrics")
+        return cls(
+            benchmark=str(payload["benchmark"]),
+            git_commit=payload.get("git_commit"),
+            git_dirty=payload.get("git_dirty"),
+            recorded_at_utc=str(payload["recorded_at_utc"]),
+            machine=dict(payload["machine"]),
+            machine_id=str(payload.get("machine_id", "")),
+            config_id=str(payload.get("config_id", "")),
+            smoke=bool(payload.get("smoke", False)),
+            source=str(payload.get("source", "")),
+            metrics=metrics,
+        )

@@ -1,0 +1,139 @@
+"""Append-only JSONL store of per-commit benchmark records.
+
+The database is one JSON record per line, appended and never rewritten
+— the perf history *is* the file's line order, which doubles as the
+commit-time order (``recorded_at_utc`` breaks ties for humans).  The
+checked-in baseline lives at :data:`DEFAULT_DB_PATH`; CI runs use
+throwaway stores.
+
+Smoke records (``--smoke`` benchmark runs) may be appended for
+same-machine A/B comparisons, but they are never eligible as
+*baselines*: :meth:`PerfDatabase.baseline` and
+:meth:`PerfDatabase.history` skip them unless explicitly asked.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import PerfDbError
+from repro.perfdb.schema import PerfRecord
+
+__all__ = ["DEFAULT_DB_PATH", "PerfDatabase"]
+
+#: Repo-relative location of the committed baseline database.
+DEFAULT_DB_PATH = "perf/perfdb.jsonl"
+
+
+class PerfDatabase:
+    """Append-only perf-record store backed by one JSONL file."""
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+
+    def exists(self) -> bool:
+        """Whether the backing file exists on disk."""
+        return self.path.is_file()
+
+    def append(self, record: PerfRecord) -> None:
+        """Append one record; creates the file (and parent dir) lazily."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        line = json.dumps(record.to_json_dict(), sort_keys=True)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+
+    def records(
+        self,
+        benchmark: str | None = None,
+        include_smoke: bool = True,
+    ) -> list[PerfRecord]:
+        """All records in append order, optionally filtered."""
+        if not self.exists():
+            return []
+        loaded: list[PerfRecord] = []
+        with open(self.path, encoding="utf-8") as handle:
+            for number, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    payload = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise PerfDbError(
+                        f"{self.path}:{number}: not valid JSON: {exc}"
+                    ) from exc
+                record = PerfRecord.from_json_dict(payload)
+                if benchmark is not None and record.benchmark != benchmark:
+                    continue
+                if record.smoke and not include_smoke:
+                    continue
+                loaded.append(record)
+        return loaded
+
+    def benchmarks(self) -> list[str]:
+        """Distinct benchmark names, in first-seen order."""
+        seen: dict[str, None] = {}
+        for record in self.records():
+            seen.setdefault(record.benchmark, None)
+        return list(seen)
+
+    def latest(
+        self, benchmark: str, include_smoke: bool = False
+    ) -> PerfRecord | None:
+        """The most recently appended record for ``benchmark``."""
+        matching = self.records(benchmark, include_smoke=include_smoke)
+        return matching[-1] if matching else None
+
+    def baseline(
+        self,
+        benchmark: str,
+        before: PerfRecord | None = None,
+        include_smoke: bool = False,
+    ) -> PerfRecord | None:
+        """The newest non-smoke record strictly older than ``before``.
+
+        With ``before=None`` the latest eligible record itself is the
+        baseline (useful when diffing an un-appended candidate).  Smoke
+        records are skipped unless ``include_smoke`` — a smoke run is
+        never silently promoted to a baseline.
+
+        Duplicate records are legitimate (re-recording an identical
+        snapshot, A/A comparison runs), so ``before`` is matched from
+        the *end*: the target is by construction the newest entry, and
+        an earlier identical record then correctly becomes its baseline.
+        """
+        matching = self.records(benchmark, include_smoke=include_smoke)
+        if before is not None:
+            cutoff = None
+            for index in range(len(matching) - 1, -1, -1):
+                if matching[index] == before:
+                    cutoff = index
+                    break
+            if cutoff is None:
+                raise PerfDbError(
+                    f"record is not in {self.path} (benchmark {benchmark!r})"
+                )
+            matching = matching[:cutoff]
+        return matching[-1] if matching else None
+
+    def history(
+        self,
+        benchmark: str,
+        metric: str,
+        last: int | None = None,
+        include_smoke: bool = False,
+    ) -> list[tuple[PerfRecord, float]]:
+        """``(record, metric mean)`` pairs in append order.
+
+        Records missing the metric are skipped; ``last`` keeps only the
+        newest K entries (the trend-check window).
+        """
+        rows = [
+            (record, record.metrics[metric].mean)
+            for record in self.records(benchmark, include_smoke=include_smoke)
+            if metric in record.metrics
+        ]
+        if last is not None and last > 0:
+            rows = rows[-last:]
+        return rows

@@ -115,3 +115,40 @@ class TestCompare:
         result = compare([1, 2, 3], [4, 5, 6])
         assert result.a.mean == 2
         assert result.b.mean == 5
+
+
+class TestCompareDegenerateInputs:
+    """The degenerate shapes the perf database feeds into compare():
+    single-repeat runs, zero-variance samples, mismatched counts."""
+
+    def test_single_sample_either_side_is_indistinguishable(self):
+        # A single measurement has no confidence interval: no claim of
+        # significance is possible, but compare() must not raise.
+        for a, b in ([5.0], [1.0, 2.0, 3.0]), ([1.0, 2.0, 3.0], [5.0]), (
+            [5.0],
+            [1.0],
+        ):
+            result = compare(a, b)
+            assert result.verdict == ComparisonVerdict.INDISTINGUISHABLE
+            assert result.intervals_overlap
+            assert not result.significant
+
+    def test_zero_variance_identical_sides_overlap(self):
+        result = compare([7.0, 7.0, 7.0], [7.0, 7.0, 7.0])
+        assert result.verdict == ComparisonVerdict.INDISTINGUISHABLE
+
+    def test_zero_variance_separated_sides_are_significant(self):
+        # Two zero-width intervals at different means do not overlap.
+        result = compare([7.0, 7.0, 7.0], [5.0, 5.0, 5.0])
+        assert result.verdict == ComparisonVerdict.A_BETTER
+        assert result.significant
+
+    def test_mismatched_repeat_counts(self):
+        result = compare([10.0, 10.1, 9.9, 10.0, 10.2], [5.0, 5.1])
+        assert result.verdict == ComparisonVerdict.A_BETTER
+
+    def test_single_sample_aggregates_still_attached(self):
+        result = compare([5.0], [1.0, 2.0, 3.0])
+        assert result.a.count == 1
+        assert result.a.mean == 5.0
+        assert result.b.count == 3

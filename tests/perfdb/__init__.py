@@ -1,0 +1,1 @@
+"""Tests for the per-commit perf database (repro.perfdb)."""

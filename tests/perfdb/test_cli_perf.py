@@ -1,0 +1,132 @@
+"""The ``graphtides perf`` command group: exit codes and output."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+from .conftest import degraded, make_pipeline_snapshot
+
+
+def write_snapshot(path, snapshot) -> str:
+    path.write_text(json.dumps(snapshot) + "\n", encoding="utf-8")
+    return str(path)
+
+
+@pytest.fixture
+def db_path(tmp_path) -> str:
+    return str(tmp_path / "perfdb.jsonl")
+
+
+class TestPerfRecord:
+    def test_records_full_snapshot(self, tmp_path, db_path, capsys):
+        snap = write_snapshot(
+            tmp_path / "s.json", make_pipeline_snapshot()
+        )
+        assert main(["perf", "record", snap, "--db", db_path]) == 0
+        out = capsys.readouterr().out
+        assert "recorded pipeline @ aaaaaaaa" in out
+
+    def test_refuses_smoke_without_flag(self, tmp_path, db_path, capsys):
+        snap = write_snapshot(
+            tmp_path / "s.json", make_pipeline_snapshot(smoke=True)
+        )
+        assert main(["perf", "record", snap, "--db", db_path]) == 2
+        err = capsys.readouterr().err
+        assert "smoke" in err
+        assert "--allow-smoke" in err
+
+    def test_allow_smoke_records_tagged(self, tmp_path, db_path, capsys):
+        snap = write_snapshot(
+            tmp_path / "s.json", make_pipeline_snapshot(smoke=True)
+        )
+        assert main(
+            ["perf", "record", snap, "--db", db_path, "--allow-smoke"]
+        ) == 0
+        assert "[smoke]" in capsys.readouterr().out
+
+    def test_rejects_legacy_snapshot(self, tmp_path, db_path, capsys):
+        legacy = make_pipeline_snapshot()
+        del legacy["schema_version"]
+        del legacy["provenance"]
+        snap = write_snapshot(tmp_path / "s.json", legacy)
+        assert main(["perf", "record", snap, "--db", db_path]) == 2
+
+
+class TestPerfDiff:
+    def _record_pair(self, tmp_path, db_path, second_snapshot) -> None:
+        first = write_snapshot(
+            tmp_path / "a.json",
+            make_pipeline_snapshot(
+                commit="1" * 40, recorded_at="2026-08-01T00:00:00+00:00"
+            ),
+        )
+        second = write_snapshot(tmp_path / "b.json", second_snapshot)
+        assert main(["perf", "record", first, second, "--db", db_path]) == 0
+
+    def test_identical_runs_exit_zero(self, tmp_path, db_path, capsys):
+        self._record_pair(
+            tmp_path,
+            db_path,
+            make_pipeline_snapshot(
+                commit="2" * 40, recorded_at="2026-08-02T00:00:00+00:00"
+            ),
+        )
+        assert main(["perf", "diff", "--db", db_path]) == 0
+        assert "verdict: ok" in capsys.readouterr().out
+
+    def test_regression_exits_one(self, tmp_path, db_path, capsys):
+        self._record_pair(
+            tmp_path,
+            db_path,
+            degraded(
+                make_pipeline_snapshot(
+                    commit="2" * 40,
+                    recorded_at="2026-08-02T00:00:00+00:00",
+                ),
+                0.7,
+            ),
+        )
+        assert main(["perf", "diff", "--db", db_path]) == 1
+        out = capsys.readouterr().out
+        assert "verdict: REGRESSION" in out
+        # Both check families fired on the 30% drop.
+        assert "threshold" in out
+        assert "integral" in out
+
+    def test_benchmark_filter(self, tmp_path, db_path, capsys):
+        self._record_pair(
+            tmp_path,
+            db_path,
+            make_pipeline_snapshot(
+                commit="2" * 40, recorded_at="2026-08-02T00:00:00+00:00"
+            ),
+        )
+        assert main(
+            ["perf", "diff", "--db", db_path, "--benchmark", "pipeline"]
+        ) == 0
+        capsys.readouterr()
+
+    def test_empty_database_is_an_error(self, db_path, capsys):
+        assert main(["perf", "diff", "--db", db_path]) == 2
+        assert "no records" in capsys.readouterr().err
+
+
+class TestPerfLog:
+    def test_empty_database_exits_one(self, db_path, capsys):
+        assert main(["perf", "log", "--db", db_path]) == 1
+        assert "no perf records" in capsys.readouterr().err
+
+    def test_lists_records(self, tmp_path, db_path, capsys):
+        snap = write_snapshot(
+            tmp_path / "s.json", make_pipeline_snapshot()
+        )
+        assert main(["perf", "record", snap, "--db", db_path]) == 0
+        capsys.readouterr()
+        assert main(["perf", "log", "--db", db_path]) == 0
+        out = capsys.readouterr().out
+        assert "pipeline" in out
+        assert "replay_saturation_best_eps" in out

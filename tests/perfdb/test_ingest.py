@@ -1,0 +1,109 @@
+"""BENCH snapshot normalization into perf records."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PerfDbError
+from repro.perfdb.ingest import load_snapshot, record_from_snapshot
+
+from .conftest import make_pipeline_snapshot, make_scaleout_snapshot
+
+
+class TestPipelineIngestion:
+    def test_scalar_metrics_extracted(self, pipeline_snapshot):
+        record = record_from_snapshot(pipeline_snapshot, source="BENCH.json")
+        assert record.benchmark == "pipeline"
+        assert record.source == "BENCH.json"
+        parse = record.metrics["parse_fast_trusted_eps"]
+        assert len(parse.samples) == 3
+        assert parse.higher_is_better
+        assert record.metrics["combined_parse_format_speedup"].unit == "x"
+
+    def test_saturation_curve_extracted(self, pipeline_snapshot):
+        record = record_from_snapshot(pipeline_snapshot)
+        curve = record.metrics["replay_saturation_curve"]
+        assert curve.curve_x == (1.0, 8.0, 256.0)
+        assert curve.curve_y[-1] == pytest.approx(1_000_000)
+        best = record.metrics["replay_saturation_best_eps"]
+        assert len(best.samples) == 3
+
+    def test_provenance_carried(self, pipeline_snapshot):
+        record = record_from_snapshot(pipeline_snapshot)
+        assert record.git_commit == "a" * 40
+        assert record.git_dirty is False
+        assert record.recorded_at_utc == "2026-08-08T00:00:00+00:00"
+        assert record.machine_id
+        assert record.config_id
+
+
+class TestScaleoutIngestion:
+    def test_headline_metrics(self, scaleout_snapshot):
+        record = record_from_snapshot(scaleout_snapshot)
+        assert record.benchmark == "replayer_scaleout"
+        assert "baseline_1w_events_eps" in record.metrics
+        assert "decode_scaleout_eps" in record.metrics
+        assert record.metrics["raw_scaleout_speedup"].unit == "x"
+
+    def test_widest_worker_saturation_cells(self, scaleout_snapshot):
+        record = record_from_snapshot(scaleout_snapshot)
+        cell = record.metrics["saturation_csv_events_4w_eps"]
+        assert len(cell.samples) == 2
+        assert "saturation_binary_decode_4w_eps" in record.metrics
+
+    def test_sweep_curve(self, scaleout_snapshot):
+        record = record_from_snapshot(scaleout_snapshot)
+        curve = record.metrics["sweep_achieved_curve"]
+        assert curve.curve_x == (100_000.0, 1_000_000.0)
+
+
+class TestIngestionGuards:
+    def test_rejects_smoke_by_default(self):
+        snapshot = make_pipeline_snapshot(smoke=True)
+        with pytest.raises(PerfDbError, match="smoke"):
+            record_from_snapshot(snapshot, source="BENCH_pipeline.json")
+
+    def test_allow_smoke_keeps_the_tag(self):
+        record = record_from_snapshot(
+            make_pipeline_snapshot(smoke=True), allow_smoke=True
+        )
+        assert record.smoke is True
+
+    def test_rejects_pre_v2_snapshots(self):
+        snapshot = make_pipeline_snapshot()
+        del snapshot["schema_version"]
+        with pytest.raises(PerfDbError, match="re-record"):
+            record_from_snapshot(snapshot)
+
+    def test_rejects_unknown_benchmark(self):
+        snapshot = make_pipeline_snapshot()
+        snapshot["benchmark"] = "mystery"
+        with pytest.raises(PerfDbError, match="unknown benchmark"):
+            record_from_snapshot(snapshot)
+
+    def test_rejects_missing_timestamp(self):
+        snapshot = make_pipeline_snapshot()
+        del snapshot["provenance"]["recorded_at_utc"]
+        with pytest.raises(PerfDbError, match="recorded_at_utc"):
+            record_from_snapshot(snapshot)
+
+    def test_load_snapshot_errors(self, tmp_path):
+        missing = tmp_path / "missing.json"
+        with pytest.raises(PerfDbError, match="cannot read"):
+            load_snapshot(missing)
+        bad = tmp_path / "bad.json"
+        bad.write_text("{nope")
+        with pytest.raises(PerfDbError, match="not valid JSON"):
+            load_snapshot(bad)
+        array = tmp_path / "array.json"
+        array.write_text("[1, 2]")
+        with pytest.raises(PerfDbError, match="JSON object"):
+            load_snapshot(array)
+
+    def test_scaleout_snapshot_ingests_in_smoke_shape(self):
+        # Smoke runs use a (1, 2) worker matrix: the widest-worker
+        # metrics must follow the config instead of assuming 4.
+        snapshot = make_scaleout_snapshot(smoke=True)
+        snapshot["config"]["worker_counts"] = [1, 2]
+        record = record_from_snapshot(snapshot, allow_smoke=True)
+        assert "saturation_csv_events_2w_eps" in record.metrics

@@ -1,0 +1,92 @@
+"""Machine and git provenance helpers."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+
+import pytest
+
+from repro.perfdb.provenance import (
+    config_fingerprint,
+    git_provenance,
+    machine_fingerprint,
+    machine_info,
+    snapshot_provenance,
+)
+
+
+class TestMachineInfo:
+    def test_includes_cpu_count(self):
+        # The historical drift: one benchmark recorded cpu_count, the
+        # other did not.  The shared helper must always include it.
+        info = machine_info()
+        assert "cpu_count" in info
+        assert info["cpu_count"] is None or info["cpu_count"] >= 1
+        for key in ("python", "implementation", "platform"):
+            assert info[key]
+
+    def test_is_json_serializable(self):
+        json.dumps(machine_info())
+
+    def test_fingerprint_stable_and_order_independent(self):
+        info = machine_info()
+        shuffled = dict(reversed(list(info.items())))
+        assert machine_fingerprint(info) == machine_fingerprint(shuffled)
+
+    def test_fingerprint_differs_on_cpu_count(self):
+        info = machine_info()
+        other = dict(info, cpu_count=(info.get("cpu_count") or 0) + 1)
+        assert machine_fingerprint(info) != machine_fingerprint(other)
+
+
+def _git(args, cwd):
+    subprocess.run(
+        ["git", *args], cwd=cwd, check=True, capture_output=True, text=True
+    )
+
+
+@pytest.fixture
+def git_repo(tmp_path):
+    repo = tmp_path / "repo"
+    repo.mkdir()
+    _git(["init", "-q"], repo)
+    _git(["config", "user.email", "t@example.com"], repo)
+    _git(["config", "user.name", "t"], repo)
+    (repo / "file.txt").write_text("one\n")
+    _git(["add", "file.txt"], repo)
+    _git(["commit", "-q", "-m", "init"], repo)
+    return repo
+
+
+class TestGitProvenance:
+    def test_clean_repo(self, git_repo):
+        stamp = git_provenance(str(git_repo))
+        assert len(stamp["git_commit"]) == 40
+        assert stamp["git_dirty"] is False
+
+    def test_dirty_repo(self, git_repo):
+        (git_repo / "file.txt").write_text("two\n")
+        stamp = git_provenance(str(git_repo))
+        assert stamp["git_dirty"] is True
+
+    def test_outside_a_repo(self, tmp_path):
+        bare = tmp_path / "norepo"
+        bare.mkdir()
+        stamp = git_provenance(str(bare))
+        assert stamp == {"git_commit": None, "git_dirty": None}
+
+    def test_snapshot_provenance_has_utc_timestamp(self, git_repo):
+        stamp = snapshot_provenance(str(git_repo))
+        assert stamp["recorded_at_utc"].endswith("+00:00")
+        assert stamp["git_commit"] is not None
+
+
+class TestConfigFingerprint:
+    def test_order_independent(self):
+        a = config_fingerprint({"x": 1, "y": [1, 2]})
+        b = config_fingerprint({"y": [1, 2], "x": 1})
+        assert a == b
+
+    def test_value_sensitive(self):
+        assert config_fingerprint({"x": 1}) != config_fingerprint({"x": 2})

@@ -1,0 +1,175 @@
+"""Record schema round trips and the append-only store."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import PerfDbError
+from repro.perfdb.ingest import record_from_snapshot
+from repro.perfdb.schema import SCHEMA_VERSION, MetricSeries, PerfRecord
+from repro.perfdb.store import PerfDatabase
+
+from .conftest import make_pipeline_snapshot, make_scaleout_snapshot
+
+
+class TestMetricSeries:
+    def test_requires_samples_or_curve(self):
+        with pytest.raises(PerfDbError, match="neither samples nor a curve"):
+            MetricSeries(name="m", unit="x", higher_is_better=True)
+
+    def test_curve_lengths_must_match(self):
+        with pytest.raises(PerfDbError, match="curve_x"):
+            MetricSeries(
+                name="m", unit="x", higher_is_better=True,
+                curve_x=(1.0,), curve_y=(1.0, 2.0),
+            )
+
+    def test_round_trip(self):
+        series = MetricSeries(
+            name="m", unit="events/s", higher_is_better=True,
+            samples=(1.0, 2.0), curve_x=(1.0, 2.0), curve_y=(10.0, 20.0),
+        )
+        rebuilt = MetricSeries.from_json_dict("m", series.to_json_dict())
+        assert rebuilt == series
+
+    def test_mean_prefers_samples(self):
+        series = MetricSeries(
+            name="m", unit="x", higher_is_better=True,
+            samples=(2.0, 4.0), curve_x=(0.0,), curve_y=(100.0,),
+        )
+        assert series.mean == 3.0
+
+
+class TestPerfRecordRoundTrip:
+    def test_round_trip(self):
+        record = record_from_snapshot(make_pipeline_snapshot(), source="s")
+        rebuilt = PerfRecord.from_json_dict(
+            json.loads(json.dumps(record.to_json_dict()))
+        )
+        assert rebuilt == record
+
+    def test_rejects_wrong_schema_version(self):
+        payload = record_from_snapshot(make_pipeline_snapshot()).to_json_dict()
+        payload["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(PerfDbError, match="schema_version"):
+            PerfRecord.from_json_dict(payload)
+
+    def test_rejects_missing_metrics(self):
+        payload = record_from_snapshot(make_pipeline_snapshot()).to_json_dict()
+        payload["metrics"] = {}
+        with pytest.raises(PerfDbError, match="no metrics"):
+            PerfRecord.from_json_dict(payload)
+
+
+class TestPerfDatabase:
+    def _db(self, tmp_path) -> PerfDatabase:
+        return PerfDatabase(tmp_path / "perf" / "db.jsonl")
+
+    def test_append_and_read_back(self, tmp_path):
+        db = self._db(tmp_path)
+        assert db.records() == []
+        record = record_from_snapshot(make_pipeline_snapshot(), source="a")
+        db.append(record)
+        assert db.records() == [record]
+
+    def test_append_only_preserves_order(self, tmp_path):
+        db = self._db(tmp_path)
+        first = record_from_snapshot(
+            make_pipeline_snapshot(commit="1" * 40,
+                                   recorded_at="2026-08-01T00:00:00+00:00")
+        )
+        second = record_from_snapshot(
+            make_pipeline_snapshot(commit="2" * 40,
+                                   recorded_at="2026-08-02T00:00:00+00:00")
+        )
+        db.append(first)
+        db.append(second)
+        commits = [r.git_commit for r in db.records()]
+        assert commits == ["1" * 40, "2" * 40]
+        # The file is line-per-record JSONL, so appending never rewrote
+        # the first line.
+        lines = db.path.read_text().strip().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[0])["git_commit"] == "1" * 40
+
+    def test_benchmark_filter(self, tmp_path):
+        db = self._db(tmp_path)
+        db.append(record_from_snapshot(make_pipeline_snapshot()))
+        db.append(record_from_snapshot(make_scaleout_snapshot()))
+        assert db.benchmarks() == ["pipeline", "replayer_scaleout"]
+        assert len(db.records("pipeline")) == 1
+
+    def test_smoke_records_never_become_baselines(self, tmp_path):
+        db = self._db(tmp_path)
+        full = record_from_snapshot(
+            make_pipeline_snapshot(commit="1" * 40,
+                                   recorded_at="2026-08-01T00:00:00+00:00")
+        )
+        smoke = record_from_snapshot(
+            make_pipeline_snapshot(commit="2" * 40, smoke=True,
+                                   recorded_at="2026-08-02T00:00:00+00:00"),
+            allow_smoke=True,
+        )
+        db.append(full)
+        db.append(smoke)
+        assert db.latest("pipeline") == full
+        assert db.latest("pipeline", include_smoke=True) == smoke
+        assert db.baseline("pipeline") == full
+
+    def test_baseline_before_target(self, tmp_path):
+        db = self._db(tmp_path)
+        records = [
+            record_from_snapshot(
+                make_pipeline_snapshot(
+                    commit=str(i) * 40,
+                    recorded_at=f"2026-08-0{i}T00:00:00+00:00",
+                )
+            )
+            for i in (1, 2, 3)
+        ]
+        for record in records:
+            db.append(record)
+        assert db.baseline("pipeline", before=records[2]) == records[1]
+        assert db.baseline("pipeline", before=records[0]) is None
+        with pytest.raises(PerfDbError, match="not in"):
+            db.baseline(
+                "pipeline",
+                before=record_from_snapshot(
+                    make_pipeline_snapshot(commit="9" * 40)
+                ),
+            )
+
+    def test_duplicate_records_still_have_a_baseline(self, tmp_path):
+        # A/A comparisons append the *same* record twice; `before` must
+        # match the newest occurrence so the older twin is the baseline.
+        db = self._db(tmp_path)
+        record = record_from_snapshot(make_pipeline_snapshot())
+        db.append(record)
+        db.append(record)
+        assert db.baseline("pipeline", before=record) == record
+
+    def test_history_window(self, tmp_path):
+        db = self._db(tmp_path)
+        for i, scale in enumerate((1.0, 1.1, 1.2, 1.3)):
+            db.append(
+                record_from_snapshot(
+                    make_pipeline_snapshot(
+                        scale=scale,
+                        commit=str(i) * 40,
+                        recorded_at=f"2026-08-0{i + 1}T00:00:00+00:00",
+                    )
+                )
+            )
+        rows = db.history("pipeline", "format_fast_eps", last=2)
+        assert len(rows) == 2
+        assert rows[0][1] < rows[1][1]
+
+    def test_corrupt_line_is_reported_with_location(self, tmp_path):
+        db = self._db(tmp_path)
+        db.append(record_from_snapshot(make_pipeline_snapshot()))
+        with open(db.path, "a", encoding="utf-8") as handle:
+            handle.write("{not json\n")
+        with pytest.raises(PerfDbError, match=":2"):
+            db.records()
