@@ -64,14 +64,21 @@ from bench_codec_throughput import (  # noqa: E402
     write_snapshot,
 )
 
-from repro.core import binfmt, codec  # noqa: E402
-from repro.core.connectors import PipeSpec  # noqa: E402
+from repro.core import binfmt, codec, witness  # noqa: E402
+from repro.core.connectors import (  # noqa: E402
+    PipeReceiver,
+    PipeSpec,
+    ShmReceiver,
+    TcpReceiver,
+    TcpSpec,
+)
 from repro.core.sharding import ShardedReplayer  # noqa: E402
 from repro.perfdb.provenance import machine_info  # noqa: E402
 from repro.perfdb.schema import SCHEMA_VERSION  # noqa: E402
 
 FORMATS = ("csv", "binary")
 EMISSIONS = ("events", "decode", "raw")
+TRANSPORTS = ("pipe", "tcp", "shm")
 
 
 def _saturation(
@@ -133,6 +140,110 @@ def bench_saturation(
     return by_format
 
 
+def _transport_run(
+    path: str, workers: int, transport: str, batch_size: int = 256
+) -> tuple[float, int]:
+    """One decode-mode sharded replay through a LIVE receiver.
+
+    Unlike :func:`_saturation` (which writes to ``/dev/null`` to
+    isolate the workers), every byte here crosses a real transport to a
+    counting receiver, so the aggregate reflects end-to-end delivery
+    cost.  Returns ``(aggregate_eps, receiver_total)``; the receiver's
+    independently re-derived count is the delivery proof the transports
+    are compared on.
+    """
+
+    def replay(specs) -> float:
+        report = ShardedReplayer(
+            path,
+            specs,
+            rate=UNREACHABLE_RATE,
+            workers=workers,
+            emission="decode",
+            stream_format="binary",
+            batch_size=batch_size,
+        ).run()
+        return report.mean_rate
+
+    if transport == "pipe":
+        pairs = [os.pipe() for __ in range(workers)]
+        receivers = [PipeReceiver(read_fd) for read_fd, __ in pairs]
+        for receiver in receivers:
+            receiver.start()
+        try:
+            aggregate = replay(
+                tuple(PipeSpec(target=write_fd) for __, write_fd in pairs)
+            )
+        finally:
+            for __, write_fd in pairs:
+                try:
+                    os.close(write_fd)
+                except OSError:
+                    pass
+            for receiver in receivers:
+                receiver.join(timeout=30.0)
+                receiver.close()
+        return aggregate, sum(r.counter.total for r in receivers)
+    if transport == "tcp":
+        with TcpReceiver(max_connections=workers) as receiver:
+            aggregate = replay(TcpSpec(port=receiver.port))
+        return aggregate, receiver.counter.total
+    if transport == "shm":
+        with ShmReceiver(max_producers=workers) as receiver:
+            aggregate = replay(receiver.specs)
+        if receiver.error is not None:
+            raise receiver.error
+        return aggregate, receiver.counter.total
+    raise ValueError(f"unknown transport {transport!r}")
+
+
+def bench_transports(
+    binary_path: str, worker_counts: tuple[int, ...], repeats: int
+) -> dict:
+    """Delivered decode-mode rate per transport per worker count.
+
+    Best-of-repeats, like :func:`bench_saturation`: on a time-sliced
+    single-CPU runner the scheduler noise between repeats dwarfs the
+    transport difference, and the best repeat is the one where the
+    measured configuration — not a context-switch storm — set the pace.
+    Every repeat asserts the receiver delivered the full stream, so a
+    transport can never win by dropping events.
+    """
+    by_transport: dict[str, dict] = {}
+    delivered_reference: int | None = None
+    for transport in TRANSPORTS:
+        by_workers = {}
+        for workers in worker_counts:
+            best = 0.0
+            samples: list[float] = []
+            delivered = 0
+            for __ in range(repeats):
+                aggregate, total = _transport_run(
+                    binary_path, workers, transport
+                )
+                if delivered_reference is None:
+                    delivered_reference = total
+                elif total != delivered_reference:
+                    raise RuntimeError(
+                        f"{transport} delivered {total} events, expected "
+                        f"{delivered_reference}"
+                    )
+                delivered = total
+                samples.append(aggregate)
+                best = max(best, aggregate)
+            by_workers[str(workers)] = {
+                "aggregate_eps": best,
+                "samples_eps": samples,
+                "delivered": delivered,
+            }
+        by_transport[transport] = {"by_workers": by_workers}
+    return {
+        "emission": "decode",
+        "batch_size": 256,
+        "by_transport": by_transport,
+    }
+
+
 def bench_sweep(
     paths: dict[str, str],
     worker_counts: tuple[int, ...],
@@ -177,16 +288,42 @@ def run_suite(
         "binary": tmp_dir / "bench_scaleout_stream.gtb",
     }
     codec.write_stream_file(paths["csv"], events)
-    binfmt.write_binary_stream(paths["binary"], events)
+    # The witness sidecar lets decode workers (and the 1-worker
+    # in-place replay) verify the stream in one vectorized pass instead
+    # of walking every frame — shard files get their own sidecars from
+    # the partitioner.
+    binfmt.write_binary_stream(
+        paths["binary"],
+        events,
+        witness_path=witness.witness_path(paths["binary"]),
+    )
     path_strs = {fmt: str(path) for fmt, path in paths.items()}
     try:
         saturation = bench_saturation(path_strs, worker_counts, repeats)
+        transports = bench_transports(
+            path_strs["binary"], worker_counts, repeats
+        )
         sweep = bench_sweep(path_strs, worker_counts, targets)
     finally:
         for path in paths.values():
             path.unlink(missing_ok=True)
+            witness.witness_path(path).unlink(missing_ok=True)
 
     most = str(worker_counts[-1])
+    # Transport headline at ONE worker: a single producer/consumer pair
+    # is the SPSC ring's design point and the only cell where the bench
+    # measures transport cost rather than core time-slicing — at 4
+    # workers on the 1-CPU runner, 4 producers plus the receiver's
+    # drain threads contend for one core and every transport converges
+    # on scheduler throughput.  The full grid stays in
+    # transports.by_transport for the oversubscribed cells.
+    one = str(worker_counts[0])
+    shm_eps = transports["by_transport"]["shm"]["by_workers"][one][
+        "aggregate_eps"
+    ]
+    pipe_eps = transports["by_transport"]["pipe"]["by_workers"][one][
+        "aggregate_eps"
+    ]
     baseline_eps = saturation["csv"]["events"]["by_workers"]["1"][
         "aggregate_eps"
     ]
@@ -208,10 +345,19 @@ def run_suite(
             "target_rates": list(targets),
             "repeats": repeats,
             "batch_size": 256,
+            "transports": list(TRANSPORTS),
         },
         "machine": machine_info(),
         "saturation": saturation,
+        "transports": transports,
         "sweep": sweep,
+        # Delivered decode-mode rates through LIVE receivers for one
+        # producer/consumer pair, and the shared-memory ring's edge
+        # over the pipe baseline (the zero-copy transport's acceptance
+        # gate is >= 1.5x).
+        "shm_delivered_eps": shm_eps,
+        "pipe_delivered_eps": pipe_eps,
+        "shm_vs_pipe_delivered": shm_eps / pipe_eps if pipe_eps else 0.0,
         # Baseline: the classic single-process CSV events replay —
         # what "1 worker" meant before the binary format existed.
         "baseline_1w_events_eps": baseline_eps,
@@ -269,6 +415,20 @@ def print_summary(results: dict) -> None:
         f"raw headline ({most} workers binary raw vs 1 worker events): "
         f"{results['speedup_4w']:.2f}x "
         f"(zero-copy ceiling {results['binary_raw_ceiling_eps']:,.0f}/s)"
+    )
+    transports = results["transports"]["by_transport"]
+    print("delivered decode-mode rate through live receivers:")
+    for transport in results["config"]["transports"]:
+        row = f"  {transport:<5}"
+        for workers in results["config"]["worker_counts"]:
+            eps = transports[transport]["by_workers"][str(workers)][
+                "aggregate_eps"
+            ]
+            row += f"  {workers}w {eps:>12,.0f}/s"
+        print(row)
+    print(
+        "shm vs pipe delivered (1 producer/consumer pair): "
+        f"{results['shm_vs_pipe_delivered']:.2f}x"
     )
     sweep = results["sweep"]
     print("fig 3a sweep (achieved/target):")

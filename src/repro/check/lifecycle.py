@@ -9,7 +9,10 @@ still *held* at each program point.
   mmaps, ``Popen``, explicit ``lock.acquire()``) must reach a release
   (``close``/``wait``/``release``...) on **every** path to the
   function's exit, including the exception edges, unless ownership is
-  transferred first.
+  transferred first.  ``SharedMemory(create=True, ...)`` is tracked as
+  two obligations at once: the owner must both ``close`` its mapping
+  and ``unlink`` the name, or the segment outlives the process in
+  ``/dev/shm``.
 * ``RES002`` — a ``Thread``/``Process`` spawned in a function must be
   joined on every path, or transferred out (returned, stored on an
   object, registered for cleanup).
@@ -83,6 +86,46 @@ _RESOURCE_ACQUIRERS: dict[str, tuple[str, frozenset[str]]] = {
         frozenset({"wait", "communicate", "terminate", "kill"}),
     ),
 }
+
+#: Acquirers whose resource needs EVERY listed release to die (one
+#: fact is emitted per release set, so each must be reached on all
+#: paths).  A ``SharedMemory`` segment created here (``create=True``)
+#: is owned: the owner must drop its mapping with ``close`` AND remove
+#: the name with ``unlink`` — missing either leaks a ``/dev/shm``
+#: entry.  A plain attachment only maps an existing segment and owes
+#: just the ``close``.
+_MULTI_RELEASE_ACQUIRERS: dict[
+    str, tuple[str, tuple[frozenset[str], ...]]
+] = {
+    "SharedMemory": (
+        "shared_memory",
+        (frozenset({"close"}), frozenset({"unlink"})),
+    ),
+}
+
+
+def _multi_acquirer_for(
+    call: ast.Call,
+) -> tuple[str, tuple[frozenset[str], ...]] | None:
+    name = dotted_name(call.func)
+    if name is None:
+        return None
+    spec = _MULTI_RELEASE_ACQUIRERS.get(name.rsplit(".", 1)[-1])
+    if spec is None:
+        return None
+    kind, release_sets = spec
+    for keyword in call.keywords:
+        if keyword.arg == "create":
+            value = keyword.value
+            if not (
+                isinstance(value, ast.Constant) and value.value is False
+            ):
+                # create=True (or a dynamic value — assume owning).
+                return kind, release_sets
+            break
+    # Attaching to an existing segment: only the mapping is owed.
+    return kind, (release_sets[0],)
+
 
 #: Spawning call -> kind for ``RES002`` facts; released by ``join``.
 _SPAWN_CALLS: dict[str, str] = {
@@ -351,6 +394,14 @@ class _LifecycleAnalysis(Analysis[frozenset[int]]):
             targets = _assign_targets(stmt)
             if len(targets) == 1 and isinstance(targets[0], ast.Name):
                 var = self._canon(targets[0].id)
+                multi = _multi_acquirer_for(value)
+                if multi is not None:
+                    kind, release_sets = multi
+                    for releases in release_sets:
+                        self._add_fact(
+                            events, node, var, kind, releases, "resource", value
+                        )
+                    return
                 spec = _acquirer_for(value)
                 if spec is not None:
                     kind, releases = spec

@@ -68,11 +68,21 @@ def build_parser() -> argparse.ArgumentParser:
     rep.add_argument("stream")
     rep.add_argument("--rate", type=float, default=10_000.0)
     rep.add_argument(
-        "--transport", choices=("stdout", "tcp"), default="stdout",
-        help="stdout pipes CSV lines; tcp connects to --host/--port",
+        "--transport",
+        choices=("stdout", "pipe", "tcp", "shm"),
+        default="stdout",
+        help="stdout/pipe write the wire to standard output; tcp "
+        "connects to --host/--port; shm attaches to shared-memory ring "
+        "segment(s) named by --shm-name (created by the receiving "
+        "side, e.g. a ShmReceiver)",
     )
     rep.add_argument("--host", default="127.0.0.1")
     rep.add_argument("--port", type=int, default=9999)
+    rep.add_argument(
+        "--shm-name", default=None,
+        help="shm ring segment name(s) to attach, comma-separated, one "
+        "per worker (required with --transport shm)",
+    )
     rep.add_argument(
         "--batch-size",
         type=int,
@@ -496,12 +506,30 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
 
 
 def _replay_transport_spec(args: argparse.Namespace):
-    """The picklable base-transport spec the replay flags describe."""
-    from repro.core.connectors import PipeSpec, TcpSpec
+    """The picklable base-transport spec(s) the replay flags describe.
 
-    if args.transport == "stdout":
+    For ``--transport shm`` with multiple workers this returns one
+    :class:`ShmSpec` per worker (rings are strictly single-producer),
+    so the result may be a tuple — every consumer of this helper
+    (:class:`LiveReplayer` single-spec path excepted) accepts either.
+    """
+    from repro.core.connectors import PipeSpec, ShmSpec, TcpSpec
+
+    if args.transport in ("stdout", "pipe"):
         return PipeSpec(target="-")
-    return TcpSpec(host=args.host, port=args.port)
+    if args.transport == "tcp":
+        return TcpSpec(host=args.host, port=args.port)
+    if not args.shm_name:
+        raise SystemExit("--transport shm requires --shm-name")
+    names = [name.strip() for name in args.shm_name.split(",") if name.strip()]
+    workers = getattr(args, "workers", 1)
+    if len(names) != workers:
+        raise SystemExit(
+            f"--shm-name lists {len(names)} segment(s) for {workers} "
+            "worker(s); each worker needs its own ring"
+        )
+    specs = tuple(ShmSpec(name=name) for name in names)
+    return specs[0] if workers == 1 else specs
 
 
 def _replay_chain_configs(args: argparse.Namespace):

@@ -10,11 +10,15 @@ operation, adapted by platform-specific connectors.  For live
 * :class:`PipeTransport` — newline-delimited CSV lines onto a file
   descriptor / file object (the paper's STDOUT→STDIN piping);
 * :class:`TcpTransport` — the same lines over a TCP socket, where the
-  kernel's flow control provides backpressure (section 3.2).
+  kernel's flow control provides backpressure (section 3.2);
+* :class:`ShmTransport` — batches through a
+  :class:`~repro.core.shm.ShmRing` shared-memory ring (one producer,
+  one consumer, same machine): the zero-syscall local path, where
+  backpressure is the ring filling up.
 
-Matching receivers (:class:`PipeReceiver`, :class:`TcpReceiver`) count
-arriving events per time window; they implement the measurement side of
-the replayer benchmark (Figure 3a).
+Matching receivers (:class:`PipeReceiver`, :class:`TcpReceiver`,
+:class:`ShmReceiver`) count arriving events per time window; they
+implement the measurement side of the replayer benchmark (Figure 3a).
 """
 
 from __future__ import annotations
@@ -24,6 +28,7 @@ import os
 import socket
 import sys
 import threading
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Callable, Iterable
@@ -38,13 +43,23 @@ __all__ = [
     "CallbackTransport",
     "PipeTransport",
     "TcpTransport",
+    "ShmTransport",
     "TransportSpec",
     "PipeSpec",
     "TcpSpec",
+    "ShmSpec",
     "WindowCounter",
     "PipeReceiver",
     "TcpReceiver",
+    "ShmReceiver",
+    "SOCKET_BUFFER_BYTES",
 ]
+
+#: Default SO_SNDBUF/SO_RCVBUF request for the TCP transport pair:
+#: room for ~180 batch_size=256 binary frames (or ~45k CSV lines), so
+#: a whole pacing window of batches is in flight before the kernel
+#: applies backpressure.  The kernel clamps to its rmem/wmem limits.
+SOCKET_BUFFER_BYTES = 1 << 20
 
 
 class Transport:
@@ -255,7 +270,13 @@ class TcpTransport(Transport):
     backpressure: when the receiver cannot keep up, ``send`` blocks.
     """
 
-    def __init__(self, host: str, port: int, flush_every: int = 512):
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        flush_every: int = 512,
+        send_buffer: int | None = SOCKET_BUFFER_BYTES,
+    ):
         if flush_every <= 0:
             raise ValueError(f"flush_every must be positive, got {flush_every}")
         try:
@@ -265,6 +286,15 @@ class TcpTransport(Transport):
         try:
             sock.settimeout(None)
             sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            if send_buffer:
+                # Size SO_SNDBUF to whole batch windows: with the
+                # default 16-page buffer a 6KB frame burst blocks after
+                # ~10 batches, serializing sender and receiver on a
+                # single-CPU machine; a deep buffer lets each side run
+                # long slices (see EXPERIMENTS.md, transport matrix).
+                sock.setsockopt(
+                    socket.SOL_SOCKET, socket.SO_SNDBUF, send_buffer
+                )
             self._file = sock.makefile("w", encoding="utf-8", buffering=1 << 16)
         except OSError as exc:
             # The connection succeeded but configuring it did not: the
@@ -366,6 +396,126 @@ class TcpTransport(Transport):
             pass
 
 
+class ShmTransport(Transport):
+    """Sends batches through a shared-memory ring (producer side).
+
+    The zero-syscall local transport: each batch is one length-prefixed
+    slot copied straight into the ring's arena — no write syscall, no
+    kernel buffer, no second copy on the consumer side (the receiver
+    reads the payload in place).  ``send_raw``/``send_frame`` accept
+    :class:`memoryview` slices of the shard file's mmap, so the only
+    copy on the whole path is the single mmap→arena ``memcpy``.
+
+    Sends are buffered: slots accumulate locally and are written to the
+    ring ``flush_every`` slots at a time through
+    :meth:`~repro.core.shm.RingProducer.push_many`, which amortizes the
+    space check and head publication over the whole run — the same
+    batching discipline as :class:`PipeTransport`'s ``flush_every``,
+    and what keeps the per-slot cost below the pipe's.  :meth:`close`
+    flushes.
+
+    Backpressure is the ring filling up: a flush blocks in a bounded
+    spin-then-sleep until the consumer frees space, and raises
+    :class:`ConnectorError` if the consumer closed or ``stall_timeout``
+    elapses — the same contract as a TCP send blocking on a full
+    socket buffer.  Exactly one producer per ring (SPSC); the sharded
+    replayer uses one ring per worker.
+
+    On :meth:`close` the producer pushes a best-effort EOF slot (so a
+    draining receiver finishes promptly), marks the producer side
+    closed, and drops its mapping.  The ring segment itself is owned —
+    created and unlinked — by the :class:`ShmReceiver`; a transport
+    never unlinks, so a crashing worker cannot strand or double-free
+    the segment.
+    """
+
+    def __init__(
+        self,
+        ring,
+        stall_timeout: float = 30.0,
+        flush_every: int = 64,
+    ):
+        from repro.core import shm
+
+        if flush_every <= 0:
+            raise ConnectorError(
+                f"flush_every must be positive, got {flush_every}"
+            )
+        if isinstance(ring, str):
+            ring = shm.ShmRing.attach(ring)
+        self._ring = ring
+        self._producer = shm.RingProducer(ring, stall_timeout=stall_timeout)
+        self._flush_every = flush_every
+        self._pending: list[tuple] = []
+        self._pending_kind = shm.SLOT_RAW
+        self._closed = False
+
+    def _append(self, payload, count: int, kind: int) -> None:
+        if self._closed:
+            raise ConnectorError("transport is closed")
+        if self._pending and self._pending_kind != kind:
+            self.flush()
+        self._pending_kind = kind
+        self._pending.append((payload, count))
+        if len(self._pending) >= self._flush_every:
+            self.flush()
+
+    def flush(self) -> None:
+        """Write buffered slots to the ring (blocking on backpressure)."""
+        if self._pending:
+            items = self._pending
+            self._pending = []
+            self._producer.push_many(items, self._pending_kind)
+
+    def send(self, line: str) -> None:
+        from repro.core.shm import SLOT_RAW
+
+        self._append(line.encode("utf-8") + b"\n", 1, SLOT_RAW)
+
+    def send_many(self, lines: Iterable[str]) -> None:
+        if not isinstance(lines, list):
+            lines = list(lines)
+        if not lines:
+            if self._closed:
+                raise ConnectorError("transport is closed")
+            return
+        from repro.core.shm import SLOT_RAW
+
+        payload = ("\n".join(lines) + "\n").encode("utf-8")
+        self._append(payload, len(lines), SLOT_RAW)
+
+    def send_raw(self, data: "bytes | memoryview", count: int) -> None:
+        from repro.core.shm import SLOT_RAW
+
+        self._append(data, count, SLOT_RAW)
+
+    def send_frame(self, frame: "bytes | memoryview", count: int) -> None:
+        from repro.core.shm import SLOT_FRAME
+
+        self._append(frame, count, SLOT_FRAME)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            try:
+                self.flush()
+            finally:
+                # Flag even if the flush failed: a draining receiver
+                # must see the producer is done once the ring empties,
+                # EOF slot or not (ring wedged full, consumer gone).
+                self._ring.set_producer_closed()
+            self._producer.push_eof()
+        except (ConnectorError, ValueError):
+            # Consumer gone or mapping already invalid: nothing left to
+            # signal — the receiver's producer_closed/stop paths cover
+            # this side's disappearance.
+            pass
+        finally:
+            self._ring.close()
+
+
 class TransportSpec:
     """Picklable description of a transport, built inside a worker.
 
@@ -421,9 +571,35 @@ class TcpSpec(TransportSpec):
     host: str = "127.0.0.1"
     port: int = 0
     flush_every: int = 512
+    send_buffer: int | None = SOCKET_BUFFER_BYTES
 
     def build(self) -> TcpTransport:
-        return TcpTransport(self.host, self.port, flush_every=self.flush_every)
+        return TcpTransport(
+            self.host,
+            self.port,
+            flush_every=self.flush_every,
+            send_buffer=self.send_buffer,
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class ShmSpec(TransportSpec):
+    """Spec for a :class:`ShmTransport` producer attaching to ``name``.
+
+    The ring is created by the receiving side (a
+    :class:`ShmReceiver`, which owns the segment's unlink); the spec
+    only carries the segment name across the process boundary.  One
+    ring admits exactly one producer — the sharded replayer passes one
+    spec per worker.
+    """
+
+    name: str = ""
+    stall_timeout: float = 30.0
+
+    def build(self) -> "ShmTransport":
+        if not self.name:
+            raise ConnectorError("ShmSpec needs a ring segment name")
+        return ShmTransport(self.name, stall_timeout=self.stall_timeout)
 
 
 @dataclass(frozen=True, slots=True)
@@ -654,6 +830,19 @@ class TcpReceiver:
         server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         try:
             server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            # Accepted sockets inherit the listener's receive buffer:
+            # sized to hold a whole burst of batch frames so a sender
+            # saturating the loopback never stalls on a 64KB default
+            # window (the mirror of TcpTransport's SO_SNDBUF).
+            if SOCKET_BUFFER_BYTES:
+                try:
+                    server.setsockopt(
+                        socket.SOL_SOCKET,
+                        socket.SO_RCVBUF,
+                        SOCKET_BUFFER_BYTES,
+                    )
+                except OSError:  # pragma: no cover - exotic platforms
+                    pass
             server.bind((host, 0))
             server.listen(max_connections)
             server.settimeout(self.accept_poll_seconds)
@@ -766,3 +955,232 @@ class TcpReceiver:
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+
+class ShmReceiver:
+    """Owns shared-memory rings and counts the slots producers push.
+
+    The measurement peer of :class:`ShmTransport`: creates
+    ``max_producers`` rings (one SPSC ring per producer — the sharded
+    replayer's fan-in), drains each on its own thread into one shared
+    :class:`WindowCounter`, and owns the segments' lifecycle — every
+    ring is closed *and* unlinked exactly once in :meth:`close`, no
+    matter how producers exit.  A producer that crashes mid-stream (or
+    never attaches) cannot leak a segment: the receiver outlives it
+    and unlinks unconditionally; a producer that outlives the receiver
+    keeps its mapping (POSIX unlink semantics) and gets
+    :class:`ConnectorError` from its next push via the consumer-closed
+    flag.
+
+    Counts are independent, not trusted: each slot's record count is
+    re-derived from its payload (frame header / newline count) and
+    must agree with its descriptor — see
+    :meth:`~repro.core.shm.RingConsumer.drain_counts`.  Corruption
+    surfaces as a typed :class:`~repro.errors.StreamFormatError` on
+    the ``error`` attribute.
+
+    ``sink`` (optional, single-producer) receives the wire-equivalent
+    byte stream: the binary magic once before the first frame, then
+    every payload verbatim — what a pipe receiver would have read.
+    Hand the receiver's specs to workers and replay::
+
+        with ShmReceiver(max_producers=2) as receiver:
+            ShardedReplayer(path, receiver.specs, workers=2).run()
+        total = receiver.counter.total
+    """
+
+    def __init__(
+        self,
+        window_seconds: float = 1.0,
+        clock: "TraceClock | None" = None,
+        tracer: "Tracer | None" = None,
+        max_producers: int = 1,
+        slots: int = 4096,
+        arena_bytes: int = 1 << 23,
+        sink=None,
+        drain_timeout: float = 30.0,
+    ):
+        from repro.core import shm
+
+        if max_producers <= 0:
+            raise ValueError(
+                f"max_producers must be positive, got {max_producers}"
+            )
+        if sink is not None and max_producers > 1:
+            raise ValueError(
+                "sink capture needs a single producer (slot interleaving "
+                "across rings is unordered)"
+            )
+        self._rings: list[shm.ShmRing] = []
+        try:
+            for __ in range(max_producers):
+                self._rings.append(
+                    shm.ShmRing.create(slots=slots, arena_bytes=arena_bytes)
+                )
+        except BaseException:
+            for ring in self._rings:
+                ring.close()
+                ring.unlink()
+            raise
+        self.specs = tuple(ShmSpec(name=ring.name) for ring in self._rings)
+        self.counter = WindowCounter(window_seconds, clock=clock)
+        self._tracer = tracer
+        self._sink = sink
+        self._drain_timeout = drain_timeout
+        self._stop = threading.Event()
+        self._closed = False
+        self.error: Exception | None = None
+        self._magic_written = False
+        self._id_lock = threading.Lock()
+        self._next_id = 0  # guarded-by: self._id_lock
+        self._threads = [
+            threading.Thread(target=self._drain, args=(ring,), daemon=True)
+            for ring in self._rings
+        ]
+
+    @property
+    def name(self) -> str:
+        """Segment name of the (first) ring — the single-producer case."""
+        return self._rings[0].name
+
+    def start(self) -> None:
+        for thread in self._threads:
+            thread.start()
+
+    def _record_batch(self, count: int) -> None:
+        with self._id_lock:
+            first_id = self._next_id
+            self._next_id += count
+        self.counter.record(count)
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.count("ingested", count)
+            if tracer.sample_batch(first_id, count):
+                tracer.instant(
+                    "ingested", "receiver", event_id=first_id, count=count
+                )
+
+    def _drain_to_sink(self, consumer) -> tuple[int, int, bool]:
+        """Sink mode: pop slots one batch at a time, copying payloads
+        out (magic before the first frame, wire-order preserved)."""
+        from repro.core import binfmt, shm
+
+        slots = consumer.pop_available(max_slots=256)
+        records = 0
+        for slot in slots:
+            if slot.kind == shm.SLOT_FRAME and not self._magic_written:
+                self._sink.write(binfmt.MAGIC)
+                self._magic_written = True  # guarded-by: single sink-mode drain thread
+            if slot.payload:
+                self._sink.write(bytes(slot.payload))
+                slot.payload.release()
+            records += slot.count
+        consumer.advance()
+        return len(slots), records, consumer.finished
+
+    def _drain(self, ring) -> None:
+        from repro.core import shm
+
+        consumer = shm.RingConsumer(ring)
+        sleep = 0.0002
+        idle_spins = 0
+        deadline = None
+        try:
+            while True:
+                if self._sink is not None:
+                    consumed, records, finished = self._drain_to_sink(
+                        consumer
+                    )
+                else:
+                    consumed, records, finished = consumer.drain_counts()
+                    consumer.advance()
+                if records:
+                    self._record_batch(records)
+                if finished:
+                    return
+                if consumed:
+                    sleep = 0.0002
+                    idle_spins = 0
+                    deadline = None
+                    if self._sink is None and consumed < 192:
+                        # Small round: the producer is mid-burst.  A
+                        # nap lets slots accumulate so the next round
+                        # takes the vectorized drain path (~0.5us per
+                        # slot against ~5us per slot popped singly)
+                        # instead of hot-polling the ring one slot at a
+                        # time — which on a single CPU also steals the
+                        # quanta the producer needs to fill it.  Big
+                        # rounds loop straight back: a filling ring
+                        # means the producer needs space soon.
+                        time.sleep(0.002)  # repro-check: disable=HOT001 -- gulp pacing
+                    continue
+                if consumer.producer_done():
+                    return
+                if self._stop.is_set():
+                    # Drain grace: producers already publishing keep
+                    # being counted until the ring goes idle.
+                    return
+                idle_spins += 1
+                if idle_spins < 4:
+                    continue
+                # Sleep, never spin or yield: on a single-CPU machine
+                # an idle consumer burning quanta preempts the producer
+                # it is waiting for (the ring holds megabytes, so wake
+                # latency is throughput-irrelevant).  The producer's
+                # full-ring wait yields instead — there handing the
+                # core over is exactly what unblocks it.
+                if deadline is None:
+                    deadline = time.monotonic() + self._drain_timeout
+                elif time.monotonic() >= deadline:
+                    raise ConnectorError(
+                        "shm receiver stalled: producer made no "
+                        "progress before the timeout"
+                    )
+                time.sleep(sleep)  # repro-check: disable=HOT001 -- idle backoff
+                sleep = min(sleep * 2, 0.002)
+        except Exception as exc:
+            self.error = exc  # guarded-by: write-once; read after join()
+
+    def join(self, timeout: float | None = None) -> None:
+        for thread in self._threads:
+            thread.join(timeout)
+            if thread.is_alive():
+                raise ConnectorError("shm receiver did not finish in time")
+
+    def close(self) -> None:
+        """Stop draining, then close and unlink every ring (idempotent).
+
+        The consumer-closed flag goes up first so blocked producers
+        fail fast instead of stalling; drain threads exit at the next
+        idle check.  Unlink is unconditional — segments never outlive
+        the receiver, whatever the producers did.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for ring in self._rings:
+            try:
+                ring.set_consumer_closed()
+            except ValueError:  # pragma: no cover - mapping already gone
+                pass
+        self._stop.set()
+        for thread in self._threads:
+            if thread.is_alive():
+                thread.join(timeout=10.0)
+        for ring in self._rings:
+            ring.close()
+            ring.unlink()
+
+    def __enter__(self) -> "ShmReceiver":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        try:
+            if exc_info[0] is None:
+                # Clean body: wait for producers to finish their
+                # streams so counts are complete before close().
+                for thread in self._threads:
+                    thread.join(timeout=self._drain_timeout)
+        finally:
+            self.close()

@@ -65,7 +65,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import BinaryIO, Iterable, Sequence
 
-from repro.core import binfmt, codec
+from repro.core import binfmt, codec, witness
 from repro.core.connectors import Transport, TransportSpec
 from repro.core.events import (
     EdgeId,
@@ -297,7 +297,11 @@ def _write_shards_binary_records(
     writers: list[binfmt.BinaryStreamWriter] = []
     try:
         for path in paths:
-            writers.append(binfmt.BinaryStreamWriter(path))
+            writers.append(
+                binfmt.BinaryStreamWriter(
+                    path, witness_path=witness.witness_path(path)
+                )
+            )
         for item in binfmt.iter_binary_batches(source):
             if isinstance(item, Event):
                 control_events += 1
@@ -503,7 +507,15 @@ def _replay_stream(
     if not decode:
         count_batch = None
     elif binary:
-        count_batch = binfmt.scan_frame
+        # One bulk witness verification up front replaces the per-frame
+        # record walk when the shard carries a sidecar (see
+        # repro.core.witness); corruption raises here, before any
+        # emission.  No sidecar, stale sidecar, or no numpy: fall back
+        # to walking every frame.
+        if witness.preverify_shard(config.path) is not None:
+            count_batch = witness.count_verified_frame
+        else:
+            count_batch = binfmt.scan_frame
     else:
         parse_lines = codec.parse_lines
 

@@ -33,6 +33,7 @@ from repro.fuzz.workload import (
     build_base,
     bytes_to_events,
     events_to_bytes,
+    unwrap_slot_stream,
 )
 
 __all__ = [
@@ -60,5 +61,6 @@ __all__ = [
     "minimize_workload",
     "replay_entry",
     "run_fuzz",
+    "unwrap_slot_stream",
     "save_entry",
 ]

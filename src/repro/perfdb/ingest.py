@@ -153,6 +153,24 @@ def _scaleout_metrics(snapshot: Mapping[str, Any]) -> dict[str, MetricSeries]:
             curve_x=tuple(float(t) for t in sweep["target_rates"]),
             curve_y=tuple(float(a) for a in series["achieved_eps"]),
         )
+    # Transport axis (snapshots recorded since the shm ring landed):
+    # per-transport delivered throughput at the widest worker count,
+    # plus the headline shm-vs-pipe ratio the tentpole gate tracks.
+    transports = snapshot.get("transports")
+    if transports:
+        for transport, block in transports["by_transport"].items():
+            cell = block["by_workers"].get(widest)
+            if cell is None:
+                continue
+            name = f"transport_{transport}_{widest}w_delivered_eps"
+            metrics[name] = _scalar(
+                name, cell["aggregate_eps"], samples=cell.get("samples_eps")
+            )
+        metrics["shm_vs_pipe_delivered"] = _scalar(
+            "shm_vs_pipe_delivered",
+            snapshot["shm_vs_pipe_delivered"],
+            unit="x",
+        )
     return metrics
 
 

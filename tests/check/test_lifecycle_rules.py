@@ -201,6 +201,101 @@ def test_res001_suppression_applies(check_source):
     )
 
 
+def test_res001_shared_memory_owner_needs_close_and_unlink(check_source):
+    # close() alone is not enough for an owning segment: the unlink
+    # obligation is tracked as its own fact and must fire separately.
+    violations = check_source(
+        """
+        from multiprocessing.shared_memory import SharedMemory
+
+        def make(name):
+            seg = SharedMemory(name=name, create=True, size=4096)
+            seg.close()
+        """,
+        ResourceLeakRule(),
+    )
+    assert [v.rule_id for v in violations] == ["RES001"]
+    assert "unlink" in violations[0].message
+
+
+def test_res001_shared_memory_owner_missing_both(check_source):
+    violations = check_source(
+        """
+        from multiprocessing.shared_memory import SharedMemory
+
+        def make(name, flag):
+            seg = SharedMemory(name=name, create=True, size=4096)
+            if flag:
+                seg.close()
+                seg.unlink()
+        """,
+        ResourceLeakRule(),
+    )
+    assert [v.rule_id for v in violations] == ["RES001", "RES001"]
+    messages = " ".join(v.message for v in violations)
+    assert "close" in messages and "unlink" in messages
+
+
+def test_res001_shared_memory_owner_clean_with_finally(check_source):
+    assert not check_source(
+        """
+        from multiprocessing.shared_memory import SharedMemory
+
+        def make(name):
+            seg = SharedMemory(name=name, create=True, size=4096)
+            try:
+                seg.buf[0] = 1
+            finally:
+                seg.close()
+                seg.unlink()
+        """,
+        ResourceLeakRule(),
+    )
+
+
+def test_res001_shared_memory_attach_needs_only_close(check_source):
+    assert not check_source(
+        """
+        from multiprocessing.shared_memory import SharedMemory
+
+        def peek(name):
+            seg = SharedMemory(name=name)
+            try:
+                return bytes(seg.buf[:8])
+            finally:
+                seg.close()
+        """,
+        ResourceLeakRule(),
+    )
+    violations = check_source(
+        """
+        from multiprocessing.shared_memory import SharedMemory
+
+        def peek(name, flag):
+            seg = SharedMemory(name=name)
+            if flag:
+                seg.close()
+        """,
+        ResourceLeakRule(),
+    )
+    assert [v.rule_id for v in violations] == ["RES001"]
+    assert "close" in violations[0].message
+
+
+def test_res001_shared_memory_transfer_is_ownership_handoff(check_source):
+    # Returning the segment hands both obligations to the caller.
+    assert not check_source(
+        """
+        from multiprocessing.shared_memory import SharedMemory
+
+        def make(name):
+            seg = SharedMemory(name=name, create=True, size=4096)
+            return seg
+        """,
+        ResourceLeakRule(),
+    )
+
+
 # -- RES002 ------------------------------------------------------------------
 
 
